@@ -1,0 +1,157 @@
+//! Criterion benches of the GRAPE-6 simulator: the emulated pipeline
+//! interaction, the on-chip predictor, a chip-level force call, and the
+//! full-machine functional engine, plus the analytic timing model itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grape6_core::engine::ForceEngine;
+use grape6_core::particle::{ForceResult, IParticle};
+use grape6_core::vec3::Vec3;
+use grape6_disk::DiskBuilder;
+use grape6_hw::chip::HwIParticle;
+use grape6_hw::pipeline::pipeline_interaction;
+use grape6_hw::predictor::{predict_j, JParticle};
+use grape6_hw::{ChipGeometry, FixedPointFormat, Grape6Chip, Grape6Config, Grape6Engine, Precision, TimingModel};
+
+fn bench_pipeline_interaction(c: &mut Criterion) {
+    let fmt = FixedPointFormat::default();
+    let qi = fmt.encode_vec(Vec3::new(20.0, 0.0, 0.0));
+    let qj = fmt.encode_vec(Vec3::new(21.0, 0.5, -0.1));
+    let vi = Vec3::new(0.0, 0.22, 0.0);
+    let vj = Vec3::new(-0.01, 0.21, 0.0);
+    for (name, prec) in [("exact", Precision::Exact), ("grape6", Precision::grape6())] {
+        c.bench_function(&format!("pipeline_interaction_{name}"), |b| {
+            b.iter(|| {
+                pipeline_interaction(
+                    &fmt,
+                    prec,
+                    black_box(qi),
+                    black_box(qj),
+                    black_box(vi),
+                    black_box(vj),
+                    black_box(1e-9),
+                    black_box(6.4e-5),
+                )
+            })
+        });
+    }
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let fmt = FixedPointFormat::default();
+    let j = JParticle::encode(
+        &fmt,
+        Precision::grape6(),
+        Vec3::new(20.0, 1.0, 0.0),
+        Vec3::new(0.0, 0.22, 0.0),
+        Vec3::new(-2e-3, 0.0, 0.0),
+        Vec3::new(0.0, -5e-6, 0.0),
+        1e-9,
+        0.0,
+    );
+    c.bench_function("predictor_pipeline", |b| {
+        b.iter(|| predict_j(&fmt, Precision::grape6(), black_box(&j), black_box(0.25)))
+    });
+}
+
+fn bench_chip(c: &mut Criterion) {
+    let fmt = FixedPointFormat::default();
+    let sys = DiskBuilder::paper(1024).build();
+    let js: Vec<JParticle> = (0..1024)
+        .map(|i| {
+            JParticle::encode(
+                &fmt,
+                Precision::grape6(),
+                sys.pos[i],
+                sys.vel[i],
+                Vec3::zero(),
+                Vec3::zero(),
+                sys.mass[i],
+                0.0,
+            )
+        })
+        .collect();
+    let mut chip = Grape6Chip::new(ChipGeometry::default(), fmt, Precision::grape6());
+    chip.load_j(&js).unwrap();
+    let ips: Vec<HwIParticle> = (0..48)
+        .map(|k| HwIParticle::encode(&fmt, Precision::grape6(), sys.pos[k * 20], sys.vel[k * 20]))
+        .collect();
+    let mut group = c.benchmark_group("chip");
+    group.throughput(Throughput::Elements(48 * 1024));
+    group.bench_function("sweep_48i_1kj", |b| {
+        b.iter(|| chip.compute(black_box(0.125), &ips, 6.4e-5))
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grape6_engine");
+    for &n in &[4096usize, 16384] {
+        let sys = DiskBuilder::paper(n).build();
+        let mut engine = Grape6Engine::new(Grape6Config::sc2002());
+        engine.load(&sys);
+        let ips: Vec<IParticle> = (0..128)
+            .map(|k| {
+                let i = k * (n / 128);
+                IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }
+            })
+            .collect();
+        let mut out = vec![ForceResult::default(); ips.len()];
+        group.throughput(Throughput::Elements(128 * (n as u64 + 2)));
+        group.bench_with_input(BenchmarkId::new("block128", n), &n, |b, _| {
+            b.iter(|| engine.compute(black_box(0.0), &ips, &mut out))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    use grape6_hw::predictor::JParticle;
+    use grape6_hw::wire;
+    let fmt = FixedPointFormat::default();
+    let js: Vec<JParticle> = (0..1024)
+        .map(|k| {
+            JParticle::encode(
+                &fmt,
+                Precision::grape6(),
+                Vec3::new(20.0 + k as f64 * 0.01, 0.3, 0.0),
+                Vec3::new(0.0, 0.21, 0.0),
+                Vec3::zero(),
+                Vec3::zero(),
+                1e-9,
+                0.5,
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes((js.len() * wire::J_PACKET_BYTES) as u64));
+    group.bench_function("encode_j_block_1k", |b| b.iter(|| wire::encode_j_block(black_box(&js))));
+    let stream = wire::encode_j_block(&js);
+    group.bench_function("decode_j_block_1k", |b| {
+        b.iter(|| wire::decode_j_block(black_box(stream.clone())))
+    });
+    group.finish();
+}
+
+fn bench_format(c: &mut Criterion) {
+    let fmt = FixedPointFormat::default();
+    c.bench_function("fixed_encode_vec", |b| {
+        b.iter(|| fmt.encode_vec(black_box(Vec3::new(23.456, -12.3, 0.07))))
+    });
+    c.bench_function("round_mantissa_24", |b| {
+        b.iter(|| grape6_hw::format::round_mantissa(black_box(0.1234567890123), 24))
+    });
+}
+
+fn bench_timing_model(c: &mut Criterion) {
+    let model = TimingModel::sc2002();
+    c.bench_function("timing_model_block_step", |b| {
+        b.iter(|| model.block_step(black_box(2048), black_box(1_800_000)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline_interaction, bench_predictor, bench_chip, bench_engine, bench_wire, bench_format, bench_timing_model
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches of the Barnes-Hut baseline: tree build, single
+//! traversals at several opening angles, and the per-blockstep cost that the
+//! §3 argument turns on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grape6_core::engine::ForceEngine;
+use grape6_core::particle::{ForceResult, IParticle};
+use grape6_disk::DiskBuilder;
+use grape6_tree::{Octree, TreeEngine};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build");
+    for &n in &[2048usize, 16384] {
+        let sys = DiskBuilder::paper(n).build();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| Octree::build(black_box(&sys.pos), &sys.vel, &sys.mass))
+        });
+    }
+    group.finish();
+}
+
+fn bench_traverse(c: &mut Criterion) {
+    let sys = DiskBuilder::paper(16384).build();
+    let tree = Octree::build(&sys.pos, &sys.vel, &sys.mass);
+    let mut group = c.benchmark_group("tree_traverse_n16k");
+    for &theta in &[0.3f64, 0.5, 0.9] {
+        group.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, &th| {
+            b.iter(|| tree.force_on(black_box(sys.pos[100]), sys.vel[100], th, 6.4e-5, 100))
+        });
+    }
+    group.finish();
+}
+
+fn bench_small_block_cost(c: &mut Criterion) {
+    // The §3 killer: a single-particle force request at a fresh time forces
+    // a full rebuild. Compare against a same-time request that reuses the
+    // tree.
+    let sys = DiskBuilder::paper(8192).build();
+    let mut engine = TreeEngine::new(0.5);
+    engine.load(&sys);
+    let ips = [IParticle { index: 0, pos: sys.pos[0], vel: sys.vel[0] }];
+    let mut out = [ForceResult::default()];
+    let mut t = 0.0f64;
+    c.bench_function("tree_block1_fresh_time", |b| {
+        b.iter(|| {
+            t += 1e-9; // force a rebuild each call
+            engine.compute(black_box(t), &ips, &mut out)
+        })
+    });
+    engine.compute(1e6, &ips, &mut out);
+    c.bench_function("tree_block1_cached_tree", |b| {
+        b.iter(|| engine.compute(black_box(1e6), &ips, &mut out))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_build, bench_traverse, bench_small_block_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Experiment E9 — integration accuracy (implied throughout §3/§6): the
+//! Hermite + block-timestep scheme holds energy at the level its accuracy
+//! parameter promises, and GRAPE-6's reduced-precision arithmetic does not
+//! degrade it.
+//!
+//! Sweeps η for three engines: CPU double precision, the GRAPE-6 simulator
+//! in exact mode (fixed-point positions only), and the GRAPE-6 simulator
+//! with hardware arithmetic (24-bit pipeline words). The disk uses
+//! *production* per-particle masses (no mass rescaling), so the dynamics is
+//! gentle enough that all engines follow the same trajectory and the
+//! arithmetic differences are isolated from N-body chaos. Energies are
+//! measured on states synchronized to a common time.
+
+use grape6_bench::{arg_or, fmt, print_header, print_row};
+use grape6_core::energy::synchronized_total_energy;
+use grape6_core::engine::ForceEngine;
+use grape6_core::force::DirectEngine;
+use grape6_core::integrator::{BlockHermite, HermiteConfig};
+use grape6_core::particle::ParticleSystem;
+use grape6_disk::{DiskBuilder, PowerLawMass};
+use grape6_hw::{Grape6Config, Grape6Engine};
+
+fn accuracy_disk(n: usize) -> ParticleSystem {
+    let mut b = DiskBuilder::paper(n);
+    // Production-mass planetesimals: each body keeps its sampled ~1e-10
+    // M_sun mass instead of inheriting the full ring mass.
+    b.total_mass = PowerLawMass::paper().mean() * n as f64;
+    b.build()
+}
+
+fn run_with<E: ForceEngine>(mut engine: E, eta: f64, t_end: f64) -> (f64, u64) {
+    let mut sys = accuracy_disk(256);
+    let config = HermiteConfig {
+        eta,
+        eta_start: eta / 8.0,
+        dt_max: 2.0f64.powi(3),
+        dt_min: 2.0f64.powi(-40),
+    };
+    let mut integ = BlockHermite::new(config);
+    integ.initialize(&mut sys, &mut engine);
+    let e0 = synchronized_total_energy(&sys, 0.0);
+    integ.evolve(&mut sys, &mut engine, t_end);
+    let e1 = synchronized_total_energy(&sys, sys.t);
+    (((e1 - e0) / e0).abs(), integ.stats().block_steps)
+}
+
+fn main() {
+    let t_end: f64 = arg_or("--t", 64.0);
+    println!("E9: energy conservation vs accuracy parameter (N = 256, T = {t_end})\n");
+    print_header(&["eta", "engine", "|dE/E|", "block steps"], 16);
+    for &eta in &[0.08, 0.04, 0.02, 0.01] {
+        let cases: [(&str, (f64, u64)); 3] = [
+            ("cpu-f64", run_with(DirectEngine::new(), eta, t_end)),
+            (
+                "grape6-exact",
+                run_with(Grape6Engine::new(Grape6Config::sc2002_exact()), eta, t_end),
+            ),
+            (
+                "grape6-hw",
+                run_with(Grape6Engine::new(Grape6Config::sc2002()), eta, t_end),
+            ),
+        ];
+        for (kind, (err, steps)) in cases {
+            print_row(&[fmt(eta), kind.to_string(), fmt(err), steps.to_string()], 16);
+        }
+        println!();
+    }
+    println!("expected shape: error falls steeply with eta (4th-order scheme, dt ∝ √eta,");
+    println!("so dE ∝ eta²); the hardware-arithmetic rows track the f64 rows until the");
+    println!("24-bit pipeline floor (~1e-7 relative per force) becomes visible.");
+}

@@ -1,0 +1,94 @@
+//! # grape6-bench
+//!
+//! The benchmark harness: one binary per experiment of DESIGN.md §4
+//! (`table_headline`, `fig13_gaps`, `table_hardware`, `table_blockstep`,
+//! `table_tree_vs_direct`, `table_network_scaling`, `table_small_blocks`,
+//! `table_scattering`, `table_accuracy`), plus Criterion micro-benches of
+//! the hot kernels. This library holds the shared table-printing and
+//! workload helpers.
+
+#![warn(missing_docs)]
+
+use grape6_core::integrator::HermiteConfig;
+use grape6_core::particle::ParticleSystem;
+use grape6_disk::DiskBuilder;
+
+/// Print a table header row followed by a separator, padding each column to
+/// `width`.
+pub fn print_header(cols: &[&str], width: usize) {
+    let row: Vec<String> = cols.iter().map(|c| format!("{c:>width$}")).collect();
+    println!("{}", row.join("  "));
+    println!("{}", "-".repeat((width + 2) * cols.len()));
+}
+
+/// Print a data row of preformatted cells at the same width.
+pub fn print_row(cells: &[String], width: usize) {
+    let row: Vec<String> = cells.iter().map(|c| format!("{c:>width$}")).collect();
+    println!("{}", row.join("  "));
+}
+
+/// Format a float compactly for tables.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e4 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// The standard scaled-down paper workload used across experiments: an
+/// `n`-planetesimal Uranus-Neptune disk with the paper's geometry, masses
+/// and softening.
+pub fn paper_disk(n: usize, seed: u64) -> ParticleSystem {
+    DiskBuilder::paper(n).with_seed(seed).build()
+}
+
+/// The integrator configuration used by the experiments: η = 0.02 accuracy
+/// class with dt_max = 2³ (≈1.3 yr, a small fraction of the 90–160 yr
+/// orbital periods), leaving the Aarseth criterion free to spread particles
+/// across many rungs — the individual-timestep structure the paper exploits.
+pub fn experiment_config() -> HermiteConfig {
+    HermiteConfig { dt_max: 2.0f64.powi(3), ..HermiteConfig::default() }
+}
+
+/// Parse a `--key value` style argument from the command line, with a
+/// default. Accepts integers and floats via `FromStr`.
+pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == key {
+            if let Ok(v) = w[1].parse() {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_picks_sensible_notation() {
+        assert_eq!(fmt(0.0), "0");
+        assert!(fmt(1.5).starts_with("1.5"));
+        assert!(fmt(1.0e7).contains('e'));
+        assert!(fmt(1.0e-9).contains('e'));
+    }
+
+    #[test]
+    fn paper_disk_builds() {
+        let sys = paper_disk(100, 1);
+        assert_eq!(sys.len(), 102);
+        assert_eq!(sys.softening, 0.008);
+    }
+
+    #[test]
+    fn arg_or_returns_default_without_flag() {
+        assert_eq!(arg_or("--nonexistent-flag", 42usize), 42);
+        assert_eq!(arg_or("--nonexistent-flag", 2.5f64), 2.5);
+    }
+}

@@ -1,0 +1,274 @@
+//! The block individual-timestep machinery (paper §3, §4.2; McMillan 1986,
+//! Makino 1991).
+//!
+//! Timesteps are forced to powers of two and particle times are kept
+//! commensurate with their steps, so that at every moment a whole *block* of
+//! particles shares the same update time and can be integrated in parallel —
+//! the property that makes the GRAPE pipelines (and any parallel hardware)
+//! usable at all with individual timesteps.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Round `dt` down to the nearest power of two, clamped to
+/// `[dt_min, dt_max]`. `dt_max` and `dt_min` must themselves be powers of
+/// two.
+#[inline]
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(dt > 0)` also catches NaN
+pub fn quantize_dt(dt: f64, dt_min: f64, dt_max: f64) -> f64 {
+    debug_assert!(dt_min > 0.0 && dt_max >= dt_min);
+    if !(dt > 0.0) {
+        // NaN or non-positive desired step: take the floor of the range.
+        return dt_min;
+    }
+    if dt >= dt_max {
+        return dt_max;
+    }
+    // Largest power of two ≤ dt: exact via exponent extraction.
+    let q = 2.0f64.powi(dt.log2().floor() as i32);
+    // log2/floor can land one octave high for values just below a power of
+    // two due to rounding; fix up deterministically.
+    let q = if q > dt { q * 0.5 } else { q };
+    q.clamp(dt_min, dt_max)
+}
+
+/// True if time `t` is an integer multiple of `dt` (exact in binary floating
+/// point for power-of-two `dt` and `t` built from such steps).
+#[inline]
+pub fn is_commensurate(t: f64, dt: f64) -> bool {
+    if dt == 0.0 {
+        return false;
+    }
+    (t / dt).fract() == 0.0
+}
+
+/// Given the step `dt_old` just completed at new time `t_new` and the desired
+/// step `dt_des` from the timestep criterion, choose the next block step:
+///
+/// * shrink freely (halving preserves commensurability),
+/// * grow at most ×2, and only when `t_new` is commensurate with the doubled
+///   step (the McMillan rule),
+/// * clamp to `[dt_min, dt_max]`.
+#[inline]
+pub fn next_block_dt(dt_old: f64, dt_des: f64, t_new: f64, dt_min: f64, dt_max: f64) -> f64 {
+    if dt_des < dt_old {
+        return quantize_dt(dt_des, dt_min, dt_max.min(dt_old));
+    }
+    if dt_des >= 2.0 * dt_old && dt_old < dt_max && is_commensurate(t_new, 2.0 * dt_old) {
+        return (2.0 * dt_old).min(dt_max);
+    }
+    dt_old.clamp(dt_min, dt_max)
+}
+
+/// Total-ordering wrapper so event times can live in a heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Event queue over particle update times.
+///
+/// Every particle has exactly one pending event (its next update time
+/// `time[i] + dt[i]`). A block step pops *all* events sharing the minimum
+/// time — that set is the active block the paper integrates in parallel on
+/// the GRAPE pipelines.
+#[derive(Debug, Default, Clone)]
+pub struct BlockScheduler {
+    heap: BinaryHeap<Reverse<(OrdF64, usize)>>,
+}
+
+impl BlockScheduler {
+    /// Empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from per-particle next-update times.
+    pub fn from_times(next_times: &[f64]) -> Self {
+        let mut s = Self::new();
+        for (i, &t) in next_times.iter().enumerate() {
+            s.push(i, t);
+        }
+        s
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule (or reschedule after an update) particle `i` at time `t`.
+    pub fn push(&mut self, i: usize, t: f64) {
+        self.heap.push(Reverse((OrdF64(t), i)));
+    }
+
+    /// The earliest pending update time.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|Reverse((t, _))| t.0)
+    }
+
+    /// Pop the full block of particles due at the minimum time. Returns the
+    /// block time and the particle indices (ascending). The caller must push
+    /// each popped particle back with its new next-update time.
+    pub fn pop_block(&mut self, out: &mut Vec<usize>) -> Option<f64> {
+        out.clear();
+        let Reverse((t0, i0)) = self.heap.pop()?;
+        out.push(i0);
+        while let Some(&Reverse((t, _))) = self.heap.peek() {
+            if t != t0 {
+                break;
+            }
+            let Reverse((_, i)) = self.heap.pop().unwrap();
+            out.push(i);
+        }
+        out.sort_unstable();
+        Some(t0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_rounds_down_to_power_of_two() {
+        assert_eq!(quantize_dt(0.3, 1e-10, 1.0), 0.25);
+        assert_eq!(quantize_dt(0.25, 1e-10, 1.0), 0.25);
+        assert_eq!(quantize_dt(0.9, 1e-10, 1.0), 0.5);
+        assert_eq!(quantize_dt(1.0 / 1024.0 * 1.5, 1e-10, 1.0), 1.0 / 1024.0);
+    }
+
+    #[test]
+    fn quantize_clamps_to_range() {
+        assert_eq!(quantize_dt(100.0, 1e-10, 0.125), 0.125);
+        assert_eq!(quantize_dt(1e-30, 1e-10, 1.0), 1e-10);
+        assert_eq!(quantize_dt(f64::INFINITY, 1e-10, 0.5), 0.5);
+    }
+
+    #[test]
+    fn quantize_handles_degenerate_input() {
+        assert_eq!(quantize_dt(f64::NAN, 0.25, 1.0), 0.25);
+        assert_eq!(quantize_dt(0.0, 0.25, 1.0), 0.25);
+        assert_eq!(quantize_dt(-1.0, 0.25, 1.0), 0.25);
+    }
+
+    #[test]
+    fn quantize_result_is_power_of_two() {
+        let dt_min = 2.0f64.powi(-40);
+        for x in [0.7, 0.3e-3, 1.9e-6, 0.501, 0.4999, 3.0e-9] {
+            let q = quantize_dt(x, dt_min, 1.0);
+            assert!(q <= x);
+            assert_eq!(q.log2().fract(), 0.0, "{q} not a power of two");
+            assert!(2.0 * q > x, "{q} not the largest power of two ≤ {x}");
+        }
+    }
+
+    #[test]
+    fn commensurability_basic() {
+        assert!(is_commensurate(0.0, 0.25));
+        assert!(is_commensurate(0.75, 0.25));
+        assert!(!is_commensurate(0.75, 0.5));
+        assert!(is_commensurate(1.0, 0.5));
+        assert!(!is_commensurate(1.0, 0.0));
+    }
+
+    #[test]
+    fn commensurability_exact_over_many_steps() {
+        // Accumulate 2⁻¹³ ten thousand times: binary-exact, so every
+        // intermediate time must remain commensurate.
+        let dt = 2.0f64.powi(-13);
+        let mut t = 0.0;
+        for _ in 0..10_000 {
+            t += dt;
+            assert!(is_commensurate(t, dt));
+        }
+    }
+
+    #[test]
+    fn next_dt_shrinks_freely() {
+        let dt = next_block_dt(0.25, 0.03, 0.75, 1e-10, 1.0);
+        assert_eq!(dt, 0.015625); // 2^-6 ≤ 0.03
+    }
+
+    #[test]
+    fn next_dt_grows_only_when_commensurate() {
+        // t_new = 0.75 is NOT a multiple of 0.5, so the step must stay 0.25.
+        assert_eq!(next_block_dt(0.25, 10.0, 0.75, 1e-10, 1.0), 0.25);
+        // t_new = 0.5 IS a multiple of 0.5 → allowed to double.
+        assert_eq!(next_block_dt(0.25, 10.0, 0.5, 1e-10, 1.0), 0.5);
+    }
+
+    #[test]
+    fn next_dt_grows_at_most_twofold() {
+        assert_eq!(next_block_dt(0.25, 100.0, 1.0, 1e-10, 8.0), 0.5);
+    }
+
+    #[test]
+    fn next_dt_respects_dt_max() {
+        assert_eq!(next_block_dt(0.5, 100.0, 1.0, 1e-10, 0.5), 0.5);
+    }
+
+    #[test]
+    fn scheduler_pops_whole_block() {
+        let mut s = BlockScheduler::new();
+        s.push(0, 1.0);
+        s.push(1, 0.5);
+        s.push(2, 0.5);
+        s.push(3, 2.0);
+        let mut block = Vec::new();
+        let t = s.pop_block(&mut block).unwrap();
+        assert_eq!(t, 0.5);
+        assert_eq!(block, vec![1, 2]);
+        let t = s.pop_block(&mut block).unwrap();
+        assert_eq!(t, 1.0);
+        assert_eq!(block, vec![0]);
+    }
+
+    #[test]
+    fn scheduler_roundtrip_preserves_count() {
+        let mut s = BlockScheduler::from_times(&[0.25, 0.5, 0.25, 1.0]);
+        assert_eq!(s.len(), 4);
+        let mut block = Vec::new();
+        s.pop_block(&mut block).unwrap();
+        assert_eq!(s.len(), 2);
+        for &i in &block {
+            s.push(i, 2.0);
+        }
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn scheduler_empty_behaviour() {
+        let mut s = BlockScheduler::new();
+        assert!(s.is_empty());
+        assert_eq!(s.peek_time(), None);
+        let mut block = Vec::new();
+        assert_eq!(s.pop_block(&mut block), None);
+    }
+
+    #[test]
+    fn scheduler_times_monotone_nondecreasing() {
+        let mut s = BlockScheduler::from_times(&[0.125, 0.5, 0.125, 0.25, 0.25, 1.0]);
+        let mut block = Vec::new();
+        let mut last = f64::NEG_INFINITY;
+        while let Some(t) = s.pop_block(&mut block) {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

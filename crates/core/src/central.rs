@@ -1,0 +1,78 @@
+//! The Sun as an external potential field (paper §2).
+//!
+//! "All gravitational interactions (except for the Solar gravity, which is
+//! treated as an external potential field) is softened" — the central force
+//! is evaluated on the host, unsoftened, and added to the engine's pairwise
+//! result before the Hermite correction.
+
+use crate::vec3::Vec3;
+
+/// Acceleration and jerk of the central `1/r` field of mass `gm` on a body at
+/// position `pos` with velocity `vel` (relative to the central mass at the
+/// origin).
+#[inline]
+pub fn central_acc_jerk(gm: f64, pos: Vec3, vel: Vec3) -> (Vec3, Vec3) {
+    let r2 = pos.norm2();
+    let rinv = 1.0 / r2.sqrt();
+    let rinv2 = rinv * rinv;
+    let mr3inv = gm * rinv2 * rinv;
+    let alpha = 3.0 * pos.dot(vel) * rinv2;
+    let acc = -pos * mr3inv;
+    let jerk = -(vel - pos * alpha) * mr3inv;
+    (acc, jerk)
+}
+
+/// Potential of the central field at `pos`.
+#[inline]
+pub fn central_potential(gm: f64, pos: Vec3) -> f64 {
+    -gm / pos.norm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_toward_origin() {
+        let (a, _) = central_acc_jerk(1.0, Vec3::new(2.0, 0.0, 0.0), Vec3::zero());
+        assert!(a.x < 0.0);
+        assert!((a.x + 0.25).abs() < 1e-15);
+        assert_eq!(a.y, 0.0);
+    }
+
+    #[test]
+    fn circular_orbit_has_centripetal_balance() {
+        // v² / r = GM / r² for a circular orbit.
+        let r = 20.0;
+        let v = (1.0f64 / r).sqrt();
+        let (a, _) = central_acc_jerk(1.0, Vec3::new(r, 0.0, 0.0), Vec3::new(0.0, v, 0.0));
+        assert!((a.norm() - v * v / r).abs() < 1e-15);
+    }
+
+    #[test]
+    fn jerk_matches_finite_difference() {
+        let pos = Vec3::new(1.0, 2.0, -0.5);
+        let vel = Vec3::new(0.3, -0.1, 0.2);
+        let h = 1e-7;
+        let (_, jerk) = central_acc_jerk(1.0, pos, vel);
+        let (ap, _) = central_acc_jerk(1.0, pos + vel * h, vel);
+        let (am, _) = central_acc_jerk(1.0, pos - vel * h, vel);
+        let fd = (ap - am) / (2.0 * h);
+        assert!((jerk - fd).norm() < 1e-6 * jerk.norm().max(1.0));
+    }
+
+    #[test]
+    fn potential_energy_gradient_is_force() {
+        let pos = Vec3::new(3.0, -1.0, 2.0);
+        let h = 1e-6;
+        let (a, _) = central_acc_jerk(1.0, pos, Vec3::zero());
+        for axis in 0..3 {
+            let mut pp = pos;
+            let mut pm = pos;
+            pp[axis] += h;
+            pm[axis] -= h;
+            let grad = (central_potential(1.0, pp) - central_potential(1.0, pm)) / (2.0 * h);
+            assert!((a[axis] + grad).abs() < 1e-8, "axis {axis}");
+        }
+    }
+}

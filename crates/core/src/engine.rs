@@ -1,0 +1,88 @@
+//! The force-engine abstraction: the seam between the host computer and the
+//! GRAPE hardware (paper Fig 1).
+//!
+//! The host ships predicted i-particles down, the engine returns
+//! accelerations, jerks and potentials computed against its resident
+//! j-particle memory. Implementations:
+//!
+//! * [`crate::force::DirectEngine`] — CPU direct summation (reference),
+//! * `grape6_hw::Grape6Engine` — the functional + timing GRAPE-6 simulator,
+//! * `grape6_tree::TreeEngine` — the Barnes-Hut baseline the paper argues
+//!   against in §3.
+
+use crate::particle::{ForceResult, IParticle, ParticleSystem};
+
+/// A device that computes softened gravity (and its time derivative) on
+/// request, holding its own mirror of the particle data.
+pub trait ForceEngine {
+    /// (Re)load the complete particle set into the engine's j-memory.
+    ///
+    /// In hardware this is the initial DMA of all particle data to the
+    /// SSRAM banks of every processor chip.
+    fn load(&mut self, sys: &ParticleSystem);
+
+    /// Refresh the j-memory entries for the given (just-corrected)
+    /// particles. In hardware this is the per-blockstep write-back of the
+    /// active block over the host interface / network boards.
+    fn update_j(&mut self, sys: &ParticleSystem, indices: &[usize]);
+
+    /// Compute force, jerk and potential on each i-particle at time `t`.
+    /// The engine predicts its j-particles to `t` internally (the GRAPE-6
+    /// predictor pipeline).
+    fn compute(&mut self, t: f64, ips: &[IParticle], out: &mut [ForceResult]);
+
+    /// Total pairwise interactions evaluated since the last reset, counted
+    /// with the hardware convention (`n_i × n_j` per call, self term
+    /// included).
+    fn interaction_count(&self) -> u64;
+
+    /// Reset the interaction counter (and any other statistics).
+    fn reset_counters(&mut self) {}
+
+    /// Short human-readable engine name.
+    fn name(&self) -> &'static str;
+}
+
+/// Blanket helper: compute forces for a set of system indices, predicting the
+/// i-particles on the host side.
+pub fn compute_for_indices<E: ForceEngine + ?Sized>(
+    engine: &mut E,
+    sys: &ParticleSystem,
+    t: f64,
+    indices: &[usize],
+    out: &mut Vec<ForceResult>,
+) -> Vec<IParticle> {
+    let ips: Vec<IParticle> = indices
+        .iter()
+        .map(|&i| {
+            let (pos, vel) = sys.predict(i, t);
+            IParticle { index: i, pos, vel }
+        })
+        .collect();
+    out.clear();
+    out.resize(ips.len(), ForceResult::default());
+    engine.compute(t, &ips, out);
+    ips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::DirectEngine;
+    use crate::vec3::Vec3;
+
+    #[test]
+    fn compute_for_indices_predicts_i_particles() {
+        let mut sys = ParticleSystem::new(0.0, 0.0);
+        sys.push(Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0), 1.0);
+        sys.push(Vec3::new(10.0, 0.0, 0.0), Vec3::zero(), 1.0);
+        let mut e = DirectEngine::new();
+        e.load(&sys);
+        let mut out = Vec::new();
+        // At t = 2 particle 0 has drifted to x = 2 (pure velocity, no acc).
+        let ips = compute_for_indices(&mut e, &sys, 2.0, &[0], &mut out);
+        assert_eq!(ips[0].pos, Vec3::new(2.0, 0.0, 0.0));
+        // Distance to particle 1 is 8 → acc = 1/64.
+        assert!((out[0].acc.x - 1.0 / 64.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,408 @@
+//! Direct-summation gravity: the pairwise force/jerk kernel and a CPU
+//! reference engine.
+//!
+//! The kernel evaluates exactly what one GRAPE-6 force pipeline evaluates per
+//! clock cycle (paper §5.2): the softened pairwise acceleration, its time
+//! derivative (jerk), and the softened potential. By the Gordon Bell
+//! convention the paper adopts, this costs 38 + 19 = 57 floating-point
+//! operations per interaction.
+
+use crate::particle::{ForceResult, IParticle, ParticleSystem};
+use crate::vec3::Vec3;
+use rayon::prelude::*;
+
+/// Flops charged per pairwise interaction (38 for the force, 19 for the
+/// jerk), following the convention of recent Gordon Bell prize applications
+/// cited in paper §5.2.
+pub const FLOPS_PER_INTERACTION: u64 = 57;
+
+/// Pairwise softened force contribution of a source of mass `mj` at relative
+/// position `dx = x_j − x_i` and relative velocity `dv = v_j − v_i`.
+///
+/// Returns `(acc, jerk, pot)` where
+/// `acc  = mj dx / (r² + ε²)^{3/2}`,
+/// `jerk = mj [dv − 3 (dx·dv)/(r²+ε²) dx] / (r² + ε²)^{3/2}`,
+/// `pot  = −mj / (r² + ε²)^{1/2}`.
+///
+/// A self-interaction (`dx = dv = 0`) with ε > 0 contributes zero force and
+/// jerk but `−mj/ε` of potential; this mirrors the hardware, which does not
+/// skip the self term and leaves the potential correction to the host.
+#[inline(always)]
+pub fn pair_force_jerk(dx: Vec3, dv: Vec3, mj: f64, eps2: f64) -> (Vec3, Vec3, f64) {
+    let r2 = dx.norm2() + eps2;
+    let rinv = 1.0 / r2.sqrt();
+    let rinv2 = rinv * rinv;
+    let mr3inv = mj * rinv2 * rinv;
+    let alpha = 3.0 * dx.dot(dv) * rinv2;
+    let acc = dx * mr3inv;
+    let jerk = (dv - dx * alpha) * mr3inv;
+    (acc, jerk, -mj * rinv)
+}
+
+/// Sum the forces on one i-particle over a slice of j-particles, skipping the
+/// j-particle whose slot equals `skip` (usize::MAX to disable skipping).
+#[inline]
+pub fn accumulate_on(
+    ipos: Vec3,
+    ivel: Vec3,
+    jpos: &[Vec3],
+    jvel: &[Vec3],
+    jmass: &[f64],
+    eps2: f64,
+    skip: usize,
+) -> ForceResult {
+    debug_assert_eq!(jpos.len(), jvel.len());
+    debug_assert_eq!(jpos.len(), jmass.len());
+    let mut acc = Vec3::zero();
+    let mut jerk = Vec3::zero();
+    let mut pot = 0.0;
+    for j in 0..jpos.len() {
+        if j == skip {
+            continue;
+        }
+        let (a, jk, p) = pair_force_jerk(jpos[j] - ipos, jvel[j] - ivel, jmass[j], eps2);
+        acc += a;
+        jerk += jk;
+        pot += p;
+    }
+    ForceResult { acc, jerk, pot, nn: None }
+}
+
+/// Like [`accumulate_on`], but also tracks the nearest neighbour (by
+/// unsoftened distance), as the GRAPE-6 pipelines do in hardware.
+#[inline]
+pub fn accumulate_with_nn(
+    ipos: Vec3,
+    ivel: Vec3,
+    jpos: &[Vec3],
+    jvel: &[Vec3],
+    jmass: &[f64],
+    eps2: f64,
+    skip: usize,
+) -> ForceResult {
+    let mut acc = Vec3::zero();
+    let mut jerk = Vec3::zero();
+    let mut pot = 0.0;
+    let mut nn: Option<crate::particle::Neighbor> = None;
+    for j in 0..jpos.len() {
+        if j == skip {
+            continue;
+        }
+        let dx = jpos[j] - ipos;
+        let r2 = dx.norm2();
+        if nn.is_none_or(|n| r2 < n.r2) {
+            nn = Some(crate::particle::Neighbor { index: j, r2 });
+        }
+        let (a, jk, p) = pair_force_jerk(dx, jvel[j] - ivel, jmass[j], eps2);
+        acc += a;
+        jerk += jk;
+        pot += p;
+    }
+    ForceResult { acc, jerk, pot, nn }
+}
+
+/// CPU reference force engine: direct summation over a mirrored j-particle
+/// store with on-the-fly Hermite prediction — the software equivalent of the
+/// GRAPE memory unit + predictor pipeline + force pipelines.
+#[derive(Debug, Default, Clone)]
+pub struct DirectEngine {
+    /// j-particle mirror: state at each particle's individual time.
+    jpos: Vec<Vec3>,
+    jvel: Vec<Vec3>,
+    jacc: Vec<Vec3>,
+    jjerk: Vec<Vec3>,
+    jmass: Vec<f64>,
+    jtime: Vec<f64>,
+    /// Predicted j state, refreshed by each `compute` call.
+    ppos: Vec<Vec3>,
+    pvel: Vec<Vec3>,
+    eps2: f64,
+    interactions: u64,
+    force_calls: u64,
+}
+
+impl DirectEngine {
+    /// Create an engine; j-memory is filled by [`crate::engine::ForceEngine::load`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of j-particles currently resident.
+    pub fn n_j(&self) -> usize {
+        self.jpos.len()
+    }
+
+    fn predict_all(&mut self, t: f64) {
+        let n = self.jpos.len();
+        self.ppos.resize(n, Vec3::zero());
+        self.pvel.resize(n, Vec3::zero());
+        let (jpos, jvel, jacc, jjerk, jtime) =
+            (&self.jpos, &self.jvel, &self.jacc, &self.jjerk, &self.jtime);
+        self.ppos
+            .par_iter_mut()
+            .zip(self.pvel.par_iter_mut())
+            .enumerate()
+            .for_each(|(j, (pp, pv))| {
+                let dt = t - jtime[j];
+                let dt2 = dt * dt;
+                *pp = jpos[j] + jvel[j] * dt + jacc[j] * (dt2 / 2.0) + jjerk[j] * (dt2 * dt / 6.0);
+                *pv = jvel[j] + jacc[j] * dt + jjerk[j] * (dt2 / 2.0);
+            });
+    }
+}
+
+impl crate::engine::ForceEngine for DirectEngine {
+    fn load(&mut self, sys: &ParticleSystem) {
+        self.jpos = sys.pos.clone();
+        self.jvel = sys.vel.clone();
+        self.jacc = sys.acc.clone();
+        self.jjerk = sys.jerk.clone();
+        self.jmass = sys.mass.clone();
+        self.jtime = sys.time.clone();
+        self.eps2 = sys.softening * sys.softening;
+    }
+
+    fn update_j(&mut self, sys: &ParticleSystem, indices: &[usize]) {
+        for &i in indices {
+            self.jpos[i] = sys.pos[i];
+            self.jvel[i] = sys.vel[i];
+            self.jacc[i] = sys.acc[i];
+            self.jjerk[i] = sys.jerk[i];
+            self.jmass[i] = sys.mass[i];
+            self.jtime[i] = sys.time[i];
+        }
+    }
+
+    fn compute(&mut self, t: f64, ips: &[IParticle], out: &mut [ForceResult]) {
+        assert_eq!(ips.len(), out.len());
+        self.predict_all(t);
+        let n = self.jpos.len();
+        // Hardware convention: every i-particle interacts with every resident
+        // j-particle (the self term contributes nothing to force/jerk).
+        self.interactions += (ips.len() as u64) * (n as u64);
+        self.force_calls += 1;
+        let (ppos, pvel, jmass, eps2) = (&self.ppos, &self.pvel, &self.jmass, self.eps2);
+        if ips.len() >= 4 {
+            out.par_iter_mut().zip(ips.par_iter()).for_each(|(o, ip)| {
+                *o = accumulate_with_nn(ip.pos, ip.vel, ppos, pvel, jmass, eps2, ip.index);
+            });
+        } else {
+            // Few i-particles (the common small-block case): parallelize the
+            // j-sweep instead, reducing partial sums like the GRAPE hardware
+            // reduction tree.
+            for (o, ip) in out.iter_mut().zip(ips) {
+                let chunk = (n / rayon::current_num_threads().max(1)).max(4096);
+                let partials: Vec<ForceResult> = (0..n)
+                    .into_par_iter()
+                    .chunks(chunk)
+                    .map(|js| {
+                        let mut acc = Vec3::zero();
+                        let mut jerk = Vec3::zero();
+                        let mut pot = 0.0;
+                        let mut nn: Option<crate::particle::Neighbor> = None;
+                        for j in js {
+                            if j == ip.index {
+                                continue;
+                            }
+                            let dx = ppos[j] - ip.pos;
+                            let r2 = dx.norm2();
+                            if nn.is_none_or(|nb| r2 < nb.r2) {
+                                nn = Some(crate::particle::Neighbor { index: j, r2 });
+                            }
+                            let (a, jk, p) =
+                                pair_force_jerk(dx, pvel[j] - ip.vel, jmass[j], eps2);
+                            acc += a;
+                            jerk += jk;
+                            pot += p;
+                        }
+                        ForceResult { acc, jerk, pot, nn }
+                    })
+                    .collect();
+                let mut total = ForceResult::default();
+                for p in partials {
+                    total.acc += p.acc;
+                    total.jerk += p.jerk;
+                    total.pot += p.pot;
+                    if let Some(nb) = p.nn {
+                        if total.nn.is_none_or(|t| nb.r2 < t.r2) {
+                            total.nn = Some(nb);
+                        }
+                    }
+                }
+                *o = total;
+            }
+        }
+    }
+
+    fn interaction_count(&self) -> u64 {
+        self.interactions
+    }
+
+    fn reset_counters(&mut self) {
+        self.interactions = 0;
+        self.force_calls = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "direct-cpu"
+    }
+}
+
+impl DirectEngine {
+    /// Number of `compute` calls since the last counter reset.
+    pub fn force_calls(&self) -> u64 {
+        self.force_calls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ForceEngine;
+
+    #[test]
+    fn pair_force_points_toward_source() {
+        let (a, _, p) = pair_force_jerk(Vec3::new(2.0, 0.0, 0.0), Vec3::zero(), 1.0, 0.0);
+        assert!(a.x > 0.0 && a.y == 0.0 && a.z == 0.0);
+        assert!((a.x - 0.25).abs() < 1e-15); // m/r² = 1/4
+        assert!((p + 0.5).abs() < 1e-15); // -m/r = -1/2
+    }
+
+    #[test]
+    fn pair_force_inverse_square() {
+        let (a1, _, _) = pair_force_jerk(Vec3::new(1.0, 0.0, 0.0), Vec3::zero(), 1.0, 0.0);
+        let (a2, _, _) = pair_force_jerk(Vec3::new(2.0, 0.0, 0.0), Vec3::zero(), 1.0, 0.0);
+        assert!((a1.x / a2.x - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softening_caps_close_approach() {
+        let eps2 = 0.01;
+        let (a, _, _) = pair_force_jerk(Vec3::new(1e-9, 0.0, 0.0), Vec3::zero(), 1.0, eps2);
+        // |a| ≈ m dx / ε³ → tiny, not divergent.
+        assert!(a.norm() < 1e-5);
+    }
+
+    #[test]
+    fn self_interaction_is_neutral_with_softening() {
+        let (a, j, p) = pair_force_jerk(Vec3::zero(), Vec3::zero(), 2.0, 0.04);
+        assert_eq!(a, Vec3::zero());
+        assert_eq!(j, Vec3::zero());
+        assert!((p + 2.0 / 0.2).abs() < 1e-12); // -m/ε
+    }
+
+    #[test]
+    fn jerk_matches_finite_difference_of_force() {
+        // Move the pair along their relative velocity and difference the force.
+        let dx = Vec3::new(1.0, 0.5, -0.3);
+        let dv = Vec3::new(-0.2, 0.1, 0.05);
+        let m = 1.7;
+        let eps2 = 0.01;
+        let h = 1e-6;
+        let (_, jerk, _) = pair_force_jerk(dx, dv, m, eps2);
+        let (ap, _, _) = pair_force_jerk(dx + dv * h, dv, m, eps2);
+        let (am, _, _) = pair_force_jerk(dx - dv * h, dv, m, eps2);
+        let fd = (ap - am) / (2.0 * h);
+        assert!((jerk - fd).norm() < 1e-7 * jerk.norm().max(1.0), "jerk {jerk:?} vs fd {fd:?}");
+    }
+
+    #[test]
+    fn accumulate_skips_requested_slot() {
+        let jp = vec![Vec3::zero(), Vec3::new(1.0, 0.0, 0.0)];
+        let jv = vec![Vec3::zero(); 2];
+        let jm = vec![1.0, 1.0];
+        let with_skip = accumulate_on(Vec3::zero(), Vec3::zero(), &jp, &jv, &jm, 0.0, 0);
+        // Only the j=1 particle contributes.
+        assert!((with_skip.acc.x - 1.0).abs() < 1e-15);
+        assert!((with_skip.pot + 1.0).abs() < 1e-15);
+    }
+
+    fn engine_for(sys: &ParticleSystem) -> DirectEngine {
+        let mut e = DirectEngine::new();
+        e.load(sys);
+        e
+    }
+
+    #[test]
+    fn newton_third_law_for_equal_mass_pair() {
+        let mut sys = ParticleSystem::new(0.0, 0.0);
+        sys.push(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 2.0);
+        sys.push(Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, -1.0, 0.0), 2.0);
+        let mut e = engine_for(&sys);
+        let ips: Vec<IParticle> = (0..2)
+            .map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
+            .collect();
+        let mut out = vec![ForceResult::default(); 2];
+        e.compute(0.0, &ips, &mut out);
+        // m a_0 = -m a_1
+        assert!((out[0].acc + out[1].acc).norm() < 1e-14);
+        assert!((out[0].jerk + out[1].jerk).norm() < 1e-14);
+    }
+
+    #[test]
+    fn interaction_counter_uses_hardware_convention() {
+        let mut sys = ParticleSystem::new(0.01, 0.0);
+        for k in 0..5 {
+            sys.push(Vec3::new(k as f64, 0.0, 0.0), Vec3::zero(), 1.0);
+        }
+        let mut e = engine_for(&sys);
+        let ips: Vec<IParticle> = (0..3)
+            .map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
+            .collect();
+        let mut out = vec![ForceResult::default(); 3];
+        e.compute(0.0, &ips, &mut out);
+        assert_eq!(e.interaction_count(), 3 * 5);
+        e.reset_counters();
+        assert_eq!(e.interaction_count(), 0);
+    }
+
+    #[test]
+    fn small_and_large_block_paths_agree() {
+        let mut sys = ParticleSystem::new(0.001, 0.0);
+        let mut seed = 12345u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for _ in 0..64 {
+            sys.push(
+                Vec3::new(rng(), rng(), rng()),
+                Vec3::new(rng(), rng(), rng()),
+                0.01 + rng().abs(),
+            );
+        }
+        let mut e = engine_for(&sys);
+        let make_ips = |idx: &[usize]| -> Vec<IParticle> {
+            idx.iter()
+                .map(|&i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
+                .collect()
+        };
+        // Large block (≥4 → per-i parallel path)
+        let ips_large = make_ips(&[0, 1, 2, 3]);
+        let mut out_large = vec![ForceResult::default(); 4];
+        e.compute(0.0, &ips_large, &mut out_large);
+        // Small blocks (j-chunk path), one at a time
+        for (k, &i) in [0usize, 1, 2, 3].iter().enumerate() {
+            let ips = make_ips(&[i]);
+            let mut out = vec![ForceResult::default(); 1];
+            e.compute(0.0, &ips, &mut out);
+            assert!((out[0].acc - out_large[k].acc).norm() < 1e-13);
+            assert!((out[0].jerk - out_large[k].jerk).norm() < 1e-13);
+            assert!((out[0].pot - out_large[k].pot).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn update_j_refreshes_mirror() {
+        let mut sys = ParticleSystem::new(0.0, 0.0);
+        sys.push(Vec3::zero(), Vec3::zero(), 1.0);
+        sys.push(Vec3::new(1.0, 0.0, 0.0), Vec3::zero(), 1.0);
+        let mut e = engine_for(&sys);
+        sys.pos[1] = Vec3::new(2.0, 0.0, 0.0);
+        e.update_j(&sys, &[1]);
+        let ips = [IParticle { index: 0, pos: sys.pos[0], vel: sys.vel[0] }];
+        let mut out = [ForceResult::default()];
+        e.compute(0.0, &ips, &mut out);
+        assert!((out[0].acc.x - 0.25).abs() < 1e-15); // 1/2²
+    }
+}

@@ -1,0 +1,236 @@
+//! The 4th-order Hermite predictor/corrector scheme (Makino & Aarseth 1992)
+//! and the Aarseth adaptive timestep criterion.
+//!
+//! GRAPE-6 was designed around this integrator: the pipelines return both the
+//! force and its analytic time derivative (jerk), which is what lets a
+//! 4th-order scheme run with a single force evaluation per step.
+
+use crate::vec3::Vec3;
+
+/// Result of one Hermite correction: the corrected state and the implied
+/// higher derivatives at the *end* of the step (used for the next timestep).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corrected {
+    /// Corrected position at t + dt.
+    pub pos: Vec3,
+    /// Corrected velocity at t + dt.
+    pub vel: Vec3,
+    /// Second derivative of the acceleration (snap) at t + dt.
+    pub snap: Vec3,
+    /// Third derivative of the acceleration (crackle) at t + dt.
+    pub crackle: Vec3,
+}
+
+/// Hermite predictor: extrapolate `(pos, vel)` over `dt` using acceleration
+/// and jerk.
+#[inline]
+pub fn predict(pos: Vec3, vel: Vec3, acc: Vec3, jerk: Vec3, dt: f64) -> (Vec3, Vec3) {
+    let dt2 = dt * dt;
+    let p = pos + vel * dt + acc * (dt2 / 2.0) + jerk * (dt2 * dt / 6.0);
+    let v = vel + acc * dt + jerk * (dt2 / 2.0);
+    (p, v)
+}
+
+/// Hermite corrector.
+///
+/// Given the predicted state `(pos_p, vel_p)` at `t + dt`, the old
+/// derivatives `(acc0, jerk0)` at `t`, and the new derivatives
+/// `(acc1, jerk1)` evaluated at the predicted state, form the interpolating
+/// polynomial's 2nd and 3rd acceleration derivatives and apply the
+/// 4th/5th-order position/velocity corrections.
+#[inline]
+pub fn correct(
+    pos_p: Vec3,
+    vel_p: Vec3,
+    acc0: Vec3,
+    jerk0: Vec3,
+    acc1: Vec3,
+    jerk1: Vec3,
+    dt: f64,
+) -> Corrected {
+    let dt2 = dt * dt;
+    let dt3 = dt2 * dt;
+    // Derivatives at the *start* of the interval:
+    let snap0 = ((acc1 - acc0) * 6.0 - (jerk0 * 4.0 + jerk1 * 2.0) * dt) / dt2;
+    let crackle0 = ((acc0 - acc1) * 12.0 + (jerk0 + jerk1) * 6.0 * dt) / dt3;
+    let vel = vel_p + snap0 * (dt3 / 6.0) + crackle0 * (dt3 * dt / 24.0);
+    let pos = pos_p + snap0 * (dt3 * dt / 24.0) + crackle0 * (dt3 * dt2 / 120.0);
+    // Shift the derivatives to the end of the interval for the timestep
+    // criterion (crackle is constant for a cubic interpolant).
+    let snap1 = snap0 + crackle0 * dt;
+    Corrected { pos, vel, snap: snap1, crackle: crackle0 }
+}
+
+/// The generalized Aarseth timestep criterion:
+///
+/// `dt = sqrt( η · (|a||a⁽²⁾| + |j|²) / (|j||a⁽³⁾| + |a⁽²⁾|²) )`.
+///
+/// Returns `f64::INFINITY` when the denominator vanishes (e.g. an unperturbed
+/// particle); callers clamp against `dt_max`.
+#[inline]
+pub fn aarseth_dt(acc: Vec3, jerk: Vec3, snap: Vec3, crackle: Vec3, eta: f64) -> f64 {
+    let a = acc.norm();
+    let j = jerk.norm();
+    let s = snap.norm();
+    let c = crackle.norm();
+    let num = a * s + j * j;
+    let den = j * c + s * s;
+    if den == 0.0 {
+        if num == 0.0 {
+            return f64::INFINITY;
+        }
+        return f64::INFINITY;
+    }
+    (eta * num / den).sqrt()
+}
+
+/// Startup timestep before higher derivatives are known:
+/// `dt = η_s |a| / |j|`.
+#[inline]
+pub fn initial_dt(acc: Vec3, jerk: Vec3, eta_s: f64) -> f64 {
+    let a = acc.norm();
+    let j = jerk.norm();
+    if j == 0.0 {
+        return f64::INFINITY;
+    }
+    eta_s * a / j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A particle in a quadratic force field a(t) known in closed form lets
+    /// us check order of accuracy exactly.
+    fn polynomial_truth(t: f64) -> (Vec3, Vec3, Vec3, Vec3) {
+        // a(t) = (1 + 2t + 3t², ...), x(0)=0, v(0)=0
+        let ax = 1.0 + 2.0 * t + 3.0 * t * t;
+        let jx = 2.0 + 6.0 * t;
+        let vx = t + t * t + t * t * t;
+        let xx = t * t / 2.0 + t * t * t / 3.0 + t * t * t * t / 4.0;
+        (
+            Vec3::new(xx, 0.0, 0.0),
+            Vec3::new(vx, 0.0, 0.0),
+            Vec3::new(ax, 0.0, 0.0),
+            Vec3::new(jx, 0.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn corrector_is_exact_for_quadratic_acceleration() {
+        // A cubic Hermite interpolant reproduces a quadratic a(t) exactly, so
+        // position (integrated twice) is exact too.
+        let dt = 0.37;
+        let (x0, v0, a0, j0) = polynomial_truth(0.0);
+        let (x1, v1, a1, j1) = polynomial_truth(dt);
+        let (xp, vp) = predict(x0, v0, a0, j0, dt);
+        let c = correct(xp, vp, a0, j0, a1, j1, dt);
+        assert!((c.pos - x1).norm() < 1e-14, "pos err {}", (c.pos - x1).norm());
+        assert!((c.vel - v1).norm() < 1e-14, "vel err {}", (c.vel - v1).norm());
+        // snap at end = 6 + ... for our polynomial: a'' = 6 (constant)
+        assert!((c.snap - Vec3::new(6.0, 0.0, 0.0)).norm() < 1e-10);
+        assert!(c.crackle.norm() < 1e-9);
+    }
+
+    #[test]
+    fn predictor_is_third_order_taylor() {
+        let dt = 0.1;
+        let (p, v) = predict(
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::new(6.0, 0.0, 0.0),
+            dt,
+        );
+        assert!((p.x - (1.0 + dt * dt * dt)).abs() < 1e-15);
+        assert!((p.y - dt).abs() < 1e-15);
+        assert!((p.z - dt * dt).abs() < 1e-15);
+        assert!((v.x - 3.0 * dt * dt).abs() < 1e-15);
+        assert!((v.z - 2.0 * dt).abs() < 1e-15);
+    }
+
+    #[test]
+    fn corrector_converges_at_fourth_order() {
+        // Integrate a Kepler-like 1/r² problem over one step at two
+        // resolutions; the position error must drop by ≈ 2⁵ (local error
+        // O(dt⁵)).
+        fn acc_jerk(x: Vec3, v: Vec3) -> (Vec3, Vec3) {
+            crate::central::central_acc_jerk(1.0, x, v)
+        }
+        fn one_step(x0: Vec3, v0: Vec3, dt: f64) -> (Vec3, Vec3) {
+            let (a0, j0) = acc_jerk(x0, v0);
+            let (xp, vp) = predict(x0, v0, a0, j0, dt);
+            let (a1, j1) = acc_jerk(xp, vp);
+            let c = correct(xp, vp, a0, j0, a1, j1, dt);
+            (c.pos, c.vel)
+        }
+        // Truth by many tiny steps.
+        fn reference(x0: Vec3, v0: Vec3, t: f64, n: usize) -> Vec3 {
+            let mut x = x0;
+            let mut v = v0;
+            let h = t / n as f64;
+            for _ in 0..n {
+                let (nx, nv) = one_step(x, v, h);
+                x = nx;
+                v = nv;
+            }
+            x
+        }
+        let x0 = Vec3::new(1.0, 0.0, 0.0);
+        let v0 = Vec3::new(0.0, 1.0, 0.0); // circular orbit
+        let t = 0.2;
+        let truth = reference(x0, v0, t, 65536);
+        // Compare 4 steps vs 8 steps (inside the asymptotic regime but well
+        // above roundoff).
+        let e1 = (reference(x0, v0, t, 4) - truth).norm();
+        let e2 = (reference(x0, v0, t, 8) - truth).norm();
+        let order = (e1 / e2).log2();
+        assert!(order > 3.5, "observed order {order} (e1={e1:.3e}, e2={e2:.3e})");
+        assert!(order < 4.5, "observed order {order} suspiciously high");
+    }
+
+    #[test]
+    fn aarseth_dt_scales_with_sqrt_eta() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let j = Vec3::new(0.0, 2.0, 0.0);
+        let s = Vec3::new(0.0, 0.0, 3.0);
+        let c = Vec3::new(1.0, 1.0, 1.0);
+        let d1 = aarseth_dt(a, j, s, c, 0.01);
+        let d2 = aarseth_dt(a, j, s, c, 0.04);
+        assert!((d2 / d1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aarseth_dt_dimensional_consistency() {
+        // Scaling all derivatives as successive powers of 1/τ must return dt ∝ τ.
+        let tau = 0.5;
+        let base = (
+            Vec3::new(1.0, 0.2, -0.3),
+            Vec3::new(0.4, -1.0, 0.6),
+            Vec3::new(-0.7, 0.1, 0.9),
+            Vec3::new(0.3, 0.3, -0.2),
+        );
+        let d1 = aarseth_dt(base.0, base.1, base.2, base.3, 0.02);
+        let d2 = aarseth_dt(
+            base.0,
+            base.1 / tau,
+            base.2 / (tau * tau),
+            base.3 / (tau * tau * tau),
+            0.02,
+        );
+        assert!((d2 / d1 - tau).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_derivatives_give_infinite_dt() {
+        assert!(aarseth_dt(Vec3::zero(), Vec3::zero(), Vec3::zero(), Vec3::zero(), 0.02)
+            .is_infinite());
+        assert!(initial_dt(Vec3::new(1.0, 0.0, 0.0), Vec3::zero(), 0.01).is_infinite());
+    }
+
+    #[test]
+    fn initial_dt_is_eta_a_over_j() {
+        let dt = initial_dt(Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 4.0, 0.0), 0.01);
+        assert!((dt - 0.005).abs() < 1e-15);
+    }
+}

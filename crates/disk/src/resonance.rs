@@ -1,0 +1,141 @@
+//! Mean-motion resonances with the protoplanets.
+//!
+//! The radial structure an embedded protoplanet carves is organized by its
+//! mean-motion resonances: planetesimals scattered out of the feeding zone
+//! pile up near the strong first-order resonances (3:2, 2:1 interior;
+//! 2:3, 1:2 exterior), and the co-orbital (1:1 horseshoe/tadpole) population
+//! survives at the protoplanet's own semi-major axis — the morphology
+//! visible in the Fig 13 reproduction (experiment E2).
+
+use serde::{Deserialize, Serialize};
+
+/// A p:q mean-motion commensurability with a perturber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resonance {
+    /// Particle completes `p` orbits…
+    pub p: u32,
+    /// …while the perturber completes `q`.
+    pub q: u32,
+}
+
+impl Resonance {
+    /// Nominal semi-major axis of the resonance for a perturber at `a_p`:
+    /// `a = a_p (q/p)^{2/3}` (particle period = (q/p) × perturber period).
+    pub fn location(&self, a_p: f64) -> f64 {
+        assert!(self.p > 0 && self.q > 0);
+        a_p * (self.q as f64 / self.p as f64).powf(2.0 / 3.0)
+    }
+
+    /// Order of the resonance |p − q| (first-order resonances are strongest).
+    pub fn order(&self) -> u32 {
+        self.p.abs_diff(self.q)
+    }
+
+    /// The strong low-order resonances worth plotting: interior 2:1, 3:2,
+    /// 4:3; co-orbital 1:1; exterior 3:4, 2:3, 1:2.
+    pub fn principal() -> Vec<Resonance> {
+        vec![
+            Resonance { p: 2, q: 1 },
+            Resonance { p: 3, q: 2 },
+            Resonance { p: 4, q: 3 },
+            Resonance { p: 1, q: 1 },
+            Resonance { p: 3, q: 4 },
+            Resonance { p: 2, q: 3 },
+            Resonance { p: 1, q: 2 },
+        ]
+    }
+
+    /// Approximate libration half-width in semi-major axis for a perturber
+    /// of mass `m_p` (in central masses): Δa/a ≈ C √(m_p) with C ~ 1–2 for
+    /// first-order resonances. A rough classification band, not a precise
+    /// pendulum model.
+    pub fn half_width(&self, a_p: f64, m_p: f64) -> f64 {
+        match self.order() {
+            // Co-orbital (1:1): the horseshoe region, Hill-scaled.
+            0 => 2.4 * grape6_core::units::hill_radius(a_p, m_p, 1.0),
+            1 => 1.5 * m_p.sqrt() * self.location(a_p),
+            _ => 0.8 * m_p.sqrt() * self.location(a_p),
+        }
+    }
+
+    /// Label like "3:2".
+    pub fn label(&self) -> String {
+        format!("{}:{}", self.p, self.q)
+    }
+}
+
+/// Count particles (by semi-major axis) within each principal resonance band
+/// of a perturber at `a_p` with mass `m_p`.
+pub fn resonance_census(a_values: &[f64], a_p: f64, m_p: f64) -> Vec<(Resonance, usize)> {
+    Resonance::principal()
+        .into_iter()
+        .map(|r| {
+            let loc = r.location(a_p);
+            let hw = r.half_width(a_p, m_p);
+            let count = a_values.iter().filter(|&&a| (a - loc).abs() <= hw).count();
+            (r, count)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kepler_iii_locations() {
+        let r32 = Resonance { p: 3, q: 2 };
+        // Particle period = 2/3 of perturber's → a = a_p (2/3)^(2/3).
+        let a = r32.location(30.0);
+        assert!((a - 30.0 * (2.0f64 / 3.0).powf(2.0 / 3.0)).abs() < 1e-12);
+        // Interior resonances sit inside, exterior outside.
+        assert!(a < 30.0);
+        assert!(Resonance { p: 1, q: 2 }.location(30.0) > 30.0);
+        assert!((Resonance { p: 1, q: 1 }.location(30.0) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neptune_pluto_resonance() {
+        // Pluto sits in Neptune's exterior 2:3 resonance at ≈39.4 AU.
+        let a = Resonance { p: 2, q: 3 }.location(30.07);
+        assert!((a - 39.4).abs() < 0.3, "2:3 of Neptune at {a} AU");
+    }
+
+    #[test]
+    fn orders() {
+        assert_eq!(Resonance { p: 3, q: 2 }.order(), 1);
+        assert_eq!(Resonance { p: 1, q: 2 }.order(), 1);
+        assert_eq!(Resonance { p: 3, q: 1 }.order(), 2);
+        assert_eq!(Resonance { p: 1, q: 1 }.order(), 0);
+    }
+
+    #[test]
+    fn widths_grow_with_perturber_mass() {
+        let r = Resonance { p: 2, q: 1 };
+        let w_small = r.half_width(20.0, 3e-5);
+        let w_big = r.half_width(20.0, 3e-4);
+        assert!(w_big > 2.0 * w_small);
+        assert!(w_small > 0.0 && w_small < 1.0);
+    }
+
+    #[test]
+    fn census_counts_in_bands() {
+        let a_p = 20.0;
+        let m_p = 3e-4;
+        let r21 = Resonance { p: 2, q: 1 }.location(a_p); // ≈ 12.6
+        let a_values = vec![r21, r21 + 0.01, a_p, 25.0, 35.0];
+        let census = resonance_census(&a_values, a_p, m_p);
+        let c21 = census.iter().find(|(r, _)| r.label() == "2:1").unwrap().1;
+        let c11 = census.iter().find(|(r, _)| r.label() == "1:1").unwrap().1;
+        assert_eq!(c21, 2);
+        assert_eq!(c11, 1);
+    }
+
+    #[test]
+    fn principal_list_is_sorted_interior_to_exterior() {
+        let locs: Vec<f64> = Resonance::principal().iter().map(|r| r.location(1.0)).collect();
+        for w in locs.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12, "{locs:?}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests on the disk generators.
+
+use grape6_core::kepler::state_to_elements;
+use grape6_disk::{DiskBuilder, PowerLawMass, RadialProfile};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mass_samples_respect_cutoffs(
+        seed in 0u64..10_000,
+        exp in -3.5..-1.2f64,
+        lo_log in -12.0..-8.0f64,
+        span in 0.5..3.0f64,
+    ) {
+        let lo = 10.0f64.powf(lo_log);
+        let hi = lo * 10.0f64.powf(span);
+        let d = PowerLawMass::new(exp, lo, hi);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let m = d.sample(&mut rng);
+            prop_assert!(m >= lo && m <= hi);
+        }
+        let mean = d.mean();
+        prop_assert!(mean >= lo && mean <= hi);
+    }
+
+    #[test]
+    fn fraction_above_bounds_and_monotonicity(
+        exp in -3.5..-1.2f64,
+        m1 in 0.0..1.0f64,
+        m2 in 0.0..1.0f64,
+    ) {
+        let d = PowerLawMass::new(exp, 1e-10, 1e-8);
+        let a = d.lo * (d.hi / d.lo).powf(m1);
+        let b = d.lo * (d.hi / d.lo).powf(m2);
+        let fa = d.fraction_above(a);
+        let fb = d.fraction_above(b);
+        prop_assert!((0.0..=1.0).contains(&fa));
+        if a <= b {
+            prop_assert!(fa >= fb - 1e-12);
+        }
+    }
+
+    #[test]
+    fn radius_samples_respect_annulus(
+        seed in 0u64..10_000,
+        exp in -2.5..0.0f64,
+        r_in in 5.0..20.0f64,
+        width in 1.0..30.0f64,
+    ) {
+        let p = RadialProfile::new(exp, r_in, r_in + width);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let r = p.sample_radius(&mut rng);
+            prop_assert!(r >= p.r_in && r <= p.r_out);
+        }
+    }
+
+    #[test]
+    fn mass_fraction_is_a_cdf(exp in -2.5..0.0f64, x in 0.0..1.0f64, y in 0.0..1.0f64) {
+        let p = RadialProfile::new(exp, 15.0, 35.0);
+        let rx = 15.0 + 20.0 * x;
+        let ry = 15.0 + 20.0 * y;
+        let fx = p.mass_fraction_within(rx);
+        prop_assert!((0.0..=1.0).contains(&fx));
+        if rx <= ry {
+            prop_assert!(fx <= p.mass_fraction_within(ry) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn built_disks_are_valid_and_bound(seed in 0u64..500, n in 16usize..128) {
+        let b = DiskBuilder::paper(n).with_seed(seed);
+        let sys = b.build();
+        prop_assert!(sys.validate().is_ok());
+        prop_assert_eq!(sys.len(), n + 2);
+        for i in 0..sys.len() {
+            let el = state_to_elements(sys.pos[i], sys.vel[i], 1.0);
+            prop_assert!(el.is_bound(), "particle {i} unbound: a = {}", el.a);
+            prop_assert!(el.e < 0.95);
+        }
+        // Ring mass is rescaled exactly.
+        let ring: f64 = sys.mass[..n].iter().sum();
+        prop_assert!((ring - b.total_mass).abs() <= 1e-9 * b.total_mass);
+    }
+
+    #[test]
+    fn disk_build_is_deterministic(seed in 0u64..500) {
+        let a = DiskBuilder::paper(32).with_seed(seed).build();
+        let b = DiskBuilder::paper(32).with_seed(seed).build();
+        prop_assert_eq!(a.pos, b.pos);
+        prop_assert_eq!(a.vel, b.vel);
+        prop_assert_eq!(a.mass, b.mass);
+    }
+}

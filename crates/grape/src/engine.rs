@@ -1,0 +1,402 @@
+//! `Grape6Engine`: the full machine as a [`ForceEngine`].
+//!
+//! Functionally it computes exactly what the hardware computes — fixed-point
+//! position subtraction, short-mantissa pipeline arithmetic, wide fixed-point
+//! accumulation, on-device prediction — while a [`HardwareClock`] records how
+//! long the modeled 2048-chip installation would have taken for every call.
+//!
+//! One simplification keeps memory sane: all 16 nodes of the real machine
+//! hold *identical* j-memories (that is the entire point of the NB data-
+//! exchange network, §4.3), and the fixed-point reduction is exactly
+//! associative, so simulating a single shared j-memory produces bit-identical
+//! forces to simulating all 2048 chip memories separately. The per-chip
+//! partitioning enters only through the (analytic) timing model.
+
+use crate::chip::HwIParticle;
+use crate::format::{FixedPointFormat, Precision};
+use crate::pipeline::PipelineRegisters;
+use crate::predictor::{predict_j, JParticle};
+use crate::perf::HardwareClock;
+use crate::timing::TimingModel;
+use grape6_core::engine::ForceEngine;
+use grape6_core::particle::{ForceResult, IParticle, ParticleSystem};
+use rayon::prelude::*;
+
+/// Configuration of a simulated GRAPE-6 installation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Grape6Config {
+    /// Timing model (geometry, links, host costs).
+    pub timing: TimingModel,
+    /// Position format.
+    pub format: FixedPointFormat,
+    /// Pipeline arithmetic emulation.
+    pub precision: Precision,
+    /// Refuse particle sets that exceed one node's j-memory (on by default;
+    /// the real machine simply cannot run them).
+    pub enforce_memory_limit: bool,
+}
+
+impl Grape6Config {
+    /// The SC2002 production machine with hardware-faithful arithmetic.
+    pub fn sc2002() -> Self {
+        Self {
+            timing: TimingModel::sc2002(),
+            format: FixedPointFormat::default(),
+            precision: Precision::grape6(),
+            enforce_memory_limit: true,
+        }
+    }
+
+    /// The production machine with exact arithmetic (isolates algorithmic
+    /// error from hardware arithmetic in experiment E9).
+    pub fn sc2002_exact() -> Self {
+        Self { precision: Precision::Exact, ..Self::sc2002() }
+    }
+
+    /// Single-host development box.
+    pub fn single_host() -> Self {
+        Self { timing: TimingModel::single_host(), ..Self::sc2002() }
+    }
+}
+
+/// The GRAPE-6 machine as a force engine.
+#[derive(Debug, Clone)]
+pub struct Grape6Engine {
+    /// Configuration.
+    pub config: Grape6Config,
+    jmem: Vec<JParticle>,
+    eps2: f64,
+    clock: HardwareClock,
+    interactions: u64,
+    // Predicted j-particles, refreshed per compute call.
+    pred: Vec<crate::predictor::PredictedJ>,
+}
+
+impl Grape6Engine {
+    /// Build an engine for the given machine configuration.
+    pub fn new(config: Grape6Config) -> Self {
+        Self {
+            config,
+            jmem: Vec::new(),
+            eps2: 0.0,
+            clock: HardwareClock::new(),
+            interactions: 0,
+            pred: Vec::new(),
+        }
+    }
+
+    /// The production machine.
+    pub fn sc2002() -> Self {
+        Self::new(Grape6Config::sc2002())
+    }
+
+    /// Modeled hardware clock accumulated so far.
+    pub fn clock(&self) -> &HardwareClock {
+        &self.clock
+    }
+
+    /// Reset the modeled clock (keeps j-memory).
+    pub fn reset_clock(&mut self) {
+        self.clock.reset();
+    }
+
+    /// Resident j-particles.
+    pub fn n_j(&self) -> usize {
+        self.jmem.len()
+    }
+
+    /// Performance report over everything charged since the last reset.
+    pub fn perf_report(&self) -> crate::perf::PerfReport {
+        crate::perf::PerfReport::new(
+            self.interactions,
+            self.clock.seconds(),
+            self.config.timing.geometry.peak_flops(),
+        )
+    }
+
+    fn encode_j(&self, sys: &ParticleSystem, i: usize) -> JParticle {
+        JParticle::encode(
+            &self.config.format,
+            self.config.precision,
+            sys.pos[i],
+            sys.vel[i],
+            sys.acc[i],
+            sys.jerk[i],
+            sys.mass[i],
+            sys.time[i],
+        )
+    }
+}
+
+impl ForceEngine for Grape6Engine {
+    fn load(&mut self, sys: &ParticleSystem) {
+        if self.config.enforce_memory_limit {
+            let cap = self.config.timing.geometry.node_jmem_capacity();
+            assert!(
+                sys.len() <= cap,
+                "particle set ({}) exceeds node j-memory capacity ({cap})",
+                sys.len()
+            );
+        }
+        assert!(
+            sys.softening > 0.0,
+            "GRAPE-6 requires a positive softening length (the pipeline has no \
+             self-interaction cutoff)"
+        );
+        self.eps2 = sys.softening * sys.softening;
+        self.jmem = (0..sys.len()).map(|i| self.encode_j(sys, i)).collect();
+    }
+
+    fn update_j(&mut self, sys: &ParticleSystem, indices: &[usize]) {
+        for &i in indices {
+            self.jmem[i] = self.encode_j(sys, i);
+        }
+    }
+
+    fn compute(&mut self, t: f64, ips: &[IParticle], out: &mut [ForceResult]) {
+        assert_eq!(ips.len(), out.len());
+        let n_j = self.jmem.len();
+        // Charge the modeled hardware time for this block step.
+        let step = self.config.timing.block_step(ips.len(), n_j);
+        self.clock.charge(&step);
+        self.interactions += (ips.len() as u64) * (n_j as u64);
+
+        // Predictor pipelines: every chip predicts its resident j-particles.
+        let fmt = self.config.format;
+        let precision = self.config.precision;
+        self.pred.clear();
+        self.jmem
+            .par_iter()
+            .map(|j| predict_j(&fmt, precision, j, t))
+            .collect_into_vec(&mut self.pred);
+
+        // Force pipelines + reduction tree. The fixed-point accumulators make
+        // the reduction order irrelevant, so a flat parallel sweep is
+        // bit-identical to the hardware's chip/board/NB tree.
+        let pred = &self.pred;
+        let eps2 = self.eps2;
+        let jmem = &self.jmem;
+        out.par_iter_mut().zip(ips.par_iter()).for_each(|(o, ip)| {
+            let hw = HwIParticle::encode(&fmt, precision, ip.pos, ip.vel);
+            let mut regs = PipelineRegisters::new();
+            // The hardware also reports the nearest neighbour of each
+            // i-particle (used for collision/accretion detection).
+            let mut nn: Option<grape6_core::particle::Neighbor> = None;
+            for (j, pj) in pred.iter().enumerate() {
+                regs.accumulate(&fmt, precision, hw.qpos, pj.qpos, hw.vel, pj.vel, pj.mass, eps2);
+                if j != ip.index {
+                    let dx = fmt.decode_vec([
+                        pj.qpos[0].wrapping_sub(hw.qpos[0]),
+                        pj.qpos[1].wrapping_sub(hw.qpos[1]),
+                        pj.qpos[2].wrapping_sub(hw.qpos[2]),
+                    ]);
+                    let r2 = dx.norm2();
+                    if nn.is_none_or(|n| r2 < n.r2) {
+                        nn = Some(grape6_core::particle::Neighbor { index: j, r2 });
+                    }
+                }
+            }
+            let (acc, jerk, mut pot) = regs.read();
+            // The pipeline sums over *all* j including the particle itself;
+            // the self term contributes no force but −m/ε of potential,
+            // which the host removes (paper convention).
+            if ip.index < jmem.len() {
+                pot += jmem[ip.index].mass / eps2.sqrt();
+            }
+            *o = ForceResult { acc, jerk, pot, nn };
+        });
+    }
+
+    fn interaction_count(&self) -> u64 {
+        self.interactions
+    }
+
+    fn reset_counters(&mut self) {
+        self.interactions = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "grape6"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape6_core::force::DirectEngine;
+    use grape6_core::vec3::Vec3;
+
+    fn ring_system(n: usize) -> ParticleSystem {
+        let mut sys = ParticleSystem::new(0.008, 1.0);
+        for k in 0..n {
+            let theta = k as f64 * std::f64::consts::TAU / n as f64;
+            let r = 15.0 + 20.0 * (k as f64 / n as f64);
+            let v = grape6_core::units::circular_speed(r, 1.0);
+            sys.push(
+                Vec3::new(r * theta.cos(), r * theta.sin(), 0.01 * (k as f64).sin()),
+                Vec3::new(-v * theta.sin(), v * theta.cos(), 0.0),
+                1e-9 * (1.0 + (k % 13) as f64),
+            );
+        }
+        sys
+    }
+
+    fn ips_for(sys: &ParticleSystem, idx: &[usize]) -> Vec<IParticle> {
+        idx.iter()
+            .map(|&i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_engine_in_exact_mode() {
+        let sys = ring_system(64);
+        let mut hw = Grape6Engine::new(Grape6Config::sc2002_exact());
+        let mut cpu = DirectEngine::new();
+        hw.load(&sys);
+        cpu.load(&sys);
+        let idx: Vec<usize> = (0..64).collect();
+        let ips = ips_for(&sys, &idx);
+        let mut out_hw = vec![ForceResult::default(); 64];
+        let mut out_cpu = vec![ForceResult::default(); 64];
+        hw.compute(0.0, &ips, &mut out_hw);
+        cpu.compute(0.0, &ips, &mut out_cpu);
+        for k in 0..64 {
+            let da = (out_hw[k].acc - out_cpu[k].acc).norm() / out_cpu[k].acc.norm().max(1e-300);
+            // Exact arithmetic but fixed-point position quantization at 2⁻⁵⁴ AU.
+            assert!(da < 1e-11, "particle {k}: rel acc error {da:e}");
+            let dp = (out_hw[k].pot - out_cpu[k].pot).abs() / out_cpu[k].pot.abs();
+            assert!(dp < 1e-9, "particle {k}: rel pot error {dp:e}");
+        }
+    }
+
+    #[test]
+    fn grape6_precision_error_is_bounded() {
+        let sys = ring_system(128);
+        let mut hw = Grape6Engine::new(Grape6Config::sc2002());
+        let mut cpu = DirectEngine::new();
+        hw.load(&sys);
+        cpu.load(&sys);
+        let idx: Vec<usize> = (0..128).collect();
+        let ips = ips_for(&sys, &idx);
+        let mut out_hw = vec![ForceResult::default(); 128];
+        let mut out_cpu = vec![ForceResult::default(); 128];
+        hw.compute(0.0, &ips, &mut out_hw);
+        cpu.compute(0.0, &ips, &mut out_cpu);
+        for k in 0..128 {
+            let rel = (out_hw[k].acc - out_cpu[k].acc).norm() / out_cpu[k].acc.norm();
+            assert!(rel < 1e-4, "particle {k}: rel error {rel:e}");
+            assert!(rel > 0.0, "particle {k}: implausibly exact");
+        }
+    }
+
+    #[test]
+    fn compute_is_deterministic_despite_parallelism() {
+        let sys = ring_system(200);
+        let mut hw = Grape6Engine::sc2002();
+        hw.load(&sys);
+        let idx: Vec<usize> = (0..200).collect();
+        let ips = ips_for(&sys, &idx);
+        let mut out1 = vec![ForceResult::default(); 200];
+        let mut out2 = vec![ForceResult::default(); 200];
+        hw.compute(0.0, &ips, &mut out1);
+        hw.compute(0.0, &ips, &mut out2);
+        for k in 0..200 {
+            assert_eq!(out1[k].acc, out2[k].acc, "particle {k} nondeterministic");
+            assert_eq!(out1[k].jerk, out2[k].jerk);
+            assert_eq!(out1[k].pot, out2[k].pot);
+        }
+    }
+
+    #[test]
+    fn clock_charges_every_call() {
+        let sys = ring_system(32);
+        let mut hw = Grape6Engine::sc2002();
+        hw.load(&sys);
+        assert_eq!(hw.clock().steps, 0);
+        let ips = ips_for(&sys, &[0, 5, 9]);
+        let mut out = vec![ForceResult::default(); 3];
+        hw.compute(0.0, &ips, &mut out);
+        assert_eq!(hw.clock().steps, 1);
+        assert!(hw.clock().seconds() > 0.0);
+        assert_eq!(hw.interaction_count(), 3 * 32);
+        let report = hw.perf_report();
+        assert!(report.tflops() > 0.0);
+        assert!(report.efficiency < 1.0);
+    }
+
+    #[test]
+    fn partitioned_machine_is_slower_but_identical() {
+        // A quarter machine (one cluster) computes the same bits but its
+        // modeled hardware time per call is larger.
+        let sys = ring_system(64);
+        let full = Grape6Config::sc2002();
+        let mut quarter = full;
+        quarter.timing.geometry = full.timing.geometry.partition(4).unwrap();
+        let mut e_full = Grape6Engine::new(full);
+        let mut e_quarter = Grape6Engine::new(quarter);
+        e_full.load(&sys);
+        e_quarter.load(&sys);
+        let ips = ips_for(&sys, &[0, 1, 2, 3]);
+        let mut out_f = vec![ForceResult::default(); 4];
+        let mut out_q = vec![ForceResult::default(); 4];
+        e_full.compute(0.0, &ips, &mut out_f);
+        e_quarter.compute(0.0, &ips, &mut out_q);
+        for k in 0..4 {
+            assert_eq!(out_f[k].acc, out_q[k].acc);
+        }
+        // (For tiny blocks a partition can actually be *faster* — it skips
+        // the inter-cluster exchange. The pipeline disadvantage shows at
+        // production block sizes:)
+        let t_full = full.timing.block_step(8192, 1_800_000).pipeline;
+        let t_quarter = quarter.timing.block_step(8192, 1_800_000).pipeline;
+        assert!((t_quarter / t_full - 4.0).abs() < 0.1, "ratio {}", t_quarter / t_full);
+        assert!(
+            e_quarter.perf_report().peak < e_full.perf_report().peak / 3.0,
+            "quarter peak should be ~1/4"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive softening")]
+    fn rejects_zero_softening() {
+        let mut sys = ring_system(4);
+        sys.softening = 0.0;
+        let mut hw = Grape6Engine::sc2002();
+        hw.load(&sys);
+    }
+
+    #[test]
+    fn update_j_changes_subsequent_forces() {
+        let mut sys = ring_system(16);
+        let mut hw = Grape6Engine::sc2002();
+        hw.load(&sys);
+        let ips = ips_for(&sys, &[0]);
+        let mut before = vec![ForceResult::default(); 1];
+        hw.compute(0.0, &ips, &mut before);
+        // Move particle 8 far away and write it back.
+        sys.pos[8] = Vec3::new(500.0, 0.0, 0.0);
+        hw.update_j(&sys, &[8]);
+        let mut after = vec![ForceResult::default(); 1];
+        hw.compute(0.0, &ips, &mut after);
+        assert_ne!(before[0].acc, after[0].acc);
+    }
+
+    #[test]
+    fn potential_excludes_self_term() {
+        // A lone pair: potential on each must be just the partner's −m/r̃.
+        let mut sys = ParticleSystem::new(0.01, 0.0);
+        sys.push(Vec3::new(0.0, 0.0, 0.0), Vec3::zero(), 1e-6);
+        sys.push(Vec3::new(1.0, 0.0, 0.0), Vec3::zero(), 2e-6);
+        let mut hw = Grape6Engine::new(Grape6Config::sc2002_exact());
+        hw.load(&sys);
+        let ips = ips_for(&sys, &[0]);
+        let mut out = vec![ForceResult::default(); 1];
+        hw.compute(0.0, &ips, &mut out);
+        let expect = -2e-6 / (1.0f64 + 0.0001).sqrt();
+        assert!(
+            (out[0].pot - expect).abs() < 1e-12,
+            "pot {} expect {expect}",
+            out[0].pot
+        );
+    }
+}

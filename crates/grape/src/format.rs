@@ -1,0 +1,388 @@
+//! GRAPE-6 number formats.
+//!
+//! The GRAPE-6 pipeline does not compute in IEEE double precision. Following
+//! the hardware (Makino & Taiji 1998; paper §5.2):
+//!
+//! * **positions** are stored and subtracted in 64-bit *fixed point* — the
+//!   subtraction `x_j − x_i` is exact even when the two operands are close,
+//!   which is the reason the format was chosen;
+//! * **pipeline arithmetic** (the force/jerk evaluation proper) runs in a
+//!   short floating-point format, comparable to IEEE single precision;
+//! * **accumulation** of the ~N partial forces happens in wide fixed point,
+//!   which makes the sum *exactly associative* — the hardware reduction tree
+//!   over pipelines, chips and boards produces bit-identical results
+//!   regardless of the reduction order.
+//!
+//! The emulation here reproduces those three properties with configurable
+//! widths, so accuracy experiments (E9) can compare "exact f64" against
+//! "hardware" arithmetic.
+
+use grape6_core::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Round an `f64` to a reduced-precision binary mantissa of `bits` bits
+/// (including the implicit leading bit), round-to-nearest-even. The exponent
+/// range is left untouched (the hardware formats had ample exponent range for
+/// this problem).
+#[inline]
+pub fn round_mantissa(x: f64, bits: u32) -> f64 {
+    if bits >= 53 || x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    let shift = 53 - bits;
+    let b = x.to_bits();
+    let mask = (1u64 << shift) - 1;
+    let half = 1u64 << (shift - 1);
+    let frac = b & mask;
+    let mut base = b & !mask;
+    // Round to nearest, ties to even.
+    if frac > half || (frac == half && (base >> shift) & 1 == 1) {
+        base = base.wrapping_add(1u64 << shift);
+    }
+    f64::from_bits(base)
+}
+
+/// Round each component of a vector to `bits` of mantissa.
+#[inline]
+pub fn round_vec(v: Vec3, bits: u32) -> Vec3 {
+    Vec3::new(
+        round_mantissa(v.x, bits),
+        round_mantissa(v.y, bits),
+        round_mantissa(v.z, bits),
+    )
+}
+
+/// 64-bit fixed-point position format.
+///
+/// Coordinates are stored as `i64` in units of `2^-frac_bits` length units;
+/// `frac_bits = 54` gives a representable range of ±512 AU with a resolution
+/// of 5.6×10⁻¹⁷ AU — far below the softening length, and wide enough for any
+/// planetesimal scattered by the protoplanets short of solar-system escape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedPointFormat {
+    /// Number of fractional bits.
+    pub frac_bits: u32,
+}
+
+impl Default for FixedPointFormat {
+    fn default() -> Self {
+        Self { frac_bits: 54 }
+    }
+}
+
+impl FixedPointFormat {
+    /// Create a format with the given fractional-bit count (≤ 62).
+    pub fn new(frac_bits: u32) -> Self {
+        assert!(frac_bits <= 62, "frac_bits {frac_bits} too large for i64");
+        Self { frac_bits }
+    }
+
+    /// Smallest representable increment.
+    pub fn resolution(&self) -> f64 {
+        2.0f64.powi(-(self.frac_bits as i32))
+    }
+
+    /// Largest representable magnitude.
+    pub fn range(&self) -> f64 {
+        (i64::MAX as f64) * self.resolution()
+    }
+
+    /// Encode, rounding to the nearest representable value. Saturates at the
+    /// format's range (the hardware clamps; an escaping particle pegged at
+    /// the boundary is detected by the host).
+    #[inline]
+    pub fn encode(&self, x: f64) -> i64 {
+        let scaled = x * 2.0f64.powi(self.frac_bits as i32);
+        if scaled >= i64::MAX as f64 {
+            i64::MAX
+        } else if scaled <= i64::MIN as f64 {
+            i64::MIN
+        } else {
+            scaled.round_ties_even() as i64
+        }
+    }
+
+    /// Decode back to `f64`.
+    #[inline]
+    pub fn decode(&self, q: i64) -> f64 {
+        q as f64 * self.resolution()
+    }
+
+    /// Encode a vector.
+    #[inline]
+    pub fn encode_vec(&self, v: Vec3) -> [i64; 3] {
+        [self.encode(v.x), self.encode(v.y), self.encode(v.z)]
+    }
+
+    /// Decode a vector.
+    #[inline]
+    pub fn decode_vec(&self, q: [i64; 3]) -> Vec3 {
+        Vec3::new(self.decode(q[0]), self.decode(q[1]), self.decode(q[2]))
+    }
+}
+
+/// Wide fixed-point accumulator (one per output word in the hardware).
+///
+/// Partial forces are converted to `i128` fixed point and summed; integer
+/// addition is associative, so any reduction order — per-pipeline, per-chip,
+/// per-board, host-side — yields the same bits. `frac_bits = 96` puts the
+/// quantization floor (≈1.3×10⁻²⁹) ten orders below the smallest
+/// planetesimal-on-planetesimal accelerations in the paper's units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FixedAccumulator {
+    value: i128,
+}
+
+/// Fractional bits of the force accumulator format.
+pub const ACCUM_FRAC_BITS: u32 = 96;
+
+impl FixedAccumulator {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a real-valued contribution (quantized to the accumulator grid).
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        self.value += Self::quantize(x);
+    }
+
+    /// Merge another accumulator (the hardware reduction-tree operation).
+    #[inline]
+    pub fn merge(&mut self, other: Self) {
+        self.value += other.value;
+    }
+
+    /// Read out as `f64`.
+    #[inline]
+    pub fn to_f64(&self) -> f64 {
+        self.value as f64 * 2.0f64.powi(-(ACCUM_FRAC_BITS as i32))
+    }
+
+    #[inline]
+    fn quantize(x: f64) -> i128 {
+        let scaled = x * 2.0f64.powi(ACCUM_FRAC_BITS as i32);
+        debug_assert!(
+            scaled.abs() < i128::MAX as f64 / 4.0,
+            "accumulator overflow risk: {x}"
+        );
+        scaled.round_ties_even() as i128
+    }
+}
+
+/// Accumulator triple for a vector quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VecAccumulator {
+    x: FixedAccumulator,
+    y: FixedAccumulator,
+    z: FixedAccumulator,
+}
+
+impl VecAccumulator {
+    /// A zeroed vector accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a vector contribution.
+    #[inline]
+    pub fn add(&mut self, v: Vec3) {
+        self.x.add(v.x);
+        self.y.add(v.y);
+        self.z.add(v.z);
+    }
+
+    /// Merge another vector accumulator.
+    #[inline]
+    pub fn merge(&mut self, other: Self) {
+        self.x.merge(other.x);
+        self.y.merge(other.y);
+        self.z.merge(other.z);
+    }
+
+    /// Read out as a `Vec3`.
+    #[inline]
+    pub fn to_vec3(&self) -> Vec3 {
+        Vec3::new(self.x.to_f64(), self.y.to_f64(), self.z.to_f64())
+    }
+}
+
+/// Arithmetic precision of the simulated pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full IEEE double precision end to end (a "perfect GRAPE"; useful for
+    /// isolating algorithmic from arithmetic error).
+    Exact,
+    /// Hardware emulation: fixed-point position subtraction, short-mantissa
+    /// pipeline arithmetic, fixed-point accumulation.
+    Grape6 {
+        /// Mantissa bits of the pipeline arithmetic (GRAPE-6 class ≈ 24).
+        mantissa_bits: u32,
+    },
+}
+
+impl Precision {
+    /// The default hardware emulation (24-bit mantissa pipelines).
+    pub fn grape6() -> Self {
+        Precision::Grape6 { mantissa_bits: 24 }
+    }
+
+    /// Mantissa width used for pipeline arithmetic.
+    pub fn mantissa_bits(&self) -> u32 {
+        match self {
+            Precision::Exact => 53,
+            Precision::Grape6 { mantissa_bits } => *mantissa_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_mantissa_identity_at_53_bits() {
+        let x = std::f64::consts::PI;
+        assert_eq!(round_mantissa(x, 53), x);
+        assert_eq!(round_mantissa(x, 60), x);
+    }
+
+    #[test]
+    fn round_mantissa_preserves_powers_of_two() {
+        for bits in [8, 16, 24, 32] {
+            assert_eq!(round_mantissa(0.5, bits), 0.5);
+            assert_eq!(round_mantissa(-4.0, bits), -4.0);
+        }
+    }
+
+    #[test]
+    fn round_mantissa_matches_f32_at_24_bits() {
+        for &x in &[std::f64::consts::PI, 1.0 / 3.0, -2.7182818, 1e-12, 123456.789] {
+            let r = round_mantissa(x, 24);
+            assert_eq!(r as f32 as f64, r, "{x} → {r} not exactly representable in f32");
+            assert!(((r - x) / x).abs() < 2.0f64.powi(-24), "rounding error too large for {x}");
+        }
+    }
+
+    #[test]
+    fn round_mantissa_error_bound() {
+        let x = 1.0 + 1.0 / 3.0;
+        for bits in [10, 16, 24, 40] {
+            let err = (round_mantissa(x, bits) - x).abs() / x;
+            assert!(err <= 2.0f64.powi(-(bits as i32)), "bits={bits} err={err:e}");
+        }
+    }
+
+    #[test]
+    fn round_mantissa_zero_and_nonfinite() {
+        assert_eq!(round_mantissa(0.0, 24), 0.0);
+        assert!(round_mantissa(f64::NAN, 24).is_nan());
+        assert_eq!(round_mantissa(f64::INFINITY, 24), f64::INFINITY);
+    }
+
+    #[test]
+    fn fixed_point_roundtrip_error_below_resolution() {
+        let f = FixedPointFormat::default();
+        for &x in &[0.0, 20.0, -35.0, 17.123456789, 1e-10, 500.0] {
+            let err = (f.decode(f.encode(x)) - x).abs();
+            assert!(err <= f.resolution() / 2.0 + 1e-300, "x={x} err={err:e}");
+        }
+    }
+
+    #[test]
+    fn fixed_point_range_covers_solar_system() {
+        let f = FixedPointFormat::default();
+        assert!(f.range() > 500.0, "range {} AU too small", f.range());
+        assert!(f.resolution() < 1e-15);
+    }
+
+    #[test]
+    fn fixed_point_saturates() {
+        let f = FixedPointFormat::new(54);
+        assert_eq!(f.encode(1e300), i64::MAX);
+        assert_eq!(f.encode(-1e300), i64::MIN);
+    }
+
+    #[test]
+    fn fixed_point_subtraction_is_exact() {
+        // The motivating property: nearby positions subtract without
+        // catastrophic cancellation *in the fixed-point domain*.
+        let f = FixedPointFormat::default();
+        let a = 20.000000000000004;
+        let b = 20.000000000000001;
+        let qa = f.encode(a);
+        let qb = f.encode(b);
+        let dx = f.decode(qa - qb); // exact integer subtraction
+        let expect = f.decode(qa) - f.decode(qb);
+        assert_eq!(dx, expect);
+    }
+
+    #[test]
+    fn fixed_vec_roundtrip() {
+        let f = FixedPointFormat::default();
+        let v = Vec3::new(15.5, -35.0, 0.001);
+        let r = f.decode_vec(f.encode_vec(v));
+        assert!((r - v).norm() < 3.0 * f.resolution());
+    }
+
+    #[test]
+    fn accumulator_is_order_independent() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 2654435761u64 as usize) % 997) as f64 * 1e-7 - 5e-5).collect();
+        let mut fwd = FixedAccumulator::new();
+        for &x in &xs {
+            fwd.add(x);
+        }
+        let mut rev = FixedAccumulator::new();
+        for &x in xs.iter().rev() {
+            rev.add(x);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.to_f64(), rev.to_f64());
+    }
+
+    #[test]
+    fn accumulator_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..256).map(|i| (i as f64 - 128.0) * 1e-9).collect();
+        let mut whole = FixedAccumulator::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = FixedAccumulator::new();
+        let mut b = FixedAccumulator::new();
+        for &x in &xs[..100] {
+            a.add(x);
+        }
+        for &x in &xs[100..] {
+            b.add(x);
+        }
+        a.merge(b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn accumulator_accuracy() {
+        let mut acc = FixedAccumulator::new();
+        let n = 10_000;
+        for _ in 0..n {
+            acc.add(1e-10);
+        }
+        let err = (acc.to_f64() - n as f64 * 1e-10).abs();
+        assert!(err < n as f64 * 2.0f64.powi(-(ACCUM_FRAC_BITS as i32)));
+    }
+
+    #[test]
+    fn vec_accumulator_matches_componentwise() {
+        let mut va = VecAccumulator::new();
+        va.add(Vec3::new(1e-3, -2e-3, 3e-3));
+        va.add(Vec3::new(1.0, 2.0, -3.0));
+        let v = va.to_vec3();
+        assert!((v - Vec3::new(1.001, 1.998, -2.997)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn precision_presets() {
+        assert_eq!(Precision::Exact.mantissa_bits(), 53);
+        assert_eq!(Precision::grape6().mantissa_bits(), 24);
+    }
+}

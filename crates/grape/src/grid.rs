@@ -1,0 +1,286 @@
+//! The 2-D host-grid alternative to network boards (paper §4.3, Fig 6):
+//! host+GRAPE pairs arranged in an s × s matrix, with the i-space divided
+//! over columns and the j-space over rows.
+//!
+//! Node (k, c) holds j-partition k and computes partial forces for
+//! i-partition c; partial forces are reduced *down each column*, and a
+//! corrected particle is broadcast only *along its row* (the s−1 other
+//! holders of its j-partition). Per-host NIC traffic per block step is then
+//! O(n/s) — the √p scaling that makes the approach viable on commodity
+//! Ethernet, versus O(n) for the naive layout (Fig 3). The paper notes "the
+//! theoretical peak speed of Gigabit Ethernet is barely okay", which
+//! experiment E6 quantifies.
+
+use crate::board::BoardGeometry;
+use crate::chip::HwIParticle;
+use crate::format::{FixedPointFormat, Precision};
+use crate::node::Grape6Node;
+use crate::predictor::JParticle;
+use crate::wire;
+use bytes::BytesMut;
+use grape6_core::particle::ForceResult;
+
+/// An s × s grid of host+GRAPE pairs with 2-D force decomposition.
+pub struct HostGrid {
+    side: usize,
+    /// Node (k, c) at index `k * side + c`; holds j-partition k.
+    nodes: Vec<Grape6Node>,
+    /// Inbound NIC bytes per host (the commodity-network load, the quantity
+    /// §4.3 worries about).
+    nic_in: Vec<u64>,
+    /// Global j index → owning row.
+    row_of: Vec<usize>,
+    /// Global j index → slot within its row's partition.
+    slot_of: Vec<usize>,
+}
+
+impl HostGrid {
+    /// Build an s × s grid of single-board nodes.
+    pub fn new(
+        side: usize,
+        board: BoardGeometry,
+        format: FixedPointFormat,
+        precision: Precision,
+        softening: f64,
+    ) -> Self {
+        assert!(side >= 1);
+        let nodes = (0..side * side)
+            .map(|_| {
+                let mut n = Grape6Node::new(1, board, format, precision);
+                n.set_softening(softening);
+                n
+            })
+            .collect();
+        Self { side, nodes, nic_in: vec![0; side * side], row_of: Vec::new(), slot_of: Vec::new() }
+    }
+
+    /// Grid side length.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Inbound NIC bytes per host so far.
+    pub fn nic_in_bytes(&self) -> &[u64] {
+        &self.nic_in
+    }
+
+    /// Worst per-host inbound traffic.
+    pub fn max_nic_in(&self) -> u64 {
+        self.nic_in.iter().copied().max().unwrap_or(0)
+    }
+
+    fn node_index(&self, row: usize, col: usize) -> usize {
+        row * self.side + col
+    }
+
+    /// Load the full particle set: row k's partition is the k-th block slice,
+    /// replicated across the s nodes of that row.
+    pub fn load_j(&mut self, particles: &[JParticle]) -> Result<(), crate::chip::ChipError> {
+        self.row_of.clear();
+        self.slot_of.clear();
+        let per_row = particles.len().div_ceil(self.side);
+        for (k, chunk) in particles.chunks(per_row.max(1)).enumerate() {
+            let stream = wire::encode_j_block(chunk);
+            for c in 0..self.side {
+                let idx = self.node_index(k, c);
+                self.nodes[idx].load_j_stream(stream.clone())?;
+            }
+            for s in 0..chunk.len() {
+                self.row_of.push(k);
+                self.slot_of.push(s);
+            }
+        }
+        // Rows beyond the data hold empty partitions.
+        for k in particles.len().div_ceil(per_row.max(1))..self.side {
+            for c in 0..self.side {
+                let idx = self.node_index(k, c);
+                self.nodes[idx].load_j(&[])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resident particles.
+    pub fn n_j(&self) -> usize {
+        self.row_of.len()
+    }
+
+    /// Write back an updated particle: its row's s holders receive it — one
+    /// local write plus s−1 NIC transfers along the row.
+    pub fn write_back(&mut self, index: usize, particle: &JParticle) -> Result<(), crate::chip::ChipError> {
+        let row = *self.row_of.get(index).ok_or(crate::chip::ChipError::BadSlot {
+            slot: index,
+            len: self.row_of.len(),
+        })?;
+        let slot = self.slot_of[index];
+        let mut buf = BytesMut::new();
+        wire::encode_j_particle(&mut buf, particle);
+        let packet = buf.freeze();
+        for c in 0..self.side {
+            let idx = self.node_index(row, c);
+            if c != 0 {
+                // Row hop over the commodity network (host (row,0) is taken
+                // as the writer; any origin gives the same totals).
+                self.nic_in[idx] += packet.len() as u64;
+            }
+            let j = wire::decode_j_particle(&mut packet.clone());
+            self.nodes[idx].store_j(slot, &j)?;
+        }
+        Ok(())
+    }
+
+    /// Force on i-particles of column `col`: each of the column's s nodes
+    /// computes partials against its j-partition; partials travel up the
+    /// column (NIC traffic) and are summed — exactly associative, so the
+    /// result is bit-identical to a single machine holding everything.
+    pub fn compute(&mut self, col: usize, t: f64, ips: &[(HwIParticle, u32)]) -> Vec<ForceResult> {
+        assert!(col < self.side);
+        let mut total: Vec<ForceResult> = vec![ForceResult::default(); ips.len()];
+        for k in 0..self.side {
+            let idx = self.node_index(k, col);
+            if self.nodes[idx].n_j() == 0 {
+                continue;
+            }
+            let partial = self.nodes[idx].compute(t, ips);
+            // Column reduction: rows > 0 ship their partials to the column
+            // head over the NIC.
+            if k != 0 {
+                let head = self.node_index(0, col);
+                self.nic_in[head] += (partial.len() * wire::F_PACKET_BYTES) as u64;
+            }
+            for (tot, p) in total.iter_mut().zip(&partial) {
+                tot.acc += p.acc;
+                tot.jerk += p.jerk;
+                tot.pot += p.pot;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape6_core::vec3::Vec3;
+
+    fn small_board() -> BoardGeometry {
+        BoardGeometry {
+            chips: 2,
+            chip: crate::chip::ChipGeometry { jmem_capacity: 64, ..Default::default() },
+        }
+    }
+
+    fn sample_set(n: usize) -> Vec<JParticle> {
+        (0..n)
+            .map(|k| {
+                JParticle::encode(
+                    &FixedPointFormat::default(),
+                    Precision::grape6(),
+                    Vec3::new(12.0 + k as f64, (k % 7) as f64, 0.1),
+                    Vec3::new(0.0, 0.15, 0.0),
+                    Vec3::zero(),
+                    Vec3::zero(),
+                    2e-7,
+                    0.0,
+                )
+            })
+            .collect()
+    }
+
+    fn grid(side: usize) -> HostGrid {
+        HostGrid::new(side, small_board(), FixedPointFormat::default(), Precision::grape6(), 0.01)
+    }
+
+    fn probe() -> (HwIParticle, u32) {
+        (
+            HwIParticle::encode(
+                &FixedPointFormat::default(),
+                Precision::grape6(),
+                Vec3::new(5.0, 1.0, 0.0),
+                Vec3::zero(),
+            ),
+            0,
+        )
+    }
+
+    #[test]
+    fn grid_force_matches_single_node_bitwise() {
+        let js = sample_set(24);
+        let mut g = grid(3);
+        g.load_j(&js).unwrap();
+        let mut single = Grape6Node::new(1, small_board(), FixedPointFormat::default(), Precision::grape6());
+        single.set_softening(0.01);
+        single.load_j(&js).unwrap();
+        for col in 0..3 {
+            let a = g.compute(col, 0.0, &[probe()])[0];
+            let b = single.compute(0.0, &[probe()])[0];
+            assert_eq!(a.acc, b.acc, "column {col}");
+            assert_eq!(a.pot, b.pot);
+        }
+    }
+
+    #[test]
+    fn write_back_reaches_every_column() {
+        let js = sample_set(12);
+        let mut g = grid(2);
+        g.load_j(&js).unwrap();
+        let before = g.compute(0, 0.0, &[probe()])[0];
+        let mut moved = js[5];
+        moved.qpos[0] += 1 << 40;
+        g.write_back(5, &moved).unwrap();
+        for col in 0..2 {
+            let after = g.compute(col, 0.0, &[probe()])[0];
+            assert_ne!(after.acc, before.acc, "column {col} missed the update");
+        }
+    }
+
+    #[test]
+    fn writeback_traffic_scales_as_n_over_side() {
+        // The whole point of Fig 6: per-host inbound for a full block of
+        // write-backs is (s−1)/s × n / s packets per *row*, spread across
+        // hosts — total grows with n, per-host with n/s.
+        for side in [2usize, 4] {
+            let n = 48;
+            let js = sample_set(n);
+            let mut g = grid(side);
+            g.load_j(&js).unwrap();
+            for (k, j) in js.iter().enumerate() {
+                g.write_back(k, j).unwrap();
+            }
+            let max_in = g.max_nic_in();
+            let per_row = n.div_ceil(side) as u64;
+            assert!(
+                max_in <= per_row * wire::J_PACKET_BYTES as u64,
+                "side {side}: max inbound {max_in} exceeds row partition bound"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_grids_lower_per_host_traffic() {
+        let n = 64;
+        let mut totals = Vec::new();
+        for side in [2usize, 4] {
+            let js = sample_set(n);
+            let mut g = grid(side);
+            g.load_j(&js).unwrap();
+            for (k, j) in js.iter().enumerate() {
+                g.write_back(k, j).unwrap();
+            }
+            totals.push(g.max_nic_in());
+        }
+        assert!(
+            totals[1] <= totals[0] / 2 + wire::J_PACKET_BYTES as u64,
+            "4x4 grid ({}) should carry ~half the per-host bytes of 2x2 ({})",
+            totals[1],
+            totals[0]
+        );
+    }
+
+    #[test]
+    fn bad_index_rejected() {
+        let mut g = grid(2);
+        g.load_j(&sample_set(4)).unwrap();
+        assert!(g.write_back(4, &sample_set(1)[0]).is_err());
+    }
+}

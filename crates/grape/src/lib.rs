@@ -1,0 +1,60 @@
+//! # grape6-hw
+//!
+//! A functional + timing simulator of the **GRAPE-6** special-purpose
+//! computer (Makino et al., SC2002). The real machine — 2048 custom pipeline
+//! chips on 64 processor boards behind 16 Linux hosts, 63.4 Tflops peak — is
+//! unobtainable; this crate reproduces:
+//!
+//! * its **arithmetic** (`format`, [`pipeline`], [`predictor`]):
+//!   fixed-point positions, short-mantissa pipeline words, exactly
+//!   associative fixed-point force accumulation;
+//! * its **organization** ([`chip`], [`board`], [`network`], [`link`]):
+//!   6 pipelines × 8 virtual per chip, 32 chips per board, network-board
+//!   trees with broadcast / 2-way multicast / point-to-point modes, 90 MB/s
+//!   LVDS links, PCI host interface, Gigabit Ethernet between clusters;
+//! * its **performance** ([`timing`], [`perf`]): an analytic per-blockstep
+//!   cost model calibrated to the paper's stated clock rates and bandwidths,
+//!   producing the Gordon Bell Tflops accounting of §6;
+//! * the **parallelization argument** of §4.3 ([`parallel_models`]): why the
+//!   naive multi-host layout cannot scale and the NB tree / 2-D grid can.
+//!
+//! [`engine::Grape6Engine`] packages all of this as a
+//! [`grape6_core::engine::ForceEngine`], so the same block-timestep Hermite
+//! host code drives either the CPU reference or the simulated hardware.
+
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod chip;
+pub mod cluster;
+pub mod engine;
+pub mod format;
+pub mod grid;
+pub mod host_api;
+pub mod link;
+pub mod network;
+pub mod node;
+pub mod node_engine;
+pub mod parallel_models;
+pub mod perf;
+pub mod pipeline;
+pub mod redundancy;
+pub mod predictor;
+pub mod timing;
+pub mod wire;
+
+pub use board::{BoardGeometry, ProcessorBoard};
+pub use chip::{ChipGeometry, Grape6Chip, HwIParticle};
+pub use cluster::Grape6Cluster;
+pub use engine::{Grape6Config, Grape6Engine};
+pub use format::{FixedPointFormat, Precision};
+pub use grid::HostGrid;
+pub use host_api::{g6_open, G6Error, G6Handle};
+pub use link::{Link, WireFormat};
+pub use network::{NetworkMode, NetworkTree};
+pub use node::{Grape6Node, NodeTraffic};
+pub use node_engine::NodeEngine;
+pub use parallel_models::{ParallelModel, Strategy};
+pub use perf::{HardwareClock, PerfReport};
+pub use redundancy::{compare_units, scrub, RedundancyReport};
+pub use timing::{MachineGeometry, StepBreakdown, TimingModel};

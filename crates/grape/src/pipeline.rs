@@ -1,0 +1,247 @@
+//! The force pipeline: functional model of the unit that evaluates one
+//! pairwise interaction per clock cycle (paper §5.2, Fig 9).
+//!
+//! Each arithmetic stage of the real pipeline works in a short word format;
+//! we emulate this by rounding every intermediate quantity to a configurable
+//! mantissa width. Positions enter in 64-bit fixed point; the coordinate
+//! *difference* is formed by exact integer subtraction before conversion to
+//! the short float — the property that lets the hardware resolve close
+//! encounters at 10⁻¹⁶ AU despite 24-bit arithmetic.
+
+use crate::format::{round_mantissa, round_vec, FixedPointFormat, Precision, VecAccumulator, FixedAccumulator};
+use grape6_core::vec3::Vec3;
+
+/// One pairwise evaluation in pipeline arithmetic.
+///
+/// `qxi`/`qxj` are fixed-point positions; velocities arrive already rounded
+/// to the pipeline word. Returns the (acc, jerk, pot) contribution in
+/// pipeline precision.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the hardware port list
+pub fn pipeline_interaction(
+    fmt: &FixedPointFormat,
+    precision: Precision,
+    qxi: [i64; 3],
+    qxj: [i64; 3],
+    vi: Vec3,
+    vj: Vec3,
+    mj: f64,
+    eps2: f64,
+) -> (Vec3, Vec3, f64) {
+    let bits = precision.mantissa_bits();
+    // Exact fixed-point subtraction, then conversion to the short float.
+    let dx = round_vec(
+        Vec3::new(
+            fmt.decode(qxj[0].wrapping_sub(qxi[0])),
+            fmt.decode(qxj[1].wrapping_sub(qxi[1])),
+            fmt.decode(qxj[2].wrapping_sub(qxi[2])),
+        ),
+        bits,
+    );
+    let dv = round_vec(vj - vi, bits);
+    let r2 = round_mantissa(dx.norm2() + eps2, bits);
+    let rinv = round_mantissa(1.0 / r2.sqrt(), bits);
+    let rinv2 = round_mantissa(rinv * rinv, bits);
+    let mr3inv = round_mantissa(mj * round_mantissa(rinv2 * rinv, bits), bits);
+    let rv = round_mantissa(dx.dot(dv), bits);
+    let alpha = round_mantissa(3.0 * rv * rinv2, bits);
+    let acc = round_vec(dx * mr3inv, bits);
+    let jerk = round_vec((dv - dx * alpha) * mr3inv, bits);
+    let pot = round_mantissa(-mj * rinv, bits);
+    (acc, jerk, pot)
+}
+
+/// Accumulated output registers of one (virtual) pipeline for one i-particle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineRegisters {
+    /// Acceleration accumulator.
+    pub acc: VecAccumulator,
+    /// Jerk accumulator.
+    pub jerk: VecAccumulator,
+    /// Potential accumulator.
+    pub pot: FixedAccumulator,
+    /// Interactions accumulated.
+    pub count: u64,
+}
+
+impl PipelineRegisters {
+    /// Zeroed registers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one j-particle through the pipeline for this register set.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn accumulate(
+        &mut self,
+        fmt: &FixedPointFormat,
+        precision: Precision,
+        qxi: [i64; 3],
+        qxj: [i64; 3],
+        vi: Vec3,
+        vj: Vec3,
+        mj: f64,
+        eps2: f64,
+    ) {
+        let (a, j, p) = pipeline_interaction(fmt, precision, qxi, qxj, vi, vj, mj, eps2);
+        self.acc.add(a);
+        self.jerk.add(j);
+        self.pot.add(p);
+        self.count += 1;
+    }
+
+    /// Hardware reduction-tree merge.
+    #[inline]
+    pub fn merge(&mut self, other: &Self) {
+        self.acc.merge(other.acc);
+        self.jerk.merge(other.jerk);
+        self.pot.merge(other.pot);
+        self.count += other.count;
+    }
+
+    /// Read out (acc, jerk, pot).
+    #[inline]
+    pub fn read(&self) -> (Vec3, Vec3, f64) {
+        (self.acc.to_vec3(), self.jerk.to_vec3(), self.pot.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape6_core::force::pair_force_jerk;
+
+    fn fmt() -> FixedPointFormat {
+        FixedPointFormat::default()
+    }
+
+    #[test]
+    fn exact_precision_matches_reference_kernel() {
+        let f = fmt();
+        let xi = Vec3::new(20.0, 1.0, -0.5);
+        let xj = Vec3::new(20.5, 0.0, 0.25);
+        let vi = Vec3::new(0.1, 0.2, 0.0);
+        let vj = Vec3::new(-0.1, 0.15, 0.05);
+        let (a, j, p) = pipeline_interaction(
+            &f,
+            Precision::Exact,
+            f.encode_vec(xi),
+            f.encode_vec(xj),
+            vi,
+            vj,
+            3e-5,
+            0.008 * 0.008,
+        );
+        let (ar, jr, pr) = pair_force_jerk(
+            f.decode_vec(f.encode_vec(xj)) - f.decode_vec(f.encode_vec(xi)),
+            vj - vi,
+            3e-5,
+            0.008 * 0.008,
+        );
+        assert!((a - ar).norm() <= 1e-18);
+        assert!((j - jr).norm() <= 1e-18);
+        assert!((p - pr).abs() <= 1e-18);
+    }
+
+    #[test]
+    fn grape6_precision_single_precision_class_error() {
+        let f = fmt();
+        let xi = Vec3::new(20.0, 1.0, -0.5);
+        let xj = Vec3::new(21.3, 0.4, 0.2);
+        let vi = Vec3::new(0.1, 0.2, 0.0);
+        let vj = Vec3::new(-0.1, 0.15, 0.05);
+        let (a, _, _) = pipeline_interaction(
+            &f,
+            Precision::grape6(),
+            f.encode_vec(xi),
+            f.encode_vec(xj),
+            vi,
+            vj,
+            1e-8,
+            0.008 * 0.008,
+        );
+        let (ar, _, _) = pair_force_jerk(xj - xi, vj - vi, 1e-8, 0.008 * 0.008);
+        let rel = (a - ar).norm() / ar.norm();
+        assert!(rel < 1e-5, "relative error {rel:e} too large");
+        assert!(rel > 1e-12, "suspiciously exact for 24-bit arithmetic");
+    }
+
+    #[test]
+    fn close_encounter_separation_resolved_exactly() {
+        // Two particles 1e-12 AU apart at 20 AU from the Sun: an f32 position
+        // could not even represent the difference, fixed point can.
+        let f = fmt();
+        let xi = Vec3::new(20.0, 0.0, 0.0);
+        let xj = Vec3::new(20.0 + 1e-12, 0.0, 0.0);
+        let (a, _, _) = pipeline_interaction(
+            &f,
+            Precision::grape6(),
+            f.encode_vec(xi),
+            f.encode_vec(xj),
+            Vec3::zero(),
+            Vec3::zero(),
+            1e-10,
+            0.0,
+        );
+        let dx = f.decode(f.encode(xj.x) - f.encode(xi.x));
+        let expect = 1e-10 / (dx * dx);
+        assert!((a.x - expect).abs() / expect < 1e-6, "a = {}, expect {}", a.x, expect);
+    }
+
+    #[test]
+    fn self_interaction_contributes_nothing_to_force() {
+        let f = fmt();
+        let x = Vec3::new(17.0, 3.0, 0.1);
+        let v = Vec3::new(0.0, 0.23, 0.0);
+        let (a, j, p) = pipeline_interaction(
+            &f,
+            Precision::grape6(),
+            f.encode_vec(x),
+            f.encode_vec(x),
+            v,
+            v,
+            5e-9,
+            0.008 * 0.008,
+        );
+        assert_eq!(a, Vec3::zero());
+        assert_eq!(j, Vec3::zero());
+        assert!((p + 5e-9 / 0.008).abs() < 1e-12); // the self potential the host corrects
+    }
+
+    #[test]
+    fn registers_merge_is_bit_exact() {
+        let f = fmt();
+        let prec = Precision::grape6();
+        let eps2 = 1e-4;
+        let js: Vec<(Vec3, Vec3, f64)> = (0..64)
+            .map(|k| {
+                let t = k as f64 * 0.37;
+                (
+                    Vec3::new(20.0 + t.sin(), t.cos() * 2.0, 0.1 * t.sin()),
+                    Vec3::new(0.01 * t.cos(), -0.02 * t.sin(), 0.0),
+                    1e-9 * (1.0 + (k % 7) as f64),
+                )
+            })
+            .collect();
+        let xi = f.encode_vec(Vec3::new(20.0, 0.0, 0.0));
+        let vi = Vec3::new(0.0, 0.22, 0.0);
+        let mut whole = PipelineRegisters::new();
+        for (xj, vj, mj) in &js {
+            whole.accumulate(&f, prec, xi, f.encode_vec(*xj), vi, *vj, *mj, eps2);
+        }
+        // Split across 4 "pipelines" and merge in a different order.
+        let mut parts = vec![PipelineRegisters::new(); 4];
+        for (k, (xj, vj, mj)) in js.iter().enumerate() {
+            parts[k % 4].accumulate(&f, prec, xi, f.encode_vec(*xj), vi, *vj, *mj, eps2);
+        }
+        let mut merged = PipelineRegisters::new();
+        for p in [3usize, 0, 2, 1] {
+            merged.merge(&parts[p]);
+        }
+        assert_eq!(whole.read().0, merged.read().0);
+        assert_eq!(whole.read().1, merged.read().1);
+        assert_eq!(whole.read().2, merged.read().2);
+        assert_eq!(whole.count, merged.count);
+    }
+}

@@ -1,0 +1,243 @@
+//! Byte-level wire protocol of the GRAPE-6 links.
+//!
+//! Everything that crosses the PCI bus or an LVDS link is a fixed-size
+//! little-endian packet (the real interface used DMA of packed structures):
+//!
+//! * **i-particle upload** (40 B): fixed-point position (3×i64) + f32
+//!   velocity (3×4) + id (4);
+//! * **j-particle write-back** (72 B): fixed-point position (3×i64) + f32
+//!   velocity/acceleration/jerk (9×4) + f32 mass + f64 time;
+//! * **force readout** (56 B): f64 acceleration, jerk and potential (the
+//!   accumulators are wide fixed point in hardware; their readout keeps full
+//!   width).
+//!
+//! The sizes match [`crate::link::WireFormat`] — the timing model charges
+//! exactly these bytes — and encode/decode round-trips are lossless at the
+//! hardware's own word precision, which the tests pin down.
+
+use crate::chip::HwIParticle;
+#[cfg(test)]
+use crate::format::FixedPointFormat;
+use crate::predictor::JParticle;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use grape6_core::particle::ForceResult;
+use grape6_core::vec3::Vec3;
+
+/// Bytes on the wire for one i-particle.
+pub const I_PACKET_BYTES: usize = 40;
+/// Bytes on the wire for one j-particle write-back.
+pub const J_PACKET_BYTES: usize = 72;
+/// Bytes on the wire for one force result.
+pub const F_PACKET_BYTES: usize = 56;
+
+fn put_vec3_f32(buf: &mut BytesMut, v: Vec3) {
+    buf.put_f32_le(v.x as f32);
+    buf.put_f32_le(v.y as f32);
+    buf.put_f32_le(v.z as f32);
+}
+
+fn get_vec3_f32(buf: &mut Bytes) -> Vec3 {
+    Vec3::new(buf.get_f32_le() as f64, buf.get_f32_le() as f64, buf.get_f32_le() as f64)
+}
+
+/// Encode an i-particle packet.
+pub fn encode_i_particle(buf: &mut BytesMut, ip: &HwIParticle, id: u32) {
+    buf.reserve(I_PACKET_BYTES);
+    for q in ip.qpos {
+        buf.put_i64_le(q);
+    }
+    put_vec3_f32(buf, ip.vel);
+    buf.put_u32_le(id);
+}
+
+/// Decode an i-particle packet. Returns the particle and its id.
+pub fn decode_i_particle(buf: &mut Bytes) -> (HwIParticle, u32) {
+    let qpos = [buf.get_i64_le(), buf.get_i64_le(), buf.get_i64_le()];
+    let vel = get_vec3_f32(buf);
+    let id = buf.get_u32_le();
+    (HwIParticle { qpos, vel }, id)
+}
+
+/// Encode a j-particle write-back packet.
+pub fn encode_j_particle(buf: &mut BytesMut, j: &JParticle) {
+    buf.reserve(J_PACKET_BYTES);
+    for q in j.qpos {
+        buf.put_i64_le(q);
+    }
+    put_vec3_f32(buf, j.vel);
+    put_vec3_f32(buf, j.acc);
+    put_vec3_f32(buf, j.jerk);
+    buf.put_f32_le(j.mass as f32);
+    buf.put_f64_le(j.t0);
+}
+
+/// Decode a j-particle packet.
+pub fn decode_j_particle(buf: &mut Bytes) -> JParticle {
+    let qpos = [buf.get_i64_le(), buf.get_i64_le(), buf.get_i64_le()];
+    let vel = get_vec3_f32(buf);
+    let acc = get_vec3_f32(buf);
+    let jerk = get_vec3_f32(buf);
+    let mass = buf.get_f32_le() as f64;
+    let t0 = buf.get_f64_le();
+    JParticle { qpos, vel, acc, jerk, mass, t0 }
+}
+
+/// Encode a force-readout packet at full accumulator width.
+pub fn encode_force(buf: &mut BytesMut, f: &ForceResult) {
+    buf.reserve(F_PACKET_BYTES);
+    buf.put_f64_le(f.acc.x);
+    buf.put_f64_le(f.acc.y);
+    buf.put_f64_le(f.acc.z);
+    buf.put_f64_le(f.jerk.x);
+    buf.put_f64_le(f.jerk.y);
+    buf.put_f64_le(f.jerk.z);
+    buf.put_f64_le(f.pot);
+}
+
+/// Decode a force-readout packet (no neighbour report on this wire).
+pub fn decode_force(buf: &mut Bytes) -> ForceResult {
+    let acc = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
+    let jerk = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
+    let pot = buf.get_f64_le();
+    ForceResult { acc, jerk, pot, nn: None }
+}
+
+/// Encode a whole block of j-particles (the per-blockstep write-back
+/// stream). Returns the frozen buffer.
+pub fn encode_j_block(js: &[JParticle]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(js.len() * J_PACKET_BYTES);
+    for j in js {
+        encode_j_particle(&mut buf, j);
+    }
+    buf.freeze()
+}
+
+/// Decode a stream of j-particle packets.
+pub fn decode_j_block(mut buf: Bytes) -> Vec<JParticle> {
+    assert_eq!(buf.len() % J_PACKET_BYTES, 0, "truncated j stream");
+    let mut out = Vec::with_capacity(buf.len() / J_PACKET_BYTES);
+    while buf.has_remaining() {
+        out.push(decode_j_particle(&mut buf));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::Precision;
+
+    fn sample_j() -> JParticle {
+        JParticle::encode(
+            &FixedPointFormat::default(),
+            Precision::grape6(),
+            Vec3::new(20.5, -3.25, 0.125),
+            Vec3::new(0.1, 0.22, -0.03),
+            Vec3::new(-2e-3, 1e-4, 0.0),
+            Vec3::new(1e-6, 0.0, -1e-7),
+            3.0e-9,
+            12.625,
+        )
+    }
+
+    #[test]
+    fn packet_sizes_match_timing_model() {
+        let w = crate::link::WireFormat::default();
+        assert_eq!(w.i_particle_bytes as usize, I_PACKET_BYTES);
+        assert_eq!(w.j_particle_bytes as usize, J_PACKET_BYTES);
+        assert_eq!(w.result_bytes as usize, F_PACKET_BYTES);
+    }
+
+    #[test]
+    fn i_particle_roundtrip_exact() {
+        let fmt = FixedPointFormat::default();
+        let ip = HwIParticle::encode(
+            &fmt,
+            Precision::grape6(),
+            Vec3::new(20.123456789, -15.5, 0.001),
+            Vec3::new(0.21, -0.05, 0.003),
+        );
+        let mut buf = BytesMut::new();
+        encode_i_particle(&mut buf, &ip, 777);
+        assert_eq!(buf.len(), I_PACKET_BYTES);
+        let mut b = buf.freeze();
+        let (back, id) = decode_i_particle(&mut b);
+        assert_eq!(id, 777);
+        assert_eq!(back.qpos, ip.qpos); // fixed point: bit exact
+        // velocity already lives in the 24-bit pipeline word → f32 is lossless
+        assert_eq!(back.vel, ip.vel);
+    }
+
+    #[test]
+    fn j_particle_roundtrip_exact_at_hardware_precision() {
+        let j = sample_j();
+        let mut buf = BytesMut::new();
+        encode_j_particle(&mut buf, &j);
+        assert_eq!(buf.len(), J_PACKET_BYTES);
+        let mut b = buf.freeze();
+        let back = decode_j_particle(&mut b);
+        assert_eq!(back.qpos, j.qpos);
+        assert_eq!(back.vel, j.vel);
+        assert_eq!(back.acc, j.acc);
+        assert_eq!(back.jerk, j.jerk);
+        assert_eq!(back.mass, j.mass); // 24-bit mantissa survives f32
+        assert_eq!(back.t0, j.t0);
+    }
+
+    #[test]
+    fn force_roundtrip() {
+        let f = ForceResult {
+            acc: Vec3::new(1.23456789e-4, -9.87e-6, 0.0),
+            jerk: Vec3::new(1.5e-7, 0.0, -2.0e-8),
+            pot: -4.25e-5,
+            nn: None,
+        };
+        let mut buf = BytesMut::new();
+        encode_force(&mut buf, &f);
+        assert_eq!(buf.len(), F_PACKET_BYTES);
+        let mut b = buf.freeze();
+        let back = decode_force(&mut b);
+        assert_eq!(back.acc, f.acc);
+        assert_eq!(back.jerk, f.jerk);
+        assert_eq!(back.pot, f.pot);
+    }
+
+    #[test]
+    fn j_block_stream_roundtrip() {
+        let js: Vec<JParticle> = (0..17)
+            .map(|k| {
+                let mut j = sample_j();
+                j.t0 = k as f64;
+                j.qpos[0] += k;
+                j
+            })
+            .collect();
+        let stream = encode_j_block(&js);
+        assert_eq!(stream.len(), 17 * J_PACKET_BYTES);
+        let back = decode_j_block(stream);
+        assert_eq!(back.len(), 17);
+        for (a, b) in js.iter().zip(&back) {
+            assert_eq!(a.qpos, b.qpos);
+            assert_eq!(a.t0, b.t0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_stream_detected() {
+        let stream = encode_j_block(&[sample_j()]);
+        decode_j_block(stream.slice(0..J_PACKET_BYTES - 1));
+    }
+
+    #[test]
+    fn block_transfer_time_consistency() {
+        // 1000 j-particles over LVDS: the timing model and the actual byte
+        // count must agree.
+        let js: Vec<JParticle> = (0..1000).map(|_| sample_j()).collect();
+        let stream = encode_j_block(&js);
+        let t_wire = crate::link::Link::lvds().transfer_time(stream.len() as u64);
+        let w = crate::link::WireFormat::default();
+        let t_model = crate::link::Link::lvds().transfer_time(1000 * w.j_particle_bytes);
+        assert!((t_wire - t_model).abs() < 1e-12);
+    }
+}

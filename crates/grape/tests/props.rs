@@ -1,0 +1,188 @@
+//! Property-based tests on the hardware formats and pipelines.
+
+use grape6_core::force::pair_force_jerk;
+use grape6_core::vec3::Vec3;
+use grape6_hw::format::{
+    round_mantissa, FixedAccumulator, FixedPointFormat, Precision, VecAccumulator,
+};
+use grape6_hw::pipeline::{pipeline_interaction, PipelineRegisters};
+use grape6_hw::predictor::{predict_j, JParticle};
+use proptest::prelude::*;
+
+proptest! {
+    // ---------- mantissa rounding ----------
+
+    #[test]
+    fn round_mantissa_relative_error_bound(x in -1e20..1e20f64, bits in 8u32..53) {
+        prop_assume!(x != 0.0);
+        let r = round_mantissa(x, bits);
+        prop_assert!(((r - x) / x).abs() <= 2.0f64.powi(-(bits as i32)));
+    }
+
+    #[test]
+    fn round_mantissa_is_idempotent(x in -1e10..1e10f64, bits in 8u32..53) {
+        let r = round_mantissa(x, bits);
+        prop_assert_eq!(round_mantissa(r, bits), r);
+    }
+
+    #[test]
+    fn round_mantissa_is_monotone(a in -1e6..1e6f64, b in -1e6..1e6f64, bits in 8u32..53) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(round_mantissa(lo, bits) <= round_mantissa(hi, bits));
+    }
+
+    #[test]
+    fn round_mantissa_24_equals_f32_rounding(x in -1e30..1e30f64) {
+        // Where f32 doesn't overflow/underflow, 24-bit rounding = f32 cast.
+        prop_assume!(x.abs() > 1e-30);
+        let r = round_mantissa(x, 24);
+        prop_assert_eq!(r, r as f32 as f64);
+    }
+
+    // ---------- fixed-point positions ----------
+
+    #[test]
+    fn fixed_roundtrip_within_half_ulp(x in -500.0..500.0f64) {
+        let f = FixedPointFormat::default();
+        prop_assert!((f.decode(f.encode(x)) - x).abs() <= f.resolution() / 2.0 + 1e-300);
+    }
+
+    #[test]
+    fn fixed_subtraction_exact(a in -250.0..250.0f64, b in -250.0..250.0f64) {
+        // (a ⊖ b) in the integer domain equals decode(a) − decode(b) exactly
+        // whenever the difference is representable (|a − b| ≤ 500 < 512 AU
+        // range; beyond that the hardware wraps, as two's complement does).
+        let f = FixedPointFormat::default();
+        let qa = f.encode(a);
+        let qb = f.encode(b);
+        let diff = f.decode(qa.wrapping_sub(qb));
+        prop_assert_eq!(diff, f.decode(qa) - f.decode(qb));
+    }
+
+    #[test]
+    fn fixed_encode_is_monotone(a in -400.0..400.0f64, b in -400.0..400.0f64) {
+        let f = FixedPointFormat::default();
+        if a <= b {
+            prop_assert!(f.encode(a) <= f.encode(b));
+        }
+    }
+
+    // ---------- fixed-point accumulation ----------
+
+    #[test]
+    fn accumulator_permutation_invariant(xs in prop::collection::vec(-1e-3..1e-3f64, 1..200), rot in 0usize..200) {
+        let mut fwd = FixedAccumulator::new();
+        for &x in &xs { fwd.add(x); }
+        let k = rot % xs.len();
+        let mut rotated = FixedAccumulator::new();
+        for &x in xs[k..].iter().chain(xs[..k].iter()) { rotated.add(x); }
+        prop_assert_eq!(fwd, rotated);
+    }
+
+    #[test]
+    fn accumulator_split_merge_invariant(xs in prop::collection::vec(-1.0..1.0f64, 2..128), split in 1usize..127) {
+        let s = split.min(xs.len() - 1);
+        let mut whole = VecAccumulator::new();
+        for &x in &xs { whole.add(Vec3::splat(x)); }
+        let mut a = VecAccumulator::new();
+        let mut b = VecAccumulator::new();
+        for &x in &xs[..s] { a.add(Vec3::splat(x)); }
+        for &x in &xs[s..] { b.add(Vec3::splat(x)); }
+        a.merge(b);
+        prop_assert_eq!(whole.to_vec3(), a.to_vec3());
+    }
+
+    // ---------- pipeline vs reference kernel ----------
+
+    #[test]
+    fn pipeline_tracks_reference_within_word_precision(
+        xi in -40.0..40.0f64, yi in -40.0..40.0f64,
+        xj in -40.0..40.0f64, yj in -40.0..40.0f64,
+        vx in -0.5..0.5f64, vy in -0.5..0.5f64,
+        m in 1e-10..1e-4f64,
+    ) {
+        let f = FixedPointFormat::default();
+        let pi = Vec3::new(xi, yi, 0.1);
+        let pj = Vec3::new(xj, yj, -0.2);
+        prop_assume!((pj - pi).norm() > 1e-2);
+        let vi = Vec3::new(vx, vy, 0.0);
+        let vj = Vec3::new(-vy, vx, 0.01);
+        let eps2 = 0.008 * 0.008;
+        let (a_hw, j_hw, p_hw) = pipeline_interaction(
+            &f, Precision::grape6(), f.encode_vec(pi), f.encode_vec(pj), vi, vj, m, eps2,
+        );
+        let (a, j, p) = pair_force_jerk(pj - pi, vj - vi, m, eps2);
+        prop_assert!((a_hw - a).norm() <= 1e-5 * a.norm().max(1e-300), "acc err");
+        prop_assert!((j_hw - j).norm() <= 1e-4 * j.norm() + 1e-6 * a.norm(), "jerk err");
+        prop_assert!((p_hw - p).abs() <= 1e-5 * p.abs(), "pot err");
+    }
+
+    #[test]
+    fn register_reduction_bit_exact_under_any_partition(
+        n in 2usize..40,
+        parts in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let f = FixedPointFormat::default();
+        let prec = Precision::grape6();
+        let eps2 = 1e-4;
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let xi = f.encode_vec(Vec3::new(20.0, 0.0, 0.0));
+        let vi = Vec3::new(0.0, 0.2, 0.0);
+        let js: Vec<(Vec3, Vec3, f64)> = (0..n)
+            .map(|_| (
+                Vec3::new(20.0 + rnd() * 5.0, rnd() * 5.0, rnd()),
+                Vec3::new(rnd() * 0.1, 0.2 + rnd() * 0.1, 0.0),
+                1e-9 * (1.0 + rnd().abs()),
+            ))
+            .collect();
+        let mut whole = PipelineRegisters::new();
+        for (pj, vj, mj) in &js {
+            whole.accumulate(&f, prec, xi, f.encode_vec(*pj), vi, *vj, *mj, eps2);
+        }
+        let mut split = vec![PipelineRegisters::new(); parts];
+        for (k, (pj, vj, mj)) in js.iter().enumerate() {
+            split[k % parts].accumulate(&f, prec, xi, f.encode_vec(*pj), vi, *vj, *mj, eps2);
+        }
+        let mut merged = PipelineRegisters::new();
+        for r in &split {
+            merged.merge(r);
+        }
+        prop_assert_eq!(whole.read().0, merged.read().0);
+        prop_assert_eq!(whole.read().2, merged.read().2);
+    }
+
+    // ---------- predictor ----------
+
+    #[test]
+    fn predictor_matches_host_polynomial_in_exact_mode(
+        x in -40.0..40.0f64,
+        v in -0.5..0.5f64,
+        a in -1e-3..1e-3f64,
+        jk in -1e-5..1e-5f64,
+        t0 in 0.0..10.0f64,
+        dt in 0.0..4.0f64,
+    ) {
+        let f = FixedPointFormat::default();
+        let jp = JParticle::encode(
+            &f, Precision::Exact,
+            Vec3::new(x, 1.0, -1.0),
+            Vec3::new(v, -v, 0.1),
+            Vec3::new(a, a, 0.0),
+            Vec3::new(jk, 0.0, jk),
+            1e-9,
+            t0,
+        );
+        let pred = predict_j(&f, Precision::Exact, &jp, t0 + dt);
+        let expect = f.decode_vec(jp.qpos)
+            + jp.vel * dt + jp.acc * (dt * dt / 2.0) + jp.jerk * (dt * dt * dt / 6.0);
+        let got = f.decode_vec(pred.qpos);
+        prop_assert!((got - expect).norm() <= 1e-12 * expect.norm().max(1.0));
+    }
+}

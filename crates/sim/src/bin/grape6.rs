@@ -1,0 +1,247 @@
+//! `grape6` — command-line driver for the planetesimal simulation.
+//!
+//! Subcommands:
+//!
+//! * `gen      --n <N> [--seed <S>] [--no-protoplanets] --out <snap.json>`
+//! * `run      --in <snap.json> --t <time> [--engine direct|grape6|tree]
+//!             [--eta <η>] [--accrete <inflation>] [--out <snap.json>]
+//!             [--diag <diag.csv>]`
+//! * `analyze  --in <snap.json> [--bins <B>]`
+//! * `perf     --n <N> --block <n_act>`
+//!
+//! Times are in simulation units (1 yr = 2π); snapshots are JSON, or the
+//! compact binary format when the filename ends in `.g6sn`.
+
+use grape6_core::force::DirectEngine;
+use grape6_core::integrator::HermiteConfig;
+use grape6_core::units;
+use grape6_disk::{DiskBuilder, RadialHistogram, ScatteringCensus};
+use grape6_hw::{Grape6Engine, TimingModel};
+use grape6_sim::accretion::RadiusModel;
+use grape6_sim::{load_auto, save_auto, save_diagnostics_csv, Simulation};
+use grape6_tree::TreeEngine;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Tiny flag parser: `--key value` pairs and bare `--switch`es.
+struct Args {
+    argv: Vec<String>,
+}
+
+impl Args {
+    fn new() -> Self {
+        Self { argv: std::env::args().skip(1).collect() }
+    }
+
+    fn subcommand(&self) -> Option<&str> {
+        self.argv.first().map(|s| s.as_str())
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.argv
+            .windows(2)
+            .find(|w| w[0] == key)
+            .map(|w| w[1].as_str())
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.get(key).and_then(|v| v.parse().ok())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.argv.iter().any(|a| a == key)
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: grape6 <gen|run|analyze|perf> [flags]   (see module docs)");
+    ExitCode::FAILURE
+}
+
+fn cmd_gen(args: &Args) -> ExitCode {
+    let Some(n) = args.parse::<usize>("--n") else {
+        return fail("gen requires --n <planetesimals>");
+    };
+    let Some(out) = args.get("--out").map(PathBuf::from) else {
+        return fail("gen requires --out <file.json>");
+    };
+    let mut builder = DiskBuilder::paper(n);
+    if let Some(seed) = args.parse::<u64>("--seed") {
+        builder = builder.with_seed(seed);
+    }
+    if args.has("--no-protoplanets") {
+        builder = builder.without_protoplanets();
+    }
+    if args.has("--production-masses") {
+        builder.total_mass = grape6_disk::PowerLawMass::paper().mean() * n as f64;
+    }
+    let sys = builder.build();
+    if let Err(e) = save_auto(&out, &sys) {
+        return fail(&format!("writing {}: {e}", out.display()));
+    }
+    println!(
+        "wrote {}: {} bodies, ring mass {:.1} M_earth",
+        out.display(),
+        sys.len(),
+        sys.total_mass() / units::M_EARTH
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let Some(input) = args.get("--in").map(PathBuf::from) else {
+        return fail("run requires --in <snap.json>");
+    };
+    let Some(t_end) = args.parse::<f64>("--t") else {
+        return fail("run requires --t <time units>");
+    };
+    let sys = match load_auto(&input) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("reading {}: {e}", input.display())),
+    };
+    let eta = args.parse::<f64>("--eta").unwrap_or(0.02);
+    let config = HermiteConfig {
+        eta,
+        eta_start: eta / 8.0,
+        dt_max: 2.0f64.powi(3),
+        dt_min: 2.0f64.powi(-40),
+    };
+    let engine_name = args.get("--engine").unwrap_or("direct").to_string();
+    let t_target = sys.t + t_end;
+
+    // Monomorphized per engine; the driver logic is shared.
+    macro_rules! drive {
+        ($engine:expr) => {{
+            let mut sim = Simulation::new(sys, config, $engine);
+            if let Some(inflation) = args.parse::<f64>("--accrete") {
+                sim.enable_accretion(RadiusModel::icy_inflated(inflation));
+            }
+            sim.run_to(t_target, (t_target - sim.t()) / 16.0);
+            sim.record_diagnostics();
+            let d = *sim.diagnostics.last().unwrap();
+            println!(
+                "t = {:.3} ({:.1} yr): {} block steps, mean block {:.1}, |dE/E| = {:.3e}",
+                sim.t(),
+                units::time_to_years(sim.t()),
+                d.block_steps,
+                sim.block_hist.mean(),
+                d.energy_error
+            );
+            if sim.accretion_log.count() > 0 {
+                println!("mergers: {}", sim.accretion_log.count());
+            }
+            if let Some(out) = args.get("--out").map(PathBuf::from) {
+                if let Err(e) = save_auto(&out, &sim.sys) {
+                    return fail(&format!("writing {}: {e}", out.display()));
+                }
+                println!("snapshot -> {}", out.display());
+            }
+            if let Some(diag) = args.get("--diag").map(PathBuf::from) {
+                if let Err(e) = save_diagnostics_csv(&diag, &sim.diagnostics) {
+                    return fail(&format!("writing {}: {e}", diag.display()));
+                }
+                println!("diagnostics -> {}", diag.display());
+            }
+            sim
+        }};
+    }
+
+    match engine_name.as_str() {
+        "direct" => {
+            drive!(DirectEngine::new());
+        }
+        "grape6" => {
+            let sim = drive!(Grape6Engine::sc2002());
+            println!("modeled hardware: {}", sim.engine.perf_report());
+        }
+        "tree" => {
+            let theta = args.parse::<f64>("--theta").unwrap_or(0.5);
+            drive!(TreeEngine::new(theta));
+        }
+        other => return fail(&format!("unknown engine '{other}' (direct|grape6|tree)")),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_analyze(args: &Args) -> ExitCode {
+    let Some(input) = args.get("--in").map(PathBuf::from) else {
+        return fail("analyze requires --in <snap.json>");
+    };
+    let sys = match load_auto(&input) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("reading {}: {e}", input.display())),
+    };
+    let bins = args.parse::<usize>("--bins").unwrap_or(22);
+    // The K heaviest bodies are treated as protoplanets and excluded from
+    // the planetesimal statistics (mass alone cannot separate them from a
+    // rescaled spectrum's top end, so the count is explicit).
+    let k_proto: usize = args.parse("--protoplanets").unwrap_or(2);
+    let mut by_mass: Vec<usize> = (0..sys.len()).filter(|&i| sys.mass[i] > 0.0).collect();
+    by_mass.sort_by(|&a, &b| sys.mass[b].total_cmp(&sys.mass[a]));
+    let protos: Vec<usize> = by_mass.iter().copied().take(k_proto).collect();
+    let idx: Vec<usize> = by_mass.iter().copied().skip(k_proto).collect();
+    for &p in &protos {
+        let el = grape6_core::kepler::state_to_elements(sys.pos[p], sys.vel[p], sys.central_mass.max(1e-300));
+        println!(
+            "protoplanet #{p}: m = {:.3e} M_sun, a = {:.2} AU, e = {:.4}",
+            sys.mass[p], el.a, el.e
+        );
+    }
+    println!("snapshot t = {:.2} ({:.1} yr), {} planetesimals analyzed", sys.t, units::time_to_years(sys.t), idx.len());
+    let hist = RadialHistogram::from_system(&sys, &idx, 14.0, 36.0, bins);
+    println!("\n  a (AU)    sigma          count   rms e     rms i");
+    for b in 0..hist.bins() {
+        println!(
+            "  {:6.2}    {:.3e}    {:5}   {:.4}    {:.4}",
+            hist.center(b),
+            hist.sigma[b],
+            hist.counts[b],
+            hist.rms_e[b],
+            hist.rms_i[b]
+        );
+    }
+    let census = ScatteringCensus::classify(&sys, &idx, 14.0, 36.0);
+    println!(
+        "\ncensus: retained {}, inward {}, outward {}, ejected {} (disturbed {:.2} %)",
+        census.retained,
+        census.scattered_inward,
+        census.scattered_outward,
+        census.ejected,
+        100.0 * census.disturbed_fraction()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_perf(args: &Args) -> ExitCode {
+    let Some(n) = args.parse::<usize>("--n") else {
+        return fail("perf requires --n <total particles>");
+    };
+    let Some(block) = args.parse::<usize>("--block") else {
+        return fail("perf requires --block <active particles>");
+    };
+    let model = TimingModel::sc2002();
+    let b = model.block_step(block, n);
+    let flops = 57.0 * block as f64 * n as f64;
+    println!("block of {block} on N = {n} through the 2048-chip GRAPE-6:");
+    println!("  pipeline  {:9.3} ms", b.pipeline * 1e3);
+    println!("  host      {:9.3} ms", b.host * 1e3);
+    println!("  send i    {:9.3} ms", b.send_i * 1e3);
+    println!("  receive   {:9.3} ms", b.receive * 1e3);
+    println!("  j intra   {:9.3} ms", b.jshare_intra * 1e3);
+    println!("  j inter   {:9.3} ms", b.jshare_inter * 1e3);
+    println!("  sync      {:9.3} ms", b.sync * 1e3);
+    println!("  total     {:9.3} ms  -> {:.2} Tflops sustained", b.total() * 1e3, flops / b.total() / 1e12);
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = Args::new();
+    match args.subcommand() {
+        Some("gen") => cmd_gen(&args),
+        Some("run") => cmd_run(&args),
+        Some("analyze") => cmd_analyze(&args),
+        Some("perf") => cmd_perf(&args),
+        _ => fail("missing or unknown subcommand"),
+    }
+}

@@ -1,0 +1,161 @@
+//! Run statistics: block-size and timestep histograms (experiment E4 — the
+//! paper's §3 "six orders of magnitude" timescale-range claim and §4.2
+//! block-size claim are checked against these).
+
+use grape6_core::particle::ParticleSystem;
+use serde::{Deserialize, Serialize};
+
+/// Histogram over power-of-two timestep rungs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimestepHistogram {
+    /// Map from log2(dt) to particle count, stored sparsely.
+    pub rungs: Vec<(i32, usize)>,
+}
+
+impl TimestepHistogram {
+    /// Bin the current per-particle steps of a system.
+    pub fn from_system(sys: &ParticleSystem) -> Self {
+        let mut map = std::collections::BTreeMap::new();
+        for &dt in &sys.dt {
+            if dt > 0.0 {
+                let rung = dt.log2().round() as i32;
+                *map.entry(rung).or_insert(0usize) += 1;
+            }
+        }
+        Self { rungs: map.into_iter().collect() }
+    }
+
+    /// Number of occupied rungs.
+    pub fn occupied_rungs(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// Ratio between the largest and smallest occupied step (the dynamic
+    /// range of timescales, §3).
+    pub fn dynamic_range(&self) -> f64 {
+        match (self.rungs.first(), self.rungs.last()) {
+            (Some(&(lo, _)), Some(&(hi, _))) => 2.0f64.powi(hi - lo),
+            _ => 1.0,
+        }
+    }
+
+    /// Orders of magnitude spanned (log10 of the dynamic range).
+    pub fn orders_of_magnitude(&self) -> f64 {
+        self.dynamic_range().log10()
+    }
+
+    /// Total particles binned.
+    pub fn total(&self) -> usize {
+        self.rungs.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+/// Histogram of active-block sizes across a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlockSizeHistogram {
+    /// Counts per log2-size bin: bin k holds blocks with 2^k ≤ n < 2^(k+1).
+    pub bins: Vec<u64>,
+    /// Total blocks recorded.
+    pub blocks: u64,
+    /// Total particle-steps recorded.
+    pub particle_steps: u64,
+}
+
+impl BlockSizeHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a block of `n` active particles.
+    pub fn record(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let bin = (usize::BITS - 1 - n.leading_zeros()) as usize;
+        if self.bins.len() <= bin {
+            self.bins.resize(bin + 1, 0);
+        }
+        self.bins[bin] += 1;
+        self.blocks += 1;
+        self.particle_steps += n as u64;
+    }
+
+    /// Mean block size.
+    pub fn mean(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.particle_steps as f64 / self.blocks as f64
+        }
+    }
+
+    /// Median block size (from the log2 bins; returns the bin's lower edge).
+    pub fn median_bin_size(&self) -> usize {
+        if self.blocks == 0 {
+            return 0;
+        }
+        let mut seen = 0u64;
+        for (k, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen * 2 >= self.blocks {
+                return 1usize << k;
+            }
+        }
+        1usize << (self.bins.len().max(1) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape6_core::vec3::Vec3;
+
+    #[test]
+    fn timestep_histogram_bins_by_rung() {
+        let mut sys = ParticleSystem::new(0.0, 0.0);
+        for _ in 0..3 {
+            sys.push(Vec3::zero(), Vec3::zero(), 1.0);
+        }
+        sys.dt[0] = 0.25;
+        sys.dt[1] = 0.25;
+        sys.dt[2] = 2.0f64.powi(-10);
+        let h = TimestepHistogram::from_system(&sys);
+        assert_eq!(h.occupied_rungs(), 2);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.dynamic_range(), 2.0f64.powi(8));
+        assert!((h.orders_of_magnitude() - 8.0 * 2.0f64.log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timestep_histogram_skips_unset_steps() {
+        let mut sys = ParticleSystem::new(0.0, 0.0);
+        sys.push(Vec3::zero(), Vec3::zero(), 1.0);
+        let h = TimestepHistogram::from_system(&sys); // dt = 0 (unset)
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.dynamic_range(), 1.0);
+    }
+
+    #[test]
+    fn block_histogram_statistics() {
+        let mut h = BlockSizeHistogram::new();
+        for n in [1usize, 1, 2, 3, 4, 8, 100] {
+            h.record(n);
+        }
+        h.record(0); // ignored
+        assert_eq!(h.blocks, 7);
+        assert_eq!(h.particle_steps, 119);
+        assert!((h.mean() - 17.0).abs() < 1e-12);
+        // bins: 1→2 blocks (k=0), 2..3→2 (k=1), 4..8→2 (k=2,3), 100→k=6
+        assert_eq!(h.bins[0], 2);
+        assert_eq!(h.bins[1], 2);
+        assert_eq!(h.median_bin_size(), 2);
+    }
+
+    #[test]
+    fn empty_histograms_are_safe() {
+        let h = BlockSizeHistogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.median_bin_size(), 0);
+    }
+}

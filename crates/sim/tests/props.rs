@@ -1,0 +1,117 @@
+//! Property-based tests on the simulation-layer invariants.
+
+use grape6_core::particle::{Neighbor, ParticleSystem};
+use grape6_core::vec3::Vec3;
+use grape6_sim::accretion::{try_merge, AccretionLog, RadiusModel};
+use grape6_sim::{BlockSizeHistogram, TimestepHistogram};
+use proptest::prelude::*;
+
+fn two_body_system(
+    x1: Vec3,
+    v1: Vec3,
+    m1: f64,
+    x2: Vec3,
+    v2: Vec3,
+    m2: f64,
+) -> ParticleSystem {
+    let mut sys = ParticleSystem::new(0.001, 1.0);
+    sys.push(x1, v1, m1);
+    sys.push(x2, v2, m2);
+    sys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merging_conserves_mass_and_momentum(
+        x in 10.0..40.0f64,
+        dy in -1e-4..1e-4f64,
+        v1 in -0.3..0.3f64,
+        v2 in -0.3..0.3f64,
+        m1 in 1e-10..1e-6f64,
+        m2 in 1e-10..1e-6f64,
+    ) {
+        let mut sys = two_body_system(
+            Vec3::new(x, 0.0, 0.0),
+            Vec3::new(0.0, v1, 0.0),
+            m1,
+            Vec3::new(x, dy, 1e-5),
+            Vec3::new(0.0, v2, 0.0),
+            m2,
+        );
+        let p0 = sys.pos[0] * m1 + sys.pos[1] * m2;
+        let mv0 = sys.vel[0] * m1 + sys.vel[1] * m2;
+        let model = RadiusModel::icy_inflated(1e4);
+        let mut log = AccretionLog::default();
+        let nn = Neighbor { index: 1, r2: sys.pos[0].distance2(sys.pos[1]) };
+        if let Some(ev) = try_merge(&mut sys, 0, nn, &model, &mut log) {
+            let s = ev.survivor;
+            prop_assert!((sys.mass[s] - (m1 + m2)).abs() <= 1e-15 * (m1 + m2));
+            prop_assert!((sys.pos[s] * sys.mass[s] - p0).norm() <= 1e-12 * p0.norm().max(1e-300));
+            prop_assert!((sys.vel[s] * sys.mass[s] - mv0).norm() <= 1e-12 * mv0.norm().max(1e-300));
+            prop_assert_eq!(sys.mass[ev.absorbed], 0.0);
+        }
+    }
+
+    #[test]
+    fn merge_never_fires_beyond_collision_distance(
+        sep_factor in 1.01..100.0f64,
+        m1 in 1e-10..1e-6f64,
+        m2 in 1e-10..1e-6f64,
+        inflation in 1.0..100.0f64,
+    ) {
+        let model = RadiusModel::icy_inflated(inflation);
+        let d_coll = model.collision_distance(m1, m2);
+        let sep = d_coll * sep_factor;
+        let mut sys = two_body_system(
+            Vec3::new(20.0, 0.0, 0.0),
+            Vec3::zero(),
+            m1,
+            Vec3::new(20.0 + sep, 0.0, 0.0),
+            Vec3::zero(),
+            m2,
+        );
+        let mut log = AccretionLog::default();
+        let nn = Neighbor { index: 1, r2: sep * sep };
+        prop_assert!(try_merge(&mut sys, 0, nn, &model, &mut log).is_none());
+    }
+
+    #[test]
+    fn collision_distance_is_symmetric_and_monotone(
+        m1 in 1e-12..1e-5f64,
+        m2 in 1e-12..1e-5f64,
+        f in 1.0..1000.0f64,
+    ) {
+        let model = RadiusModel::icy_inflated(f);
+        prop_assert_eq!(model.collision_distance(m1, m2), model.collision_distance(m2, m1));
+        prop_assert!(model.collision_distance(m1 * 8.0, m2) > model.collision_distance(m1, m2));
+        prop_assert!((model.radius(8.0 * m1) / model.radius(m1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_histogram_mean_is_exact(ns in prop::collection::vec(1usize..10_000, 1..100)) {
+        let mut h = BlockSizeHistogram::new();
+        for &n in &ns {
+            h.record(n);
+        }
+        let expect = ns.iter().sum::<usize>() as f64 / ns.len() as f64;
+        prop_assert!((h.mean() - expect).abs() < 1e-9);
+        prop_assert_eq!(h.blocks, ns.len() as u64);
+    }
+
+    #[test]
+    fn timestep_histogram_total_counts_positive_steps(
+        rungs in prop::collection::vec(-30i32..3, 1..64),
+    ) {
+        let mut sys = ParticleSystem::new(0.0, 0.0);
+        for &r in &rungs {
+            let i = sys.push(Vec3::zero(), Vec3::zero(), 1.0);
+            sys.dt[i] = 2.0f64.powi(r);
+        }
+        let h = TimestepHistogram::from_system(&sys);
+        prop_assert_eq!(h.total(), rungs.len());
+        let span = (rungs.iter().max().unwrap() - rungs.iter().min().unwrap()) as f64;
+        prop_assert!((h.dynamic_range().log2() - span).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,259 @@
+//! The tree code as a [`ForceEngine`], so the same block-timestep host code
+//! can drive it for the §3 cost comparison.
+//!
+//! The crucial (and intentional) inefficiency: a tree must be rebuilt from
+//! predicted positions whenever forces are needed at a new time. Under
+//! shared timesteps the O(N log N) build amortizes over N force evaluations;
+//! under *individual* timesteps a block of a few dozen particles pays the
+//! same O(N log N) build — exactly why the paper uses direct summation on
+//! special hardware instead.
+
+use crate::octree::Octree;
+use grape6_core::engine::ForceEngine;
+use grape6_core::particle::{ForceResult, IParticle, ParticleSystem};
+use grape6_core::vec3::Vec3;
+use rayon::prelude::*;
+
+/// Barnes-Hut force engine.
+#[derive(Debug, Clone)]
+pub struct TreeEngine {
+    /// Opening angle θ of the multipole acceptance criterion.
+    pub theta: f64,
+    jpos: Vec<Vec3>,
+    jvel: Vec<Vec3>,
+    jacc: Vec<Vec3>,
+    jjerk: Vec<Vec3>,
+    jmass: Vec<f64>,
+    jtime: Vec<f64>,
+    eps2: f64,
+    interactions: u64,
+    builds: u64,
+    build_time: f64,
+    last_tree_time: Option<f64>,
+    tree: Option<Octree>,
+}
+
+impl TreeEngine {
+    /// Create an engine with opening angle `theta` (0.3–1.0 typical).
+    pub fn new(theta: f64) -> Self {
+        assert!(theta >= 0.0, "theta must be non-negative");
+        Self {
+            theta,
+            jpos: Vec::new(),
+            jvel: Vec::new(),
+            jacc: Vec::new(),
+            jjerk: Vec::new(),
+            jmass: Vec::new(),
+            jtime: Vec::new(),
+            eps2: 0.0,
+            interactions: 0,
+            builds: 0,
+            build_time: 0.0,
+            last_tree_time: None,
+            tree: None,
+        }
+    }
+
+    /// Trees built since the last counter reset.
+    pub fn build_count(&self) -> u64 {
+        self.builds
+    }
+
+    /// Wall time spent building trees (seconds).
+    pub fn build_seconds(&self) -> f64 {
+        self.build_time
+    }
+
+    fn rebuild(&mut self, t: f64) {
+        let n = self.jpos.len();
+        let start = std::time::Instant::now();
+        let mut pos = vec![Vec3::zero(); n];
+        let mut vel = vec![Vec3::zero(); n];
+        pos.par_iter_mut().zip(vel.par_iter_mut()).enumerate().for_each(|(j, (pp, pv))| {
+            let dt = t - self.jtime[j];
+            let dt2 = dt * dt;
+            *pp = self.jpos[j]
+                + self.jvel[j] * dt
+                + self.jacc[j] * (dt2 / 2.0)
+                + self.jjerk[j] * (dt2 * dt / 6.0);
+            *pv = self.jvel[j] + self.jacc[j] * dt + self.jjerk[j] * (dt2 / 2.0);
+        });
+        self.tree = Some(Octree::build(&pos, &vel, &self.jmass));
+        self.last_tree_time = Some(t);
+        self.builds += 1;
+        self.build_time += start.elapsed().as_secs_f64();
+    }
+}
+
+impl ForceEngine for TreeEngine {
+    fn load(&mut self, sys: &ParticleSystem) {
+        self.jpos = sys.pos.clone();
+        self.jvel = sys.vel.clone();
+        self.jacc = sys.acc.clone();
+        self.jjerk = sys.jerk.clone();
+        self.jmass = sys.mass.clone();
+        self.jtime = sys.time.clone();
+        self.eps2 = sys.softening * sys.softening;
+        self.tree = None;
+        self.last_tree_time = None;
+    }
+
+    fn update_j(&mut self, sys: &ParticleSystem, indices: &[usize]) {
+        for &i in indices {
+            self.jpos[i] = sys.pos[i];
+            self.jvel[i] = sys.vel[i];
+            self.jacc[i] = sys.acc[i];
+            self.jjerk[i] = sys.jerk[i];
+            self.jmass[i] = sys.mass[i];
+            self.jtime[i] = sys.time[i];
+        }
+        // Any update invalidates the tree (bodies moved).
+        self.tree = None;
+        self.last_tree_time = None;
+    }
+
+    fn compute(&mut self, t: f64, ips: &[IParticle], out: &mut [ForceResult]) {
+        assert_eq!(ips.len(), out.len());
+        if self.last_tree_time != Some(t) || self.tree.is_none() {
+            self.rebuild(t);
+        }
+        let tree = self.tree.as_ref().expect("tree built above");
+        let theta = self.theta;
+        let eps2 = self.eps2;
+        let evals: u64 = out
+            .par_iter_mut()
+            .zip(ips.par_iter())
+            .map(|(o, ip)| {
+                let f = tree.force_on(ip.pos, ip.vel, theta, eps2, ip.index as u32);
+                // The tree does not track nearest neighbours (one more thing
+                // the hardware gives for free and the baseline lacks).
+                *o = ForceResult { acc: f.acc, jerk: f.jerk, pot: f.pot, nn: None };
+                f.evaluations
+            })
+            .sum();
+        self.interactions += evals;
+    }
+
+    fn interaction_count(&self) -> u64 {
+        self.interactions
+    }
+
+    fn reset_counters(&mut self) {
+        self.interactions = 0;
+        self.builds = 0;
+        self.build_time = 0.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "barnes-hut"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape6_core::force::DirectEngine;
+
+    fn plummer_like(n: usize) -> ParticleSystem {
+        let mut sys = ParticleSystem::new(0.01, 0.0);
+        let mut state = 99u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for _ in 0..n {
+            sys.push(
+                Vec3::new(rng(), rng(), rng()) * 10.0,
+                Vec3::new(rng(), rng(), rng()) * 0.3,
+                1.0 / n as f64,
+            );
+        }
+        sys
+    }
+
+    fn ips_all(sys: &ParticleSystem) -> Vec<IParticle> {
+        (0..sys.len())
+            .map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
+            .collect()
+    }
+
+    #[test]
+    fn tree_engine_approximates_direct() {
+        let sys = plummer_like(1000);
+        let mut tree = TreeEngine::new(0.4);
+        let mut direct = DirectEngine::new();
+        tree.load(&sys);
+        direct.load(&sys);
+        let ips = ips_all(&sys);
+        let mut out_t = vec![ForceResult::default(); ips.len()];
+        let mut out_d = vec![ForceResult::default(); ips.len()];
+        tree.compute(0.0, &ips, &mut out_t);
+        direct.compute(0.0, &ips, &mut out_d);
+        let mut worst: f64 = 0.0;
+        for k in 0..ips.len() {
+            worst = worst.max((out_t[k].acc - out_d[k].acc).norm() / out_d[k].acc.norm());
+        }
+        assert!(worst < 0.05, "worst rel error {worst}");
+    }
+
+    #[test]
+    fn tree_does_fewer_evaluations() {
+        let sys = plummer_like(4000);
+        let mut tree = TreeEngine::new(0.7);
+        tree.load(&sys);
+        let ips = ips_all(&sys);
+        let mut out = vec![ForceResult::default(); ips.len()];
+        tree.compute(0.0, &ips, &mut out);
+        let direct_cost = (sys.len() as u64) * (sys.len() as u64);
+        assert!(
+            tree.interaction_count() < direct_cost / 3,
+            "tree evals {} not ≪ N² = {direct_cost}",
+            tree.interaction_count()
+        );
+    }
+
+    #[test]
+    fn tree_rebuilds_only_when_time_changes() {
+        let sys = plummer_like(200);
+        let mut tree = TreeEngine::new(0.5);
+        tree.load(&sys);
+        let ips = ips_all(&sys);
+        let mut out = vec![ForceResult::default(); ips.len()];
+        tree.compute(0.0, &ips, &mut out);
+        tree.compute(0.0, &ips[..10], &mut out[..10].to_vec());
+        assert_eq!(tree.build_count(), 1, "same-time calls must share the tree");
+        tree.compute(0.5, &ips[..10], &mut out[..10]);
+        assert_eq!(tree.build_count(), 2);
+    }
+
+    #[test]
+    fn update_invalidates_tree() {
+        let mut sys = plummer_like(100);
+        let mut tree = TreeEngine::new(0.5);
+        tree.load(&sys);
+        let ips = ips_all(&sys);
+        let mut out = vec![ForceResult::default(); ips.len()];
+        tree.compute(0.0, &ips, &mut out);
+        sys.pos[0] = Vec3::new(100.0, 0.0, 0.0);
+        tree.update_j(&sys, &[0]);
+        tree.compute(0.0, &ips, &mut out);
+        assert_eq!(tree.build_count(), 2, "update_j must force a rebuild");
+    }
+
+    #[test]
+    fn small_block_pays_full_build() {
+        // The §3 argument in miniature: the per-call build dominates when
+        // only one particle needs forces.
+        let sys = plummer_like(2000);
+        let mut tree = TreeEngine::new(0.5);
+        tree.load(&sys);
+        let ips = ips_all(&sys);
+        let mut out1 = vec![ForceResult::default(); 1];
+        // 100 single-particle calls at distinct times → 100 builds.
+        for k in 0..100 {
+            tree.compute(k as f64 * 1e-3, &ips[..1], &mut out1);
+        }
+        assert_eq!(tree.build_count(), 100);
+        assert!(tree.build_seconds() > 0.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! # grape6-tree
+//!
+//! A Barnes-Hut octree gravity code — the O(N log N) alternative the paper's
+//! §3 examines and rejects for the planetesimal problem ("it is very
+//! difficult to achieve high efficiency with these algorithms when the
+//! timesteps of particles vary widely"). Built to quantify that argument:
+//! experiment E5 compares its cost and accuracy against direct summation
+//! under both shared and individual timesteps.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod octree;
+
+pub use engine::TreeEngine;
+pub use octree::{Octree, TreeForce};

@@ -1,0 +1,401 @@
+//! A Barnes-Hut octree over point masses.
+//!
+//! This is the algorithm the paper's §3 argues *against* for the
+//! planetesimal problem: it reduces the per-step cost from O(N²) to
+//! O(N log N), but must be rebuilt (or carefully migrated) whenever
+//! particles move, which destroys its advantage under individual timesteps
+//! where only a handful of particles move per block step. We implement it
+//! faithfully — monopole moments with mass-weighted velocity so it can
+//! return jerk as well — to quantify that argument (experiment E5).
+
+use grape6_core::vec3::Vec3;
+
+/// Maximum bodies per leaf before subdivision.
+const LEAF_CAPACITY: usize = 8;
+
+/// A node of the octree (internal arena representation).
+#[derive(Debug, Clone)]
+struct Node {
+    /// Geometric center of the cell.
+    center: Vec3,
+    /// Half-width of the cell.
+    half: f64,
+    /// Total mass below this node.
+    mass: f64,
+    /// Center of mass.
+    com: Vec3,
+    /// Mass-weighted mean velocity (for jerk).
+    vcom: Vec3,
+    /// Children indices (0 = none); internal nodes only.
+    children: [u32; 8],
+    /// Body indices for leaves.
+    bodies: Vec<u32>,
+    /// Leaf flag.
+    is_leaf: bool,
+}
+
+impl Node {
+    fn new(center: Vec3, half: f64) -> Self {
+        Self {
+            center,
+            half,
+            mass: 0.0,
+            com: Vec3::zero(),
+            vcom: Vec3::zero(),
+            children: [0; 8],
+            bodies: Vec::new(),
+            is_leaf: true,
+        }
+    }
+
+    fn octant_of(&self, p: Vec3) -> usize {
+        ((p.x >= self.center.x) as usize)
+            | (((p.y >= self.center.y) as usize) << 1)
+            | (((p.z >= self.center.z) as usize) << 2)
+    }
+
+    fn child_center(&self, oct: usize) -> Vec3 {
+        let q = self.half / 2.0;
+        Vec3::new(
+            self.center.x + if oct & 1 != 0 { q } else { -q },
+            self.center.y + if oct & 2 != 0 { q } else { -q },
+            self.center.z + if oct & 4 != 0 { q } else { -q },
+        )
+    }
+}
+
+/// A built Barnes-Hut octree with monopole + velocity moments.
+#[derive(Debug, Clone)]
+pub struct Octree {
+    nodes: Vec<Node>,
+    pos: Vec<Vec3>,
+    vel: Vec<Vec3>,
+    mass: Vec<f64>,
+}
+
+/// Result of one tree traversal.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TreeForce {
+    /// Acceleration.
+    pub acc: Vec3,
+    /// Jerk (from the velocity moments; exact for leaves, monopole-level for
+    /// opened cells).
+    pub jerk: Vec3,
+    /// Potential.
+    pub pot: f64,
+    /// Particle-cell and particle-particle evaluations performed.
+    pub evaluations: u64,
+}
+
+impl Octree {
+    /// Build a tree over the given bodies.
+    pub fn build(pos: &[Vec3], vel: &[Vec3], mass: &[f64]) -> Self {
+        assert_eq!(pos.len(), vel.len());
+        assert_eq!(pos.len(), mass.len());
+        assert!(!pos.is_empty(), "cannot build a tree over zero bodies");
+        // Bounding cube.
+        let mut lo = pos[0];
+        let mut hi = pos[0];
+        for &p in pos {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        let center = (lo + hi) * 0.5;
+        let half = ((hi - lo).max_component() * 0.5).max(1e-12) * 1.0000001;
+        let mut tree = Self {
+            nodes: vec![Node::new(center, half)],
+            pos: pos.to_vec(),
+            vel: vel.to_vec(),
+            mass: mass.to_vec(),
+        };
+        for b in 0..pos.len() {
+            tree.insert(0, b as u32, 0);
+        }
+        tree.compute_moments(0);
+        tree
+    }
+
+    fn insert(&mut self, node: usize, body: u32, depth: usize) {
+        const MAX_DEPTH: usize = 64;
+        if self.nodes[node].is_leaf {
+            if self.nodes[node].bodies.len() < LEAF_CAPACITY || depth >= MAX_DEPTH {
+                self.nodes[node].bodies.push(body);
+                return;
+            }
+            // Split: push existing bodies down.
+            let existing = std::mem::take(&mut self.nodes[node].bodies);
+            self.nodes[node].is_leaf = false;
+            for b in existing {
+                self.insert_into_child(node, b, depth);
+            }
+        }
+        self.insert_into_child(node, body, depth);
+    }
+
+    fn insert_into_child(&mut self, node: usize, body: u32, depth: usize) {
+        let p = self.pos[body as usize];
+        let oct = self.nodes[node].octant_of(p);
+        let child = self.nodes[node].children[oct];
+        let child = if child == 0 {
+            let c = self.nodes.len() as u32;
+            let center = self.nodes[node].child_center(oct);
+            let half = self.nodes[node].half / 2.0;
+            self.nodes.push(Node::new(center, half));
+            self.nodes[node].children[oct] = c;
+            c
+        } else {
+            child
+        };
+        self.insert(child as usize, body, depth + 1);
+    }
+
+    fn compute_moments(&mut self, node: usize) {
+        let (mass, weighted_p, weighted_v) = if self.nodes[node].is_leaf {
+            let mut m = 0.0;
+            let mut wp = Vec3::zero();
+            let mut wv = Vec3::zero();
+            for &b in &self.nodes[node].bodies {
+                let bm = self.mass[b as usize];
+                m += bm;
+                wp += self.pos[b as usize] * bm;
+                wv += self.vel[b as usize] * bm;
+            }
+            (m, wp, wv)
+        } else {
+            let children = self.nodes[node].children;
+            let mut m = 0.0;
+            let mut wp = Vec3::zero();
+            let mut wv = Vec3::zero();
+            for c in children {
+                if c != 0 {
+                    self.compute_moments(c as usize);
+                    let cn = &self.nodes[c as usize];
+                    m += cn.mass;
+                    wp += cn.com * cn.mass;
+                    wv += cn.vcom * cn.mass;
+                }
+            }
+            (m, wp, wv)
+        };
+        let n = &mut self.nodes[node];
+        n.mass = mass;
+        if mass > 0.0 {
+            n.com = weighted_p / mass;
+            n.vcom = weighted_v / mass;
+        } else {
+            n.com = n.center;
+            n.vcom = Vec3::zero();
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of bodies.
+    pub fn body_count(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Total mass (root moment).
+    pub fn total_mass(&self) -> f64 {
+        self.nodes[0].mass
+    }
+
+    /// Center of mass (root moment).
+    pub fn center_of_mass(&self) -> Vec3 {
+        self.nodes[0].com
+    }
+
+    /// Compute the force on a test point with opening angle `theta` and
+    /// Plummer softening `eps2`. `skip` excludes one body index
+    /// (`u32::MAX` to disable).
+    pub fn force_on(&self, pos: Vec3, vel: Vec3, theta: f64, eps2: f64, skip: u32) -> TreeForce {
+        let mut out = TreeForce::default();
+        self.walk(0, pos, vel, theta, eps2, skip, &mut out);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        &self,
+        node: usize,
+        pos: Vec3,
+        vel: Vec3,
+        theta: f64,
+        eps2: f64,
+        skip: u32,
+        out: &mut TreeForce,
+    ) {
+        let n = &self.nodes[node];
+        if n.mass == 0.0 {
+            return;
+        }
+        let d = n.com - pos;
+        let dist2 = d.norm2();
+        let size = 2.0 * n.half;
+        // Barnes-Hut multipole acceptance criterion: s/d < θ.
+        if !n.is_leaf && size * size < theta * theta * dist2 {
+            let (a, j, p) = grape6_core::force::pair_force_jerk(d, n.vcom - vel, n.mass, eps2);
+            out.acc += a;
+            out.jerk += j;
+            out.pot += p;
+            out.evaluations += 1;
+            return;
+        }
+        if n.is_leaf {
+            for &b in &n.bodies {
+                if b == skip {
+                    continue;
+                }
+                let (a, j, p) = grape6_core::force::pair_force_jerk(
+                    self.pos[b as usize] - pos,
+                    self.vel[b as usize] - vel,
+                    self.mass[b as usize],
+                    eps2,
+                );
+                out.acc += a;
+                out.jerk += j;
+                out.pot += p;
+                out.evaluations += 1;
+            }
+            return;
+        }
+        for c in n.children {
+            if c != 0 {
+                self.walk(c as usize, pos, vel, theta, eps2, skip, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_cloud(n: usize, seed: u64) -> (Vec<Vec3>, Vec<Vec3>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pos: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5) * 40.0)
+            .collect();
+        let vel: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect();
+        let mass: Vec<f64> = (0..n).map(|_| 0.1 + rng.gen::<f64>()).collect();
+        (pos, vel, mass)
+    }
+
+    #[test]
+    fn root_moments_are_global() {
+        let (pos, vel, mass) = random_cloud(500, 1);
+        let tree = Octree::build(&pos, &vel, &mass);
+        let m: f64 = mass.iter().sum();
+        assert!((tree.total_mass() - m).abs() < 1e-10);
+        let com: Vec3 = pos
+            .iter()
+            .zip(&mass)
+            .map(|(&p, &mm)| p * mm)
+            .sum::<Vec3>()
+            / m;
+        assert!((tree.center_of_mass() - com).norm() < 1e-10);
+        assert_eq!(tree.body_count(), 500);
+        assert!(tree.node_count() > 1);
+    }
+
+    #[test]
+    fn theta_zero_reproduces_direct_sum() {
+        let (pos, vel, mass) = random_cloud(200, 2);
+        let tree = Octree::build(&pos, &vel, &mass);
+        let eps2 = 0.01;
+        for i in [0usize, 7, 100, 199] {
+            let f = tree.force_on(pos[i], vel[i], 0.0, eps2, i as u32);
+            let direct = grape6_core::force::accumulate_on(
+                pos[i], vel[i], &pos, &vel, &mass, eps2, i,
+            );
+            assert!((f.acc - direct.acc).norm() < 1e-12 * direct.acc.norm().max(1.0));
+            assert!((f.jerk - direct.jerk).norm() < 1e-12 * direct.jerk.norm().max(1.0));
+            assert!((f.pot - direct.pot).abs() < 1e-12 * direct.pot.abs());
+            assert_eq!(f.evaluations, 199);
+        }
+    }
+
+    #[test]
+    fn moderate_theta_is_accurate_and_cheap() {
+        let (pos, vel, mass) = random_cloud(2000, 3);
+        let tree = Octree::build(&pos, &vel, &mass);
+        let eps2 = 0.01;
+        let mut worst: f64 = 0.0;
+        let mut evals = 0u64;
+        for i in (0..2000).step_by(97) {
+            let f = tree.force_on(pos[i], vel[i], 0.5, eps2, i as u32);
+            let direct = grape6_core::force::accumulate_on(pos[i], vel[i], &pos, &vel, &mass, eps2, i);
+            worst = worst.max((f.acc - direct.acc).norm() / direct.acc.norm());
+            evals += f.evaluations;
+        }
+        let mean_evals = evals as f64 / 21.0;
+        assert!(worst < 0.02, "worst rel error {worst}");
+        assert!(mean_evals < 1200.0, "mean evals {mean_evals} not ≪ N");
+    }
+
+    #[test]
+    fn opening_angle_trades_cost_for_accuracy() {
+        let (pos, vel, mass) = random_cloud(3000, 4);
+        let tree = Octree::build(&pos, &vel, &mass);
+        let f_tight = tree.force_on(pos[0], vel[0], 0.3, 0.01, 0);
+        let f_loose = tree.force_on(pos[0], vel[0], 1.0, 0.01, 0);
+        assert!(f_loose.evaluations < f_tight.evaluations);
+        let direct = grape6_core::force::accumulate_on(pos[0], vel[0], &pos, &vel, &mass, 0.01, 0);
+        let e_tight = (f_tight.acc - direct.acc).norm();
+        let e_loose = (f_loose.acc - direct.acc).norm();
+        assert!(e_tight <= e_loose + 1e-15);
+    }
+
+    #[test]
+    fn cost_scales_sub_quadratically() {
+        let eps2 = 0.01;
+        let mut evals = Vec::new();
+        for &n in &[1000usize, 4000] {
+            let (pos, vel, mass) = random_cloud(n, 5);
+            let tree = Octree::build(&pos, &vel, &mass);
+            let mut total = 0u64;
+            for i in (0..n).step_by(n / 50) {
+                total += tree.force_on(pos[i], vel[i], 0.7, eps2, i as u32).evaluations;
+            }
+            evals.push(total as f64 / 50.0);
+        }
+        // 4× bodies should cost ≪ 4× per-particle evaluations (O(log N) growth).
+        let growth = evals[1] / evals[0];
+        assert!(growth < 2.5, "per-particle cost growth {growth} ≥ 2.5");
+    }
+
+    #[test]
+    fn handles_coincident_bodies() {
+        // LEAF_CAPACITY+2 bodies at the same point must not recurse forever.
+        let n = LEAF_CAPACITY + 2;
+        let pos = vec![Vec3::new(1.0, 1.0, 1.0); n];
+        let vel = vec![Vec3::zero(); n];
+        let mass = vec![1.0; n];
+        let tree = Octree::build(&pos, &vel, &mass);
+        let f = tree.force_on(Vec3::zero(), Vec3::zero(), 0.5, 0.0, u32::MAX);
+        // All mass at distance √3.
+        let expect = n as f64 / 3.0;
+        assert!((f.acc.norm() - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn single_body_tree() {
+        let tree = Octree::build(&[Vec3::new(2.0, 0.0, 0.0)], &[Vec3::zero()], &[3.0]);
+        let f = tree.force_on(Vec3::zero(), Vec3::zero(), 0.5, 0.0, u32::MAX);
+        assert!((f.acc.x - 0.75).abs() < 1e-14);
+        assert_eq!(f.evaluations, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_tree_panics() {
+        Octree::build(&[], &[], &[]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests on the Barnes-Hut octree.
+
+use grape6_core::force::accumulate_on;
+use grape6_core::vec3::Vec3;
+use grape6_tree::Octree;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cloud(n: usize, seed: u64) -> (Vec<Vec3>, Vec<Vec3>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos = (0..n)
+        .map(|_| {
+            Vec3::new(
+                rng.gen::<f64>() - 0.5,
+                rng.gen::<f64>() - 0.5,
+                rng.gen::<f64>() - 0.5,
+            ) * 30.0
+        })
+        .collect();
+    let vel = (0..n)
+        .map(|_| Vec3::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+        .collect();
+    let mass = (0..n).map(|_| 0.01 + rng.gen::<f64>()).collect();
+    (pos, vel, mass)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn root_moments_match_direct_sums(n in 2usize..300, seed in 0u64..1000) {
+        let (pos, vel, mass) = cloud(n, seed);
+        let tree = Octree::build(&pos, &vel, &mass);
+        let m: f64 = mass.iter().sum();
+        prop_assert!((tree.total_mass() - m).abs() <= 1e-9 * m);
+        let com: Vec3 = pos.iter().zip(&mass).map(|(&p, &mm)| p * mm).sum::<Vec3>() / m;
+        prop_assert!((tree.center_of_mass() - com).norm() <= 1e-9 * com.norm().max(1.0));
+    }
+
+    #[test]
+    fn theta_zero_is_exact(n in 2usize..120, seed in 0u64..1000, i in 0usize..120) {
+        let (pos, vel, mass) = cloud(n, seed);
+        let i = i % n;
+        let tree = Octree::build(&pos, &vel, &mass);
+        let f = tree.force_on(pos[i], vel[i], 0.0, 0.01, i as u32);
+        let d = accumulate_on(pos[i], vel[i], &pos, &vel, &mass, 0.01, i);
+        prop_assert!((f.acc - d.acc).norm() <= 1e-11 * d.acc.norm().max(1e-300));
+        prop_assert_eq!(f.evaluations, (n - 1) as u64);
+    }
+
+    #[test]
+    fn error_bounded_by_opening_angle(
+        seed in 0u64..200,
+        theta in 0.1..0.9f64,
+        i in 0usize..400,
+    ) {
+        let n = 400;
+        let (pos, vel, mass) = cloud(n, seed);
+        let i = i % n;
+        let tree = Octree::build(&pos, &vel, &mass);
+        let f = tree.force_on(pos[i], vel[i], theta, 0.01, i as u32);
+        let d = accumulate_on(pos[i], vel[i], &pos, &vel, &mass, 0.01, i);
+        let rel = (f.acc - d.acc).norm() / d.acc.norm().max(1e-300);
+        // Monopole BH error is O(θ²) with a modest constant; allow slack for
+        // pathological geometry but catch systematic breakage.
+        prop_assert!(rel <= 1.5 * theta * theta + 1e-9, "rel {rel} at theta {theta}");
+    }
+
+    #[test]
+    fn cheaper_than_direct_for_large_n(seed in 0u64..100) {
+        let n = 2000;
+        let (pos, vel, mass) = cloud(n, seed);
+        let tree = Octree::build(&pos, &vel, &mass);
+        let f = tree.force_on(pos[0], vel[0], 0.7, 0.01, 0);
+        prop_assert!(f.evaluations < (n as u64) / 2, "{} evals", f.evaluations);
+    }
+
+    #[test]
+    fn potential_energy_consistent(seed in 0u64..100, n in 10usize..200) {
+        // Σ_i m_i φ_i (tree, θ = 0) = 2 × PE(direct).
+        let (pos, vel, mass) = cloud(n, seed);
+        let tree = Octree::build(&pos, &vel, &mass);
+        let mut twice_pe = 0.0;
+        for i in 0..n {
+            let f = tree.force_on(pos[i], vel[i], 0.0, 0.0, i as u32);
+            twice_pe += mass[i] * f.pot;
+        }
+        let mut pe = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pe -= mass[i] * mass[j] / pos[i].distance(pos[j]);
+            }
+        }
+        prop_assert!((twice_pe - 2.0 * pe).abs() <= 1e-8 * pe.abs());
+    }
+}

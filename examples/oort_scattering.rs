@@ -1,0 +1,55 @@
+//! The §2 science motivation: proto-Neptune scatters planetesimals, feeding
+//! the Oort cloud. A deliberately aggressive configuration (heavy
+//! protoplanets, dynamically cold disk) makes the mechanism visible in a
+//! CPU-scale run.
+//!
+//! Run with: `cargo run --release --example oort_scattering -- [n] [t_units]`
+
+use grape6::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let t_end: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(800.0);
+
+    // Boost the protoplanets to full Neptune mass (5.15e-5 M_sun) to speed
+    // up scattering; the paper's protoplanets are growing toward this.
+    let mut builder = DiskBuilder::paper(n);
+    for p in &mut builder.protoplanets {
+        p.mass = 5.15e-5;
+    }
+    // A colder disk scatters more dramatically.
+    builder.sigma_e = 0.003;
+    builder.sigma_i = 0.0015;
+    let system = builder.build();
+    let planetesimals: Vec<usize> = (0..n).collect();
+
+    println!(
+        "Oort-cloud feeding experiment: {n} planetesimals, Neptune-mass protoplanets, T = {t_end}"
+    );
+    let config = HermiteConfig { dt_max: 8.0, ..HermiteConfig::default() };
+    let mut sim = grape6::sim::Simulation::new(system, config, DirectEngine::new());
+
+    let checkpoints = 4;
+    for k in 1..=checkpoints {
+        let t = t_end * k as f64 / checkpoints as f64;
+        sim.run_to(t, 0.0);
+        let census = ScatteringCensus::classify(&sim.sys, &planetesimals, 14.0, 36.0);
+        println!(
+            "t = {:7.1} ({:6.1} yr): retained {:4}, inward {:3}, outward {:3}, ejected {:3}, rms e = {:.4}",
+            sim.t(),
+            units::time_to_years(sim.t()),
+            census.retained,
+            census.scattered_inward,
+            census.scattered_outward,
+            census.ejected,
+            census.rms_e_retained,
+        );
+    }
+    sim.record_diagnostics();
+    let d = sim.diagnostics.last().unwrap();
+    println!("\nintegration quality: |dE/E| = {:.2e} over {} block steps", d.energy_error, d.block_steps);
+    println!("paper §2: 'the so-called Oort cloud … is formed by gravitational");
+    println!("scattering of planetesimals mainly by Neptune' — the outward/ejected");
+    println!("columns above are that flux, growing as the disk heats.");
+}

@@ -1,0 +1,96 @@
+//! Cross-crate integration: the GRAPE-6 simulator and the CPU reference
+//! engine must produce the same physics, and the tree baseline must
+//! approximate it.
+
+use grape6::prelude::*;
+use grape6_core::engine::ForceEngine;
+use grape6_core::particle::{ForceResult, IParticle};
+
+fn disk(n: usize) -> grape6_core::particle::ParticleSystem {
+    DiskBuilder::paper(n).with_seed(77).build()
+}
+
+fn forces<E: ForceEngine>(engine: &mut E, sys: &grape6_core::particle::ParticleSystem) -> Vec<ForceResult> {
+    engine.load(sys);
+    let ips: Vec<IParticle> = (0..sys.len())
+        .map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
+        .collect();
+    let mut out = vec![ForceResult::default(); ips.len()];
+    engine.compute(0.0, &ips, &mut out);
+    out
+}
+
+#[test]
+fn grape6_exact_matches_cpu_to_fixed_point_resolution() {
+    let sys = disk(300);
+    let cpu = forces(&mut DirectEngine::new(), &sys);
+    let hw = forces(&mut Grape6Engine::new(Grape6Config::sc2002_exact()), &sys);
+    for i in 0..sys.len() {
+        let rel = (hw[i].acc - cpu[i].acc).norm() / cpu[i].acc.norm();
+        assert!(rel < 1e-10, "particle {i}: rel {rel:e}");
+        let relj = (hw[i].jerk - cpu[i].jerk).norm() / cpu[i].jerk.norm().max(1e-300);
+        assert!(relj < 1e-8, "particle {i}: jerk rel {relj:e}");
+    }
+}
+
+#[test]
+fn grape6_hw_arithmetic_single_precision_class() {
+    let sys = disk(300);
+    let cpu = forces(&mut DirectEngine::new(), &sys);
+    let hw = forces(&mut Grape6Engine::sc2002(), &sys);
+    let mut worst: f64 = 0.0;
+    for i in 0..sys.len() {
+        worst = worst.max((hw[i].acc - cpu[i].acc).norm() / cpu[i].acc.norm());
+    }
+    assert!(worst < 1e-4, "worst rel error {worst:e}");
+    assert!(worst > 1e-12, "hardware arithmetic suspiciously exact");
+}
+
+#[test]
+fn tree_approximates_cpu_within_mac_bound() {
+    let sys = disk(1000);
+    let cpu = forces(&mut DirectEngine::new(), &sys);
+    let tree = forces(&mut TreeEngine::new(0.4), &sys);
+    let mut worst: f64 = 0.0;
+    for i in 0..sys.len() {
+        worst = worst.max((tree[i].acc - cpu[i].acc).norm() / cpu[i].acc.norm());
+    }
+    // Monopole BH at theta = 0.4 on a disk: percent-level worst case.
+    assert!(worst < 0.15, "worst rel error {worst}");
+}
+
+#[test]
+fn same_trajectory_under_both_engines() {
+    // Integrate the same disk with CPU and exact-GRAPE engines; trajectories
+    // must stay consistent over a few years (identical to fixed-point
+    // quantization, then growing only slowly).
+    let config = HermiteConfig { dt_max: 8.0, ..HermiteConfig::default() };
+    let t_end = grape6::core::units::years_to_time(2.0);
+
+    let mut sim_cpu = Simulation::new(disk(128), config, DirectEngine::new());
+    sim_cpu.run_to(t_end, 0.0);
+    let mut sim_hw = Simulation::new(disk(128), config, Grape6Engine::new(Grape6Config::sc2002_exact()));
+    sim_hw.run_to(t_end, 0.0);
+
+    assert_eq!(sim_cpu.stats().block_steps, sim_hw.stats().block_steps);
+    let t = sim_cpu.t().min(sim_hw.t());
+    let (p_cpu, _) = BlockHermite::synchronized_state(&sim_cpu.sys, t);
+    let (p_hw, _) = BlockHermite::synchronized_state(&sim_hw.sys, t);
+    let mut worst: f64 = 0.0;
+    for i in 0..p_cpu.len() {
+        worst = worst.max((p_cpu[i] - p_hw[i]).norm());
+    }
+    assert!(worst < 1e-6, "trajectories diverged by {worst} AU after 2 yr");
+}
+
+#[test]
+fn hardware_clock_accumulates_during_run() {
+    let config = HermiteConfig { dt_max: 8.0, ..HermiteConfig::default() };
+    let mut sim = Simulation::new(disk(64), config, Grape6Engine::sc2002());
+    sim.run_to(1.0, 0.0);
+    let report = sim.engine.perf_report();
+    assert!(report.seconds > 0.0);
+    assert!(report.interactions > 0);
+    assert!(report.efficiency > 0.0 && report.efficiency < 1.0);
+    assert_eq!(sim.engine.clock().steps, sim.stats().block_steps + 1); // +1 for initialization
+}

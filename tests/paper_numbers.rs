@@ -1,0 +1,98 @@
+//! The paper's quantitative claims, checked as executable assertions.
+
+use grape6::prelude::*;
+use grape6_core::units::paper;
+
+#[test]
+fn headline_configuration() {
+    // §1: "2048 custom pipeline chips, each containing six pipeline
+    // processors… theoretical peak performance is 63.4 Tflops."
+    let m = MachineGeometry::sc2002();
+    assert_eq!(m.chips(), 2048);
+    assert_eq!(m.board.chip.pipelines, 6);
+    let peak = m.peak_flops() / 1e12;
+    assert!((peak - 63.4).abs() < 0.5, "peak {peak} Tflops");
+}
+
+#[test]
+fn chip_numbers() {
+    // §5.2: "With the present pipeline clock frequency of 90MHz, the peak
+    // speed of a chip is 30.7 Gflops" under the 57-op convention.
+    let chip = grape6::hw::ChipGeometry::default();
+    assert_eq!(chip.clock_hz, 90.0e6);
+    assert_eq!(grape6_core::force::FLOPS_PER_INTERACTION, 57);
+    assert!((chip.peak_flops() / 1e9 - 30.7).abs() < 0.2);
+}
+
+#[test]
+fn cluster_organization() {
+    // §5.1: 16 hosts, 4 boards each, clusters of 4 hosts; §5.3: four
+    // clusters total.
+    let m = MachineGeometry::sc2002();
+    assert_eq!(m.hosts(), 16);
+    assert_eq!(m.boards_per_host, 4);
+    assert_eq!(m.hosts_per_cluster, 4);
+    assert_eq!(m.clusters, 4);
+    assert_eq!(m.board.chips, 32);
+}
+
+#[test]
+fn link_rate() {
+    // §5.2: "Data transfer rate through a link is 90 MB/s."
+    assert_eq!(grape6::hw::Link::lvds().bytes_per_second, 90.0e6);
+}
+
+#[test]
+fn workload_parameters() {
+    // §2: ring 15–35 AU, protoplanets at 20 and 30 AU, softening 0.008 AU,
+    // N(m) ∝ m^-2.5, Σ ∝ r^-1.5, 1.8 M planetesimals.
+    assert_eq!(paper::RING_INNER, 15.0);
+    assert_eq!(paper::RING_OUTER, 35.0);
+    assert_eq!(paper::A_PROTO_URANUS, 20.0);
+    assert_eq!(paper::A_PROTO_NEPTUNE, 30.0);
+    assert_eq!(paper::SOFTENING, 0.008);
+    assert_eq!(paper::MASS_EXPONENT, -2.5);
+    assert_eq!(paper::SIGMA_EXPONENT, -1.5);
+    assert_eq!(paper::N_PLANETESIMALS, 1_799_998);
+    assert_eq!(paper::N_PLANETESIMALS + paper::N_PROTOPLANETS, 1_800_000);
+}
+
+#[test]
+fn production_particle_set_fits_in_node_memory() {
+    // The machine must be able to hold the production run: 1.8 M particles
+    // in one node's 128 chip memories of 16384 each.
+    let m = MachineGeometry::sc2002();
+    assert!(m.node_jmem_capacity() >= 1_800_000);
+}
+
+#[test]
+fn softening_consistency_claim() {
+    // §2: "This softening is two orders of magnitude smaller than the Hill
+    // radius of the protoplanets."
+    for a in [paper::A_PROTO_URANUS, paper::A_PROTO_NEPTUNE] {
+        let rh = grape6_core::units::hill_radius(a, paper::M_PROTOPLANET, 1.0);
+        let ratio = rh / paper::SOFTENING;
+        assert!(ratio > 50.0 && ratio < 300.0, "r_H/ε = {ratio} at {a} AU");
+    }
+}
+
+#[test]
+fn efficiency_regime_attainable() {
+    // §6: 29.5 Tflops sustained (46.5 % of peak). The timing model must
+    // produce sustained speeds bracketing that for plausible block sizes at
+    // N = 1.8 M.
+    let model = TimingModel::sc2002();
+    let peak = model.geometry.peak_flops();
+    let lo = model.sustained_flops(512, 1_800_000) / peak;
+    let hi = model.sustained_flops(16384, 1_800_000) / peak;
+    assert!(lo < 0.465 && hi > 0.465, "efficiency range [{lo:.3}, {hi:.3}] must bracket 0.465");
+}
+
+#[test]
+fn gordon_bell_arithmetic() {
+    // §6's accounting identity: flops = 57 × interactions; Tflops =
+    // flops / time.
+    let r = PerfReport::new(1_000_000_000_000, 57.0, 63.4e12);
+    assert!((r.flops - 5.7e13) < 1e6);
+    assert!((r.tflops() - 1.0).abs() < 1e-9);
+}
