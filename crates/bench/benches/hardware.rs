@@ -10,7 +10,9 @@ use grape6_disk::DiskBuilder;
 use grape6_hw::chip::HwIParticle;
 use grape6_hw::pipeline::pipeline_interaction;
 use grape6_hw::predictor::{predict_j, JParticle};
-use grape6_hw::{ChipGeometry, FixedPointFormat, Grape6Chip, Grape6Config, Grape6Engine, Precision, TimingModel};
+use grape6_hw::{
+    ChipGeometry, FixedPointFormat, Grape6Chip, Grape6Config, Grape6Engine, Precision, TimingModel,
+};
 
 fn bench_pipeline_interaction(c: &mut Criterion) {
     let fmt = FixedPointFormat::default();

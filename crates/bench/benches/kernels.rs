@@ -69,7 +69,9 @@ fn bench_hermite(c: &mut Criterion) {
     let a1 = Vec3::new(-1.9e-3, -1e-5, 0.0);
     let j1 = Vec3::new(1e-7, -5e-6, 0.0);
     c.bench_function("hermite_predict", |b| {
-        b.iter(|| predict(black_box(x), black_box(v), black_box(a0), black_box(j0), black_box(0.125)))
+        b.iter(|| {
+            predict(black_box(x), black_box(v), black_box(a0), black_box(j0), black_box(0.125))
+        })
     });
     c.bench_function("hermite_correct", |b| {
         b.iter(|| {

@@ -1,0 +1,45 @@
+//! Overhead of the telemetry observer on the integrator hot path.
+//!
+//! The null observer `()` must monomorphize to nothing; a `Telemetry`
+//! attached adds a handful of `Instant::now()` calls per block step. The
+//! acceptance bar is telemetry-on within 5 % of telemetry-off on the
+//! block-step force path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grape6_bench::{experiment_config, paper_disk};
+use grape6_core::force::DirectEngine;
+use grape6_core::integrator::BlockHermite;
+use grape6_sim::Telemetry;
+
+const N: usize = 256;
+const SEED: u64 = 11;
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+
+    group.bench_function("block_step/observer_off", |b| {
+        let mut sys = paper_disk(N, SEED);
+        let mut engine = DirectEngine::new();
+        let mut integ = BlockHermite::new(experiment_config());
+        integ.initialize(&mut sys, &mut engine);
+        b.iter(|| {
+            integ.step(&mut sys, &mut engine);
+        });
+    });
+
+    group.bench_function("block_step/observer_on", |b| {
+        let mut sys = paper_disk(N, SEED);
+        let mut engine = DirectEngine::new();
+        let mut integ = BlockHermite::new(experiment_config());
+        let mut tele = Telemetry::new();
+        integ.initialize_observed(&mut sys, &mut engine, &mut tele);
+        b.iter(|| {
+            integ.step_observed(&mut sys, &mut engine, &mut tele);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

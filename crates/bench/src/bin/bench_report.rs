@@ -1,0 +1,47 @@
+//! `bench_report` — run the fixed seeded benchmark workloads and emit a
+//! schema-stable `BENCH_report.json` (see `grape6_bench::report`).
+//!
+//! Usage: `bench_report [--out BENCH_report.json]`
+//!
+//! Counters in the report are exactly reproducible run-to-run; wall-clock
+//! fields track the host this runs on.
+
+use grape6_bench::report::{build_report, detect_git_sha};
+use grape6_bench::{arg_or, fmt, print_header, print_row};
+
+fn main() -> std::process::ExitCode {
+    let out: String = arg_or("--out", "BENCH_report.json".to_string());
+    let report = build_report(detect_git_sha());
+
+    print_header(&["workload", "bodies", "blocks", "inter/s real", "Tflops model"], 14);
+    for w in &report.workloads {
+        print_row(
+            &[
+                w.id.clone(),
+                w.n_bodies.to_string(),
+                w.telemetry.block_steps.to_string(),
+                fmt(w.telemetry.interactions_per_second_real),
+                fmt(w.modeled_tflops),
+            ],
+            14,
+        );
+    }
+    let c = &report.paper_check;
+    println!(
+        "\npaper check: peak {:.1} Tflops, sustained {:.1}–{:.1} Tflops \
+         (efficiency {:.3}–{:.3}, paper 0.465)",
+        c.peak_tflops,
+        c.sustained_tflops_block_512,
+        c.sustained_tflops_block_16384,
+        c.efficiency_block_512,
+        c.efficiency_block_16384
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("error: writing {out}: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    println!("report -> {out} (git {})", report.git_sha);
+    std::process::ExitCode::SUCCESS
+}

@@ -20,7 +20,9 @@ fn main() {
     let t_early: f64 = arg_or("--t-early", 800.0);
     let t_late: f64 = arg_or("--t-late", 2400.0);
     println!("E2 / Fig 13: gap formation near the protoplanets");
-    println!("N = {n}, protoplanet mass boost ×{mass_boost}, snapshots at T = {t_early} and {t_late}\n");
+    println!(
+        "N = {n}, protoplanet mass boost ×{mass_boost}, snapshots at T = {t_early} and {t_late}\n"
+    );
 
     let mut builder = DiskBuilder::paper(n);
     for p in &mut builder.protoplanets {
@@ -72,11 +74,7 @@ fn main() {
         let s0 = hist.sigma.iter().cloned().fold(0.0f64, f64::max).max(1e-300);
         for b in (0..hist.bins()).step_by(2) {
             print_row(
-                &[
-                    fmt(hist.center(b)),
-                    fmt(hist.sigma[b] / s0),
-                    hist.counts[b].to_string(),
-                ],
+                &[fmt(hist.center(b)), fmt(hist.sigma[b] / s0), hist.counts[b].to_string()],
                 14,
             );
         }

@@ -17,7 +17,9 @@ use grape6_core::integrator::{BlockHermite, HermiteConfig};
 use grape6_core::particle::{ForceResult, IParticle};
 use grape6_core::vec3::Vec3;
 use grape6_disk::{DiskBuilder, PowerLawMass};
-use grape6_hw::{ChipGeometry, FixedPointFormat, Grape6Config, Grape6Engine, Precision, TimingModel};
+use grape6_hw::{
+    ChipGeometry, FixedPointFormat, Grape6Config, Grape6Engine, Precision, TimingModel,
+};
 
 fn accuracy_disk(n: usize) -> grape6_core::particle::ParticleSystem {
     let mut b = DiskBuilder::paper(n);
@@ -41,7 +43,8 @@ fn main() {
     cpu.load(&sys0);
     cpu.compute(0.0, &ips, &mut exact);
     for bits in [16u32, 20, 24, 32, 53] {
-        let precision = if bits >= 53 { Precision::Exact } else { Precision::Grape6 { mantissa_bits: bits } };
+        let precision =
+            if bits >= 53 { Precision::Exact } else { Precision::Grape6 { mantissa_bits: bits } };
         let config = Grape6Config { precision, ..Grape6Config::sc2002() };
         let mut hw = Grape6Engine::new(config);
         hw.load(&sys0);
@@ -54,10 +57,8 @@ fn main() {
         // Short integration for the drift column.
         let mut sys = accuracy_disk(256);
         let mut engine = Grape6Engine::new(config);
-        let mut integ = BlockHermite::new(HermiteConfig {
-            dt_max: 8.0,
-            ..HermiteConfig::default()
-        });
+        let mut integ =
+            BlockHermite::new(HermiteConfig { dt_max: 8.0, ..HermiteConfig::default() });
         integ.initialize(&mut sys, &mut engine);
         let e0 = synchronized_total_energy(&sys, 0.0);
         integ.evolve(&mut sys, &mut engine, t_end);

@@ -34,10 +34,7 @@ fn main() {
 
     print_header(&["t", "bodies", "mergers", "dN/dm slope", "m_max/m0"], 14);
     let spec0 = MassSpectrum::from_system(&sim.sys, &idx, 10);
-    print_row(
-        &["0".into(), n.to_string(), "0".into(), fmt(spec0.slope), "1".into()],
-        14,
-    );
+    print_row(&["0".into(), n.to_string(), "0".into(), fmt(spec0.slope), "1".into()], 14);
     for k in 1..=6 {
         sim.run_to(t_end * k as f64 / 6.0, 0.0);
         let alive = sim.sys.mass.iter().filter(|&&m| m > 0.0).count();

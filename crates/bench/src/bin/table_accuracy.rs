@@ -51,14 +51,8 @@ fn main() {
     for &eta in &[0.08, 0.04, 0.02, 0.01] {
         let cases: [(&str, (f64, u64)); 3] = [
             ("cpu-f64", run_with(DirectEngine::new(), eta, t_end)),
-            (
-                "grape6-exact",
-                run_with(Grape6Engine::new(Grape6Config::sc2002_exact()), eta, t_end),
-            ),
-            (
-                "grape6-hw",
-                run_with(Grape6Engine::new(Grape6Config::sc2002()), eta, t_end),
-            ),
+            ("grape6-exact", run_with(Grape6Engine::new(Grape6Config::sc2002_exact()), eta, t_end)),
+            ("grape6-hw", run_with(Grape6Engine::new(Grape6Config::sc2002()), eta, t_end)),
         ];
         for (kind, (err, steps)) in cases {
             print_row(&[fmt(eta), kind.to_string(), fmt(err), steps.to_string()], 16);

@@ -6,8 +6,8 @@
 //! organization.
 
 use grape6_bench::{fmt, print_header, print_row};
-use grape6_hw::{ChipGeometry, Link, MachineGeometry, NetworkTree};
 use grape6_hw::network::NetworkBoardGeometry;
+use grape6_hw::{ChipGeometry, Link, MachineGeometry, NetworkTree};
 
 fn main() {
     println!("E3: GRAPE-6 hardware self-check (paper §5.2-5.3)\n");
@@ -16,72 +16,27 @@ fn main() {
 
     print_header(&["quantity", "paper", "model", "unit"], 22);
     let rows: Vec<[String; 4]> = vec![
-        [
-            "pipelines / chip".into(),
-            "6".into(),
-            chip.pipelines.to_string(),
-            "-".into(),
-        ],
-        [
-            "clock".into(),
-            "90".into(),
-            fmt(chip.clock_hz / 1e6),
-            "MHz".into(),
-        ],
+        ["pipelines / chip".into(), "6".into(), chip.pipelines.to_string(), "-".into()],
+        ["clock".into(), "90".into(), fmt(chip.clock_hz / 1e6), "MHz".into()],
         [
             "flops / interaction".into(),
             "57 (38+19)".into(),
             grape6_core::force::FLOPS_PER_INTERACTION.to_string(),
             "flops".into(),
         ],
-        [
-            "chip peak".into(),
-            "30.7".into(),
-            fmt(chip.peak_flops() / 1e9),
-            "Gflops".into(),
-        ],
-        [
-            "chips / board".into(),
-            "32".into(),
-            machine.board.chips.to_string(),
-            "-".into(),
-        ],
+        ["chip peak".into(), "30.7".into(), fmt(chip.peak_flops() / 1e9), "Gflops".into()],
+        ["chips / board".into(), "32".into(), machine.board.chips.to_string(), "-".into()],
         [
             "board peak".into(),
             "~0.98".into(),
             fmt(machine.board.peak_flops() / 1e12),
             "Tflops".into(),
         ],
-        [
-            "boards / host".into(),
-            "4".into(),
-            machine.boards_per_host.to_string(),
-            "-".into(),
-        ],
-        [
-            "hosts".into(),
-            "16".into(),
-            machine.hosts().to_string(),
-            "-".into(),
-        ],
-        [
-            "clusters".into(),
-            "4".into(),
-            machine.clusters.to_string(),
-            "-".into(),
-        ],
-        [
-            "total chips".into(),
-            "2048".into(),
-            machine.chips().to_string(),
-            "-".into(),
-        ],
-        [
-            "system peak".into(),
-            "63.4".into(),
-            fmt(machine.peak_flops() / 1e12),
-            "Tflops".into(),
-        ],
+        ["boards / host".into(), "4".into(), machine.boards_per_host.to_string(), "-".into()],
+        ["hosts".into(), "16".into(), machine.hosts().to_string(), "-".into()],
+        ["clusters".into(), "4".into(), machine.clusters.to_string(), "-".into()],
+        ["total chips".into(), "2048".into(), machine.chips().to_string(), "-".into()],
+        ["system peak".into(), "63.4".into(), fmt(machine.peak_flops() / 1e12), "Tflops".into()],
         [
             "LVDS link rate".into(),
             "90".into(),

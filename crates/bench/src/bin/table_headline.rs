@@ -44,10 +44,7 @@ fn main() {
     // 2. Replay the block sequence through the machine model at each N.
     let model = TimingModel::sc2002();
     let peak = model.geometry.peak_flops();
-    print_header(
-        &["N", "mean block", "ms/step", "pipe %", "comm %", "Tflops", "eff %"],
-        12,
-    );
+    print_header(&["N", "mean block", "ms/step", "pipe %", "comm %", "Tflops", "eff %"], 12);
     let ns = [10_000usize, 50_000, 100_000, 450_000, 900_000, 1_800_000];
     for &n in &ns {
         let mut total = StepBreakdown::default();

@@ -12,10 +12,7 @@ fn main() {
     println!("block size n = {n_active} particles updated per step\n");
 
     let model = ParallelModel::default();
-    print_header(
-        &["hosts", "strategy", "NIC in (kB)", "exch (ms)", "speedup"],
-        18,
-    );
+    print_header(&["hosts", "strategy", "NIC in (kB)", "exch (ms)", "speedup"], 18);
     for &p in &[1usize, 2, 4, 8, 16] {
         for strategy in Strategy::ALL {
             if p == 1 && strategy != Strategy::Naive {

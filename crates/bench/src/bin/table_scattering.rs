@@ -43,15 +43,7 @@ fn main() {
     print_header(&["r (AU)", "rms e (t=0)", "rms e (end)", "growth"], 14);
     for b in 0..hist0.bins() {
         let g = if hist0.rms_e[b] > 0.0 { hist1.rms_e[b] / hist0.rms_e[b] } else { 0.0 };
-        print_row(
-            &[
-                fmt(hist0.center(b)),
-                fmt(hist0.rms_e[b]),
-                fmt(hist1.rms_e[b]),
-                fmt(g),
-            ],
-            14,
-        );
+        print_row(&[fmt(hist0.center(b)), fmt(hist0.rms_e[b]), fmt(hist1.rms_e[b]), fmt(g)], 14);
     }
 
     println!("\nfate census (annulus 14-36 AU):");

@@ -45,10 +45,7 @@ fn main() {
         let inter = (n_i * n_j) as f64;
         let c8 = g8.compute_cycles(n_i, n_j) as f64 / inter;
         let c1 = g1.compute_cycles(n_i, n_j) as f64 / inter;
-        print_row(
-            &[n_i.to_string(), fmt(c8), fmt(c1), fmt(c1 / c8)],
-            18,
-        );
+        print_row(&[n_i.to_string(), fmt(c8), fmt(c1), fmt(c1 / c8)], 18);
     }
     println!();
     println!("(cycles/interaction: the GRAPE-6 ideal is 1/6 ≈ 0.167; without the 8-deep");

@@ -39,11 +39,8 @@ fn main() {
         tree.load(&sys);
         let mut out = vec![ForceResult::default(); ips.len()];
         tree.compute(0.0, &ips, &mut out);
-        let mut errs: Vec<f64> = exact
-            .iter()
-            .zip(&out)
-            .map(|(e, t)| (t.acc - e.acc).norm() / e.acc.norm())
-            .collect();
+        let mut errs: Vec<f64> =
+            exact.iter().zip(&out).map(|(e, t)| (t.acc - e.acc).norm() / e.acc.norm()).collect();
         errs.sort_by(f64::total_cmp);
         print_row(
             &[

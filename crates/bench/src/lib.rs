@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 use grape6_core::integrator::HermiteConfig;
 use grape6_core::particle::ParticleSystem;
 use grape6_disk::DiskBuilder;

@@ -1,0 +1,259 @@
+//! The `bench_report` harness: fixed seeded workloads, schema-stable JSON.
+//!
+//! Each workload runs a deterministic scaled-down paper disk through one
+//! engine with [`grape6_sim::Telemetry`] attached, and reports wall seconds
+//! per host phase, work counters, interaction rates and the modeled machine
+//! speed. The counters are exactly reproducible run-to-run (fixed seeds,
+//! deterministic engines); only the wall-clock fields vary.
+//!
+//! The `paper_check` section derives the §5.2/§6 self-check numbers from
+//! [`TimingModel::sc2002`] — the same single source of truth that
+//! `tests/paper_numbers.rs::efficiency_regime_attainable` asserts against —
+//! so a timing-model regression shows up in both places at once.
+
+use crate::experiment_config;
+use grape6_core::engine::ForceEngine;
+use grape6_core::force::FLOPS_PER_INTERACTION;
+use grape6_disk::DiskBuilder;
+use grape6_hw::{Grape6Engine, TimingModel};
+use grape6_sim::{Simulation, TelemetryReport};
+use grape6_tree::TreeEngine;
+use serde::{Deserialize, Serialize};
+
+/// Bumped whenever a field of [`BenchReport`] changes meaning or name.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Which force engine a workload exercises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineKind {
+    /// CPU direct summation.
+    Direct,
+    /// The GRAPE-6 functional + timing simulator (full SC2002 machine).
+    Grape6,
+    /// The Barnes-Hut baseline at the given opening angle.
+    Tree(f64),
+}
+
+/// One fixed, seeded benchmark workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Stable identifier (JSON `id` field).
+    pub id: &'static str,
+    /// Planetesimal count (two protoplanets are added on top).
+    pub n: usize,
+    /// Disk realization seed.
+    pub seed: u64,
+    /// Integration span in simulation time units.
+    pub t_end: f64,
+    /// Engine under test.
+    pub engine: EngineKind,
+}
+
+/// The standard workload set: small direct-summation disk, a GRAPE-emulated
+/// node, and the tree-code baseline, all on the same disk realization.
+pub fn standard_workloads() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            id: "small_disk_direct",
+            n: 256,
+            seed: 20020616,
+            t_end: 2.0,
+            engine: EngineKind::Direct,
+        },
+        WorkloadSpec {
+            id: "grape6_node",
+            n: 512,
+            seed: 20020616,
+            t_end: 2.0,
+            engine: EngineKind::Grape6,
+        },
+        WorkloadSpec {
+            id: "tree_baseline",
+            n: 512,
+            seed: 20020616,
+            t_end: 2.0,
+            engine: EngineKind::Tree(0.5),
+        },
+    ]
+}
+
+/// Result of one workload run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadResult {
+    /// Workload identifier.
+    pub id: String,
+    /// Total bodies integrated (planetesimals + protoplanets).
+    pub n_bodies: u64,
+    /// Disk realization seed.
+    pub seed: u64,
+    /// Integration span in simulation time units.
+    pub t_end: f64,
+    /// Full host telemetry (phase wall seconds, counters, rates).
+    pub telemetry: TelemetryReport,
+    /// Modeled sustained machine speed, Tflops (57 flops per interaction
+    /// over modeled seconds; 0 for engines without a timing model).
+    pub modeled_tflops: f64,
+}
+
+/// §5.2/§6 self-check numbers derived from [`TimingModel::sc2002`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PaperCheck {
+    /// Machine peak, Tflops (§1: 63.4).
+    pub peak_tflops: f64,
+    /// The paper's sustained fraction of peak (§6: 29.5/63.4 = 46.5 %).
+    pub gordon_bell_efficiency: f64,
+    /// Modeled sustained Tflops for 512-particle blocks at N = 1.8 M.
+    pub sustained_tflops_block_512: f64,
+    /// Modeled sustained Tflops for 16384-particle blocks at N = 1.8 M.
+    pub sustained_tflops_block_16384: f64,
+    /// `sustained_tflops_block_512 / peak_tflops`.
+    pub efficiency_block_512: f64,
+    /// `sustained_tflops_block_16384 / peak_tflops`.
+    pub efficiency_block_16384: f64,
+}
+
+impl PaperCheck {
+    /// Compute the check numbers from the production timing model.
+    pub fn sc2002() -> Self {
+        let model = TimingModel::sc2002();
+        let peak = model.geometry.peak_flops();
+        let lo = model.sustained_flops(512, 1_800_000);
+        let hi = model.sustained_flops(16384, 1_800_000);
+        Self {
+            peak_tflops: peak / 1e12,
+            gordon_bell_efficiency: 0.465,
+            sustained_tflops_block_512: lo / 1e12,
+            sustained_tflops_block_16384: hi / 1e12,
+            efficiency_block_512: lo / peak,
+            efficiency_block_16384: hi / peak,
+        }
+    }
+}
+
+/// The complete `BENCH_report.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Git commit the report was produced from (`"unknown"` outside a repo).
+    pub git_sha: String,
+    /// One entry per workload, in [`standard_workloads`] order.
+    pub workloads: Vec<WorkloadResult>,
+    /// Timing-model self-check against the paper's headline numbers.
+    pub paper_check: PaperCheck,
+}
+
+fn run_with<E: ForceEngine>(spec: &WorkloadSpec, engine: E) -> WorkloadResult {
+    let sys = DiskBuilder::paper(spec.n).with_seed(spec.seed).build();
+    let n_bodies = sys.len() as u64;
+    let mut sim = Simulation::with_telemetry(sys, experiment_config(), engine);
+    sim.run_to(spec.t_end, spec.t_end / 4.0);
+    let telemetry = sim.telemetry_report().expect("telemetry enabled");
+    let modeled_tflops = if telemetry.modeled_seconds > 0.0 {
+        FLOPS_PER_INTERACTION as f64 * telemetry.interactions as f64
+            / telemetry.modeled_seconds
+            / 1e12
+    } else {
+        0.0
+    };
+    WorkloadResult {
+        id: spec.id.to_string(),
+        n_bodies,
+        seed: spec.seed,
+        t_end: spec.t_end,
+        telemetry,
+        modeled_tflops,
+    }
+}
+
+/// Run one workload to completion.
+pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
+    match spec.engine {
+        EngineKind::Direct => run_with(spec, grape6_core::force::DirectEngine::new()),
+        EngineKind::Grape6 => run_with(spec, Grape6Engine::sc2002()),
+        EngineKind::Tree(theta) => run_with(spec, TreeEngine::new(theta)),
+    }
+}
+
+/// Run every standard workload and assemble the full report.
+pub fn build_report(git_sha: String) -> BenchReport {
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        git_sha,
+        workloads: standard_workloads().iter().map(run_workload).collect(),
+        paper_check: PaperCheck::sc2002(),
+    }
+}
+
+/// Best-effort short git SHA of the source tree, `"unknown"` when git or
+/// the repository is unavailable. Anchored to the build-time source
+/// directory so the answer does not depend on the caller's cwd.
+pub fn detect_git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["-C", env!("CARGO_MANIFEST_DIR"), "rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_ids_are_unique() {
+        let specs = standard_workloads();
+        assert!(specs.len() >= 3, "at least three fixed workloads");
+        let mut ids: Vec<&str> = specs.iter().map(|s| s.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), specs.len());
+    }
+
+    #[test]
+    fn direct_workload_counters_are_rerun_identical() {
+        let spec = standard_workloads()[0];
+        let a = run_workload(&spec);
+        let b = run_workload(&spec);
+        assert_eq!(a.telemetry.interactions, b.telemetry.interactions);
+        assert_eq!(a.telemetry.block_steps, b.telemetry.block_steps);
+        assert_eq!(a.telemetry.particle_steps, b.telemetry.particle_steps);
+        assert_eq!(a.telemetry.wire_bytes, b.telemetry.wire_bytes);
+        assert_eq!(a.telemetry.modeled_seconds, b.telemetry.modeled_seconds);
+        assert_eq!(a.n_bodies, spec.n as u64 + 2);
+    }
+
+    #[test]
+    fn paper_check_brackets_gordon_bell_efficiency() {
+        let c = PaperCheck::sc2002();
+        assert!((c.peak_tflops - 63.4).abs() < 0.5);
+        assert!(c.efficiency_block_512 < c.gordon_bell_efficiency);
+        assert!(c.efficiency_block_16384 > c.gordon_bell_efficiency);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        // A miniature spec keeps this fast; schema is identical.
+        let spec =
+            WorkloadSpec { id: "mini", n: 32, seed: 7, t_end: 0.25, engine: EngineKind::Grape6 };
+        let report = BenchReport {
+            schema_version: SCHEMA_VERSION,
+            git_sha: "deadbeef".to_string(),
+            workloads: vec![run_workload(&spec)],
+            paper_check: PaperCheck::sc2002(),
+        };
+        assert!(report.workloads[0].modeled_tflops > 0.0);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, report.schema_version);
+        assert_eq!(back.git_sha, "deadbeef");
+        assert_eq!(
+            back.workloads[0].telemetry.interactions,
+            report.workloads[0].telemetry.interactions
+        );
+    }
+}

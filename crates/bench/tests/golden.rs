@@ -1,0 +1,85 @@
+//! Golden-number checks on the `bench_report` harness.
+//!
+//! The paper-check numbers in `BENCH_report.json` must reproduce the §5.2/§6
+//! self-check of `tests/paper_numbers.rs::efficiency_regime_attainable`:
+//! both derive from the single source of truth `TimingModel::sc2002()`, so
+//! they are compared bit-for-bit here rather than against copied constants.
+
+use grape6_bench::report::{standard_workloads, BenchReport, PaperCheck, SCHEMA_VERSION};
+use grape6_hw::TimingModel;
+
+#[test]
+fn paper_check_matches_timing_model_bit_for_bit() {
+    let check = PaperCheck::sc2002();
+    let model = TimingModel::sc2002();
+    let peak = model.geometry.peak_flops();
+    // Same single source of truth as tests/paper_numbers.rs — no copied
+    // constants, the exact same expressions.
+    assert_eq!(check.peak_tflops, peak / 1e12);
+    assert_eq!(check.sustained_tflops_block_512, model.sustained_flops(512, 1_800_000) / 1e12);
+    assert_eq!(check.sustained_tflops_block_16384, model.sustained_flops(16384, 1_800_000) / 1e12);
+    assert_eq!(check.efficiency_block_512, model.sustained_flops(512, 1_800_000) / peak);
+    assert_eq!(check.efficiency_block_16384, model.sustained_flops(16384, 1_800_000) / peak);
+}
+
+#[test]
+fn paper_check_brackets_the_gordon_bell_number() {
+    // §6: 29.5 Tflops sustained = 46.5 % of peak. The modeled efficiency
+    // range for plausible production block sizes must bracket it (the same
+    // invariant tests/paper_numbers.rs asserts on the timing model).
+    let check = PaperCheck::sc2002();
+    assert_eq!(check.gordon_bell_efficiency, 0.465);
+    assert!((check.peak_tflops - 63.4).abs() < 0.5, "peak {}", check.peak_tflops);
+    assert!(
+        check.efficiency_block_512 < check.gordon_bell_efficiency,
+        "block 512 efficiency {} must be below 0.465",
+        check.efficiency_block_512
+    );
+    assert!(
+        check.efficiency_block_16384 > check.gordon_bell_efficiency,
+        "block 16384 efficiency {} must be above 0.465",
+        check.efficiency_block_16384
+    );
+    // Sustained Tflops are consistent with their own efficiencies.
+    let r512 = check.sustained_tflops_block_512 / check.peak_tflops;
+    assert!((r512 - check.efficiency_block_512).abs() < 1e-12);
+}
+
+#[test]
+fn report_json_schema_is_stable() {
+    // Top-level and per-workload key sets are part of the harness contract:
+    // downstream tooling parses BENCH_report.json by name.
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        git_sha: "test".to_string(),
+        workloads: vec![],
+        paper_check: PaperCheck::sc2002(),
+    };
+    let v = serde_json::to_value(&report).unwrap();
+    let obj = v.as_object().unwrap();
+    let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, ["schema_version", "git_sha", "workloads", "paper_check"]);
+    let pc = v.get("paper_check").unwrap().as_object().unwrap();
+    let pc_keys: Vec<&str> = pc.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        pc_keys,
+        [
+            "peak_tflops",
+            "gordon_bell_efficiency",
+            "sustained_tflops_block_512",
+            "sustained_tflops_block_16384",
+            "efficiency_block_512",
+            "efficiency_block_16384",
+        ]
+    );
+}
+
+#[test]
+fn workload_set_is_the_documented_trio() {
+    let ids: Vec<&str> = standard_workloads().iter().map(|s| s.id).collect();
+    assert_eq!(ids, ["small_disk_direct", "grape6_node", "tree_baseline"]);
+    for s in standard_workloads() {
+        assert!(s.t_end > 0.0);
+        assert!(s.n >= 64, "workloads must be non-trivial");
+    }
+}

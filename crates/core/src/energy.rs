@@ -12,11 +12,7 @@ use rayon::prelude::*;
 
 /// Kinetic energy ½ Σ m v².
 pub fn kinetic_energy(sys: &ParticleSystem) -> f64 {
-    sys.vel
-        .iter()
-        .zip(&sys.mass)
-        .map(|(&v, &m)| 0.5 * m * v.norm2())
-        .sum()
+    sys.vel.iter().zip(&sys.mass).map(|(&v, &m)| 0.5 * m * v.norm2()).sum()
 }
 
 /// Softened pairwise potential energy −Σ_{i<j} m_i m_j / √(r² + ε²).
@@ -41,11 +37,7 @@ pub fn central_potential_energy(sys: &ParticleSystem) -> f64 {
     if sys.central_mass == 0.0 {
         return 0.0;
     }
-    sys.pos
-        .iter()
-        .zip(&sys.mass)
-        .map(|(&p, &m)| m * central_potential(sys.central_mass, p))
-        .sum()
+    sys.pos.iter().zip(&sys.mass).map(|(&p, &m)| m * central_potential(sys.central_mass, p)).sum()
 }
 
 /// Total energy: kinetic + pairwise + central.
@@ -55,12 +47,7 @@ pub fn total_energy(sys: &ParticleSystem) -> f64 {
 
 /// Total angular momentum Σ m (r × v) about the origin (the Sun).
 pub fn angular_momentum(sys: &ParticleSystem) -> Vec3 {
-    sys.pos
-        .iter()
-        .zip(&sys.vel)
-        .zip(&sys.mass)
-        .map(|((&p, &v), &m)| p.cross(v) * m)
-        .sum()
+    sys.pos.iter().zip(&sys.vel).zip(&sys.mass).map(|((&p, &v), &m)| p.cross(v) * m).sum()
 }
 
 /// Total energy with every particle first predicted to the common time `t`.

@@ -39,6 +39,19 @@ pub trait ForceEngine {
     /// Reset the interaction counter (and any other statistics).
     fn reset_counters(&mut self) {}
 
+    /// Total bytes moved across the modeled host↔hardware wire since the
+    /// last reset (i-particle uploads, force downloads, j-memory writes).
+    /// Engines with no wire (CPU, tree) report 0.
+    fn bytes_transferred(&self) -> u64 {
+        0
+    }
+
+    /// Modeled machine seconds accumulated since the last clock reset.
+    /// Engines without a timing model (CPU, tree) report 0.
+    fn modeled_seconds(&self) -> f64 {
+        0.0
+    }
+
     /// Short human-readable engine name.
     fn name(&self) -> &'static str;
 }

@@ -138,16 +138,14 @@ impl DirectEngine {
         self.pvel.resize(n, Vec3::zero());
         let (jpos, jvel, jacc, jjerk, jtime) =
             (&self.jpos, &self.jvel, &self.jacc, &self.jjerk, &self.jtime);
-        self.ppos
-            .par_iter_mut()
-            .zip(self.pvel.par_iter_mut())
-            .enumerate()
-            .for_each(|(j, (pp, pv))| {
+        self.ppos.par_iter_mut().zip(self.pvel.par_iter_mut()).enumerate().for_each(
+            |(j, (pp, pv))| {
                 let dt = t - jtime[j];
                 let dt2 = dt * dt;
                 *pp = jpos[j] + jvel[j] * dt + jacc[j] * (dt2 / 2.0) + jjerk[j] * (dt2 * dt / 6.0);
                 *pv = jvel[j] + jacc[j] * dt + jjerk[j] * (dt2 / 2.0);
-            });
+            },
+        );
     }
 }
 
@@ -209,8 +207,7 @@ impl crate::engine::ForceEngine for DirectEngine {
                             if nn.is_none_or(|nb| r2 < nb.r2) {
                                 nn = Some(crate::particle::Neighbor { index: j, r2 });
                             }
-                            let (a, jk, p) =
-                                pair_force_jerk(dx, pvel[j] - ip.vel, jmass[j], eps2);
+                            let (a, jk, p) = pair_force_jerk(dx, pvel[j] - ip.vel, jmass[j], eps2);
                             acc += a;
                             jerk += jk;
                             pot += p;
@@ -329,9 +326,8 @@ mod tests {
         sys.push(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 2.0);
         sys.push(Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, -1.0, 0.0), 2.0);
         let mut e = engine_for(&sys);
-        let ips: Vec<IParticle> = (0..2)
-            .map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
-            .collect();
+        let ips: Vec<IParticle> =
+            (0..2).map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect();
         let mut out = vec![ForceResult::default(); 2];
         e.compute(0.0, &ips, &mut out);
         // m a_0 = -m a_1
@@ -346,9 +342,8 @@ mod tests {
             sys.push(Vec3::new(k as f64, 0.0, 0.0), Vec3::zero(), 1.0);
         }
         let mut e = engine_for(&sys);
-        let ips: Vec<IParticle> = (0..3)
-            .map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
-            .collect();
+        let ips: Vec<IParticle> =
+            (0..3).map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect();
         let mut out = vec![ForceResult::default(); 3];
         e.compute(0.0, &ips, &mut out);
         assert_eq!(e.interaction_count(), 3 * 5);
@@ -373,9 +368,7 @@ mod tests {
         }
         let mut e = engine_for(&sys);
         let make_ips = |idx: &[usize]| -> Vec<IParticle> {
-            idx.iter()
-                .map(|&i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
-                .collect()
+            idx.iter().map(|&i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect()
         };
         // Large block (≥4 → per-i parallel path)
         let ips_large = make_ips(&[0, 1, 2, 3]);

@@ -223,8 +223,9 @@ mod tests {
 
     #[test]
     fn degenerate_derivatives_give_infinite_dt() {
-        assert!(aarseth_dt(Vec3::zero(), Vec3::zero(), Vec3::zero(), Vec3::zero(), 0.02)
-            .is_infinite());
+        assert!(
+            aarseth_dt(Vec3::zero(), Vec3::zero(), Vec3::zero(), Vec3::zero(), 0.02).is_infinite()
+        );
         assert!(initial_dt(Vec3::new(1.0, 0.0, 0.0), Vec3::zero(), 0.01).is_infinite());
     }
 

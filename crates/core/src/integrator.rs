@@ -12,6 +12,7 @@ use crate::blockstep::{next_block_dt, quantize_dt, BlockScheduler};
 use crate::central::central_acc_jerk;
 use crate::engine::ForceEngine;
 use crate::hermite::{aarseth_dt, correct, initial_dt};
+use crate::observer::{HostPhase, StepObserver};
 use crate::particle::{ForceResult, IParticle, ParticleSystem};
 use crate::vec3::Vec3;
 
@@ -30,12 +31,7 @@ pub struct HermiteConfig {
 
 impl Default for HermiteConfig {
     fn default() -> Self {
-        Self {
-            eta: 0.02,
-            eta_start: 0.0025,
-            dt_max: 2.0f64.powi(-3),
-            dt_min: 2.0f64.powi(-40),
-        }
+        Self { eta: 0.02, eta_start: 0.0025, dt_max: 2.0f64.powi(-3), dt_min: 2.0f64.powi(-40) }
     }
 }
 
@@ -146,19 +142,41 @@ impl BlockHermite {
 
     /// Compute initial accelerations, jerks and timesteps for every particle
     /// and build the event schedule. Must be called once before `step`.
-    pub fn initialize<E: ForceEngine + ?Sized>(&mut self, sys: &mut ParticleSystem, engine: &mut E) {
+    pub fn initialize<E: ForceEngine + ?Sized>(
+        &mut self,
+        sys: &mut ParticleSystem,
+        engine: &mut E,
+    ) {
+        self.initialize_observed(sys, engine, &mut ());
+    }
+
+    /// [`Self::initialize`] with telemetry hooks. The null observer `()`
+    /// makes this identical to the unobserved path.
+    pub fn initialize_observed<E: ForceEngine + ?Sized, O: StepObserver>(
+        &mut self,
+        sys: &mut ParticleSystem,
+        engine: &mut E,
+        obs: &mut O,
+    ) {
         assert!(!sys.is_empty(), "cannot initialize an empty system");
         let n = sys.len();
+        let wire0 = engine.bytes_transferred();
         engine.load(sys);
         let before = engine.interaction_count();
+        obs.phase_begin(HostPhase::Predict);
         self.ips.clear();
         for i in 0..n {
             self.ips.push(IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] });
         }
+        obs.phase_end(HostPhase::Predict);
         self.results.clear();
         self.results.resize(n, ForceResult::default());
+        obs.phase_begin(HostPhase::Force);
         engine.compute(sys.t, &self.ips, &mut self.results);
-        self.stats.interactions += engine.interaction_count() - before;
+        obs.phase_end(HostPhase::Force);
+        let init_interactions = engine.interaction_count() - before;
+        self.stats.interactions += init_interactions;
+        obs.phase_begin(HostPhase::Correct);
         for i in 0..n {
             let mut acc = self.results[i].acc;
             let mut jerk = self.results[i].jerk;
@@ -183,15 +201,22 @@ impl BlockHermite {
                 sys.dt[i] *= 0.5;
             }
         }
+        obs.phase_end(HostPhase::Correct);
         // The engine mirrored the system *before* accelerations and jerks
         // existed; refresh it so its predictor polynomials are valid from
         // the very first block step.
         let all: Vec<usize> = (0..n).collect();
+        obs.phase_begin(HostPhase::JUpdate);
         engine.update_j(sys, &all);
+        obs.phase_end(HostPhase::JUpdate);
+        obs.phase_begin(HostPhase::Schedule);
         self.scheduler = BlockScheduler::new();
         for i in 0..n {
             self.scheduler.push(i, sys.time[i] + sys.dt[i]);
         }
+        obs.phase_end(HostPhase::Schedule);
+        obs.init_step(n, init_interactions);
+        obs.wire_transfer(engine.bytes_transferred() - wire0);
         self.initialized = true;
     }
 
@@ -218,66 +243,81 @@ impl BlockHermite {
         sys: &mut ParticleSystem,
         engine: &mut E,
     ) -> BlockStepInfo {
+        self.step_observed(sys, engine, &mut ())
+    }
+
+    /// [`Self::step`] with telemetry hooks: phase spans around
+    /// schedule / predict / force / correct / j-update, plus counter events.
+    /// The null observer `()` makes this identical to the unobserved path.
+    pub fn step_observed<E: ForceEngine + ?Sized, O: StepObserver>(
+        &mut self,
+        sys: &mut ParticleSystem,
+        engine: &mut E,
+        obs: &mut O,
+    ) -> BlockStepInfo {
         assert!(self.initialized, "call initialize() first");
+        let wire0 = engine.bytes_transferred();
         let mut block = std::mem::take(&mut self.block);
+        obs.phase_begin(HostPhase::Schedule);
         let t_block = self
             .scheduler
             .pop_block(&mut block)
             .expect("scheduler exhausted — system has no particles");
+        obs.phase_end(HostPhase::Schedule);
         // Host predicts the i-particles.
+        obs.phase_begin(HostPhase::Predict);
         self.ips.clear();
         for &i in &block {
             let (pos, vel) = sys.predict(i, t_block);
             self.ips.push(IParticle { index: i, pos, vel });
         }
+        obs.phase_end(HostPhase::Predict);
         self.results.clear();
         self.results.resize(block.len(), ForceResult::default());
         let before = engine.interaction_count();
+        obs.phase_begin(HostPhase::Force);
         engine.compute(t_block, &self.ips, &mut self.results);
+        obs.phase_end(HostPhase::Force);
         let interactions = engine.interaction_count() - before;
 
+        // The corrector span also covers the scheduler re-pushes, which are
+        // interleaved per particle; `Schedule` covers block extraction only.
+        obs.phase_begin(HostPhase::Correct);
         for (k, &i) in block.iter().enumerate() {
             let dt = t_block - sys.time[i];
             debug_assert!(dt > 0.0, "non-positive step for particle {i}");
             let mut acc1 = self.results[k].acc;
             let mut jerk1 = self.results[k].jerk;
             if sys.central_mass > 0.0 {
-                let (ca, cj) =
-                    central_acc_jerk(sys.central_mass, self.ips[k].pos, self.ips[k].vel);
+                let (ca, cj) = central_acc_jerk(sys.central_mass, self.ips[k].pos, self.ips[k].vel);
                 acc1 += ca;
                 jerk1 += cj;
             }
-            let corrected = correct(
-                self.ips[k].pos,
-                self.ips[k].vel,
-                sys.acc[i],
-                sys.jerk[i],
-                acc1,
-                jerk1,
-                dt,
-            );
+            let corrected =
+                correct(self.ips[k].pos, self.ips[k].vel, sys.acc[i], sys.jerk[i], acc1, jerk1, dt);
             sys.pos[i] = corrected.pos;
             sys.vel[i] = corrected.vel;
             sys.acc[i] = acc1;
             sys.jerk[i] = jerk1;
             sys.pot[i] = self.results[k].pot;
             sys.time[i] = t_block;
-            let dt_des = aarseth_dt(acc1, jerk1, corrected.snap, corrected.crackle, self.config.eta);
-            sys.dt[i] = next_block_dt(
-                sys.dt[i],
-                dt_des,
-                t_block,
-                self.config.dt_min,
-                self.config.dt_max,
-            );
+            let dt_des =
+                aarseth_dt(acc1, jerk1, corrected.snap, corrected.crackle, self.config.eta);
+            sys.dt[i] =
+                next_block_dt(sys.dt[i], dt_des, t_block, self.config.dt_min, self.config.dt_max);
             self.scheduler.push(i, t_block + sys.dt[i]);
         }
+        obs.phase_end(HostPhase::Correct);
+        obs.phase_begin(HostPhase::JUpdate);
         engine.update_j(sys, &block);
+        obs.phase_end(HostPhase::JUpdate);
         sys.t = t_block;
 
         self.stats.block_steps += 1;
         self.stats.particle_steps += block.len() as u64;
         self.stats.interactions += interactions;
+        obs.block_step(block.len(), interactions);
+        obs.wire_transfer(engine.bytes_transferred() - wire0);
         let info = BlockStepInfo { t: t_block, n_active: block.len(), interactions };
         self.block = block;
         info
@@ -290,9 +330,20 @@ impl BlockHermite {
         engine: &mut E,
         t_end: f64,
     ) -> RunStats {
+        self.evolve_observed(sys, engine, t_end, &mut ())
+    }
+
+    /// [`Self::evolve`] with telemetry hooks.
+    pub fn evolve_observed<E: ForceEngine + ?Sized, O: StepObserver>(
+        &mut self,
+        sys: &mut ParticleSystem,
+        engine: &mut E,
+        t_end: f64,
+        obs: &mut O,
+    ) -> RunStats {
         let start = self.stats;
         while self.next_time().is_some_and(|t| t <= t_end) {
-            self.step(sys, engine);
+            self.step_observed(sys, engine, obs);
         }
         sys.t = sys.t.max(t_end.min(self.next_time().unwrap_or(t_end)));
         RunStats {
@@ -331,39 +382,27 @@ mod tests {
         // Circular equal-mass binary: ω² d³ = G M_tot, each body at radius d/2.
         let omega = ((2.0 * m) / (separation * separation * separation)).sqrt();
         let speed = omega * r;
-        sys.push(
-            Vec3::new(r, 0.0, 0.0),
-            Vec3::new(0.0, speed, 0.0),
-            m,
-        );
-        sys.push(
-            Vec3::new(-r, 0.0, 0.0),
-            Vec3::new(0.0, -speed, 0.0),
-            m,
-        );
+        sys.push(Vec3::new(r, 0.0, 0.0), Vec3::new(0.0, speed, 0.0), m);
+        sys.push(Vec3::new(-r, 0.0, 0.0), Vec3::new(0.0, -speed, 0.0), m);
         sys
     }
 
     #[test]
     fn config_validation() {
         assert!(HermiteConfig::default().validate().is_ok());
-        let mut c = HermiteConfig::default();
-        c.dt_max = 0.3; // not a power of two
+        // 0.3 is not a power of two.
+        let c = HermiteConfig { dt_max: 0.3, ..HermiteConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = HermiteConfig::default();
-        c.dt_min = 1.0;
-        c.dt_max = 0.5;
+        let c = HermiteConfig { dt_min: 1.0, dt_max: 0.5, ..HermiteConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = HermiteConfig::default();
-        c.eta = 0.0;
+        let c = HermiteConfig { eta: 0.0, ..HermiteConfig::default() };
         assert!(c.validate().is_err());
     }
 
     #[test]
     #[should_panic(expected = "invalid HermiteConfig")]
     fn constructor_rejects_bad_config() {
-        let mut c = HermiteConfig::default();
-        c.dt_max = 0.7;
+        let c = HermiteConfig { dt_max: 0.7, ..HermiteConfig::default() };
         let _ = BlockHermite::new(c);
     }
 
@@ -421,19 +460,14 @@ mod tests {
         // plus a distant perturber to keep the pairwise engine busy.
         let mut sys = ParticleSystem::new(0.0, 1.0);
         let r = 20.0;
-        sys.push(
-            Vec3::new(r, 0.0, 0.0),
-            Vec3::new(0.0, units::circular_speed(r, 1.0), 0.0),
-            0.0,
-        );
+        sys.push(Vec3::new(r, 0.0, 0.0), Vec3::new(0.0, units::circular_speed(r, 1.0), 0.0), 0.0);
         sys.push(
             Vec3::new(-2000.0, 0.0, 0.0),
             Vec3::new(0.0, units::circular_speed(2000.0, 1.0), 0.0),
             1e-12,
         );
         let mut engine = DirectEngine::new();
-        let mut cfg = HermiteConfig::default();
-        cfg.dt_max = 2.0f64.powi(-2);
+        let cfg = HermiteConfig { dt_max: 2.0f64.powi(-2), ..HermiteConfig::default() };
         let mut integ = BlockHermite::new(cfg);
         integ.initialize(&mut sys, &mut engine);
         let period = units::orbital_period(r, 1.0);
@@ -493,10 +527,7 @@ mod tests {
         // Integrate half a period → pericenter.
         integ.evolve(&mut sys, &mut engine, period / 2.0);
         let dt_peri = sys.dt[0];
-        assert!(
-            dt_peri < dt_apo / 8.0,
-            "dt_peri {dt_peri} not ≪ dt_apo {dt_apo}"
-        );
+        assert!(dt_peri < dt_apo / 8.0, "dt_peri {dt_peri} not ≪ dt_apo {dt_apo}");
         // Energy still conserved through the close passage.
         let drift = ((crate::energy::total_energy(&sys)
             - (-0.5 * m * m / (2.0 * a) * 2.0)) // E = -G m1 m2 / 2a

@@ -58,7 +58,11 @@ pub fn solve_kepler(m: f64, e: f64) -> f64 {
     // Starter: M itself at low e; π·sign(M) near e → 1 where Newton from M
     // can overshoot (Danby's prescription).
     let mut ecc = if e > 0.8 {
-        if m_red >= 0.0 { std::f64::consts::PI } else { -std::f64::consts::PI }
+        if m_red >= 0.0 {
+            std::f64::consts::PI
+        } else {
+            -std::f64::consts::PI
+        }
     } else {
         m_red
     };
@@ -144,11 +148,7 @@ pub fn state_to_elements(pos: Vec3, vel: Vec3, gm: f64) -> Elements {
     };
     // True → eccentric → mean anomaly (bound case).
     let mean_anomaly = if a > 0.0 && e < 1.0 {
-        let cos_nu = if e > 1e-300 {
-            (evec.dot(pos) / (e * r)).clamp(-1.0, 1.0)
-        } else {
-            1.0
-        };
+        let cos_nu = if e > 1e-300 { (evec.dot(pos) / (e * r)).clamp(-1.0, 1.0) } else { 1.0 };
         let mut nu = cos_nu.acos();
         if pos.dot(vel) < 0.0 {
             nu = std::f64::consts::TAU - nu;
@@ -170,8 +170,8 @@ pub fn state_to_elements(pos: Vec3, vel: Vec3, gm: f64) -> Elements {
             };
             nu
         } else {
-            let ecc_anom = 2.0 * ((1.0 - e).sqrt() * (nu / 2.0).sin())
-                .atan2((1.0 + e).sqrt() * (nu / 2.0).cos());
+            let ecc_anom = 2.0
+                * ((1.0 - e).sqrt() * (nu / 2.0).sin()).atan2((1.0 + e).sqrt() * (nu / 2.0).cos());
             let m = ecc_anom - e * ecc_anom.sin();
             m.rem_euclid(std::f64::consts::TAU)
         }
@@ -230,14 +230,7 @@ mod tests {
 
     #[test]
     fn elements_roundtrip_generic_orbit() {
-        let el = Elements {
-            a: 25.0,
-            e: 0.23,
-            inc: 0.1,
-            node: 1.2,
-            peri: 2.7,
-            mean_anomaly: 0.9,
-        };
+        let el = Elements { a: 25.0, e: 0.23, inc: 0.1, node: 1.2, peri: 2.7, mean_anomaly: 0.9 };
         let (p, v) = elements_to_state(&el, 1.0);
         let back = state_to_elements(p, v, 1.0);
         assert!((back.a - el.a).abs() < 1e-9, "a {}", back.a);
@@ -245,11 +238,7 @@ mod tests {
         assert!((back.inc - el.inc).abs() < 1e-10, "inc {}", back.inc);
         assert!((back.node - el.node).abs() < 1e-9, "node {}", back.node);
         assert!((back.peri - el.peri).abs() < 1e-8, "peri {}", back.peri);
-        assert!(
-            (back.mean_anomaly - el.mean_anomaly).abs() < 1e-8,
-            "M {}",
-            back.mean_anomaly
-        );
+        assert!((back.mean_anomaly - el.mean_anomaly).abs() < 1e-8, "M {}", back.mean_anomaly);
     }
 
     #[test]

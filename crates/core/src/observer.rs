@@ -1,0 +1,125 @@
+//! Host-side step observation: the seam through which wall-clock telemetry
+//! watches the integrator without the integrator depending on any clock.
+//!
+//! This mirrors, for the *host CPU*, what `grape6_hw::HardwareClock` does
+//! for the *modeled machine*: the integrator announces phase boundaries and
+//! counter increments; an observer (e.g. `grape6_sim::Telemetry`) turns them
+//! into wall times and rates. The null observer `()` makes every hook a
+//! no-op that monomorphizes away, so the uninstrumented hot path costs
+//! nothing.
+
+/// The host-side phases of one block step (plus I/O done by drivers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostPhase {
+    /// Popping the due block from (and pushing steps back into) the
+    /// event schedule.
+    Schedule,
+    /// Predicting i-particles on the host.
+    Predict,
+    /// The force-engine call (GRAPE round-trip or CPU summation).
+    Force,
+    /// The Hermite corrector sweep, including timestep requantization.
+    Correct,
+    /// Writing corrected particles back to engine j-memory.
+    JUpdate,
+    /// Snapshot/diagnostic output (driver-level, outside `step`).
+    Io,
+}
+
+impl HostPhase {
+    /// All phases, in reporting order.
+    pub const ALL: [HostPhase; 6] = [
+        HostPhase::Schedule,
+        HostPhase::Predict,
+        HostPhase::Force,
+        HostPhase::Correct,
+        HostPhase::JUpdate,
+        HostPhase::Io,
+    ];
+
+    /// Stable dense index (for array-backed accumulators).
+    pub fn index(self) -> usize {
+        match self {
+            HostPhase::Schedule => 0,
+            HostPhase::Predict => 1,
+            HostPhase::Force => 2,
+            HostPhase::Correct => 3,
+            HostPhase::JUpdate => 4,
+            HostPhase::Io => 5,
+        }
+    }
+
+    /// Stable snake_case name (JSON keys, table rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            HostPhase::Schedule => "schedule",
+            HostPhase::Predict => "predict",
+            HostPhase::Force => "force",
+            HostPhase::Correct => "correct",
+            HostPhase::JUpdate => "j_update",
+            HostPhase::Io => "io",
+        }
+    }
+}
+
+/// Receiver for integrator progress events.
+///
+/// Every method has an empty default body; `()` implements the trait with
+/// all defaults and is the zero-cost "telemetry off" choice. Phase spans
+/// are properly nested and never overlap for a given observer.
+pub trait StepObserver {
+    /// A phase span opens.
+    fn phase_begin(&mut self, _phase: HostPhase) {}
+
+    /// The most recently opened phase span closes.
+    fn phase_end(&mut self, _phase: HostPhase) {}
+
+    /// One block step completed with `_n_active` particles integrated and
+    /// `_interactions` pairwise interactions evaluated by the engine.
+    fn block_step(&mut self, _n_active: usize, _interactions: u64) {}
+
+    /// Initialization completed: `_n` particles primed, costing
+    /// `_interactions` engine interactions (counted separately from block
+    /// steps so block-step rates stay meaningful).
+    fn init_step(&mut self, _n: usize, _interactions: u64) {}
+
+    /// `_bytes` additional bytes crossed the modeled host↔hardware wire.
+    fn wire_transfer(&mut self, _bytes: u64) {}
+}
+
+/// The null observer: all hooks are no-ops.
+impl StepObserver for () {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_index_matches_all_order() {
+        for (k, p) in HostPhase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), k);
+        }
+    }
+
+    #[test]
+    fn phase_names_are_unique_and_snake_case() {
+        let names: Vec<&str> = HostPhase::ALL.iter().map(|p| p.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn null_observer_accepts_all_events() {
+        let mut obs = ();
+        obs.phase_begin(HostPhase::Force);
+        obs.phase_end(HostPhase::Force);
+        obs.block_step(10, 100);
+        obs.init_step(5, 25);
+        obs.wire_transfer(64);
+    }
+}

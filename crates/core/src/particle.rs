@@ -42,11 +42,7 @@ pub struct ParticleSystem {
 impl ParticleSystem {
     /// An empty system with the given softening and central mass.
     pub fn new(softening: f64, central_mass: f64) -> Self {
-        Self {
-            softening,
-            central_mass,
-            ..Default::default()
-        }
+        Self { softening, central_mass, ..Default::default() }
     }
 
     /// Number of particles.
@@ -95,12 +91,7 @@ impl ParticleSystem {
         if m == 0.0 {
             return Vec3::zero();
         }
-        self.pos
-            .iter()
-            .zip(&self.mass)
-            .map(|(&p, &mi)| p * mi)
-            .sum::<Vec3>()
-            / m
+        self.pos.iter().zip(&self.mass).map(|(&p, &mi)| p * mi).sum::<Vec3>() / m
     }
 
     /// Centre-of-mass velocity of the particles.
@@ -109,12 +100,7 @@ impl ParticleSystem {
         if m == 0.0 {
             return Vec3::zero();
         }
-        self.vel
-            .iter()
-            .zip(&self.mass)
-            .map(|(&v, &mi)| v * mi)
-            .sum::<Vec3>()
-            / m
+        self.vel.iter().zip(&self.mass).map(|(&v, &mi)| v * mi).sum::<Vec3>() / m
     }
 
     /// Predict the phase-space state of particle `i` at time `t` with the

@@ -71,11 +71,7 @@ impl SharedHermite {
         let n = sys.len();
         self.ips.clear();
         for i in 0..n {
-            let (pos, vel) = if predictor {
-                sys.predict(i, t)
-            } else {
-                (sys.pos[i], sys.vel[i])
-            };
+            let (pos, vel) = if predictor { sys.predict(i, t) } else { (sys.pos[i], sys.vel[i]) };
             self.ips.push(IParticle { index: i, pos, vel });
         }
         self.results.clear();
@@ -85,8 +81,7 @@ impl SharedHermite {
         self.stats.interactions += engine.interaction_count() - before;
         if sys.central_mass > 0.0 {
             for k in 0..n {
-                let (ca, cj) =
-                    central_acc_jerk(sys.central_mass, self.ips[k].pos, self.ips[k].vel);
+                let (ca, cj) = central_acc_jerk(sys.central_mass, self.ips[k].pos, self.ips[k].vel);
                 self.results[k].acc += ca;
                 self.results[k].jerk += cj;
             }
@@ -94,7 +89,11 @@ impl SharedHermite {
     }
 
     /// Compute initial derivatives and the first global step.
-    pub fn initialize<E: ForceEngine + ?Sized>(&mut self, sys: &mut ParticleSystem, engine: &mut E) {
+    pub fn initialize<E: ForceEngine + ?Sized>(
+        &mut self,
+        sys: &mut ParticleSystem,
+        engine: &mut E,
+    ) {
         assert!(!sys.is_empty());
         engine.load(sys);
         self.forces(sys, engine, sys.t, false);
@@ -122,7 +121,11 @@ impl SharedHermite {
     }
 
     /// Advance the whole system by one shared step. Returns the step taken.
-    pub fn step<E: ForceEngine + ?Sized>(&mut self, sys: &mut ParticleSystem, engine: &mut E) -> f64 {
+    pub fn step<E: ForceEngine + ?Sized>(
+        &mut self,
+        sys: &mut ParticleSystem,
+        engine: &mut E,
+    ) -> f64 {
         assert!(self.initialized, "call initialize() first");
         let n = sys.len();
         let dt = self.dt;
@@ -132,7 +135,15 @@ impl SharedHermite {
         let mut dt_next = self.dt_max;
         for i in 0..n {
             let (xp, vp) = predict(sys.pos[i], sys.vel[i], sys.acc[i], sys.jerk[i], dt);
-            let c = correct(xp, vp, sys.acc[i], sys.jerk[i], self.results[i].acc, self.results[i].jerk, dt);
+            let c = correct(
+                xp,
+                vp,
+                sys.acc[i],
+                sys.jerk[i],
+                self.results[i].acc,
+                self.results[i].jerk,
+                dt,
+            );
             sys.pos[i] = c.pos;
             sys.vel[i] = c.vel;
             sys.acc[i] = self.results[i].acc;
@@ -237,8 +248,16 @@ mod tests {
         // the *global* step to the tight pair's timescale.
         let mut engine = DirectEngine::new();
         let mut wide = ParticleSystem::new(0.0, 1.0);
-        wide.push(Vec3::new(20.0, 0.0, 0.0), Vec3::new(0.0, units::circular_speed(20.0, 1.0), 0.0), 1e-9);
-        wide.push(Vec3::new(-25.0, 0.0, 0.0), Vec3::new(0.0, -units::circular_speed(25.0, 1.0), 0.0), 1e-9);
+        wide.push(
+            Vec3::new(20.0, 0.0, 0.0),
+            Vec3::new(0.0, units::circular_speed(20.0, 1.0), 0.0),
+            1e-9,
+        );
+        wide.push(
+            Vec3::new(-25.0, 0.0, 0.0),
+            Vec3::new(0.0, -units::circular_speed(25.0, 1.0), 0.0),
+            1e-9,
+        );
         let mut integ = SharedHermite::new(0.01, 8.0, 1e-12);
         integ.initialize(&mut wide, &mut engine);
         integ.step(&mut wide, &mut engine);
@@ -250,8 +269,16 @@ mod tests {
         let d = 1e-3_f64;
         let m = 1e-6_f64;
         let om = (2.0 * m / (d * d * d)).sqrt();
-        mixed.push(Vec3::new(5.0 + d / 2.0, 0.0, 0.0), Vec3::new(0.0, units::circular_speed(5.0, 1.0) + om * d / 2.0, 0.0), m);
-        mixed.push(Vec3::new(5.0 - d / 2.0, 0.0, 0.0), Vec3::new(0.0, units::circular_speed(5.0, 1.0) - om * d / 2.0, 0.0), m);
+        mixed.push(
+            Vec3::new(5.0 + d / 2.0, 0.0, 0.0),
+            Vec3::new(0.0, units::circular_speed(5.0, 1.0) + om * d / 2.0, 0.0),
+            m,
+        );
+        mixed.push(
+            Vec3::new(5.0 - d / 2.0, 0.0, 0.0),
+            Vec3::new(0.0, units::circular_speed(5.0, 1.0) - om * d / 2.0, 0.0),
+            m,
+        );
         let mut engine2 = DirectEngine::new();
         let mut integ2 = SharedHermite::new(0.01, 8.0, 1e-12);
         integ2.initialize(&mut mixed, &mut engine2);

@@ -142,7 +142,7 @@ mod tests {
 
     #[test]
     fn year_is_two_pi() {
-        assert!((YEAR - 6.283185307179586).abs() < 1e-15);
+        assert!((YEAR - std::f64::consts::TAU).abs() < 1e-15);
         assert!((time_to_years(YEAR) - 1.0).abs() < 1e-15);
         assert!((years_to_time(1.0) - YEAR).abs() < 1e-15);
     }

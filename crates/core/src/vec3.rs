@@ -8,7 +8,9 @@
 
 use serde::{Deserialize, Serialize};
 use std::iter::Sum;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A 3-vector of `f64` components.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -368,9 +370,7 @@ mod tests {
 
     #[test]
     fn sum_of_vectors() {
-        let s: Vec3 = [v(1.0, 0.0, 0.0), v(0.0, 2.0, 0.0), v(0.0, 0.0, 3.0)]
-            .into_iter()
-            .sum();
+        let s: Vec3 = [v(1.0, 0.0, 0.0), v(0.0, 2.0, 0.0), v(0.0, 0.0, 3.0)].into_iter().sum();
         assert_eq!(s, v(1.0, 2.0, 3.0));
     }
 

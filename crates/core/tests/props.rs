@@ -8,12 +8,7 @@ use grape6_core::vec3::Vec3;
 use proptest::prelude::*;
 
 fn finite_vec3(range: f64) -> impl Strategy<Value = Vec3> {
-    (
-        -range..range,
-        -range..range,
-        -range..range,
-    )
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 proptest! {

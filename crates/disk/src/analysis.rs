@@ -31,11 +31,16 @@ impl RadialHistogram {
     /// Bin the given subset of particles by heliocentric semi-major axis.
     /// Unbound or out-of-range particles are skipped (counted by the
     /// [`ScatteringCensus`] instead).
-    pub fn from_system(sys: &ParticleSystem, indices: &[usize], r_in: f64, r_out: f64, bins: usize) -> Self {
+    pub fn from_system(
+        sys: &ParticleSystem,
+        indices: &[usize],
+        r_in: f64,
+        r_out: f64,
+        bins: usize,
+    ) -> Self {
         assert!(bins > 0 && r_out > r_in);
-        let edges: Vec<f64> = (0..=bins)
-            .map(|k| r_in + (r_out - r_in) * k as f64 / bins as f64)
-            .collect();
+        let edges: Vec<f64> =
+            (0..=bins).map(|k| r_in + (r_out - r_in) * k as f64 / bins as f64).collect();
         let mut mass = vec![0.0; bins];
         let mut counts = vec![0usize; bins];
         let mut e2 = vec![0.0; bins];
@@ -192,17 +197,12 @@ impl MassSpectrum {
     /// ln(dN/dm) vs ln(m).
     pub fn from_system(sys: &ParticleSystem, indices: &[usize], bins: usize) -> Self {
         assert!(bins >= 2);
-        let masses: Vec<f64> = indices
-            .iter()
-            .map(|&i| sys.mass[i])
-            .filter(|&m| m > 0.0)
-            .collect();
+        let masses: Vec<f64> = indices.iter().map(|&i| sys.mass[i]).filter(|&m| m > 0.0).collect();
         assert!(!masses.is_empty(), "no massive bodies to bin");
         let lo = masses.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = masses.iter().cloned().fold(0.0, f64::max) * (1.0 + 1e-12);
-        let edges: Vec<f64> = (0..=bins)
-            .map(|k| lo * (hi / lo).powf(k as f64 / bins as f64))
-            .collect();
+        let edges: Vec<f64> =
+            (0..=bins).map(|k| lo * (hi / lo).powf(k as f64 / bins as f64)).collect();
         let mut counts = vec![0usize; bins];
         let log_ratio = (hi / lo).ln();
         for &m in &masses {
@@ -367,7 +367,11 @@ mod tests {
         // Outward: circular at 80.
         sys.push(Vec3::new(80.0, 0.0, 0.0), Vec3::new(0.0, (1.0f64 / 80.0).sqrt(), 0.0), 1e-9);
         // Ejected: radial at 2× escape speed.
-        sys.push(Vec3::new(25.0, 0.0, 0.0), Vec3::new(2.0 * (2.0f64 / 25.0).sqrt(), 0.0, 0.0), 1e-9);
+        sys.push(
+            Vec3::new(25.0, 0.0, 0.0),
+            Vec3::new(2.0 * (2.0f64 / 25.0).sqrt(), 0.0, 0.0),
+            1e-9,
+        );
         let c = ScatteringCensus::classify(&sys, &[0, 1, 2, 3], 15.0, 35.0);
         assert_eq!(c.retained, 1);
         assert_eq!(c.scattered_inward, 1);

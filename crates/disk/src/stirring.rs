@@ -29,7 +29,14 @@ pub struct LocalDisk {
 
 impl LocalDisk {
     /// Build from a [`RadialProfile`] with total ring mass `m_total`.
-    pub fn from_profile(profile: &RadialProfile, m_total: f64, m: f64, rms_e: f64, rms_i: f64, r: f64) -> Self {
+    pub fn from_profile(
+        profile: &RadialProfile,
+        m_total: f64,
+        m: f64,
+        rms_e: f64,
+        rms_i: f64,
+        r: f64,
+    ) -> Self {
         Self { r, sigma: profile.sigma(r, m_total), m, rms_e, rms_i }
     }
 
@@ -66,7 +73,8 @@ impl LocalDisk {
     pub fn relaxation_time(&self) -> f64 {
         let v = self.velocity_dispersion();
         v.powi(3)
-            / (4.0 * std::f64::consts::PI
+            / (4.0
+                * std::f64::consts::PI
                 * self.m
                 * self.m
                 * self.number_density()

@@ -58,9 +58,7 @@ impl ChipGeometry {
     /// per pipeline per cycle. (§5.2: "the peak speed of a chip is
     /// 30.7 Gflops".)
     pub fn peak_flops(&self) -> f64 {
-        self.pipelines as f64
-            * self.clock_hz
-            * grape6_core::force::FLOPS_PER_INTERACTION as f64
+        self.pipelines as f64 * self.clock_hz * grape6_core::force::FLOPS_PER_INTERACTION as f64
     }
 
     /// Clock cycles to compute forces on `n_i` i-particles against `n_j`

@@ -100,7 +100,12 @@ impl Grape6Cluster {
     /// apply their inboxes at the start of their next force call (the
     /// hardware applies them as they stream in; the ordering is equivalent
     /// because slots are disjoint within a block).
-    pub fn write_back(&mut self, host: usize, index: usize, particle: &JParticle) -> Result<(), crate::chip::ChipError> {
+    pub fn write_back(
+        &mut self,
+        host: usize,
+        index: usize,
+        particle: &JParticle,
+    ) -> Result<(), crate::chip::ChipError> {
         let mut buf = bytes::BytesMut::new();
         wire::encode_j_particle(&mut buf, particle);
         let packet = buf.freeze();
@@ -124,12 +129,7 @@ impl Grape6Cluster {
     /// Force call on host `host`'s partition of the active block. Applies
     /// pending inbound j-updates first (the per-blockstep synchronization of
     /// §4.3), then computes against the node's full mirrored j-memory.
-    pub fn compute(
-        &mut self,
-        host: usize,
-        t: f64,
-        ips: &[(HwIParticle, u32)],
-    ) -> Vec<ForceResult> {
+    pub fn compute(&mut self, host: usize, t: f64, ips: &[(HwIParticle, u32)]) -> Vec<ForceResult> {
         Self::drain_inbox(&mut self.members[host]).expect("bad j route in exchange");
         self.members[host].node.compute(t, ips)
     }
@@ -177,9 +177,7 @@ mod tests {
     }
 
     fn sample_set(n: usize) -> Vec<JParticle> {
-        (0..n)
-            .map(|k| j_at(10.0 + k as f64, (k % 5) as f64, 1e-6 * (1 + k % 3) as f64))
-            .collect()
+        (0..n).map(|k| j_at(10.0 + k as f64, (k % 5) as f64, 1e-6 * (1 + k % 3) as f64)).collect()
     }
 
     #[test]
@@ -187,10 +185,10 @@ mod tests {
         let mut cluster = small_cluster();
         cluster.load_j(&sample_set(40)).unwrap();
         let fmt = FixedPointFormat::default();
-        let ip = HwIParticle::encode(&fmt, Precision::grape6(), Vec3::new(5.0, 2.0, 0.0), Vec3::zero());
-        let results: Vec<ForceResult> = (0..4)
-            .map(|h| cluster.compute(h, 0.0, &[(ip, 0)])[0])
-            .collect();
+        let ip =
+            HwIParticle::encode(&fmt, Precision::grape6(), Vec3::new(5.0, 2.0, 0.0), Vec3::zero());
+        let results: Vec<ForceResult> =
+            (0..4).map(|h| cluster.compute(h, 0.0, &[(ip, 0)])[0]).collect();
         for r in &results[1..] {
             assert_eq!(r.acc, results[0].acc, "mirrored memories must give identical bits");
             assert_eq!(r.pot, results[0].pot);
@@ -222,7 +220,8 @@ mod tests {
             chips: 2,
             chip: crate::chip::ChipGeometry { jmem_capacity: 32, ..Default::default() },
         };
-        let mut single = Grape6Node::new(2, board, FixedPointFormat::default(), Precision::grape6());
+        let mut single =
+            Grape6Node::new(2, board, FixedPointFormat::default(), Precision::grape6());
         single.set_softening(0.01);
         single.load_j(&js).unwrap();
         let fmt = FixedPointFormat::default();

@@ -14,9 +14,9 @@
 
 use crate::chip::HwIParticle;
 use crate::format::{FixedPointFormat, Precision};
+use crate::perf::HardwareClock;
 use crate::pipeline::PipelineRegisters;
 use crate::predictor::{predict_j, JParticle};
-use crate::perf::HardwareClock;
 use crate::timing::TimingModel;
 use grape6_core::engine::ForceEngine;
 use grape6_core::particle::{ForceResult, IParticle, ParticleSystem};
@@ -68,6 +68,9 @@ pub struct Grape6Engine {
     eps2: f64,
     clock: HardwareClock,
     interactions: u64,
+    // Bytes across the host interface, charged at the wire-format packet
+    // sizes (i-particles up, forces down, j-particles on every write-back).
+    wire_bytes: u64,
     // Predicted j-particles, refreshed per compute call.
     pred: Vec<crate::predictor::PredictedJ>,
 }
@@ -81,6 +84,7 @@ impl Grape6Engine {
             eps2: 0.0,
             clock: HardwareClock::new(),
             interactions: 0,
+            wire_bytes: 0,
             pred: Vec::new(),
         }
     }
@@ -145,12 +149,14 @@ impl ForceEngine for Grape6Engine {
         );
         self.eps2 = sys.softening * sys.softening;
         self.jmem = (0..sys.len()).map(|i| self.encode_j(sys, i)).collect();
+        self.wire_bytes += (sys.len() * crate::wire::J_PACKET_BYTES) as u64;
     }
 
     fn update_j(&mut self, sys: &ParticleSystem, indices: &[usize]) {
         for &i in indices {
             self.jmem[i] = self.encode_j(sys, i);
         }
+        self.wire_bytes += (indices.len() * crate::wire::J_PACKET_BYTES) as u64;
     }
 
     fn compute(&mut self, t: f64, ips: &[IParticle], out: &mut [ForceResult]) {
@@ -160,6 +166,8 @@ impl ForceEngine for Grape6Engine {
         let step = self.config.timing.block_step(ips.len(), n_j);
         self.clock.charge(&step);
         self.interactions += (ips.len() as u64) * (n_j as u64);
+        self.wire_bytes +=
+            (ips.len() * (crate::wire::I_PACKET_BYTES + crate::wire::F_PACKET_BYTES)) as u64;
 
         // Predictor pipelines: every chip predicts its resident j-particles.
         let fmt = self.config.format;
@@ -213,6 +221,15 @@ impl ForceEngine for Grape6Engine {
 
     fn reset_counters(&mut self) {
         self.interactions = 0;
+        self.wire_bytes = 0;
+    }
+
+    fn bytes_transferred(&self) -> u64 {
+        self.wire_bytes
+    }
+
+    fn modeled_seconds(&self) -> f64 {
+        self.clock.seconds()
     }
 
     fn name(&self) -> &'static str {
@@ -242,9 +259,7 @@ mod tests {
     }
 
     fn ips_for(sys: &ParticleSystem, idx: &[usize]) -> Vec<IParticle> {
-        idx.iter()
-            .map(|&i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
-            .collect()
+        idx.iter().map(|&i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect()
     }
 
     #[test]
@@ -357,6 +372,27 @@ mod tests {
     }
 
     #[test]
+    fn wire_bytes_match_packet_sizes() {
+        use crate::wire::{F_PACKET_BYTES, I_PACKET_BYTES, J_PACKET_BYTES};
+        let sys = ring_system(32);
+        let mut hw = Grape6Engine::sc2002();
+        assert_eq!(hw.bytes_transferred(), 0);
+        hw.load(&sys);
+        let load = (32 * J_PACKET_BYTES) as u64;
+        assert_eq!(hw.bytes_transferred(), load);
+        let ips = ips_for(&sys, &[0, 5, 9]);
+        let mut out = vec![ForceResult::default(); 3];
+        hw.compute(0.0, &ips, &mut out);
+        let round_trip = (3 * (I_PACKET_BYTES + F_PACKET_BYTES)) as u64;
+        assert_eq!(hw.bytes_transferred(), load + round_trip);
+        hw.update_j(&sys, &[0, 5]);
+        assert_eq!(hw.bytes_transferred(), load + round_trip + (2 * J_PACKET_BYTES) as u64);
+        assert!(hw.modeled_seconds() > 0.0);
+        hw.reset_counters();
+        assert_eq!(hw.bytes_transferred(), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "positive softening")]
     fn rejects_zero_softening() {
         let mut sys = ring_system(4);
@@ -393,10 +429,6 @@ mod tests {
         let mut out = vec![ForceResult::default(); 1];
         hw.compute(0.0, &ips, &mut out);
         let expect = -2e-6 / (1.0f64 + 0.0001).sqrt();
-        assert!(
-            (out[0].pot - expect).abs() < 1e-12,
-            "pot {} expect {expect}",
-            out[0].pot
-        );
+        assert!((out[0].pot - expect).abs() < 1e-12, "pot {} expect {expect}", out[0].pot);
     }
 }

@@ -45,11 +45,7 @@ pub fn round_mantissa(x: f64, bits: u32) -> f64 {
 /// Round each component of a vector to `bits` of mantissa.
 #[inline]
 pub fn round_vec(v: Vec3, bits: u32) -> Vec3 {
-    Vec3::new(
-        round_mantissa(v.x, bits),
-        round_mantissa(v.y, bits),
-        round_mantissa(v.z, bits),
-    )
+    Vec3::new(round_mantissa(v.x, bits), round_mantissa(v.y, bits), round_mantissa(v.z, bits))
 }
 
 /// 64-bit fixed-point position format.
@@ -163,10 +159,7 @@ impl FixedAccumulator {
     #[inline]
     fn quantize(x: f64) -> i128 {
         let scaled = x * 2.0f64.powi(ACCUM_FRAC_BITS as i32);
-        debug_assert!(
-            scaled.abs() < i128::MAX as f64 / 4.0,
-            "accumulator overflow risk: {x}"
-        );
+        debug_assert!(scaled.abs() < i128::MAX as f64 / 4.0, "accumulator overflow risk: {x}");
         scaled.round_ties_even() as i128
     }
 }
@@ -258,7 +251,7 @@ mod tests {
 
     #[test]
     fn round_mantissa_matches_f32_at_24_bits() {
-        for &x in &[std::f64::consts::PI, 1.0 / 3.0, -2.7182818, 1e-12, 123456.789] {
+        for &x in &[std::f64::consts::PI, 1.0 / 3.0, -std::f64::consts::E, 1e-12, 123456.789] {
             let r = round_mantissa(x, 24);
             assert_eq!(r as f32 as f64, r, "{x} → {r} not exactly representable in f32");
             assert!(((r - x) / x).abs() < 2.0f64.powi(-24), "rounding error too large for {x}");
@@ -328,7 +321,8 @@ mod tests {
 
     #[test]
     fn accumulator_is_order_independent() {
-        let xs: Vec<f64> = (0..1000).map(|i| ((i * 2654435761u64 as usize) % 997) as f64 * 1e-7 - 5e-5).collect();
+        let xs: Vec<f64> =
+            (0..1000).map(|i| ((i * 2654435761u64 as usize) % 997) as f64 * 1e-7 - 5e-5).collect();
         let mut fwd = FixedAccumulator::new();
         for &x in &xs {
             fwd.add(x);

@@ -107,11 +107,15 @@ impl HostGrid {
 
     /// Write back an updated particle: its row's s holders receive it — one
     /// local write plus s−1 NIC transfers along the row.
-    pub fn write_back(&mut self, index: usize, particle: &JParticle) -> Result<(), crate::chip::ChipError> {
-        let row = *self.row_of.get(index).ok_or(crate::chip::ChipError::BadSlot {
-            slot: index,
-            len: self.row_of.len(),
-        })?;
+    pub fn write_back(
+        &mut self,
+        index: usize,
+        particle: &JParticle,
+    ) -> Result<(), crate::chip::ChipError> {
+        let row = *self
+            .row_of
+            .get(index)
+            .ok_or(crate::chip::ChipError::BadSlot { slot: index, len: self.row_of.len() })?;
         let slot = self.slot_of[index];
         let mut buf = BytesMut::new();
         wire::encode_j_particle(&mut buf, particle);
@@ -208,7 +212,8 @@ mod tests {
         let js = sample_set(24);
         let mut g = grid(3);
         g.load_j(&js).unwrap();
-        let mut single = Grape6Node::new(1, small_board(), FixedPointFormat::default(), Precision::grape6());
+        let mut single =
+            Grape6Node::new(1, small_board(), FixedPointFormat::default(), Precision::grape6());
         single.set_softening(0.01);
         single.load_j(&js).unwrap();
         for col in 0..3 {

@@ -38,8 +38,8 @@ pub mod node_engine;
 pub mod parallel_models;
 pub mod perf;
 pub mod pipeline;
-pub mod redundancy;
 pub mod predictor;
+pub mod redundancy;
 pub mod timing;
 pub mod wire;
 

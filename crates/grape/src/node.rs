@@ -56,9 +56,7 @@ impl Grape6Node {
     ) -> Self {
         assert!(n_boards >= 1);
         Self {
-            boards: (0..n_boards)
-                .map(|_| ProcessorBoard::new(board, format, precision))
-                .collect(),
+            boards: (0..n_boards).map(|_| ProcessorBoard::new(board, format, precision)).collect(),
             tree: NetworkTree::spanning(n_boards, NetworkBoardGeometry::default()),
             format,
             precision,
@@ -143,7 +141,11 @@ impl Grape6Node {
 
     /// Flip one bit of a stored position word — a single-event upset in the
     /// SSRAM, the fault class memory scrubbing exists for.
-    pub fn inject_position_fault(&mut self, index: usize, bit: u32) -> Result<(), crate::chip::ChipError> {
+    pub fn inject_position_fault(
+        &mut self,
+        index: usize,
+        bit: u32,
+    ) -> Result<(), crate::chip::ChipError> {
         assert!(bit < 64);
         let &(board, slot) = self
             .routes
@@ -159,7 +161,11 @@ impl Grape6Node {
     }
 
     /// Write back one updated j-particle by global index (over the wire).
-    pub fn store_j(&mut self, index: usize, particle: &JParticle) -> Result<(), crate::chip::ChipError> {
+    pub fn store_j(
+        &mut self,
+        index: usize,
+        particle: &JParticle,
+    ) -> Result<(), crate::chip::ChipError> {
         let mut buf = BytesMut::new();
         wire::encode_j_particle(&mut buf, particle);
         self.traffic.j_bytes += buf.len() as u64;
@@ -314,7 +320,12 @@ mod tests {
         let ips: Vec<(HwIParticle, u32)> = (0..100)
             .map(|k| {
                 (
-                    HwIParticle::encode(&fmt, Precision::Exact, Vec3::new(k as f64 * 0.01, 0.0, 0.0), Vec3::zero()),
+                    HwIParticle::encode(
+                        &fmt,
+                        Precision::Exact,
+                        Vec3::new(k as f64 * 0.01, 0.0, 0.0),
+                        Vec3::zero(),
+                    ),
                     k,
                 )
             })

@@ -80,10 +80,7 @@ impl ForceEngine for NodeEngine {
         let hw: Vec<(HwIParticle, u32)> = ips
             .iter()
             .map(|ip| {
-                (
-                    HwIParticle::encode(&self.format, self.precision, ip.pos, ip.vel),
-                    ip.index as u32,
-                )
+                (HwIParticle::encode(&self.format, self.precision, ip.pos, ip.vel), ip.index as u32)
             })
             .collect();
         let results = self.node.compute(t, &hw);
@@ -138,9 +135,8 @@ mod tests {
         let mut flat = Grape6Engine::new(Grape6Config::sc2002());
         routed.load(&sys);
         flat.load(&sys);
-        let ips: Vec<IParticle> = (0..100)
-            .map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
-            .collect();
+        let ips: Vec<IParticle> =
+            (0..100).map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect();
         let mut out_r = vec![ForceResult::default(); 100];
         let mut out_f = vec![ForceResult::default(); 100];
         routed.compute(0.25, &ips, &mut out_r);
@@ -185,9 +181,8 @@ mod tests {
         routed.load(&sys);
         let t0 = routed.node().traffic();
         assert_eq!(t0.j_bytes, 64 * crate::wire::J_PACKET_BYTES as u64);
-        let ips: Vec<IParticle> = (0..10)
-            .map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
-            .collect();
+        let ips: Vec<IParticle> =
+            (0..10).map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect();
         let mut out = vec![ForceResult::default(); 10];
         routed.compute(0.0, &ips, &mut out);
         let t1 = routed.node().traffic();

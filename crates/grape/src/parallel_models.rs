@@ -93,24 +93,19 @@ impl ParallelModel {
         match strategy {
             Strategy::Naive => {
                 // The NIC serializes the inbound stream.
-                self.host_net
-                    .transfer_time(self.inbound_bytes_per_host(strategy, p, n_active))
+                self.host_net.transfer_time(self.inbound_bytes_per_host(strategy, p, n_active))
             }
             Strategy::NetworkBoards => {
                 // Host writes only its own block over PCI; each GRAPE has
                 // p−1 data-in ports (§4.3), so the peer streams arrive in
                 // parallel at LVDS speed.
                 let own = self.pci.transfer_time(n_host as u64 * jb);
-                let hw = if p > 1 {
-                    self.lvds.transfer_time(n_host as u64 * jb)
-                } else {
-                    0.0
-                };
+                let hw = if p > 1 { self.lvds.transfer_time(n_host as u64 * jb) } else { 0.0 };
                 own.max(hw)
             }
-            Strategy::HostGrid2D => self
-                .host_net
-                .transfer_time(self.inbound_bytes_per_host(strategy, p, n_active)),
+            Strategy::HostGrid2D => {
+                self.host_net.transfer_time(self.inbound_bytes_per_host(strategy, p, n_active))
+            }
         }
     }
 
@@ -121,9 +116,7 @@ impl ParallelModel {
         let single = self.pci.transfer_time(n_active as u64 * self.wire.j_particle_bytes);
         let parallel = self
             .exchange_time(strategy, p, n_active)
-            .max(self.pci.transfer_time(
-                n_active.div_ceil(p) as u64 * self.wire.j_particle_bytes,
-            ));
+            .max(self.pci.transfer_time(n_active.div_ceil(p) as u64 * self.wire.j_particle_bytes));
         single / parallel
     }
 }

@@ -8,7 +8,9 @@
 //! the short float — the property that lets the hardware resolve close
 //! encounters at 10⁻¹⁶ AU despite 24-bit arithmetic.
 
-use crate::format::{round_mantissa, round_vec, FixedPointFormat, Precision, VecAccumulator, FixedAccumulator};
+use crate::format::{
+    round_mantissa, round_vec, FixedAccumulator, FixedPointFormat, Precision, VecAccumulator,
+};
 use grape6_core::vec3::Vec3;
 
 /// One pairwise evaluation in pipeline arithmetic.

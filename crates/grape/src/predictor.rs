@@ -154,7 +154,16 @@ mod tests {
         let fmt = FixedPointFormat::default();
         let pos = Vec3::new(20.000_000_123_456_79, 0.0, 0.0);
         let vel = Vec3::new(1.0 / 3.0, 0.0, 0.0);
-        let j = JParticle::encode(&fmt, Precision::grape6(), pos, vel, Vec3::zero(), Vec3::zero(), 1e-9, 0.0);
+        let j = JParticle::encode(
+            &fmt,
+            Precision::grape6(),
+            pos,
+            vel,
+            Vec3::zero(),
+            Vec3::zero(),
+            1e-9,
+            0.0,
+        );
         // Position survives at fixed-point resolution…
         assert!((fmt.decode_vec(j.qpos) - pos).norm() < 4.0 * fmt.resolution());
         // …velocity is rounded to the 24-bit pipeline word.

@@ -34,12 +34,22 @@ impl MachineGeometry {
     /// The SC2002 production configuration: 4 clusters × 4 hosts × 4 boards
     /// × 32 chips = 2048 chips.
     pub fn sc2002() -> Self {
-        Self { clusters: 4, hosts_per_cluster: 4, boards_per_host: 4, board: BoardGeometry::default() }
+        Self {
+            clusters: 4,
+            hosts_per_cluster: 4,
+            boards_per_host: 4,
+            board: BoardGeometry::default(),
+        }
     }
 
     /// A single-host, single-board development configuration.
     pub fn single_host() -> Self {
-        Self { clusters: 1, hosts_per_cluster: 1, boards_per_host: 1, board: BoardGeometry::default() }
+        Self {
+            clusters: 1,
+            hosts_per_cluster: 1,
+            boards_per_host: 1,
+            board: BoardGeometry::default(),
+        }
     }
 
     /// Total host computers.
@@ -198,21 +208,16 @@ impl TimingModel {
         // data ports (paper Fig 4/5: the hosts themselves exchange nothing).
         let peers = g.hosts_per_cluster.saturating_sub(1);
         let j_intra_bytes = (peers * n_i_host) as u64 * self.wire.j_particle_bytes;
-        let jshare_intra = self
-            .pci
-            .transfer_time(j_local_bytes)
-            .max(self.nb.link.transfer_time(j_intra_bytes));
+        let jshare_intra =
+            self.pci.transfer_time(j_local_bytes).max(self.nb.link.transfer_time(j_intra_bytes));
 
         // Inter-cluster propagation over Gigabit Ethernet: every node must
         // receive the blocks integrated by the other clusters.
         let other_clusters = g.clusters.saturating_sub(1);
-        let j_inter_bytes = (other_clusters * g.hosts_per_cluster * n_i_host) as u64
-            * self.wire.j_particle_bytes;
-        let jshare_inter = if other_clusters == 0 {
-            0.0
-        } else {
-            self.ethernet.transfer_time(j_inter_bytes)
-        };
+        let j_inter_bytes =
+            (other_clusters * g.hosts_per_cluster * n_i_host) as u64 * self.wire.j_particle_bytes;
+        let jshare_inter =
+            if other_clusters == 0 { 0.0 } else { self.ethernet.transfer_time(j_inter_bytes) };
 
         // Barrier at the start of every block step (§4.3: hosts "still have
         // to synchronize at the beginning of each timestep").
@@ -353,7 +358,8 @@ mod tests {
     fn step_breakdown_total_sums_phases() {
         let m = TimingModel::sc2002();
         let b = m.block_step(2000, 1_800_000);
-        let sum = b.host + b.send_i + b.pipeline + b.receive + b.jshare_intra + b.jshare_inter + b.sync;
+        let sum =
+            b.host + b.send_i + b.pipeline + b.receive + b.jshare_intra + b.jshare_inter + b.sync;
         assert!((b.total() - sum).abs() < 1e-18);
         assert!(b.pipeline > 0.0 && b.host > 0.0 && b.sync > 0.0);
     }

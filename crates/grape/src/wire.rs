@@ -164,7 +164,7 @@ mod tests {
         let (back, id) = decode_i_particle(&mut b);
         assert_eq!(id, 777);
         assert_eq!(back.qpos, ip.qpos); // fixed point: bit exact
-        // velocity already lives in the 24-bit pipeline word → f32 is lossless
+                                        // velocity already lives in the 24-bit pipeline word → f32 is lossless
         assert_eq!(back.vel, ip.vel);
     }
 

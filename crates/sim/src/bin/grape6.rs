@@ -5,7 +5,7 @@
 //! * `gen      --n <N> [--seed <S>] [--no-protoplanets] --out <snap.json>`
 //! * `run      --in <snap.json> --t <time> [--engine direct|grape6|tree]
 //!             [--eta <η>] [--accrete <inflation>] [--out <snap.json>]
-//!             [--diag <diag.csv>]`
+//!             [--diag <diag.csv>] [--telemetry <tele.json>]`
 //! * `analyze  --in <snap.json> [--bins <B>]`
 //! * `perf     --n <N> --block <n_act>`
 //!
@@ -38,10 +38,7 @@ impl Args {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.argv
-            .windows(2)
-            .find(|w| w[0] == key)
-            .map(|w| w[1].as_str())
+        self.argv.windows(2).find(|w| w[0] == key).map(|w| w[1].as_str())
     }
 
     fn parse<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
@@ -110,10 +107,16 @@ fn cmd_run(args: &Args) -> ExitCode {
     let engine_name = args.get("--engine").unwrap_or("direct").to_string();
     let t_target = sys.t + t_end;
 
+    let telemetry_out = args.get("--telemetry").map(PathBuf::from);
+
     // Monomorphized per engine; the driver logic is shared.
     macro_rules! drive {
         ($engine:expr) => {{
-            let mut sim = Simulation::new(sys, config, $engine);
+            let mut sim = if telemetry_out.is_some() {
+                Simulation::with_telemetry(sys, config, $engine)
+            } else {
+                Simulation::new(sys, config, $engine)
+            };
             if let Some(inflation) = args.parse::<f64>("--accrete") {
                 sim.enable_accretion(RadiusModel::icy_inflated(inflation));
             }
@@ -142,6 +145,19 @@ fn cmd_run(args: &Args) -> ExitCode {
                     return fail(&format!("writing {}: {e}", diag.display()));
                 }
                 println!("diagnostics -> {}", diag.display());
+            }
+            if let Some(tele) = &telemetry_out {
+                let rep = sim.telemetry_report().expect("telemetry was enabled");
+                let json = serde_json::to_string_pretty(&rep);
+                if let Err(e) = json.and_then(|j| Ok(std::fs::write(tele, j)?)) {
+                    return fail(&format!("writing {}: {e}", tele.display()));
+                }
+                println!(
+                    "telemetry -> {} ({:.3} s host, {:.2e} interactions/s real)",
+                    tele.display(),
+                    rep.total_host_seconds,
+                    rep.interactions_per_second_real
+                );
             }
             sim
         }};
@@ -182,13 +198,22 @@ fn cmd_analyze(args: &Args) -> ExitCode {
     let protos: Vec<usize> = by_mass.iter().copied().take(k_proto).collect();
     let idx: Vec<usize> = by_mass.iter().copied().skip(k_proto).collect();
     for &p in &protos {
-        let el = grape6_core::kepler::state_to_elements(sys.pos[p], sys.vel[p], sys.central_mass.max(1e-300));
+        let el = grape6_core::kepler::state_to_elements(
+            sys.pos[p],
+            sys.vel[p],
+            sys.central_mass.max(1e-300),
+        );
         println!(
             "protoplanet #{p}: m = {:.3e} M_sun, a = {:.2} AU, e = {:.4}",
             sys.mass[p], el.a, el.e
         );
     }
-    println!("snapshot t = {:.2} ({:.1} yr), {} planetesimals analyzed", sys.t, units::time_to_years(sys.t), idx.len());
+    println!(
+        "snapshot t = {:.2} ({:.1} yr), {} planetesimals analyzed",
+        sys.t,
+        units::time_to_years(sys.t),
+        idx.len()
+    );
     let hist = RadialHistogram::from_system(&sys, &idx, 14.0, 36.0, bins);
     println!("\n  a (AU)    sigma          count   rms e     rms i");
     for b in 0..hist.bins() {
@@ -231,7 +256,11 @@ fn cmd_perf(args: &Args) -> ExitCode {
     println!("  j intra   {:9.3} ms", b.jshare_intra * 1e3);
     println!("  j inter   {:9.3} ms", b.jshare_inter * 1e3);
     println!("  sync      {:9.3} ms", b.sync * 1e3);
-    println!("  total     {:9.3} ms  -> {:.2} Tflops sustained", b.total() * 1e3, flops / b.total() / 1e12);
+    println!(
+        "  total     {:9.3} ms  -> {:.2} Tflops sustained",
+        b.total() * 1e3,
+        flops / b.total() / 1e12
+    );
     ExitCode::SUCCESS
 }
 

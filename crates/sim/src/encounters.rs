@@ -88,8 +88,7 @@ impl EncounterLog {
     /// Ratio between the orbital timescale at radius `r_orbit` and the
     /// shortest encounter timescale — the §3 "orders of magnitude" figure.
     pub fn timescale_range(&self, r_orbit: f64) -> Option<f64> {
-        self.min_timescale()
-            .map(|t| units::orbital_period(r_orbit, 1.0) / t)
+        self.min_timescale().map(|t| units::orbital_period(r_orbit, 1.0) / t)
     }
 }
 

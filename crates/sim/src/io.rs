@@ -178,7 +178,13 @@ pub fn save_diagnostics_csv(path: &Path, rows: &[DiagnosticRow]) -> std::io::Res
         writeln!(
             w,
             "{},{},{},{},{},{},{}",
-            r.t, r.energy_error, r.l_error, r.block_steps, r.particle_steps, r.interactions, r.mean_block
+            r.t,
+            r.energy_error,
+            r.l_error,
+            r.block_steps,
+            r.particle_steps,
+            r.interactions,
+            r.mean_block
         )?;
     }
     w.flush()
@@ -291,7 +297,10 @@ mod tests {
     #[test]
     fn binary_decoder_rejects_garbage() {
         assert!(decode_binary_snapshot(bytes::Bytes::from_static(b"nope")).is_err());
-        assert!(decode_binary_snapshot(bytes::Bytes::from_static(b"G6SNxxxxyyyyzzzzwwwwvvvvuuuuttttssss")).is_err());
+        assert!(decode_binary_snapshot(bytes::Bytes::from_static(
+            b"G6SNxxxxyyyyzzzzwwwwvvvvuuuuttttssss"
+        ))
+        .is_err());
         // Truncated body: claim 10 particles, provide none.
         let mut sys = sample_system();
         sys.pos.truncate(0);

@@ -14,10 +14,15 @@ pub mod ensemble;
 pub mod io;
 pub mod simulation;
 pub mod stats;
+pub mod telemetry;
 
 pub use accretion::{AccretionLog, MergerEvent, RadiusModel};
 pub use encounters::{Encounter, EncounterLog};
 pub use ensemble::{run_ensemble, EnsembleMember};
-pub use io::{load_auto, load_binary_snapshot, load_snapshot, save_auto, save_binary_snapshot, save_diagnostics_csv, save_snapshot, Snapshot};
+pub use io::{
+    load_auto, load_binary_snapshot, load_snapshot, save_auto, save_binary_snapshot,
+    save_diagnostics_csv, save_snapshot, Snapshot,
+};
 pub use simulation::{DiagnosticRow, Simulation};
 pub use stats::{BlockSizeHistogram, TimestepHistogram};
+pub use telemetry::{PhaseCalls, PhaseSeconds, Telemetry, TelemetryReport};

@@ -5,9 +5,11 @@
 use crate::accretion::{try_merge, AccretionLog, RadiusModel};
 use crate::encounters::EncounterLog;
 use crate::stats::{BlockSizeHistogram, TimestepHistogram};
+use crate::telemetry::{Telemetry, TelemetryReport};
 use grape6_core::energy::EnergyLedger;
 use grape6_core::engine::ForceEngine;
 use grape6_core::integrator::{BlockHermite, HermiteConfig, RunStats};
+use grape6_core::observer::{HostPhase, StepObserver};
 use grape6_core::particle::ParticleSystem;
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +52,10 @@ pub struct Simulation<E: ForceEngine> {
     pub accretion_log: AccretionLog,
     /// Close-encounter detector, when enabled.
     pub encounter_log: Option<EncounterLog>,
+    /// Host wall-clock telemetry, when enabled (see
+    /// [`Simulation::with_telemetry`]). `None` keeps the hot path on the
+    /// uninstrumented integrator entry points.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl<E: ForceEngine> Simulation<E> {
@@ -68,7 +74,36 @@ impl<E: ForceEngine> Simulation<E> {
             radius_model: None,
             accretion_log: AccretionLog::default(),
             encounter_log: None,
+            telemetry: None,
         }
+    }
+
+    /// Like [`Simulation::new`], but with host wall-clock telemetry attached
+    /// from the first force evaluation (the initialization sweep is timed and
+    /// counted too).
+    pub fn with_telemetry(mut sys: ParticleSystem, config: HermiteConfig, mut engine: E) -> Self {
+        let mut telemetry = Telemetry::new();
+        let mut integrator = BlockHermite::new(config);
+        integrator.initialize_observed(&mut sys, &mut engine, &mut telemetry);
+        let ledger = EnergyLedger::open(&sys);
+        Self {
+            sys,
+            integrator,
+            engine,
+            ledger,
+            block_hist: BlockSizeHistogram::new(),
+            diagnostics: Vec::new(),
+            radius_model: None,
+            accretion_log: AccretionLog::default(),
+            encounter_log: None,
+            telemetry: Some(telemetry),
+        }
+    }
+
+    /// Telemetry summary for everything run so far (`None` when telemetry is
+    /// disabled).
+    pub fn telemetry_report(&self) -> Option<TelemetryReport> {
+        self.telemetry.as_ref().map(|t| t.report(&self.engine))
     }
 
     /// Enable collision detection + perfect merging using the engines'
@@ -95,7 +130,10 @@ impl<E: ForceEngine> Simulation<E> {
 
     /// Advance one block step, applying accretion if enabled.
     pub fn step(&mut self) -> grape6_core::integrator::BlockStepInfo {
-        let info = self.integrator.step(&mut self.sys, &mut self.engine);
+        let info = match &mut self.telemetry {
+            Some(t) => self.integrator.step_observed(&mut self.sys, &mut self.engine, t),
+            None => self.integrator.step(&mut self.sys, &mut self.engine),
+        };
         self.block_hist.record(info.n_active);
         if let Some(log) = &mut self.encounter_log {
             let blk: Vec<(usize, grape6_core::particle::Neighbor)> = self
@@ -121,14 +159,21 @@ impl<E: ForceEngine> Simulation<E> {
                 .filter_map(|(&i, r)| r.nn.map(|nn| (i, nn)))
                 .collect();
             for (i, nn) in candidates {
-                if let Some(ev) = try_merge(&mut self.sys, i, nn, &model, &mut self.accretion_log)
-                {
+                if let Some(ev) = try_merge(&mut self.sys, i, nn, &model, &mut self.accretion_log) {
                     touched.push(ev.survivor);
                     touched.push(ev.absorbed);
                 }
             }
             if !touched.is_empty() {
-                self.engine.update_j(&self.sys, &touched);
+                if let Some(t) = &mut self.telemetry {
+                    let wire0 = self.engine.bytes_transferred();
+                    t.phase_begin(HostPhase::JUpdate);
+                    self.engine.update_j(&self.sys, &touched);
+                    t.phase_end(HostPhase::JUpdate);
+                    t.wire_transfer(self.engine.bytes_transferred() - wire0);
+                } else {
+                    self.engine.update_j(&self.sys, &touched);
+                }
             }
         }
         info
@@ -138,11 +183,8 @@ impl<E: ForceEngine> Simulation<E> {
     /// `diag_interval` time units (0 disables).
     pub fn run_to(&mut self, t_end: f64, diag_interval: f64) -> RunStats {
         let start = self.stats();
-        let mut next_diag = if diag_interval > 0.0 {
-            self.sys.t + diag_interval
-        } else {
-            f64::INFINITY
-        };
+        let mut next_diag =
+            if diag_interval > 0.0 { self.sys.t + diag_interval } else { f64::INFINITY };
         while self.integrator.next_time().is_some_and(|t| t <= t_end) {
             self.step();
             if self.sys.t >= next_diag {
@@ -161,6 +203,9 @@ impl<E: ForceEngine> Simulation<E> {
     /// Append a diagnostic row at the current state (energies measured on
     /// states synchronized to the current time).
     pub fn record_diagnostics(&mut self) {
+        if let Some(t) = &mut self.telemetry {
+            t.phase_begin(HostPhase::Io);
+        }
         let s = self.stats();
         self.diagnostics.push(DiagnosticRow {
             t: self.sys.t,
@@ -171,6 +216,9 @@ impl<E: ForceEngine> Simulation<E> {
             interactions: s.interactions,
             mean_block: s.mean_block_size(),
         });
+        if let Some(t) = &mut self.telemetry {
+            t.phase_end(HostPhase::Io);
+        }
     }
 
     /// Timestep histogram at the current state.
@@ -188,8 +236,7 @@ mod tests {
 
     fn tiny_sim() -> Simulation<DirectEngine> {
         let sys = DiskBuilder::paper(64).with_seed(9).build();
-        let mut cfg = HermiteConfig::default();
-        cfg.dt_max = 2.0f64.powi(-2);
+        let cfg = HermiteConfig { dt_max: 2.0f64.powi(-2), ..HermiteConfig::default() };
         Simulation::new(sys, cfg, DirectEngine::new())
     }
 
@@ -234,6 +281,21 @@ mod tests {
         let h = sim.timestep_histogram();
         assert_eq!(h.total(), 66); // 64 planetesimals + 2 protoplanets
         assert!(h.occupied_rungs() >= 1);
+    }
+
+    #[test]
+    fn telemetry_counters_match_engine() {
+        let sys = DiskBuilder::paper(64).with_seed(9).build();
+        let cfg = HermiteConfig { dt_max: 2.0f64.powi(-2), ..HermiteConfig::default() };
+        let mut sim = Simulation::with_telemetry(sys, cfg, DirectEngine::new());
+        sim.run_to(1.0, 0.25);
+        let t = sim.telemetry.as_ref().unwrap();
+        assert!(t.block_steps() > 0);
+        assert_eq!(t.interactions(), sim.engine.interaction_count());
+        let rep = sim.telemetry_report().unwrap();
+        assert_eq!(rep.engine, "direct-cpu");
+        assert!(rep.phase_calls.io > 0, "diagnostics should record Io spans");
+        assert!((rep.total_host_seconds - rep.phase_seconds.total()).abs() < 1e-12);
     }
 
     #[test]

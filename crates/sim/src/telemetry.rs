@@ -1,0 +1,359 @@
+//! Wall-clock telemetry for the host side of a run.
+//!
+//! [`Telemetry`] is a [`StepObserver`] that mirrors, for the host CPU, what
+//! `grape6_hw::HardwareClock` does for the modeled machine: phase-scoped
+//! span timers (schedule/predict/force/correct/j-update/io), monotonic
+//! counters (block steps, active-particle steps, pairwise interactions,
+//! wire-model bytes) and derived rates (interactions per *real* second vs
+//! per *modeled* second, host-time fraction).
+//!
+//! Telemetry is strictly opt-in: the integrator's uninstrumented entry
+//! points pass the null observer `()` whose hooks monomorphize to nothing,
+//! so the hot path pays only when a `Telemetry` is actually attached.
+
+use grape6_core::engine::ForceEngine;
+use grape6_core::observer::{HostPhase, StepObserver};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+const N_PHASES: usize = HostPhase::ALL.len();
+
+/// Accumulated host-side wall times and work counters for one run.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    phase_seconds: [f64; N_PHASES],
+    phase_calls: [u64; N_PHASES],
+    open: [Option<Instant>; N_PHASES],
+    block_steps: u64,
+    particle_steps: u64,
+    step_interactions: u64,
+    init_calls: u64,
+    init_interactions: u64,
+    wire_bytes: u64,
+}
+
+impl Telemetry {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wall seconds accumulated in `phase` (closed spans only).
+    pub fn phase_seconds(&self, phase: HostPhase) -> f64 {
+        self.phase_seconds[phase.index()]
+    }
+
+    /// Closed spans recorded for `phase`.
+    pub fn phase_calls(&self, phase: HostPhase) -> u64 {
+        self.phase_calls[phase.index()]
+    }
+
+    /// Total recorded host wall time: the sum over all phase spans. This is
+    /// the quantity the per-phase times decompose exactly (bit-for-bit,
+    /// summed in [`HostPhase::ALL`] order).
+    pub fn total_seconds(&self) -> f64 {
+        HostPhase::ALL.iter().map(|p| self.phase_seconds(*p)).sum()
+    }
+
+    /// Completed block steps.
+    pub fn block_steps(&self) -> u64 {
+        self.block_steps
+    }
+
+    /// Total active-particle steps (sum of block sizes).
+    pub fn particle_steps(&self) -> u64 {
+        self.particle_steps
+    }
+
+    /// Total pairwise interactions, including the initialization sweep —
+    /// this matches `ForceEngine::interaction_count()` exactly when the
+    /// engine's counters were fresh at attach time.
+    pub fn interactions(&self) -> u64 {
+        self.init_interactions + self.step_interactions
+    }
+
+    /// Interactions charged by block steps only (initialization excluded).
+    pub fn step_interactions(&self) -> u64 {
+        self.step_interactions
+    }
+
+    /// Bytes moved through the modeled host↔hardware wire.
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
+    }
+
+    /// Run `f` inside an [`HostPhase::Io`] span (driver-level output that
+    /// happens outside the integrator).
+    pub fn io_span<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        self.phase_begin(HostPhase::Io);
+        let out = f();
+        self.phase_end(HostPhase::Io);
+        out
+    }
+
+    /// Fold another accumulator into this one. Counter accumulation is
+    /// order-independent (exact integer sums); wall times add as f64.
+    pub fn merge(&mut self, other: &Telemetry) {
+        for k in 0..N_PHASES {
+            self.phase_seconds[k] += other.phase_seconds[k];
+            self.phase_calls[k] += other.phase_calls[k];
+        }
+        self.block_steps += other.block_steps;
+        self.particle_steps += other.particle_steps;
+        self.step_interactions += other.step_interactions;
+        self.init_calls += other.init_calls;
+        self.init_interactions += other.init_interactions;
+        self.wire_bytes += other.wire_bytes;
+    }
+
+    /// Snapshot everything into a serializable report, pulling the engine's
+    /// name and modeled machine time for the real-vs-modeled comparison.
+    pub fn report<E: ForceEngine + ?Sized>(&self, engine: &E) -> TelemetryReport {
+        let total = self.total_seconds();
+        let force = self.phase_seconds(HostPhase::Force);
+        let modeled = engine.modeled_seconds();
+        let interactions = self.interactions();
+        let rate = |secs: f64| if secs > 0.0 { interactions as f64 / secs } else { 0.0 };
+        TelemetryReport {
+            engine: engine.name().to_string(),
+            phase_seconds: PhaseSeconds::from_array(&self.phase_seconds),
+            phase_calls: PhaseCalls::from_array(&self.phase_calls),
+            total_host_seconds: total,
+            block_steps: self.block_steps,
+            particle_steps: self.particle_steps,
+            init_interactions: self.init_interactions,
+            interactions,
+            wire_bytes: self.wire_bytes,
+            modeled_seconds: modeled,
+            interactions_per_second_real: rate(total),
+            interactions_per_second_modeled: rate(modeled),
+            host_time_fraction: if total > 0.0 { (total - force) / total } else { 0.0 },
+        }
+    }
+}
+
+impl StepObserver for Telemetry {
+    fn phase_begin(&mut self, phase: HostPhase) {
+        self.open[phase.index()] = Some(Instant::now());
+    }
+
+    fn phase_end(&mut self, phase: HostPhase) {
+        let k = phase.index();
+        if let Some(t0) = self.open[k].take() {
+            self.phase_seconds[k] += t0.elapsed().as_secs_f64();
+            self.phase_calls[k] += 1;
+        }
+    }
+
+    fn block_step(&mut self, n_active: usize, interactions: u64) {
+        self.block_steps += 1;
+        self.particle_steps += n_active as u64;
+        self.step_interactions += interactions;
+    }
+
+    fn init_step(&mut self, n: usize, interactions: u64) {
+        self.init_calls += 1;
+        let _ = n;
+        self.init_interactions += interactions;
+    }
+
+    fn wire_transfer(&mut self, bytes: u64) {
+        self.wire_bytes += bytes;
+    }
+}
+
+/// Per-phase wall seconds, with one named field per [`HostPhase`] so the
+/// JSON schema is stable and self-describing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSeconds {
+    /// Scheduler pops/pushes.
+    pub schedule: f64,
+    /// Host-side i-particle prediction.
+    pub predict: f64,
+    /// Force-engine calls.
+    pub force: f64,
+    /// Hermite corrector sweep.
+    pub correct: f64,
+    /// Engine j-memory write-back.
+    pub j_update: f64,
+    /// Snapshot/diagnostic output.
+    pub io: f64,
+}
+
+impl PhaseSeconds {
+    fn from_array(a: &[f64; N_PHASES]) -> Self {
+        Self {
+            schedule: a[HostPhase::Schedule.index()],
+            predict: a[HostPhase::Predict.index()],
+            force: a[HostPhase::Force.index()],
+            correct: a[HostPhase::Correct.index()],
+            j_update: a[HostPhase::JUpdate.index()],
+            io: a[HostPhase::Io.index()],
+        }
+    }
+
+    /// Sum over all phases, in [`HostPhase::ALL`] order.
+    pub fn total(&self) -> f64 {
+        self.schedule + self.predict + self.force + self.correct + self.j_update + self.io
+    }
+}
+
+/// Per-phase span counts (same field layout as [`PhaseSeconds`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseCalls {
+    /// Scheduler pops/pushes.
+    pub schedule: u64,
+    /// Host-side i-particle prediction.
+    pub predict: u64,
+    /// Force-engine calls.
+    pub force: u64,
+    /// Hermite corrector sweep.
+    pub correct: u64,
+    /// Engine j-memory write-back.
+    pub j_update: u64,
+    /// Snapshot/diagnostic output.
+    pub io: u64,
+}
+
+impl PhaseCalls {
+    fn from_array(a: &[u64; N_PHASES]) -> Self {
+        Self {
+            schedule: a[HostPhase::Schedule.index()],
+            predict: a[HostPhase::Predict.index()],
+            force: a[HostPhase::Force.index()],
+            correct: a[HostPhase::Correct.index()],
+            j_update: a[HostPhase::JUpdate.index()],
+            io: a[HostPhase::Io.index()],
+        }
+    }
+}
+
+/// The serializable end-of-run telemetry summary (`--telemetry out.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Engine name (`direct`, `grape6`, `tree`).
+    pub engine: String,
+    /// Wall seconds per host phase.
+    pub phase_seconds: PhaseSeconds,
+    /// Span counts per host phase.
+    pub phase_calls: PhaseCalls,
+    /// Total recorded host wall seconds (= sum of `phase_seconds`).
+    pub total_host_seconds: f64,
+    /// Completed block steps.
+    pub block_steps: u64,
+    /// Active-particle steps (sum of block sizes).
+    pub particle_steps: u64,
+    /// Interactions charged during initialization (subset of `interactions`).
+    pub init_interactions: u64,
+    /// Total pairwise interactions (hardware convention, init included).
+    pub interactions: u64,
+    /// Bytes through the modeled host↔hardware wire.
+    pub wire_bytes: u64,
+    /// Modeled machine seconds (0 for engines without a timing model).
+    pub modeled_seconds: f64,
+    /// Interactions per real (host wall) second.
+    pub interactions_per_second_real: f64,
+    /// Interactions per modeled machine second (0 without a timing model).
+    pub interactions_per_second_modeled: f64,
+    /// Fraction of recorded host time spent outside the force phase.
+    pub host_time_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape6_core::force::DirectEngine;
+
+    fn spin(tele: &mut Telemetry, phase: HostPhase) {
+        tele.phase_begin(phase);
+        std::hint::black_box((0..1000).sum::<u64>());
+        tele.phase_end(phase);
+    }
+
+    #[test]
+    fn spans_accumulate_and_total_is_phase_sum() {
+        let mut t = Telemetry::new();
+        spin(&mut t, HostPhase::Force);
+        spin(&mut t, HostPhase::Predict);
+        spin(&mut t, HostPhase::Force);
+        assert_eq!(t.phase_calls(HostPhase::Force), 2);
+        assert_eq!(t.phase_calls(HostPhase::Predict), 1);
+        assert_eq!(t.phase_calls(HostPhase::Io), 0);
+        assert!(t.phase_seconds(HostPhase::Force) > 0.0);
+        let sum: f64 = HostPhase::ALL.iter().map(|p| t.phase_seconds(*p)).sum();
+        assert_eq!(t.total_seconds(), sum);
+    }
+
+    #[test]
+    fn unmatched_end_is_ignored() {
+        let mut t = Telemetry::new();
+        t.phase_end(HostPhase::Correct);
+        assert_eq!(t.phase_calls(HostPhase::Correct), 0);
+        assert_eq!(t.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn counters_track_events() {
+        let mut t = Telemetry::new();
+        t.init_step(10, 100);
+        t.block_step(4, 40);
+        t.block_step(2, 20);
+        t.wire_transfer(64);
+        t.wire_transfer(8);
+        assert_eq!(t.block_steps(), 2);
+        assert_eq!(t.particle_steps(), 6);
+        assert_eq!(t.step_interactions(), 60);
+        assert_eq!(t.interactions(), 160);
+        assert_eq!(t.wire_bytes(), 72);
+    }
+
+    #[test]
+    fn merge_adds_counters_exactly() {
+        let mut a = Telemetry::new();
+        a.block_step(3, 30);
+        a.wire_transfer(100);
+        let mut b = Telemetry::new();
+        b.init_step(5, 25);
+        b.block_step(1, 10);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.interactions(), 65);
+        assert_eq!(ab.interactions(), ba.interactions());
+        assert_eq!(ab.block_steps(), ba.block_steps());
+        assert_eq!(ab.particle_steps(), ba.particle_steps());
+        assert_eq!(ab.wire_bytes(), ba.wire_bytes());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut t = Telemetry::new();
+        t.init_step(8, 64);
+        t.block_step(2, 16);
+        t.wire_transfer(640);
+        spin(&mut t, HostPhase::Force);
+        spin(&mut t, HostPhase::Io);
+        let engine = DirectEngine::new();
+        let rep = t.report(&engine);
+        assert_eq!(rep.engine, "direct-cpu");
+        assert_eq!(rep.interactions, 80);
+        assert_eq!(rep.init_interactions, 64);
+        assert_eq!(rep.wire_bytes, 640);
+        assert!((rep.phase_seconds.total() - rep.total_host_seconds).abs() < 1e-15);
+        assert!(rep.host_time_fraction > 0.0 && rep.host_time_fraction < 1.0);
+        let json = serde_json::to_string_pretty(&rep).unwrap();
+        let back: TelemetryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.interactions, rep.interactions);
+        assert_eq!(back.phase_calls, rep.phase_calls);
+        assert_eq!(back.total_host_seconds, rep.total_host_seconds);
+    }
+
+    #[test]
+    fn io_span_records_io_phase() {
+        let mut t = Telemetry::new();
+        let v = t.io_span(|| 42);
+        assert_eq!(v, 42);
+        assert_eq!(t.phase_calls(HostPhase::Io), 1);
+    }
+}

@@ -1,19 +1,14 @@
 //! Property-based tests on the simulation-layer invariants.
 
+use grape6_core::observer::StepObserver;
 use grape6_core::particle::{Neighbor, ParticleSystem};
 use grape6_core::vec3::Vec3;
+use grape6_hw::{HardwareClock, StepBreakdown};
 use grape6_sim::accretion::{try_merge, AccretionLog, RadiusModel};
-use grape6_sim::{BlockSizeHistogram, TimestepHistogram};
+use grape6_sim::{BlockSizeHistogram, Telemetry, TimestepHistogram};
 use proptest::prelude::*;
 
-fn two_body_system(
-    x1: Vec3,
-    v1: Vec3,
-    m1: f64,
-    x2: Vec3,
-    v2: Vec3,
-    m2: f64,
-) -> ParticleSystem {
+fn two_body_system(x1: Vec3, v1: Vec3, m1: f64, x2: Vec3, v2: Vec3, m2: f64) -> ParticleSystem {
     let mut sys = ParticleSystem::new(0.001, 1.0);
     sys.push(x1, v1, m1);
     sys.push(x2, v2, m2);
@@ -113,5 +108,99 @@ proptest! {
         prop_assert_eq!(h.total(), rungs.len());
         let span = (rungs.iter().max().unwrap() - rungs.iter().min().unwrap()) as f64;
         prop_assert!((h.dynamic_range().log2() - span).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timestep_histogram_rungs_sorted_with_exact_counts(
+        rungs in prop::collection::vec(-30i32..3, 1..64),
+    ) {
+        let mut sys = ParticleSystem::new(0.0, 0.0);
+        for &r in &rungs {
+            let i = sys.push(Vec3::zero(), Vec3::zero(), 1.0);
+            sys.dt[i] = 2.0f64.powi(r);
+        }
+        let h = TimestepHistogram::from_system(&sys);
+        // Rungs strictly ascending: the histogram is a sorted map.
+        for w in h.rungs.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "rungs out of order: {:?}", h.rungs);
+        }
+        // Per-rung counts sum to the particle count...
+        let count_sum: usize = h.rungs.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(count_sum, rungs.len());
+        // ...and each rung's count matches a direct tally of the input.
+        for &(r, c) in &h.rungs {
+            let expect = rungs.iter().filter(|&&x| x == r).count();
+            prop_assert_eq!(c, expect, "rung {} count", r);
+        }
+        // dynamic_range == 2^(hi - lo) exactly (powers of two are exact in f64).
+        let hi = h.rungs.last().unwrap().0;
+        let lo = h.rungs.first().unwrap().0;
+        prop_assert_eq!(h.dynamic_range(), 2.0f64.powi(hi - lo));
+    }
+
+    #[test]
+    fn hardware_clock_accumulation_is_order_independent(
+        costs in prop::collection::vec((0.0..1e-2f64, 0.0..1e-3f64, 0.0..1e-3f64), 1..32),
+        by in 0usize..32,
+    ) {
+        let steps: Vec<StepBreakdown> = costs
+            .iter()
+            .map(|&(pipeline, host, send_i)| StepBreakdown {
+                pipeline,
+                host,
+                send_i,
+                ..Default::default()
+            })
+            .collect();
+        let mut forward = HardwareClock::new();
+        for s in &steps {
+            forward.charge(s);
+        }
+        // Charge the same steps rotated by an arbitrary offset.
+        let k = by % steps.len();
+        let mut rotated = HardwareClock::new();
+        for s in steps[k..].iter().chain(steps[..k].iter()) {
+            rotated.charge(s);
+        }
+        // Step counts are exact; accumulated seconds agree to f64 roundoff
+        // (addition is not associative, so demand 1e-12 relative, not bits).
+        prop_assert_eq!(forward.steps, rotated.steps);
+        let scale = forward.seconds().abs().max(1e-300);
+        prop_assert!((forward.seconds() - rotated.seconds()).abs() / scale < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_counter_accumulation_is_order_independent(
+        events in prop::collection::vec((1usize..1000, 0u64..1_000_000, 0u64..100_000), 1..32),
+        by in 0usize..32,
+    ) {
+        let feed = |tele: &mut Telemetry, evs: &[(usize, u64, u64)]| {
+            for &(n_active, interactions, bytes) in evs {
+                tele.block_step(n_active, interactions);
+                tele.wire_transfer(bytes);
+            }
+        };
+        let mut forward = Telemetry::new();
+        feed(&mut forward, &events);
+        let k = by % events.len();
+        let mut rot: Vec<(usize, u64, u64)> = events[k..].to_vec();
+        rot.extend_from_slice(&events[..k]);
+        let mut rotated = Telemetry::new();
+        feed(&mut rotated, &rot);
+        // Integer counters must agree bit-for-bit in any order.
+        prop_assert_eq!(forward.block_steps(), rotated.block_steps());
+        prop_assert_eq!(forward.particle_steps(), rotated.particle_steps());
+        prop_assert_eq!(forward.interactions(), rotated.interactions());
+        prop_assert_eq!(forward.wire_bytes(), rotated.wire_bytes());
+        // And merging two halves reproduces the sequential feed exactly.
+        let (a, b) = events.split_at(events.len() / 2);
+        let mut left = Telemetry::new();
+        feed(&mut left, a);
+        let mut right = Telemetry::new();
+        feed(&mut right, b);
+        left.merge(&right);
+        prop_assert_eq!(left.interactions(), forward.interactions());
+        prop_assert_eq!(left.particle_steps(), forward.particle_steps());
+        prop_assert_eq!(left.wire_bytes(), forward.wire_bytes());
     }
 }

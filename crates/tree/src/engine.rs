@@ -172,9 +172,7 @@ mod tests {
     }
 
     fn ips_all(sys: &ParticleSystem) -> Vec<IParticle> {
-        (0..sys.len())
-            .map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
-            .collect()
+        (0..sys.len()).map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect()
     }
 
     #[test]

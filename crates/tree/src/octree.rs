@@ -279,10 +279,15 @@ mod tests {
     fn random_cloud(n: usize, seed: u64) -> (Vec<Vec3>, Vec<Vec3>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let pos: Vec<Vec3> = (0..n)
-            .map(|_| Vec3::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5) * 40.0)
+            .map(|_| {
+                Vec3::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)
+                    * 40.0
+            })
             .collect();
         let vel: Vec<Vec3> = (0..n)
-            .map(|_| Vec3::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .map(|_| {
+                Vec3::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)
+            })
             .collect();
         let mass: Vec<f64> = (0..n).map(|_| 0.1 + rng.gen::<f64>()).collect();
         (pos, vel, mass)
@@ -294,12 +299,7 @@ mod tests {
         let tree = Octree::build(&pos, &vel, &mass);
         let m: f64 = mass.iter().sum();
         assert!((tree.total_mass() - m).abs() < 1e-10);
-        let com: Vec3 = pos
-            .iter()
-            .zip(&mass)
-            .map(|(&p, &mm)| p * mm)
-            .sum::<Vec3>()
-            / m;
+        let com: Vec3 = pos.iter().zip(&mass).map(|(&p, &mm)| p * mm).sum::<Vec3>() / m;
         assert!((tree.center_of_mass() - com).norm() < 1e-10);
         assert_eq!(tree.body_count(), 500);
         assert!(tree.node_count() > 1);
@@ -312,9 +312,8 @@ mod tests {
         let eps2 = 0.01;
         for i in [0usize, 7, 100, 199] {
             let f = tree.force_on(pos[i], vel[i], 0.0, eps2, i as u32);
-            let direct = grape6_core::force::accumulate_on(
-                pos[i], vel[i], &pos, &vel, &mass, eps2, i,
-            );
+            let direct =
+                grape6_core::force::accumulate_on(pos[i], vel[i], &pos, &vel, &mass, eps2, i);
             assert!((f.acc - direct.acc).norm() < 1e-12 * direct.acc.norm().max(1.0));
             assert!((f.jerk - direct.jerk).norm() < 1e-12 * direct.jerk.norm().max(1.0));
             assert!((f.pot - direct.pot).abs() < 1e-12 * direct.pot.abs());
@@ -331,7 +330,8 @@ mod tests {
         let mut evals = 0u64;
         for i in (0..2000).step_by(97) {
             let f = tree.force_on(pos[i], vel[i], 0.5, eps2, i as u32);
-            let direct = grape6_core::force::accumulate_on(pos[i], vel[i], &pos, &vel, &mass, eps2, i);
+            let direct =
+                grape6_core::force::accumulate_on(pos[i], vel[i], &pos, &vel, &mass, eps2, i);
             worst = worst.max((f.acc - direct.acc).norm() / direct.acc.norm());
             evals += f.evaluations;
         }

@@ -11,11 +11,7 @@ fn cloud(n: usize, seed: u64) -> (Vec<Vec3>, Vec<Vec3>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let pos = (0..n)
         .map(|_| {
-            Vec3::new(
-                rng.gen::<f64>() - 0.5,
-                rng.gen::<f64>() - 0.5,
-                rng.gen::<f64>() - 0.5,
-            ) * 30.0
+            Vec3::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5) * 30.0
         })
         .collect();
     let vel = (0..n)

@@ -28,10 +28,7 @@ fn main() {
     // Run a 4-member ensemble, one per quarter machine, of independent disk
     // realizations. Each member reports its dynamical heating.
     let quarter = machine.partition(4).unwrap();
-    println!(
-        "\nensemble of 4 disks on quarter machines ({} chips each):",
-        quarter.chips()
-    );
+    println!("\nensemble of 4 disks on quarter machines ({} chips each):", quarter.chips());
     let seeds: Vec<u64> = vec![101, 202, 303, 404];
     let results = run_ensemble(&seeds, 4, |seed| {
         let mut builder = DiskBuilder::paper(384).with_seed(seed);
@@ -46,19 +43,12 @@ fn main() {
     });
     let mut es = Vec::new();
     for m in &results {
-        println!(
-            "  seed {:4}: rms e = {:.5} after {} block steps",
-            m.seed, m.value.0, m.value.1
-        );
+        println!("  seed {:4}: rms e = {:.5} after {} block steps", m.seed, m.value.0, m.value.1);
         es.push(m.value.0);
     }
     let mean = es.iter().sum::<f64>() / es.len() as f64;
     let var = es.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / es.len() as f64;
-    println!(
-        "\nensemble mean rms e = {:.5} ± {:.5} (realization scatter)",
-        mean,
-        var.sqrt()
-    );
+    println!("\nensemble mean rms e = {:.5} ± {:.5} (realization scatter)", mean, var.sqrt());
     println!("(the hosts exchange no particle data between partitions — each unit");
     println!(" is an independent GRAPE-6, exactly as §4.3 describes)");
 }

@@ -19,8 +19,13 @@ fn main() {
 
     // --- one chip ---
     let geom = ChipGeometry::default();
-    println!("GRAPE-6 chip: {} pipelines x {} virtual, {} MHz, peak {:.1} Gflops",
-        geom.pipelines, geom.vmp, geom.clock_hz / 1e6, geom.peak_flops() / 1e9);
+    println!(
+        "GRAPE-6 chip: {} pipelines x {} virtual, {} MHz, peak {:.1} Gflops",
+        geom.pipelines,
+        geom.vmp,
+        geom.clock_hz / 1e6,
+        geom.peak_flops() / 1e9
+    );
     let mut chip = Grape6Chip::new(geom, fmt, precision);
     let js: Vec<JParticle> = (0..1000)
         .map(|k| {
@@ -41,13 +46,25 @@ fn main() {
     let ip = HwIParticle::encode(&fmt, precision, Vec3::new(25.0, 0.0, 0.0), Vec3::zero());
     let regs = chip.compute(0.0, &[ip], 0.008 * 0.008);
     let (acc, _, pot) = regs[0].read();
-    println!("  force on a test particle from 1000 ring bodies: |a| = {:.3e}, pot = {:.3e}", acc.norm(), pot);
-    println!("  cycles spent: {} ({:.1} µs at 90 MHz)\n", chip.cycles(), chip.cycles() as f64 / 90.0);
+    println!(
+        "  force on a test particle from 1000 ring bodies: |a| = {:.3e}, pot = {:.3e}",
+        acc.norm(),
+        pot
+    );
+    println!(
+        "  cycles spent: {} ({:.1} µs at 90 MHz)\n",
+        chip.cycles(),
+        chip.cycles() as f64 / 90.0
+    );
 
     // --- one processor board ---
     let bgeom = BoardGeometry::default();
-    println!("processor board: {} chips, peak {:.2} Tflops, j-capacity {}",
-        bgeom.chips, bgeom.peak_flops() / 1e12, bgeom.jmem_capacity());
+    println!(
+        "processor board: {} chips, peak {:.2} Tflops, j-capacity {}",
+        bgeom.chips,
+        bgeom.peak_flops() / 1e12,
+        bgeom.jmem_capacity()
+    );
     let mut board = ProcessorBoard::new(bgeom, fmt, precision);
     board.load_j(&js).unwrap();
     let regs = board.compute(0.0, &[ip], 0.008 * 0.008);
@@ -57,14 +74,26 @@ fn main() {
 
     // --- the network-board tree ---
     let tree = NetworkTree::spanning(16, NetworkBoardGeometry::default());
-    println!("NB tree for one 4-host cluster: {} levels, {} boards", tree.levels(), tree.board_count());
-    println!("  1 MB broadcast through 90 MB/s LVDS: {:.2} ms\n", tree.broadcast_time(1_000_000) * 1e3);
+    println!(
+        "NB tree for one 4-host cluster: {} levels, {} boards",
+        tree.levels(),
+        tree.board_count()
+    );
+    println!(
+        "  1 MB broadcast through 90 MB/s LVDS: {:.2} ms\n",
+        tree.broadcast_time(1_000_000) * 1e3
+    );
 
     // --- the full machine ---
     let machine = MachineGeometry::sc2002();
-    println!("full system: {} clusters x {} hosts x {} boards x {} chips = {} chips",
-        machine.clusters, machine.hosts_per_cluster, machine.boards_per_host,
-        machine.board.chips, machine.chips());
+    println!(
+        "full system: {} clusters x {} hosts x {} boards x {} chips = {} chips",
+        machine.clusters,
+        machine.hosts_per_cluster,
+        machine.boards_per_host,
+        machine.board.chips,
+        machine.chips()
+    );
     println!("  theoretical peak: {:.1} Tflops (paper: 63.4)", machine.peak_flops() / 1e12);
 
     let model = TimingModel::sc2002();

@@ -48,7 +48,10 @@ fn main() {
     }
     sim.record_diagnostics();
     let d = sim.diagnostics.last().unwrap();
-    println!("\nintegration quality: |dE/E| = {:.2e} over {} block steps", d.energy_error, d.block_steps);
+    println!(
+        "\nintegration quality: |dE/E| = {:.2e} over {} block steps",
+        d.energy_error, d.block_steps
+    );
     println!("paper §2: 'the so-called Oort cloud … is formed by gravitational");
     println!("scattering of planetesimals mainly by Neptune' — the outward/ejected");
     println!("columns above are that flux, growing as the disk heats.");

@@ -37,7 +37,8 @@ fn main() {
     println!("\nmodeled GRAPE-6 performance (paper §6 accounting):");
     println!("  {report}");
     let b = &sim.engine.clock().breakdown;
-    println!("  phase breakdown: pipeline {:.1}%, host {:.1}%, comm {:.1}%, sync {:.1}%",
+    println!(
+        "  phase breakdown: pipeline {:.1}%, host {:.1}%, comm {:.1}%, sync {:.1}%",
         100.0 * b.pipeline / b.total(),
         100.0 * b.host / b.total(),
         100.0 * (b.send_i + b.receive + b.jshare_intra + b.jshare_inter) / b.total(),

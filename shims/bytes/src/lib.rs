@@ -1,0 +1,298 @@
+//! Offline shim for `bytes`: an `Arc`-backed immutable byte buffer with a
+//! read cursor (`Bytes`), a growable write buffer (`BytesMut`), and the
+//! little-endian `Buf`/`BufMut` accessors the wire model uses.
+
+use std::sync::Arc;
+
+/// Cheaply clonable immutable byte buffer with an internal read cursor.
+///
+/// `len()`/`remaining()` report the unread suffix, matching upstream
+/// semantics where reads consume the front of the buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// A buffer over static data.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self { data: Arc::from(data), pos: 0 }
+    }
+
+    /// Unread bytes left.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unread suffix as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Copy the unread suffix into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A new buffer over `range` of the unread suffix.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        Self::from(self.as_slice()[range].to_vec())
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "buffer underflow: need {n}, have {}", self.len());
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: Arc::from(v), pos: 0 }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Self::from_static(v)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} unread)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+macro_rules! get_le {
+    ($($name:ident -> $ty:ty),+ $(,)?) => {
+        $(
+            /// Read a little-endian value, advancing the cursor.
+            fn $name(&mut self) -> $ty;
+        )+
+    };
+}
+
+macro_rules! get_le_impl {
+    ($($name:ident -> $ty:ty),+ $(,)?) => {
+        $(
+            fn $name(&mut self) -> $ty {
+                const N: usize = std::mem::size_of::<$ty>();
+                let mut b = [0u8; N];
+                b.copy_from_slice(self.take(N));
+                <$ty>::from_le_bytes(b)
+            }
+        )+
+    };
+}
+
+/// Read access to a byte buffer (little-endian subset).
+pub trait Buf {
+    /// Unread bytes left.
+    fn remaining(&self) -> usize;
+    /// Whether any unread bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Copy `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    get_le! {
+        get_u16_le -> u16,
+        get_u32_le -> u32,
+        get_u64_le -> u64,
+        get_i32_le -> i32,
+        get_i64_le -> i64,
+        get_f32_le -> f32,
+        get_f64_le -> f64,
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn advance(&mut self, n: usize) {
+        let _ = self.take(n);
+    }
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let n = dst.len();
+        dst.copy_from_slice(self.take(n));
+    }
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+    get_le_impl! {
+        get_u16_le -> u16,
+        get_u32_le -> u32,
+        get_u64_le -> u64,
+        get_i32_le -> i32,
+        get_i64_le -> i64,
+        get_f32_le -> f32,
+        get_f64_le -> f64,
+    }
+}
+
+/// Growable write buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    /// Reserve room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// The written bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+macro_rules! put_le {
+    ($($name:ident($ty:ty)),+ $(,)?) => {
+        $(
+            /// Append a value in little-endian order.
+            fn $name(&mut self, v: $ty);
+        )+
+    };
+}
+
+macro_rules! put_le_impl {
+    ($($name:ident($ty:ty)),+ $(,)?) => {
+        $(
+            fn $name(&mut self, v: $ty) {
+                self.data.extend_from_slice(&v.to_le_bytes());
+            }
+        )+
+    };
+}
+
+/// Write access to a byte buffer (little-endian subset).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    put_le! {
+        put_u16_le(u16),
+        put_u32_le(u32),
+        put_u64_le(u64),
+        put_i32_le(i32),
+        put_i64_le(i64),
+        put_f32_le(f32),
+        put_f64_le(f64),
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+    put_le_impl! {
+        put_u16_le(u16),
+        put_u32_le(u32),
+        put_u64_le(u64),
+        put_i32_le(i32),
+        put_i64_le(i64),
+        put_f32_le(f32),
+        put_f64_le(f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_slice(b"HDR!");
+        w.put_u32_le(7);
+        w.put_u64_le(u64::MAX - 3);
+        w.put_i64_le(-12345);
+        w.put_f32_le(1.5);
+        w.put_f64_le(std::f64::consts::PI);
+        let mut r = w.freeze();
+        assert_eq!(r.len(), 4 + 4 + 8 + 8 + 4 + 8);
+        let mut hdr = [0u8; 4];
+        r.copy_to_slice(&mut hdr);
+        assert_eq!(&hdr, b"HDR!");
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.get_u64_le(), u64::MAX - 3);
+        assert_eq!(r.get_i64_le(), -12345);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), std::f64::consts::PI);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn clone_is_independent_cursor() {
+        let mut a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let mut b = a.clone();
+        assert_eq!(a.get_u8(), 1);
+        assert_eq!(b.remaining(), 4);
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(a.remaining(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(b"ab");
+        let _ = b.get_u32_le();
+    }
+}

@@ -1,0 +1,115 @@
+//! Offline shim for the `crossbeam` surface this workspace uses:
+//! `channel::unbounded` and `thread::scope`.
+
+/// MPMC channels over `std::sync::mpsc`, with crossbeam's clonable
+/// `Receiver` (std's receiver is single-consumer, so it sits behind a
+/// mutex here; contention is irrelevant at this workspace's channel use).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Clonable sending half.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Clonable receiving half.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queue a message.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders hang up.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner()).recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner()).try_recv()
+        }
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+/// Scoped threads over `std::thread::scope`.
+pub mod thread {
+    /// Result alias matching `crossbeam::thread::scope`'s return type.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Wrapper over `std::thread::Scope` whose `spawn` closure receives the
+    /// scope (crossbeam's signature).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; the closure receives the scope so it can
+        /// spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned.
+    ///
+    /// Unlike crossbeam, a panicking child propagates its panic on join (std
+    /// semantics) instead of surfacing as `Err`; callers that `.expect()` the
+    /// result observe the same abort either way.
+    pub fn scope<'env, F, T>(f: F) -> Result<T>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_round_trip() {
+        let (tx, rx) = crate::channel::unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 7);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let mut data = vec![0u64; 4];
+        crate::thread::scope(|s| {
+            for (k, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = k as u64 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+}

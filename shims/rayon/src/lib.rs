@@ -1,0 +1,142 @@
+//! Sequential shim for the subset of `rayon` this workspace uses.
+//!
+//! Every `par_*` entry point returns the corresponding standard iterator, so
+//! downstream adaptor chains (`map`, `zip`, `enumerate`, `for_each`, `sum`)
+//! resolve to `std::iter::Iterator` methods. The extra rayon-only adaptors
+//! (`chunks`, `collect_into_vec`) are provided by [`ParallelIteratorExt`].
+//!
+//! `current_num_threads` honours `RAYON_NUM_THREADS` so thread-count-aware
+//! chunking heuristics keep working (execution stays sequential either way,
+//! which makes counter determinism across "thread counts" trivially exact).
+
+/// Prelude mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIteratorExt, ParallelSlice};
+}
+
+/// Number of "threads" in the pool: `RAYON_NUM_THREADS` or 1.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// `into_par_iter()` for any `IntoIterator` (ranges, vectors, ...).
+pub trait IntoParallelIterator {
+    /// The underlying (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Convert into a "parallel" (here: sequential) iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> I::IntoIter {
+        self.into_iter()
+    }
+}
+
+/// Slice entry points: `par_iter`, `par_iter_mut`, `par_chunks[_mut]`.
+pub trait ParallelSlice<T> {
+    /// Shared "parallel" iterator over the slice.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Mutable "parallel" iterator over the slice.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Chunked shared iterator.
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+    /// Chunked mutable iterator.
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(size)
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(size)
+    }
+}
+
+/// Iterator over owned chunks, mirroring rayon's `chunks` adaptor.
+pub struct IterChunks<I: Iterator> {
+    inner: I,
+    size: usize,
+}
+
+impl<I: Iterator> Iterator for IterChunks<I> {
+    type Item = Vec<I::Item>;
+    fn next(&mut self) -> Option<Vec<I::Item>> {
+        let mut chunk = Vec::with_capacity(self.size);
+        for _ in 0..self.size {
+            match self.inner.next() {
+                Some(x) => chunk.push(x),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            None
+        } else {
+            Some(chunk)
+        }
+    }
+}
+
+/// rayon-only adaptors grafted onto every iterator.
+pub trait ParallelIteratorExt: Iterator + Sized {
+    /// Group items into `Vec`s of at most `size` elements.
+    fn chunks(self, size: usize) -> IterChunks<Self> {
+        assert!(size > 0, "chunk size must be positive");
+        IterChunks { inner: self, size }
+    }
+
+    /// Collect into an existing vector, clearing it first.
+    fn collect_into_vec(self, out: &mut Vec<Self::Item>) {
+        out.clear();
+        out.extend(self);
+    }
+
+    /// rayon's `with_min_len` tuning knob: a no-op here.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIteratorExt for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_all_items() {
+        let v: Vec<Vec<usize>> = (0..10usize).into_par_iter().chunks(4).collect();
+        assert_eq!(v, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+    }
+
+    #[test]
+    fn collect_into_vec_replaces_contents() {
+        let mut out = vec![9usize; 3];
+        (0..4usize).into_par_iter().map(|x| x * x).collect_into_vec(&mut out);
+        assert_eq!(out, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn slice_entry_points() {
+        let mut a = [1, 2, 3];
+        let s: i32 = a.par_iter().sum();
+        assert_eq!(s, 6);
+        a.par_iter_mut().for_each(|x| *x *= 2);
+        assert_eq!(a, [2, 4, 6]);
+    }
+}

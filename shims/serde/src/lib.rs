@@ -1,0 +1,402 @@
+//! Offline shim for `serde`: a simplified, `Value`-based data model.
+//!
+//! Upstream serde's visitor machinery exists to avoid materializing an
+//! intermediate tree; this workspace only (de)serializes small config and
+//! snapshot structs through JSON, so every type converts to/from a [`Value`]
+//! tree instead. The derive macros in `serde_derive` target these two
+//! single-method traits, and `serde_json` is a JSON reader/writer over
+//! [`Value`].
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Tree representation of any serializable datum (JSON-shaped).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (used for any in-range integer literal).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as an object field list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as f64, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Short tag for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a message plus optional field context.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// A "missing field" error.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self::new(format!("missing field `{field}` in `{ty}`"))
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Self::new(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Prefix the message with field/element context.
+    pub fn in_context(self, ctx: &str) -> Self {
+        Self::new(format!("{ctx}: {}", self.msg))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Convert a value into the [`Value`] tree.
+pub trait Serialize {
+    /// The tree representation of `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reconstruct a value from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse `self` out of `v`.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Upstream-compatible alias: with no borrowed lifetimes in this data model,
+/// every `Deserialize` type is owned.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// `serde::de` module surface used via qualified paths.
+pub mod de {
+    pub use crate::{DeError as Error, Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` module surface used via qualified paths.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($ty:ty),+) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize_value(&self) -> Value {
+                    // Every type in this list fits i64.
+                    Value::Int(*self as i64)
+                }
+            }
+
+            impl Deserialize for $ty {
+                fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                    let err = || DeError::expected(stringify!($ty), v);
+                    match *v {
+                        Value::Int(i) => <$ty>::try_from(i).map_err(|_| err()),
+                        Value::UInt(u) => <$ty>::try_from(u).map_err(|_| err()),
+                        // Integral floats appear when a JSON producer wrote
+                        // `1.0` for a count; accept them losslessly.
+                        Value::Float(f) if f.fract() == 0.0 && f.abs() < 2f64.powi(53) => {
+                            <$ty>::try_from(f as i64).map_err(|_| err())
+                        }
+                        _ => Err(err()),
+                    }
+                }
+            }
+        )+
+    };
+}
+
+int_impls!(i8, i16, i32, i64, u8, u16, u32, isize);
+
+// usize separately: on 64-bit targets it doesn't always fit i64.
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        (*self as u64).serialize_value()
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        usize::try_from(u64::deserialize_value(v)?).map_err(|_| DeError::expected("usize", v))
+    }
+}
+
+// u64 separately: values above i64::MAX can't round-trip through i64.
+impl Serialize for u64 {
+    fn serialize_value(&self) -> Value {
+        if let Ok(i) = i64::try_from(*self) {
+            Value::Int(i)
+        } else {
+            Value::UInt(*self)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let err = || DeError::expected("u64", v);
+        match *v {
+            Value::Int(i) => u64::try_from(i).map_err(|_| err()),
+            Value::UInt(u) => Ok(u),
+            Value::Float(f) if f.fract() == 0.0 && (0.0..2f64.powi(53)).contains(&f) => {
+                Ok(f as u64)
+            }
+            _ => Err(err()),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(f64::deserialize_value(v)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(k, item)| {
+                T::deserialize_value(item).map_err(|e| e.in_context(&format!("[{k}]")))
+            })
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let vec = Vec::<T>::deserialize_value(v)?;
+        let n = vec.len();
+        <[T; N]>::try_from(vec)
+            .map_err(|_| DeError::new(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($idx:tt $name:ident),+)),+ $(,)?) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn serialize_value(&self) -> Value {
+                    Value::Array(vec![$(self.$idx.serialize_value()),+])
+                }
+            }
+
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                    let items = v.as_array().ok_or_else(|| DeError::expected("tuple array", v))?;
+                    let want = [$($idx),+].len();
+                    if items.len() != want {
+                        return Err(DeError::new(format!(
+                            "expected tuple of length {want}, got {}",
+                            items.len()
+                        )));
+                    }
+                    Ok(($($name::deserialize_value(&items[$idx])
+                        .map_err(|e| e.in_context(&format!(".{}", $idx)))?,)+))
+                }
+            }
+        )+
+    };
+}
+
+tuple_impls! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_of_tuples_round_trips() {
+        let rungs: Vec<(i32, usize)> = vec![(-3, 10), (0, 2)];
+        let v = rungs.serialize_value();
+        let back = Vec::<(i32, usize)>::deserialize_value(&v).unwrap();
+        assert_eq!(rungs, back);
+    }
+
+    #[test]
+    fn u64_above_i64_max_round_trips() {
+        let x = u64::MAX - 1;
+        assert_eq!(u64::deserialize_value(&x.serialize_value()).unwrap(), x);
+    }
+
+    #[test]
+    fn option_null_round_trips() {
+        let none: Option<f64> = None;
+        assert_eq!(Option::<f64>::deserialize_value(&none.serialize_value()).unwrap(), None);
+        let some = Some(2.5);
+        assert_eq!(Option::<f64>::deserialize_value(&some.serialize_value()).unwrap(), some);
+    }
+
+    #[test]
+    fn type_errors_name_the_context() {
+        let v = Value::Array(vec![Value::Int(1), Value::Str("x".into())]);
+        let err = Vec::<i32>::deserialize_value(&v).unwrap_err();
+        assert!(err.to_string().contains("[1]"), "{err}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Offline shim for `serde_derive`: derive macros over the simplified
+//! `Value`-based serde data model, written directly against `proc_macro`
+//! token trees (no `syn`/`quote` available offline).
+//!
+//! Supported shapes — exactly what this workspace contains:
+//! - structs with named fields (any visibility, no generics)
+//! - enums with unit variants and struct variants (externally tagged)
+//! - the `#[serde(default)]` field attribute
+//!
+//! Anything else panics with a message naming the unsupported construct, so
+//! a future change fails at compile time instead of misbehaving at runtime.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Struct { name: String, fields: Vec<Field> },
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// True if this bracket-group attribute body is `serde(default)`.
+fn is_serde_default(attr_body: &TokenStream) -> bool {
+    let mut toks = attr_body.clone().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            let args_str = args.stream().to_string();
+            if args_str.trim() == "default" {
+                true
+            } else {
+                panic!(
+                    "serde shim derive: unsupported serde attribute `{args_str}` (only `default`)"
+                );
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Parse named fields from the tokens inside a brace group.
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        // Attributes (doc comments, #[serde(default)], ...).
+        while let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() != '#' {
+                break;
+            }
+            match &tokens[i + 1] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {
+                    default |= is_serde_default(&g.stream());
+                    i += 2;
+                }
+                other => panic!("serde shim derive: malformed attribute near `{other}`"),
+            }
+        }
+        // Visibility.
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let TokenTree::Group(g) = &tokens[i] {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Field name and `:`.
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, got `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after `{name}`, got `{other}`"),
+        }
+        // Skip the type: commas inside `<...>` are not field separators.
+        // (Commas inside (), [] or {} are invisible here — those are groups.)
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Parse enum variants from the tokens inside a brace group.
+fn parse_variants(body: TokenStream, enum_name: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes.
+        while let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                panic!("serde shim derive: expected variant name in `{enum_name}`, got `{other}`")
+            }
+        };
+        i += 1;
+        if i >= tokens.len() {
+            variants.push(Variant::Unit(name));
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                variants.push(Variant::Unit(name));
+                i += 1;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Struct { name, fields: parse_fields(g.stream()) });
+                i += 1;
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == ',' {
+                        i += 1;
+                    }
+                }
+            }
+            other => panic!(
+                "serde shim derive: unsupported variant shape `{enum_name}::{name}` near `{other}` \
+                 (only unit and struct variants)"
+            ),
+        }
+    }
+    variants
+}
+
+/// Parse the derive input item (struct or enum with named fields).
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let TokenTree::Group(g) = &tokens[i] {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => break,
+            other => panic!("serde shim derive: unexpected token `{other}` before item keyword"),
+        }
+    }
+    let is_struct = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "struct");
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got `{other}`"),
+    };
+    i += 1;
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        TokenTree::Punct(p) if p.as_char() == '<' => {
+            panic!("serde shim derive: generic type `{name}` unsupported")
+        }
+        _ => panic!("serde shim derive: `{name}` must have named fields (no tuple/unit items)"),
+    };
+    if is_struct {
+        Item::Struct { name, fields: parse_fields(body) }
+    } else {
+        let variants = parse_variants(body, &name);
+        Item::Enum { name, variants }
+    }
+}
+
+fn field_object_literal(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::serialize_value(&{p}{n}))",
+                n = f.name,
+                p = access_prefix
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+}
+
+fn field_struct_literal(ty: &str, path: &str, fields: &[Field], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("return ::std::result::Result::Err(::serde::DeError::missing_field(\"{ty}\", \"{n}\"))", n = f.name)
+            };
+            format!(
+                "{n}: match {src}.get(\"{n}\") {{ \
+                   ::std::option::Option::Some(x) => ::serde::Deserialize::deserialize_value(x)\
+                     .map_err(|e| e.in_context(\"{ty}.{n}\"))?, \
+                   ::std::option::Option::None => {missing}, \
+                 }}",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let body = field_object_literal(&fields, "self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                    ),
+                    Variant::Struct { name: vn, fields } => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = field_object_literal(fields, "");
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                               (::std::string::String::from(\"{vn}\"), {inner})])",
+                            binds = binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    out.parse().expect("serde shim derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let lit = field_struct_literal(&name, &name, &fields, "v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if v.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::expected(\"object for `{name}`\", v));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({lit})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => {
+                        Some(format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let struct_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Struct { name: vn, fields } => {
+                        let lit =
+                            field_struct_literal(&name, &format!("{name}::{vn}"), fields, "inner");
+                        Some(format!("\"{vn}\" => ::std::result::Result::Ok({lit}),"))
+                    }
+                    _ => None,
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                                     ::std::format!(\"unknown variant `{{}}` of `{name}`\", other))),\n\
+                             }},\n\
+                             ::serde::Value::Object(tagged) if tagged.len() == 1 => {{\n\
+                                 let (tag, inner) = &tagged[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {strukt}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                                         ::std::format!(\"unknown variant `{{}}` of `{name}`\", other))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::expected(\"variant of `{name}`\", v)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                strukt = struct_arms.join("\n"),
+            )
+        }
+    };
+    out.parse().expect("serde shim derive: generated Deserialize impl failed to parse")
+}

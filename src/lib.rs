@@ -42,7 +42,10 @@ pub use grape6_tree as tree;
 /// The types most applications need, re-exported flat.
 pub mod prelude {
     pub use grape6_core::prelude::*;
-    pub use grape6_disk::{DiskBuilder, DiskSnapshot, PowerLawMass, Protoplanet, RadialHistogram, RadialProfile, ScatteringCensus};
+    pub use grape6_disk::{
+        DiskBuilder, DiskSnapshot, PowerLawMass, Protoplanet, RadialHistogram, RadialProfile,
+        ScatteringCensus,
+    };
     pub use grape6_hw::{Grape6Config, Grape6Engine, MachineGeometry, PerfReport, TimingModel};
     pub use grape6_sim::{run_ensemble, AccretionLog, RadiusModel, Simulation, TimestepHistogram};
     pub use grape6_tree::TreeEngine;

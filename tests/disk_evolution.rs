@@ -112,16 +112,8 @@ fn shared_timestep_costs_more_interactions_than_block() {
         let m = 1e-6_f64;
         let om = (2.0 * m / (d * d * d)).sqrt();
         let vc = units::circular_speed(25.0, 1.0);
-        sys.push(
-            Vec3::new(25.0 + d / 2.0, 0.0, 0.0),
-            Vec3::new(0.0, vc + om * d / 2.0, 0.0),
-            m,
-        );
-        sys.push(
-            Vec3::new(25.0 - d / 2.0, 0.0, 0.0),
-            Vec3::new(0.0, vc - om * d / 2.0, 0.0),
-            m,
-        );
+        sys.push(Vec3::new(25.0 + d / 2.0, 0.0, 0.0), Vec3::new(0.0, vc + om * d / 2.0, 0.0), m);
+        sys.push(Vec3::new(25.0 - d / 2.0, 0.0, 0.0), Vec3::new(0.0, vc - om * d / 2.0, 0.0), m);
         sys
     }
 

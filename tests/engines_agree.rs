@@ -10,11 +10,13 @@ fn disk(n: usize) -> grape6_core::particle::ParticleSystem {
     DiskBuilder::paper(n).with_seed(77).build()
 }
 
-fn forces<E: ForceEngine>(engine: &mut E, sys: &grape6_core::particle::ParticleSystem) -> Vec<ForceResult> {
+fn forces<E: ForceEngine>(
+    engine: &mut E,
+    sys: &grape6_core::particle::ParticleSystem,
+) -> Vec<ForceResult> {
     engine.load(sys);
-    let ips: Vec<IParticle> = (0..sys.len())
-        .map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
-        .collect();
+    let ips: Vec<IParticle> =
+        (0..sys.len()).map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect();
     let mut out = vec![ForceResult::default(); ips.len()];
     engine.compute(0.0, &ips, &mut out);
     out
@@ -69,7 +71,8 @@ fn same_trajectory_under_both_engines() {
 
     let mut sim_cpu = Simulation::new(disk(128), config, DirectEngine::new());
     sim_cpu.run_to(t_end, 0.0);
-    let mut sim_hw = Simulation::new(disk(128), config, Grape6Engine::new(Grape6Config::sc2002_exact()));
+    let mut sim_hw =
+        Simulation::new(disk(128), config, Grape6Engine::new(Grape6Config::sc2002_exact()));
     sim_hw.run_to(t_end, 0.0);
 
     assert_eq!(sim_cpu.stats().block_steps, sim_hw.stats().block_steps);

@@ -16,9 +16,14 @@ fn heliocentric_orbit_matches_analytic_kepler_propagation() {
     let mut sys = grape6_core::particle::ParticleSystem::new(1e-6, 1.0);
     sys.push(pos, vel, 1e-14);
     // A far-away second body so the pairwise engine has something to do.
-    sys.push(Vec3::new(-300.0, 0.0, 0.0), Vec3::new(0.0, units::circular_speed(300.0, 1.0), 0.0), 1e-14);
+    sys.push(
+        Vec3::new(-300.0, 0.0, 0.0),
+        Vec3::new(0.0, units::circular_speed(300.0, 1.0), 0.0),
+        1e-14,
+    );
 
-    let config = HermiteConfig { eta: 0.01, eta_start: 0.001, dt_max: 4.0, dt_min: 2.0f64.powi(-40) };
+    let config =
+        HermiteConfig { eta: 0.01, eta_start: 0.001, dt_max: 4.0, dt_min: 2.0f64.powi(-40) };
     let mut sim = Simulation::new(sys, config, DirectEngine::new());
 
     let n_mean = units::kepler_omega(el0.a, 1.0);
@@ -53,7 +58,8 @@ fn tisserand_survives_a_scattering_encounter() {
     let ti = sys.push(pt, vt, 1e-14);
 
     let t0 = tisserand(&el0, a_p);
-    let config = HermiteConfig { eta: 0.01, eta_start: 0.001, dt_max: 4.0, dt_min: 2.0f64.powi(-40) };
+    let config =
+        HermiteConfig { eta: 0.01, eta_start: 0.001, dt_max: 4.0, dt_min: 2.0f64.powi(-40) };
     let mut sim = Simulation::new(sys, config, DirectEngine::new());
     // A few synodic periods: the orbits cross, so an encounter must occur.
     sim.run_to(3000.0, 0.0);
@@ -83,7 +89,8 @@ fn softened_circular_binary_has_modified_frequency() {
     let mut sys = grape6_core::particle::ParticleSystem::new(eps, 0.0);
     sys.push(Vec3::new(d / 2.0, 0.0, 0.0), Vec3::new(0.0, om * d / 2.0, 0.0), m);
     sys.push(Vec3::new(-d / 2.0, 0.0, 0.0), Vec3::new(0.0, -om * d / 2.0, 0.0), m);
-    let config = HermiteConfig { eta: 0.01, eta_start: 0.001, dt_max: 0.125, dt_min: 2.0f64.powi(-40) };
+    let config =
+        HermiteConfig { eta: 0.01, eta_start: 0.001, dt_max: 0.125, dt_min: 2.0f64.powi(-40) };
     let mut sim = Simulation::new(sys, config, DirectEngine::new());
     let period = std::f64::consts::TAU / om;
     sim.run_to(period, 0.0);

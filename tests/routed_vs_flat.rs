@@ -43,7 +43,13 @@ fn cluster_mirrors_stay_consistent_through_writebacks() {
     let js: Vec<JParticle> = (0..sys.len())
         .map(|i| {
             JParticle::encode(
-                &fmt, precision, sys.pos[i], sys.vel[i], sys.acc[i], sys.jerk[i], sys.mass[i],
+                &fmt,
+                precision,
+                sys.pos[i],
+                sys.vel[i],
+                sys.acc[i],
+                sys.jerk[i],
+                sys.mass[i],
                 0.0,
             )
         })
@@ -60,7 +66,12 @@ fn cluster_mirrors_stay_consistent_through_writebacks() {
         cluster.write_back(host, k, &moved).unwrap();
     }
     cluster.barrier();
-    let probe = HwIParticle::encode(&fmt, precision, grape6_core::vec3::Vec3::zero(), grape6_core::vec3::Vec3::zero());
+    let probe = HwIParticle::encode(
+        &fmt,
+        precision,
+        grape6_core::vec3::Vec3::zero(),
+        grape6_core::vec3::Vec3::zero(),
+    );
     let fs: Vec<_> = (0..4).map(|h| cluster.compute(h, 0.0, &[(probe, 0)])[0]).collect();
     for f in &fs[1..] {
         assert_eq!(f.acc, fs[0].acc);
