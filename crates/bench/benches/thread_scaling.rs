@@ -1,0 +1,77 @@
+//! Criterion benches of the force kernels across worker-pool sizes.
+//!
+//! One group per kernel shape, one benchmark per thread count, so the
+//! criterion history tracks the pool's speedup (and its single-thread
+//! regression risk) release over release. Thread counts are pinned with
+//! `rayon::with_num_threads`, not the environment, so runs are hermetic.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grape6_core::energy::pairwise_potential_energy;
+use grape6_core::engine::ForceEngine;
+use grape6_core::force::DirectEngine;
+use grape6_core::particle::{ForceResult, IParticle};
+use grape6_disk::DiskBuilder;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Large block: 256 i-particles against 8k j — the tiled, 4-wide,
+/// i-parallel path.
+fn bench_large_block(c: &mut Criterion) {
+    let sys = DiskBuilder::paper(8192).build();
+    let mut engine = DirectEngine::new();
+    engine.load(&sys);
+    let ips: Vec<IParticle> = (0..256)
+        .map(|k| {
+            let i = k * 32;
+            IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }
+        })
+        .collect();
+    let mut out = vec![ForceResult::default(); ips.len()];
+    let mut group = c.benchmark_group("force_large_block");
+    group.throughput(Throughput::Elements(ips.len() as u64 * sys.len() as u64));
+    for &t in &THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| rayon::with_num_threads(t, || engine.compute(black_box(0.0), &ips, &mut out)))
+        });
+    }
+    group.finish();
+}
+
+/// Small block: 4 i-particles against 8k j — the fused, j-parallel path.
+fn bench_small_block(c: &mut Criterion) {
+    let sys = DiskBuilder::paper(8192).build();
+    let mut engine = DirectEngine::new();
+    engine.load(&sys);
+    let ips: Vec<IParticle> = (0..4)
+        .map(|k| {
+            let i = k * 512;
+            IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }
+        })
+        .collect();
+    let mut out = vec![ForceResult::default(); ips.len()];
+    let mut group = c.benchmark_group("force_small_block");
+    group.throughput(Throughput::Elements(ips.len() as u64 * sys.len() as u64));
+    for &t in &THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| rayon::with_num_threads(t, || engine.compute(black_box(0.0), &ips, &mut out)))
+        });
+    }
+    group.finish();
+}
+
+/// The O(N²/2) energy pair sum over the deterministic chunked reduction.
+fn bench_energy_sum(c: &mut Criterion) {
+    let sys = DiskBuilder::paper(2048).build();
+    let mut group = c.benchmark_group("energy_pair_sum");
+    let n = sys.len() as u64;
+    group.throughput(Throughput::Elements(n * (n - 1) / 2));
+    for &t in &THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| rayon::with_num_threads(t, || pairwise_potential_energy(black_box(&sys))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_large_block, bench_small_block, bench_energy_sum);
+criterion_main!(benches);

@@ -26,6 +26,23 @@ fn main() -> std::process::ExitCode {
             14,
         );
     }
+    println!("\nthread scaling (force-phase wall seconds):");
+    print_header(&["workload", "threads", "force s", "total s", "speedup"], 14);
+    for ts in &report.thread_scaling {
+        for e in &ts.entries {
+            print_row(
+                &[
+                    ts.id.clone(),
+                    e.threads.to_string(),
+                    fmt(e.force_seconds),
+                    fmt(e.total_host_seconds),
+                    format!("{:.2}x", e.speedup_force_vs_1),
+                ],
+                14,
+            );
+        }
+    }
+
     let c = &report.paper_check;
     println!(
         "\npaper check: peak {:.1} Tflops, sustained {:.1}–{:.1} Tflops \

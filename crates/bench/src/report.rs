@@ -21,7 +21,12 @@ use grape6_tree::TreeEngine;
 use serde::{Deserialize, Serialize};
 
 /// Bumped whenever a field of [`BenchReport`] changes meaning or name.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version 2 added the `thread_scaling` section and the per-workload
+/// `telemetry.host_threads` field.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Host thread counts the scaling section sweeps.
+pub const SCALING_THREADS: [usize; 3] = [1, 2, 4];
 
 /// Which force engine a workload exercises.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,6 +135,33 @@ impl PaperCheck {
     }
 }
 
+/// One thread count of one workload's scaling sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadScalingEntry {
+    /// Host worker threads the run used.
+    pub threads: usize,
+    /// Wall seconds in the force phase (the parallelized hot path).
+    pub force_seconds: f64,
+    /// Total recorded host wall seconds.
+    pub total_host_seconds: f64,
+    /// Total pairwise interactions — must be identical across the sweep
+    /// (the determinism contract; [`build_report`] asserts it).
+    pub interactions: u64,
+    /// Completed block steps — likewise thread-count invariant.
+    pub block_steps: u64,
+    /// `force_seconds(1 thread) / force_seconds(this run)`.
+    pub speedup_force_vs_1: f64,
+}
+
+/// The scaling sweep of one workload across [`SCALING_THREADS`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadScalingResult {
+    /// Workload identifier (matches a `workloads` entry).
+    pub id: String,
+    /// One entry per thread count, in [`SCALING_THREADS`] order.
+    pub entries: Vec<ThreadScalingEntry>,
+}
+
 /// The complete `BENCH_report.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -139,6 +171,9 @@ pub struct BenchReport {
     pub git_sha: String,
     /// One entry per workload, in [`standard_workloads`] order.
     pub workloads: Vec<WorkloadResult>,
+    /// Host thread-scaling sweep of every workload (wall clocks vary with
+    /// the thread count; work counters must not).
+    pub thread_scaling: Vec<ThreadScalingResult>,
     /// Timing-model self-check against the paper's headline numbers.
     pub paper_check: PaperCheck,
 }
@@ -175,12 +210,50 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
     }
 }
 
+/// Run one workload's scaling sweep across [`SCALING_THREADS`], asserting
+/// the determinism contract: work counters must be bit-identical at every
+/// thread count (only wall clocks may differ).
+pub fn run_thread_scaling(spec: &WorkloadSpec) -> ThreadScalingResult {
+    let runs: Vec<WorkloadResult> = SCALING_THREADS
+        .iter()
+        .map(|&t| rayon::with_num_threads(t, || run_workload(spec)))
+        .collect();
+    let base = &runs[0].telemetry;
+    for r in &runs[1..] {
+        assert_eq!(r.telemetry.interactions, base.interactions, "{}: counter drift", spec.id);
+        assert_eq!(r.telemetry.block_steps, base.block_steps, "{}: counter drift", spec.id);
+        assert_eq!(r.telemetry.wire_bytes, base.wire_bytes, "{}: counter drift", spec.id);
+    }
+    let t1_force = base.phase_seconds.force;
+    ThreadScalingResult {
+        id: spec.id.to_string(),
+        entries: SCALING_THREADS
+            .iter()
+            .zip(&runs)
+            .map(|(&threads, r)| ThreadScalingEntry {
+                threads,
+                force_seconds: r.telemetry.phase_seconds.force,
+                total_host_seconds: r.telemetry.total_host_seconds,
+                interactions: r.telemetry.interactions,
+                block_steps: r.telemetry.block_steps,
+                speedup_force_vs_1: if r.telemetry.phase_seconds.force > 0.0 {
+                    t1_force / r.telemetry.phase_seconds.force
+                } else {
+                    0.0
+                },
+            })
+            .collect(),
+    }
+}
+
 /// Run every standard workload and assemble the full report.
 pub fn build_report(git_sha: String) -> BenchReport {
+    let specs = standard_workloads();
     BenchReport {
         schema_version: SCHEMA_VERSION,
         git_sha,
-        workloads: standard_workloads().iter().map(run_workload).collect(),
+        workloads: specs.iter().map(run_workload).collect(),
+        thread_scaling: specs.iter().map(run_thread_scaling).collect(),
         paper_check: PaperCheck::sc2002(),
     }
 }
@@ -244,9 +317,12 @@ mod tests {
             schema_version: SCHEMA_VERSION,
             git_sha: "deadbeef".to_string(),
             workloads: vec![run_workload(&spec)],
+            thread_scaling: vec![run_thread_scaling(&spec)],
             paper_check: PaperCheck::sc2002(),
         };
         assert!(report.workloads[0].modeled_tflops > 0.0);
+        assert_eq!(report.thread_scaling[0].entries.len(), SCALING_THREADS.len());
+        assert!((report.thread_scaling[0].entries[0].speedup_force_vs_1 - 1.0).abs() < 1e-12);
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.schema_version, report.schema_version);

@@ -5,7 +5,10 @@
 //! both derive from the single source of truth `TimingModel::sc2002()`, so
 //! they are compared bit-for-bit here rather than against copied constants.
 
-use grape6_bench::report::{standard_workloads, BenchReport, PaperCheck, SCHEMA_VERSION};
+use grape6_bench::report::{
+    standard_workloads, BenchReport, PaperCheck, ThreadScalingEntry, ThreadScalingResult,
+    SCALING_THREADS, SCHEMA_VERSION,
+};
 use grape6_hw::TimingModel;
 
 #[test]
@@ -53,12 +56,13 @@ fn report_json_schema_is_stable() {
         schema_version: SCHEMA_VERSION,
         git_sha: "test".to_string(),
         workloads: vec![],
+        thread_scaling: vec![],
         paper_check: PaperCheck::sc2002(),
     };
     let v = serde_json::to_value(&report).unwrap();
     let obj = v.as_object().unwrap();
     let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
-    assert_eq!(keys, ["schema_version", "git_sha", "workloads", "paper_check"]);
+    assert_eq!(keys, ["schema_version", "git_sha", "workloads", "thread_scaling", "paper_check"]);
     let pc = v.get("paper_check").unwrap().as_object().unwrap();
     let pc_keys: Vec<&str> = pc.iter().map(|(k, _)| k.as_str()).collect();
     assert_eq!(
@@ -70,6 +74,36 @@ fn report_json_schema_is_stable() {
             "sustained_tflops_block_16384",
             "efficiency_block_512",
             "efficiency_block_16384",
+        ]
+    );
+}
+
+#[test]
+fn thread_scaling_schema_is_stable() {
+    assert_eq!(SCALING_THREADS, [1, 2, 4]);
+    let entry = ThreadScalingEntry {
+        threads: 1,
+        force_seconds: 0.5,
+        total_host_seconds: 1.0,
+        interactions: 10,
+        block_steps: 2,
+        speedup_force_vs_1: 1.0,
+    };
+    let result = ThreadScalingResult { id: "w".to_string(), entries: vec![entry] };
+    let v = serde_json::to_value(&result).unwrap();
+    let keys: Vec<&str> = v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, ["id", "entries"]);
+    let e = v.get("entries").unwrap().as_array().unwrap()[0].clone();
+    let e_keys: Vec<&str> = e.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        e_keys,
+        [
+            "threads",
+            "force_seconds",
+            "total_host_seconds",
+            "interactions",
+            "block_steps",
+            "speedup_force_vs_1",
         ]
     );
 }

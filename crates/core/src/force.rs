@@ -7,7 +7,8 @@
 //! convention the paper adopts, this costs 38 + 19 = 57 floating-point
 //! operations per interaction.
 
-use crate::particle::{ForceResult, IParticle, ParticleSystem};
+use crate::particle::{ForceResult, IParticle, Neighbor, ParticleSystem};
+use crate::sweep::{chunked_jsweep, j_chunk_size, SMALL_BLOCK_MAX};
 use crate::vec3::Vec3;
 use rayon::prelude::*;
 
@@ -15,6 +16,94 @@ use rayon::prelude::*;
 /// jerk), following the convention of recent Gordon Bell prize applications
 /// cited in paper §5.2.
 pub const FLOPS_PER_INTERACTION: u64 = 57;
+
+/// j-particles per cache tile of the blocked large-block kernel. 1024
+/// predicted j-particles (pos + vel + mass ≈ 56 B each) stay resident in L2
+/// while every i-particle of the block sweeps them — the software analogue
+/// of the hardware broadcasting one j-particle to all pipelines.
+const J_TILE: usize = 1024;
+
+/// Sweep one j-tile for `W` i-particles at once (GRAPE's virtual multiple
+/// pipelines: one j-stream feeding `W` accumulator sets). Each i-particle's
+/// accumulation order is still ascending j, so the result bits are identical
+/// to a scalar per-i sweep — the unroll only changes instruction scheduling.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn sweep_tile<const W: usize>(
+    os: &mut [ForceResult],
+    ips: &[IParticle],
+    jlo: usize,
+    jhi: usize,
+    ppos: &[Vec3],
+    pvel: &[Vec3],
+    jmass: &[f64],
+    eps2: f64,
+) {
+    debug_assert_eq!(os.len(), W);
+    debug_assert_eq!(ips.len(), W);
+    let mut acc = [Vec3::zero(); W];
+    let mut jerk = [Vec3::zero(); W];
+    let mut pot = [0.0f64; W];
+    let mut nn = [None::<Neighbor>; W];
+    for k in 0..W {
+        (acc[k], jerk[k], pot[k], nn[k]) = (os[k].acc, os[k].jerk, os[k].pot, os[k].nn);
+    }
+    for j in jlo..jhi {
+        let pj = ppos[j];
+        let vj = pvel[j];
+        let mj = jmass[j];
+        for k in 0..W {
+            let ip = &ips[k];
+            if j == ip.index {
+                continue;
+            }
+            let dx = pj - ip.pos;
+            let r2 = dx.norm2();
+            if nn[k].is_none_or(|nb| r2 < nb.r2) {
+                nn[k] = Some(Neighbor { index: j, r2 });
+            }
+            let (a, jk, p) = pair_force_jerk(dx, vj - ip.vel, mj, eps2);
+            acc[k] += a;
+            jerk[k] += jk;
+            pot[k] += p;
+        }
+    }
+    for k in 0..W {
+        os[k] = ForceResult { acc: acc[k], jerk: jerk[k], pot: pot[k], nn: nn[k] };
+    }
+}
+
+/// Cache-blocked sweep of all j-particles for one i-chunk: j in L2-sized
+/// tiles (outer), i-particles four at a time (inner), remainder scalar.
+fn tiled_block_sweep(
+    os: &mut [ForceResult],
+    ips: &[IParticle],
+    ppos: &[Vec3],
+    pvel: &[Vec3],
+    jmass: &[f64],
+    eps2: f64,
+) {
+    for o in os.iter_mut() {
+        *o = ForceResult::default();
+    }
+    let n = ppos.len();
+    let mut jlo = 0;
+    while jlo < n {
+        let jhi = (jlo + J_TILE).min(n);
+        let mut k = 0;
+        while k + 4 <= ips.len() {
+            sweep_tile::<4>(&mut os[k..k + 4], &ips[k..k + 4], jlo, jhi, ppos, pvel, jmass, eps2);
+            k += 4;
+        }
+        match ips.len() - k {
+            1 => sweep_tile::<1>(&mut os[k..], &ips[k..], jlo, jhi, ppos, pvel, jmass, eps2),
+            2 => sweep_tile::<2>(&mut os[k..], &ips[k..], jlo, jhi, ppos, pvel, jmass, eps2),
+            3 => sweep_tile::<3>(&mut os[k..], &ips[k..], jlo, jhi, ppos, pvel, jmass, eps2),
+            _ => {}
+        }
+        jlo = jhi;
+    }
+}
 
 /// Pairwise softened force contribution of a source of mass `mj` at relative
 /// position `dx = x_j − x_i` and relative velocity `dv = v_j − v_i`.
@@ -116,6 +205,8 @@ pub struct DirectEngine {
     /// Predicted j state, refreshed by each `compute` call.
     ppos: Vec<Vec3>,
     pvel: Vec<Vec3>,
+    /// Per-chunk partial rows of the small-block sweep (capacity reused).
+    partials: Vec<ForceResult>,
     eps2: f64,
     interactions: u64,
     force_calls: u64,
@@ -173,61 +264,69 @@ impl crate::engine::ForceEngine for DirectEngine {
 
     fn compute(&mut self, t: f64, ips: &[IParticle], out: &mut [ForceResult]) {
         assert_eq!(ips.len(), out.len());
-        self.predict_all(t);
+        let b = ips.len();
         let n = self.jpos.len();
         // Hardware convention: every i-particle interacts with every resident
         // j-particle (the self term contributes nothing to force/jerk).
-        self.interactions += (ips.len() as u64) * (n as u64);
+        self.interactions += (b as u64) * (n as u64);
         self.force_calls += 1;
-        let (ppos, pvel, jmass, eps2) = (&self.ppos, &self.pvel, &self.jmass, self.eps2);
-        if ips.len() >= 4 {
-            out.par_iter_mut().zip(ips.par_iter()).for_each(|(o, ip)| {
-                *o = accumulate_with_nn(ip.pos, ip.vel, ppos, pvel, jmass, eps2, ip.index);
+        if b == 0 {
+            return;
+        }
+        if b > SMALL_BLOCK_MAX {
+            // Enough i-particles to fill the pool: predict once, then sweep
+            // i-chunks in parallel through the cache-blocked, 4-wide kernel.
+            // Per-i results are pure functions of (i, all j), so the i-chunk
+            // size may follow the thread count without affecting bits.
+            self.predict_all(t);
+            let (ppos, pvel, jmass, eps2) = (&self.ppos, &self.pvel, &self.jmass, self.eps2);
+            let threads = rayon::current_num_threads().max(1);
+            let ic = b.div_ceil(4 * threads).next_multiple_of(4);
+            out.par_chunks_mut(ic).zip(ips.par_chunks(ic)).for_each(|(os, is)| {
+                tiled_block_sweep(os, is, ppos, pvel, jmass, eps2);
             });
         } else {
             // Few i-particles (the common small-block case): parallelize the
             // j-sweep instead, reducing partial sums like the GRAPE hardware
-            // reduction tree.
-            for (o, ip) in out.iter_mut().zip(ips) {
-                let chunk = (n / rayon::current_num_threads().max(1)).max(4096);
-                let partials: Vec<ForceResult> = (0..n)
-                    .into_par_iter()
-                    .chunks(chunk)
-                    .map(|js| {
-                        let mut acc = Vec3::zero();
-                        let mut jerk = Vec3::zero();
-                        let mut pot = 0.0;
-                        let mut nn: Option<crate::particle::Neighbor> = None;
-                        for j in js {
+            // reduction tree. Prediction is fused into the sweep — each chunk
+            // predicts its own j-range on the fly with the same Taylor
+            // expression as `predict_all`, so the bits match while the
+            // separate predict pass (and its memory round-trip) disappears.
+            let jc = j_chunk_size(n);
+            let Self { jpos, jvel, jacc, jjerk, jmass, jtime, partials, eps2, .. } = self;
+            let eps2 = *eps2;
+            chunked_jsweep(
+                n,
+                jc,
+                partials,
+                out,
+                |js, row| {
+                    for j in js {
+                        let dt = t - jtime[j];
+                        let dt2 = dt * dt;
+                        let pp = jpos[j]
+                            + jvel[j] * dt
+                            + jacc[j] * (dt2 / 2.0)
+                            + jjerk[j] * (dt2 * dt / 6.0);
+                        let pv = jvel[j] + jacc[j] * dt + jjerk[j] * (dt2 / 2.0);
+                        for (r, ip) in row.iter_mut().zip(ips) {
                             if j == ip.index {
                                 continue;
                             }
-                            let dx = ppos[j] - ip.pos;
+                            let dx = pp - ip.pos;
                             let r2 = dx.norm2();
-                            if nn.is_none_or(|nb| r2 < nb.r2) {
-                                nn = Some(crate::particle::Neighbor { index: j, r2 });
+                            if r.nn.is_none_or(|nb| r2 < nb.r2) {
+                                r.nn = Some(Neighbor { index: j, r2 });
                             }
-                            let (a, jk, p) = pair_force_jerk(dx, pvel[j] - ip.vel, jmass[j], eps2);
-                            acc += a;
-                            jerk += jk;
-                            pot += p;
-                        }
-                        ForceResult { acc, jerk, pot, nn }
-                    })
-                    .collect();
-                let mut total = ForceResult::default();
-                for p in partials {
-                    total.acc += p.acc;
-                    total.jerk += p.jerk;
-                    total.pot += p.pot;
-                    if let Some(nb) = p.nn {
-                        if total.nn.is_none_or(|t| nb.r2 < t.r2) {
-                            total.nn = Some(nb);
+                            let (a, jk, p) = pair_force_jerk(dx, pv - ip.vel, jmass[j], eps2);
+                            r.acc += a;
+                            r.jerk += jk;
+                            r.pot += p;
                         }
                     }
-                }
-                *o = total;
-            }
+                },
+                ForceResult::merge,
+            );
         }
     }
 
@@ -370,18 +469,20 @@ mod tests {
         let make_ips = |idx: &[usize]| -> Vec<IParticle> {
             idx.iter().map(|&i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect()
         };
-        // Large block (≥4 → per-i parallel path)
-        let ips_large = make_ips(&[0, 1, 2, 3]);
-        let mut out_large = vec![ForceResult::default(); 4];
+        // Large block (> SMALL_BLOCK_MAX → tiled per-i parallel path)
+        let idx: Vec<usize> = (0..SMALL_BLOCK_MAX + 4).collect();
+        let ips_large = make_ips(&idx);
+        let mut out_large = vec![ForceResult::default(); idx.len()];
         e.compute(0.0, &ips_large, &mut out_large);
-        // Small blocks (j-chunk path), one at a time
-        for (k, &i) in [0usize, 1, 2, 3].iter().enumerate() {
+        // Small blocks (fused j-chunk path), one i-particle at a time
+        for (k, &i) in idx.iter().enumerate() {
             let ips = make_ips(&[i]);
             let mut out = vec![ForceResult::default(); 1];
             e.compute(0.0, &ips, &mut out);
             assert!((out[0].acc - out_large[k].acc).norm() < 1e-13);
             assert!((out[0].jerk - out_large[k].jerk).norm() < 1e-13);
             assert!((out[0].pot - out_large[k].pot).abs() < 1e-12);
+            assert_eq!(out[0].nn.map(|nb| nb.index), out_large[k].nn.map(|nb| nb.index));
         }
     }
 

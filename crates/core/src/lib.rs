@@ -50,6 +50,7 @@ pub mod kepler;
 pub mod observer;
 pub mod particle;
 pub mod shared_step;
+pub mod sweep;
 pub mod units;
 pub mod vec3;
 

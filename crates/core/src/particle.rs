@@ -197,6 +197,24 @@ pub struct ForceResult {
     pub nn: Option<Neighbor>,
 }
 
+impl ForceResult {
+    /// Fold the partial result of a disjoint j-range into this one: sums
+    /// add, the nearest neighbour keeps the strictly closer candidate (so a
+    /// tie resolves to the earlier partial). Partials must be merged in
+    /// ascending j-chunk order for the floating-point sums to be bit-stable.
+    #[inline]
+    pub fn merge(&mut self, other: &Self) {
+        self.acc += other.acc;
+        self.jerk += other.jerk;
+        self.pot += other.pot;
+        if let Some(nb) = other.nn {
+            if self.nn.is_none_or(|t| nb.r2 < t.r2) {
+                self.nn = Some(nb);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,8 +19,30 @@ use crate::pipeline::PipelineRegisters;
 use crate::predictor::{predict_j, JParticle};
 use crate::timing::TimingModel;
 use grape6_core::engine::ForceEngine;
-use grape6_core::particle::{ForceResult, IParticle, ParticleSystem};
+use grape6_core::particle::{ForceResult, IParticle, Neighbor, ParticleSystem};
+use grape6_core::sweep::{chunked_jsweep, j_chunk_size, SMALL_BLOCK_MAX};
 use rayon::prelude::*;
+
+/// Partial pipeline state for one i-particle over one j-chunk. The
+/// fixed-point accumulators merge exactly associatively (the hardware
+/// reduction-tree property), so chunked partials read out bit-identically
+/// to one flat sweep — for any chunking, on any thread count.
+#[derive(Debug, Clone, Copy, Default)]
+struct SweepPartial {
+    regs: PipelineRegisters,
+    nn: Option<Neighbor>,
+}
+
+impl SweepPartial {
+    fn merge(&mut self, other: &Self) {
+        self.regs.merge(&other.regs);
+        if let Some(nb) = other.nn {
+            if self.nn.is_none_or(|t| nb.r2 < t.r2) {
+                self.nn = Some(nb);
+            }
+        }
+    }
+}
 
 /// Configuration of a simulated GRAPE-6 installation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,8 +93,10 @@ pub struct Grape6Engine {
     // Bytes across the host interface, charged at the wire-format packet
     // sizes (i-particles up, forces down, j-particles on every write-back).
     wire_bytes: u64,
-    // Predicted j-particles, refreshed per compute call.
+    // Predicted j-particles, refreshed per compute call (large blocks).
     pred: Vec<crate::predictor::PredictedJ>,
+    // Per-chunk partial rows of the small-block sweep (capacity reused).
+    partials: Vec<SweepPartial>,
 }
 
 impl Grape6Engine {
@@ -86,6 +110,7 @@ impl Grape6Engine {
             interactions: 0,
             wire_bytes: 0,
             pred: Vec::new(),
+            partials: Vec::new(),
         }
     }
 
@@ -169,50 +194,100 @@ impl ForceEngine for Grape6Engine {
         self.wire_bytes +=
             (ips.len() * (crate::wire::I_PACKET_BYTES + crate::wire::F_PACKET_BYTES)) as u64;
 
-        // Predictor pipelines: every chip predicts its resident j-particles.
         let fmt = self.config.format;
         let precision = self.config.precision;
-        self.pred.clear();
-        self.jmem
-            .par_iter()
-            .map(|j| predict_j(&fmt, precision, j, t))
-            .collect_into_vec(&mut self.pred);
-
-        // Force pipelines + reduction tree. The fixed-point accumulators make
-        // the reduction order irrelevant, so a flat parallel sweep is
-        // bit-identical to the hardware's chip/board/NB tree.
-        let pred = &self.pred;
         let eps2 = self.eps2;
-        let jmem = &self.jmem;
-        out.par_iter_mut().zip(ips.par_iter()).for_each(|(o, ip)| {
-            let hw = HwIParticle::encode(&fmt, precision, ip.pos, ip.vel);
-            let mut regs = PipelineRegisters::new();
-            // The hardware also reports the nearest neighbour of each
-            // i-particle (used for collision/accretion detection).
-            let mut nn: Option<grape6_core::particle::Neighbor> = None;
-            for (j, pj) in pred.iter().enumerate() {
-                regs.accumulate(&fmt, precision, hw.qpos, pj.qpos, hw.vel, pj.vel, pj.mass, eps2);
-                if j != ip.index {
-                    let dx = fmt.decode_vec([
-                        pj.qpos[0].wrapping_sub(hw.qpos[0]),
-                        pj.qpos[1].wrapping_sub(hw.qpos[1]),
-                        pj.qpos[2].wrapping_sub(hw.qpos[2]),
-                    ]);
-                    let r2 = dx.norm2();
-                    if nn.is_none_or(|n| r2 < n.r2) {
-                        nn = Some(grape6_core::particle::Neighbor { index: j, r2 });
+        if ips.len() > SMALL_BLOCK_MAX {
+            // Predictor pipelines: every chip predicts its resident
+            // j-particles, then i-particles sweep the shared prediction in
+            // parallel.
+            self.pred.clear();
+            self.jmem
+                .par_iter()
+                .map(|j| predict_j(&fmt, precision, j, t))
+                .collect_into_vec(&mut self.pred);
+
+            // Force pipelines + reduction tree. The fixed-point accumulators
+            // make the reduction order irrelevant, so a flat parallel sweep
+            // is bit-identical to the hardware's chip/board/NB tree.
+            let pred = &self.pred;
+            let jmem = &self.jmem;
+            out.par_iter_mut().zip(ips.par_iter()).for_each(|(o, ip)| {
+                let hw = HwIParticle::encode(&fmt, precision, ip.pos, ip.vel);
+                let mut regs = PipelineRegisters::new();
+                // The hardware also reports the nearest neighbour of each
+                // i-particle (used for collision/accretion detection).
+                let mut nn: Option<Neighbor> = None;
+                for (j, pj) in pred.iter().enumerate() {
+                    regs.accumulate(
+                        &fmt, precision, hw.qpos, pj.qpos, hw.vel, pj.vel, pj.mass, eps2,
+                    );
+                    if j != ip.index {
+                        let dx = fmt.decode_vec([
+                            pj.qpos[0].wrapping_sub(hw.qpos[0]),
+                            pj.qpos[1].wrapping_sub(hw.qpos[1]),
+                            pj.qpos[2].wrapping_sub(hw.qpos[2]),
+                        ]);
+                        let r2 = dx.norm2();
+                        if nn.is_none_or(|n| r2 < n.r2) {
+                            nn = Some(Neighbor { index: j, r2 });
+                        }
                     }
                 }
+                let (acc, jerk, mut pot) = regs.read();
+                // The pipeline sums over *all* j including the particle
+                // itself; the self term contributes no force but −m/ε of
+                // potential, which the host removes (paper convention).
+                if ip.index < jmem.len() {
+                    pot += jmem[ip.index].mass / eps2.sqrt();
+                }
+                *o = ForceResult { acc, jerk, pot, nn };
+            });
+        } else {
+            // Small block: split j-space across the pool instead, prediction
+            // fused into each chunk (the chip predicts the j-particle right
+            // before feeding its pipelines). Exact fixed-point associativity
+            // makes the chunked merge bit-identical to the flat sweep above.
+            let hws: Vec<HwIParticle> =
+                ips.iter().map(|ip| HwIParticle::encode(&fmt, precision, ip.pos, ip.vel)).collect();
+            let jmem = &self.jmem;
+            let mut swept = vec![SweepPartial::default(); ips.len()];
+            chunked_jsweep(
+                n_j,
+                j_chunk_size(n_j),
+                &mut self.partials,
+                &mut swept,
+                |js, row| {
+                    for j in js {
+                        let pj = predict_j(&fmt, precision, &jmem[j], t);
+                        for (r, (hw, ip)) in row.iter_mut().zip(hws.iter().zip(ips)) {
+                            r.regs.accumulate(
+                                &fmt, precision, hw.qpos, pj.qpos, hw.vel, pj.vel, pj.mass, eps2,
+                            );
+                            if j != ip.index {
+                                let dx = fmt.decode_vec([
+                                    pj.qpos[0].wrapping_sub(hw.qpos[0]),
+                                    pj.qpos[1].wrapping_sub(hw.qpos[1]),
+                                    pj.qpos[2].wrapping_sub(hw.qpos[2]),
+                                ]);
+                                let r2 = dx.norm2();
+                                if r.nn.is_none_or(|n| r2 < n.r2) {
+                                    r.nn = Some(Neighbor { index: j, r2 });
+                                }
+                            }
+                        }
+                    }
+                },
+                SweepPartial::merge,
+            );
+            for ((o, p), ip) in out.iter_mut().zip(&swept).zip(ips) {
+                let (acc, jerk, mut pot) = p.regs.read();
+                if ip.index < self.jmem.len() {
+                    pot += self.jmem[ip.index].mass / eps2.sqrt();
+                }
+                *o = ForceResult { acc, jerk, pot, nn: p.nn };
             }
-            let (acc, jerk, mut pot) = regs.read();
-            // The pipeline sums over *all* j including the particle itself;
-            // the self term contributes no force but −m/ε of potential,
-            // which the host removes (paper convention).
-            if ip.index < jmem.len() {
-                pot += jmem[ip.index].mass / eps2.sqrt();
-            }
-            *o = ForceResult { acc, jerk, pot, nn };
-        });
+        }
     }
 
     fn interaction_count(&self) -> u64 {
@@ -319,6 +394,29 @@ mod tests {
             assert_eq!(out1[k].acc, out2[k].acc, "particle {k} nondeterministic");
             assert_eq!(out1[k].jerk, out2[k].jerk);
             assert_eq!(out1[k].pot, out2[k].pot);
+        }
+    }
+
+    #[test]
+    fn small_block_sweep_matches_flat_sweep_bitwise() {
+        // The chunked j-parallel path (small blocks) must read out the exact
+        // bits of the flat per-i sweep (large blocks): fixed-point
+        // accumulation is associative, NN keeps the first minimum either way.
+        let sys = ring_system(200);
+        let mut hw = Grape6Engine::sc2002();
+        hw.load(&sys);
+        let idx: Vec<usize> = (0..200).collect();
+        let ips = ips_for(&sys, &idx);
+        let mut all = vec![ForceResult::default(); 200];
+        hw.compute(0.0, &ips, &mut all);
+        for &i in &[0usize, 7, 63, 199] {
+            let one = ips_for(&sys, &[i]);
+            let mut out = vec![ForceResult::default(); 1];
+            hw.compute(0.0, &one, &mut out);
+            assert_eq!(out[0].acc, all[i].acc, "particle {i}");
+            assert_eq!(out[0].jerk, all[i].jerk, "particle {i}");
+            assert_eq!(out[0].pot, all[i].pot, "particle {i}");
+            assert_eq!(out[0].nn.map(|n| n.index), all[i].nn.map(|n| n.index));
         }
     }
 

@@ -30,12 +30,20 @@ pub struct Telemetry {
     init_calls: u64,
     init_interactions: u64,
     wire_bytes: u64,
+    host_threads: u64,
 }
 
 impl Telemetry {
-    /// A fresh, empty accumulator.
+    /// A fresh, empty accumulator, stamped with the host thread count the
+    /// parallel kernels will use (`rayon::current_num_threads()` at attach
+    /// time). Work counters never depend on it — only wall clocks do.
     pub fn new() -> Self {
-        Self::default()
+        Self { host_threads: rayon::current_num_threads() as u64, ..Self::default() }
+    }
+
+    /// Host worker threads the parallel kernels use (recorded at creation).
+    pub fn host_threads(&self) -> u64 {
+        self.host_threads
     }
 
     /// Wall seconds accumulated in `phase` (closed spans only).
@@ -104,6 +112,7 @@ impl Telemetry {
         self.init_calls += other.init_calls;
         self.init_interactions += other.init_interactions;
         self.wire_bytes += other.wire_bytes;
+        self.host_threads = self.host_threads.max(other.host_threads);
     }
 
     /// Snapshot everything into a serializable report, pulling the engine's
@@ -124,6 +133,7 @@ impl Telemetry {
             init_interactions: self.init_interactions,
             interactions,
             wire_bytes: self.wire_bytes,
+            host_threads: self.host_threads,
             modeled_seconds: modeled,
             interactions_per_second_real: rate(total),
             interactions_per_second_modeled: rate(modeled),
@@ -249,6 +259,10 @@ pub struct TelemetryReport {
     pub interactions: u64,
     /// Bytes through the modeled host↔hardware wire.
     pub wire_bytes: u64,
+    /// Host worker threads the parallel kernels used (wall clocks scale
+    /// with this; work counters are independent of it by construction).
+    #[serde(default)]
+    pub host_threads: u64,
     /// Modeled machine seconds (0 for engines without a timing model).
     pub modeled_seconds: f64,
     /// Interactions per real (host wall) second.
@@ -347,6 +361,18 @@ mod tests {
         assert_eq!(back.interactions, rep.interactions);
         assert_eq!(back.phase_calls, rep.phase_calls);
         assert_eq!(back.total_host_seconds, rep.total_host_seconds);
+    }
+
+    #[test]
+    fn host_threads_is_stamped_and_survives_merge() {
+        let a = rayon::with_num_threads(3, Telemetry::new);
+        assert_eq!(a.host_threads(), 3);
+        let b = rayon::with_num_threads(8, Telemetry::new);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.host_threads(), 8);
+        let rep = rayon::with_num_threads(3, || a.report(&DirectEngine::new()));
+        assert_eq!(rep.host_threads, 3);
     }
 
     #[test]

@@ -1,118 +1,71 @@
-//! Sequential shim for the subset of `rayon` this workspace uses.
+//! Threaded shim for the subset of `rayon` this workspace uses.
 //!
-//! Every `par_*` entry point returns the corresponding standard iterator, so
-//! downstream adaptor chains (`map`, `zip`, `enumerate`, `for_each`, `sum`)
-//! resolve to `std::iter::Iterator` methods. The extra rayon-only adaptors
-//! (`chunks`, `collect_into_vec`) are provided by [`ParallelIteratorExt`].
+//! Unlike the usual sequential offline facade, this shim runs `par_*` work on
+//! a real [`std::thread`] worker pool ([`pool`]) with **statically chunked,
+//! deterministic scheduling**:
 //!
-//! `current_num_threads` honours `RAYON_NUM_THREADS` so thread-count-aware
-//! chunking heuristics keep working (execution stays sequential either way,
-//! which makes counter determinism across "thread counts" trivially exact).
+//! - every drive splits its index range into fixed-size chunks and assigns
+//!   chunk `c` to pool slot `c % threads` (round-robin, no work stealing);
+//! - element-wise drives (`for_each`, `collect_into_vec`) write each result
+//!   at its own index, so scheduling cannot affect them at all;
+//! - order-sensitive reductions (`sum`) use a chunk size that depends only on
+//!   the element count and combine per-chunk partials **in chunk order**,
+//!   making floating-point sums bit-identical for any `RAYON_NUM_THREADS`.
+//!
+//! The thread count comes from [`current_num_threads`]: an explicit
+//! [`with_num_threads`] scope wins, then the `RAYON_NUM_THREADS` environment
+//! variable, then [`std::thread::available_parallelism`]. One thread (or a
+//! nested parallel call) runs inline on the caller with zero pool overhead.
+
+use std::cell::Cell;
+
+mod iter;
+pub mod pool;
+
+pub use iter::{
+    Enumerate, FromParallelIterator, IntoParallelIterator, IterChunks, Map, ParChunks,
+    ParChunksMut, ParIter, ParIterMut, ParallelIterator, ParallelSlice, RangeIter, Zip,
+};
+pub use pool::broadcast;
 
 /// Prelude mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelIteratorExt, ParallelSlice};
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice};
 }
 
-/// Number of "threads" in the pool: `RAYON_NUM_THREADS` or 1.
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel drives will use: a [`with_num_threads`]
+/// override if one is active, else `RAYON_NUM_THREADS`, else the machine's
+/// [`std::thread::available_parallelism`].
 pub fn current_num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|c| c.get()) {
+        return n;
+    }
     std::env::var("RAYON_NUM_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or(1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
-/// `into_par_iter()` for any `IntoIterator` (ranges, vectors, ...).
-pub trait IntoParallelIterator {
-    /// The underlying (sequential) iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type.
-    type Item;
-    /// Convert into a "parallel" (here: sequential) iterator.
-    fn into_par_iter(self) -> Self::Iter;
-}
-
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
-    type Item = I::Item;
-    fn into_par_iter(self) -> I::IntoIter {
-        self.into_iter()
-    }
-}
-
-/// Slice entry points: `par_iter`, `par_iter_mut`, `par_chunks[_mut]`.
-pub trait ParallelSlice<T> {
-    /// Shared "parallel" iterator over the slice.
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
-    /// Mutable "parallel" iterator over the slice.
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-    /// Chunked shared iterator.
-    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
-    /// Chunked mutable iterator.
-    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
-    }
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
-    }
-    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(size)
-    }
-    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(size)
-    }
-}
-
-/// Iterator over owned chunks, mirroring rayon's `chunks` adaptor.
-pub struct IterChunks<I: Iterator> {
-    inner: I,
-    size: usize,
-}
-
-impl<I: Iterator> Iterator for IterChunks<I> {
-    type Item = Vec<I::Item>;
-    fn next(&mut self) -> Option<Vec<I::Item>> {
-        let mut chunk = Vec::with_capacity(self.size);
-        for _ in 0..self.size {
-            match self.inner.next() {
-                Some(x) => chunk.push(x),
-                None => break,
-            }
-        }
-        if chunk.is_empty() {
-            None
-        } else {
-            Some(chunk)
+/// Run `f` with [`current_num_threads`] pinned to `threads` on this thread
+/// (restored on exit, even on panic). Results are bit-identical for any
+/// `threads` by the determinism contract; this exists so thread-scaling
+/// benchmarks and determinism tests can vary the count without racy
+/// process-global environment writes.
+pub fn with_num_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
         }
     }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(threads.max(1)))));
+    f()
 }
-
-/// rayon-only adaptors grafted onto every iterator.
-pub trait ParallelIteratorExt: Iterator + Sized {
-    /// Group items into `Vec`s of at most `size` elements.
-    fn chunks(self, size: usize) -> IterChunks<Self> {
-        assert!(size > 0, "chunk size must be positive");
-        IterChunks { inner: self, size }
-    }
-
-    /// Collect into an existing vector, clearing it first.
-    fn collect_into_vec(self, out: &mut Vec<Self::Item>) {
-        out.clear();
-        out.extend(self);
-    }
-
-    /// rayon's `with_min_len` tuning knob: a no-op here.
-    fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-}
-
-impl<I: Iterator> ParallelIteratorExt for I {}
 
 #[cfg(test)]
 mod tests {
@@ -134,9 +87,73 @@ mod tests {
     #[test]
     fn slice_entry_points() {
         let mut a = [1, 2, 3];
-        let s: i32 = a.par_iter().sum();
+        let s: i32 = a.par_iter().map(|x| *x).sum();
         assert_eq!(s, 6);
         a.par_iter_mut().for_each(|x| *x *= 2);
         assert_eq!(a, [2, 4, 6]);
+    }
+
+    #[test]
+    fn par_chunks_mut_hands_out_disjoint_windows() {
+        let mut a = vec![0usize; 10];
+        a.par_chunks_mut(3).enumerate().for_each(|(c, w)| {
+            for x in w.iter_mut() {
+                *x = c + 1;
+            }
+        });
+        assert_eq!(a, vec![1, 1, 1, 2, 2, 2, 3, 3, 3, 4]);
+    }
+
+    #[test]
+    fn zip_stops_at_shorter_side() {
+        let a = [1, 2, 3, 4];
+        let b = [10, 20, 30];
+        let v: Vec<i32> = a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect();
+        assert_eq!(v, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn sum_is_bit_identical_across_thread_counts() {
+        // Adversarial magnitudes: a naive reorder of these terms changes bits.
+        let xs: Vec<f64> =
+            (0..10_000).map(|i| (1.0 + f64::from(i) * 1e-3) * 10f64.powi(i % 31 - 15)).collect();
+        let reference = super::with_num_threads(1, || xs.par_iter().map(|x| *x).sum::<f64>());
+        for t in [2usize, 3, 4, 8] {
+            let s = super::with_num_threads(t, || xs.par_iter().map(|x| *x).sum::<f64>());
+            assert_eq!(s.to_bits(), reference.to_bits(), "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn with_num_threads_overrides_and_restores() {
+        let outer = super::current_num_threads();
+        super::with_num_threads(3, || {
+            assert_eq!(super::current_num_threads(), 3);
+            super::with_num_threads(7, || assert_eq!(super::current_num_threads(), 7));
+            assert_eq!(super::current_num_threads(), 3);
+        });
+        assert_eq!(super::current_num_threads(), outer);
+    }
+
+    #[test]
+    fn default_thread_count_tracks_the_machine() {
+        // Satellite fix: without RAYON_NUM_THREADS the shim must see the real
+        // machine, not 1. (Guard: skip when the variable is set externally.)
+        if std::env::var("RAYON_NUM_THREADS").is_err() {
+            let expect = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            assert_eq!(super::current_num_threads(), expect);
+        }
+    }
+
+    #[test]
+    fn for_each_runs_under_many_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        super::with_num_threads(4, || {
+            (0..1000usize).into_par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
     }
 }
