@@ -1,0 +1,163 @@
+//! `bench_compare` — the bench-regression gate: compare a freshly produced
+//! `BENCH_report.json` against the committed baseline and fail loudly on
+//! any regression.
+//!
+//! Usage: `bench_compare --baseline BENCH_report.json --fresh fresh.json
+//!         [--tolerance 0.15]`
+//!
+//! Two classes of check, matched per workload id:
+//!
+//! * **Counters** (interactions, block/particle steps, wire bytes, modeled
+//!   seconds, fault statistics) are deterministic — fixed seeds,
+//!   bit-reproducible engines — so ANY difference from the baseline is a
+//!   failure, in either direction. A counter that moved means the physics,
+//!   the wire accounting, or the fault model changed.
+//! * **Wall clock** (`total_host_seconds`) is machine-dependent: only a
+//!   slowdown beyond `--tolerance` (default 15 %) fails; speedups pass.
+//!
+//! Exit status is nonzero when any check fails, so CI can gate on it.
+
+use grape6_bench::arg_or;
+use grape6_bench::report::{BenchReport, WorkloadResult};
+use std::process::ExitCode;
+
+struct Gate {
+    tolerance: f64,
+    failures: u64,
+}
+
+impl Gate {
+    fn counter(&mut self, workload: &str, name: &str, baseline: u64, fresh: u64) {
+        let ok = baseline == fresh;
+        if !ok {
+            self.failures += 1;
+        }
+        println!(
+            "  {:<18} {:<16} {:>14} {:>14}  {}",
+            workload,
+            name,
+            baseline,
+            fresh,
+            if ok { "ok" } else { "FAIL (counters must match exactly)" }
+        );
+    }
+
+    fn exact_f64(&mut self, workload: &str, name: &str, baseline: f64, fresh: f64) {
+        let ok = baseline.to_bits() == fresh.to_bits();
+        if !ok {
+            self.failures += 1;
+        }
+        println!(
+            "  {:<18} {:<16} {:>14.6e} {:>14.6e}  {}",
+            workload,
+            name,
+            baseline,
+            fresh,
+            if ok { "ok" } else { "FAIL (modeled time must match exactly)" }
+        );
+    }
+
+    fn wall_clock(&mut self, workload: &str, baseline: f64, fresh: f64) {
+        // Sub-millisecond baselines are all noise; skip the ratio test.
+        if baseline < 1e-3 {
+            println!("  {workload:<18} {:<16} (baseline < 1 ms, skipped)", "wall_seconds");
+            return;
+        }
+        let ratio = fresh / baseline;
+        let ok = ratio <= 1.0 + self.tolerance;
+        if !ok {
+            self.failures += 1;
+        }
+        println!(
+            "  {:<18} {:<16} {:>14.4} {:>14.4}  {}",
+            workload,
+            "wall_seconds",
+            baseline,
+            fresh,
+            if ok {
+                format!("ok ({:+.1} %)", (ratio - 1.0) * 100.0)
+            } else {
+                format!(
+                    "FAIL (+{:.1} % > {:.0} % budget)",
+                    (ratio - 1.0) * 100.0,
+                    self.tolerance * 100.0
+                )
+            }
+        );
+    }
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn compare_workload(gate: &mut Gate, base: &WorkloadResult, fresh: &WorkloadResult) {
+    let (b, f) = (&base.telemetry, &fresh.telemetry);
+    gate.counter(&base.id, "interactions", b.interactions, f.interactions);
+    gate.counter(&base.id, "block_steps", b.block_steps, f.block_steps);
+    gate.counter(&base.id, "particle_steps", b.particle_steps, f.particle_steps);
+    gate.counter(&base.id, "wire_bytes", b.wire_bytes, f.wire_bytes);
+    gate.counter(&base.id, "faults_injected", b.faults.injected, f.faults.injected);
+    gate.counter(&base.id, "dmr_mismatches", b.faults.dmr_mismatches, f.faults.dmr_mismatches);
+    gate.counter(&base.id, "checksum_errors", b.faults.checksum_errors, f.faults.checksum_errors);
+    gate.counter(&base.id, "retries", b.faults.retries, f.faults.retries);
+    gate.counter(&base.id, "scrubs", b.faults.scrubs, f.faults.scrubs);
+    gate.counter(&base.id, "words_scrubbed", b.faults.words_scrubbed, f.faults.words_scrubbed);
+    gate.counter(&base.id, "boards_failed", b.faults.boards_failed, f.faults.boards_failed);
+    gate.exact_f64(&base.id, "modeled_seconds", b.modeled_seconds, f.modeled_seconds);
+    gate.wall_clock(&base.id, b.total_host_seconds, f.total_host_seconds);
+}
+
+fn main() -> ExitCode {
+    let baseline_path: String = arg_or("--baseline", "BENCH_report.json".to_string());
+    let fresh_path: String = arg_or("--fresh", "fresh_report.json".to_string());
+    let tolerance: f64 = arg_or("--tolerance", 0.15);
+
+    let (baseline, fresh) = match (load(&baseline_path), load(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for r in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("error: {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut gate = Gate { tolerance, failures: 0 };
+    println!(
+        "bench_compare: baseline {} (git {}) vs fresh {} (git {})",
+        baseline_path, baseline.git_sha, fresh_path, fresh.git_sha
+    );
+    if baseline.schema_version != fresh.schema_version {
+        eprintln!(
+            "error: schema version mismatch: baseline {} vs fresh {} — regenerate the baseline",
+            baseline.schema_version, fresh.schema_version
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("  {:<18} {:<16} {:>14} {:>14}  status", "workload", "metric", "baseline", "fresh");
+
+    for base in &baseline.workloads {
+        match fresh.workloads.iter().find(|w| w.id == base.id) {
+            Some(f) => compare_workload(&mut gate, base, f),
+            None => {
+                gate.failures += 1;
+                println!("  {:<18} MISSING from fresh report", base.id);
+            }
+        }
+    }
+    for w in &fresh.workloads {
+        if !baseline.workloads.iter().any(|b| b.id == w.id) {
+            println!("  {:<18} new workload (not in baseline, not gated)", w.id);
+        }
+    }
+
+    if gate.failures > 0 {
+        eprintln!("bench_compare: {} check(s) FAILED", gate.failures);
+        ExitCode::FAILURE
+    } else {
+        println!("bench_compare: all checks passed");
+        ExitCode::SUCCESS
+    }
+}

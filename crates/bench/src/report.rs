@@ -15,15 +15,16 @@ use crate::experiment_config;
 use grape6_core::engine::ForceEngine;
 use grape6_core::force::FLOPS_PER_INTERACTION;
 use grape6_disk::DiskBuilder;
-use grape6_hw::{Grape6Engine, TimingModel};
+use grape6_hw::{FaultPlan, FaultTolerantEngine, Grape6Config, Grape6Engine, TimingModel};
 use grape6_sim::{Simulation, TelemetryReport};
 use grape6_tree::TreeEngine;
 use serde::{Deserialize, Serialize};
 
 /// Bumped whenever a field of [`BenchReport`] changes meaning or name.
 /// Version 2 added the `thread_scaling` section and the per-workload
-/// `telemetry.host_threads` field.
-pub const SCHEMA_VERSION: u64 = 2;
+/// `telemetry.host_threads` field. Version 3 added the `telemetry.faults`
+/// counters, the `checkpoint` phase, and the `grape6_ft_faulty` workload.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Host thread counts the scaling section sweeps.
 pub const SCALING_THREADS: [usize; 3] = [1, 2, 4];
@@ -37,6 +38,9 @@ pub enum EngineKind {
     Grape6,
     /// The Barnes-Hut baseline at the given opening angle.
     Tree(f64),
+    /// The dual-modular fault-tolerant GRAPE-6 running a seeded random
+    /// [`FaultPlan`] (the given seed; 8 events over the first 40 blocks).
+    Grape6Faulty(u64),
 }
 
 /// One fixed, seeded benchmark workload.
@@ -78,6 +82,13 @@ pub fn standard_workloads() -> Vec<WorkloadSpec> {
             seed: 20020616,
             t_end: 2.0,
             engine: EngineKind::Tree(0.5),
+        },
+        WorkloadSpec {
+            id: "grape6_ft_faulty",
+            n: 256,
+            seed: 20020616,
+            t_end: 1.0,
+            engine: EngineKind::Grape6Faulty(2002),
         },
     ]
 }
@@ -207,6 +218,10 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
         EngineKind::Direct => run_with(spec, grape6_core::force::DirectEngine::new()),
         EngineKind::Grape6 => run_with(spec, Grape6Engine::sc2002()),
         EngineKind::Tree(theta) => run_with(spec, TreeEngine::new(theta)),
+        EngineKind::Grape6Faulty(seed) => {
+            let plan = FaultPlan::random(seed, 8, 40);
+            run_with(spec, FaultTolerantEngine::new(Grape6Config::sc2002(), &plan))
+        }
     }
 }
 

@@ -109,9 +109,9 @@ fn thread_scaling_schema_is_stable() {
 }
 
 #[test]
-fn workload_set_is_the_documented_trio() {
+fn workload_set_is_the_documented_quartet() {
     let ids: Vec<&str> = standard_workloads().iter().map(|s| s.id).collect();
-    assert_eq!(ids, ["small_disk_direct", "grape6_node", "tree_baseline"]);
+    assert_eq!(ids, ["small_disk_direct", "grape6_node", "tree_baseline", "grape6_ft_faulty"]);
     for s in standard_workloads() {
         assert!(s.t_end > 0.0);
         assert!(s.n >= 64, "workloads must be non-trivial");

@@ -11,6 +11,52 @@
 //!   against in §3.
 
 use crate::particle::{ForceResult, IParticle, ParticleSystem};
+use serde::{Deserialize, Serialize};
+
+/// Fault-tolerance counters an engine accumulates over a run. Engines
+/// without a fault model report all zeros. Every count is exact integer
+/// work accounting — deterministic for a given fault plan, independent of
+/// host thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Faults injected into the engine (memory upsets, link flips, dead
+    /// boards).
+    #[serde(default)]
+    pub injected: u64,
+    /// Force blocks on which dual-modular redundancy caught a bitwise
+    /// disagreement between the two units.
+    #[serde(default)]
+    pub dmr_mismatches: u64,
+    /// Wire packets rejected by their per-packet checksum.
+    #[serde(default)]
+    pub checksum_errors: u64,
+    /// Block recomputations forced by a detected fault (each one re-charges
+    /// the modeled hardware clock — the throughput lost to recovery).
+    #[serde(default)]
+    pub retries: u64,
+    /// Memory-scrub passes run against the host's authoritative copy.
+    #[serde(default)]
+    pub scrubs: u64,
+    /// j-memory words a scrub pass found corrupted and rewrote.
+    #[serde(default)]
+    pub words_scrubbed: u64,
+    /// Processor boards permanently lost (the timing model is repartitioned
+    /// around each, charging the lost throughput for the rest of the run).
+    #[serde(default)]
+    pub boards_failed: u64,
+}
+
+impl FaultStats {
+    /// True when no fault activity of any kind was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Faults detected by either mechanism (DMR or packet checksum).
+    pub fn detected(&self) -> u64 {
+        self.dmr_mismatches + self.checksum_errors
+    }
+}
 
 /// A device that computes softened gravity (and its time derivative) on
 /// request, holding its own mirror of the particle data.
@@ -50,6 +96,31 @@ pub trait ForceEngine {
     /// Engines without a timing model (CPU, tree) report 0.
     fn modeled_seconds(&self) -> f64 {
         0.0
+    }
+
+    /// Fault-tolerance counters accumulated since the engine was created.
+    /// Engines without a fault model report [`FaultStats::default`].
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+
+    /// Opaque engine state a checkpoint must carry to make a resumed run
+    /// bit-identical to an uninterrupted one: accumulated clocks and
+    /// counters that `load` alone cannot reconstruct. Engines whose entire
+    /// state is rebuilt by `load` return an empty vector.
+    fn checkpoint_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restore state produced by [`Self::checkpoint_state`]. Called *after*
+    /// `load` on resume, so counters charged by the reload are overwritten
+    /// with the checkpointed values.
+    fn restore_checkpoint_state(&mut self, state: &[u8]) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("engine '{}' cannot restore checkpoint state", self.name()))
+        }
     }
 
     /// Short human-readable engine name.

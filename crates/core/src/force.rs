@@ -339,6 +339,25 @@ impl crate::engine::ForceEngine for DirectEngine {
         self.force_calls = 0;
     }
 
+    fn checkpoint_state(&self) -> Vec<u8> {
+        let mut state = Vec::with_capacity(16);
+        state.extend_from_slice(&self.interactions.to_le_bytes());
+        state.extend_from_slice(&self.force_calls.to_le_bytes());
+        state
+    }
+
+    fn restore_checkpoint_state(&mut self, state: &[u8]) -> Result<(), String> {
+        if state.len() != 16 {
+            return Err(format!(
+                "direct-cpu checkpoint state: expected 16 bytes, got {}",
+                state.len()
+            ));
+        }
+        self.interactions = u64::from_le_bytes(state[0..8].try_into().unwrap());
+        self.force_calls = u64::from_le_bytes(state[8..16].try_into().unwrap());
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "direct-cpu"
     }

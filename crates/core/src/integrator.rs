@@ -125,6 +125,34 @@ impl BlockHermite {
         }
     }
 
+    /// Rebuild an integrator mid-run from a checkpointed system state,
+    /// *without* re-running initialization (which would recompute initial
+    /// accelerations and timesteps and so perturb the trajectory).
+    ///
+    /// The event schedule is fully determined by the per-particle `time[i]`
+    /// and `dt[i]` the corrector left behind, so it is reconstructed here
+    /// bit-exactly: every particle is due again at `time[i] + dt[i]`.
+    /// The caller must separately `engine.load(sys)` (which reproduces
+    /// j-memory bit-identically, since each j-entry is the encoding of the
+    /// owning particle's state as of its last correction) and restore
+    /// engine counters via `ForceEngine::restore_checkpoint_state`.
+    pub fn resume_from(config: HermiteConfig, sys: &ParticleSystem, stats: RunStats) -> Self {
+        config.validate().expect("invalid HermiteConfig");
+        let mut scheduler = BlockScheduler::new();
+        for i in 0..sys.len() {
+            scheduler.push(i, sys.time[i] + sys.dt[i]);
+        }
+        Self {
+            config,
+            scheduler,
+            stats,
+            block: Vec::new(),
+            ips: Vec::new(),
+            results: Vec::new(),
+            initialized: true,
+        }
+    }
+
     /// Run statistics accumulated so far.
     pub fn stats(&self) -> RunStats {
         self.stats
@@ -504,6 +532,44 @@ mod tests {
                 assert!(crate::blockstep::is_commensurate(sys.time[i], sys.dt[i]));
             }
         }
+    }
+
+    #[test]
+    fn resume_from_reproduces_uninterrupted_run_bitwise() {
+        // Uninterrupted reference run.
+        let mut sys_a = circular_two_body(1.0);
+        let mut eng_a = DirectEngine::new();
+        let mut integ_a = BlockHermite::new(HermiteConfig::default());
+        integ_a.initialize(&mut sys_a, &mut eng_a);
+        integ_a.evolve(&mut sys_a, &mut eng_a, 2.0);
+
+        // Interrupted run: stop at t = 1, "checkpoint" (clone the system),
+        // rebuild integrator + engine from that state, continue to t = 2.
+        let mut sys_b = circular_two_body(1.0);
+        let mut eng_b = DirectEngine::new();
+        let mut integ_b = BlockHermite::new(HermiteConfig::default());
+        integ_b.initialize(&mut sys_b, &mut eng_b);
+        integ_b.evolve(&mut sys_b, &mut eng_b, 1.0);
+        let snapshot = sys_b.clone();
+        let stats = integ_b.stats();
+
+        let mut sys_c = snapshot;
+        let mut eng_c = DirectEngine::new();
+        eng_c.load(&sys_c);
+        let mut integ_c = BlockHermite::resume_from(HermiteConfig::default(), &sys_c, stats);
+        assert!(integ_c.is_initialized());
+        integ_c.evolve(&mut sys_c, &mut eng_c, 2.0);
+
+        assert_eq!(sys_a.t.to_bits(), sys_c.t.to_bits());
+        for i in 0..sys_a.len() {
+            assert_eq!(sys_a.pos[i], sys_c.pos[i]);
+            assert_eq!(sys_a.vel[i], sys_c.vel[i]);
+            assert_eq!(sys_a.acc[i], sys_c.acc[i]);
+            assert_eq!(sys_a.jerk[i], sys_c.jerk[i]);
+            assert_eq!(sys_a.time[i].to_bits(), sys_c.time[i].to_bits());
+            assert_eq!(sys_a.dt[i].to_bits(), sys_c.dt[i].to_bits());
+        }
+        assert_eq!(integ_a.stats(), integ_c.stats());
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod vec3;
 /// Convenient re-exports of the types most programs need.
 pub mod prelude {
     pub use crate::energy::{total_energy, EnergyLedger};
-    pub use crate::engine::ForceEngine;
+    pub use crate::engine::{FaultStats, ForceEngine};
     pub use crate::force::DirectEngine;
     pub use crate::integrator::{BlockHermite, BlockStepInfo, HermiteConfig, RunStats};
     pub use crate::kepler::{elements_to_state, state_to_elements, Elements};

@@ -24,17 +24,20 @@ pub enum HostPhase {
     JUpdate,
     /// Snapshot/diagnostic output (driver-level, outside `step`).
     Io,
+    /// Serializing a restartable checkpoint (driver-level, outside `step`).
+    Checkpoint,
 }
 
 impl HostPhase {
     /// All phases, in reporting order.
-    pub const ALL: [HostPhase; 6] = [
+    pub const ALL: [HostPhase; 7] = [
         HostPhase::Schedule,
         HostPhase::Predict,
         HostPhase::Force,
         HostPhase::Correct,
         HostPhase::JUpdate,
         HostPhase::Io,
+        HostPhase::Checkpoint,
     ];
 
     /// Stable dense index (for array-backed accumulators).
@@ -46,6 +49,7 @@ impl HostPhase {
             HostPhase::Correct => 3,
             HostPhase::JUpdate => 4,
             HostPhase::Io => 5,
+            HostPhase::Checkpoint => 6,
         }
     }
 
@@ -58,6 +62,7 @@ impl HostPhase {
             HostPhase::Correct => "correct",
             HostPhase::JUpdate => "j_update",
             HostPhase::Io => "io",
+            HostPhase::Checkpoint => "checkpoint",
         }
     }
 }

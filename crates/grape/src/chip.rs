@@ -148,6 +148,16 @@ impl Grape6Chip {
         self.jmem.get(slot)
     }
 
+    /// Fault injection: XOR one bit of the stored particle's fixed-point
+    /// x-position word — a single-event upset in this chip's SSRAM. The
+    /// memory cell changes underneath the machine; no wire is crossed.
+    pub fn corrupt_word(&mut self, slot: usize, bit: u32) -> Result<(), ChipError> {
+        let len = self.jmem.len();
+        let j = self.jmem.get_mut(slot).ok_or(ChipError::BadSlot { slot, len })?;
+        j.qpos[0] ^= 1i64 << (bit % 64);
+        Ok(())
+    }
+
     /// Overwrite one j-memory slot (the per-blockstep write-back path).
     pub fn store_j(&mut self, slot: usize, particle: JParticle) -> Result<(), ChipError> {
         if slot >= self.jmem.len() {

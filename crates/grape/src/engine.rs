@@ -143,6 +143,39 @@ impl Grape6Engine {
         )
     }
 
+    /// Read-only view of resident j-memory. The fault-tolerant wrapper
+    /// clones this right after `load` as the host's authoritative copy for
+    /// memory scrubbing.
+    pub fn jmem(&self) -> &[JParticle] {
+        &self.jmem
+    }
+
+    /// Fault injection: XOR one bit of the resident j-particle `index`'s
+    /// fixed-point x-position word (an SSRAM soft error). `index` wraps
+    /// modulo the loaded count, `bit` modulo 64, so any seeded address is
+    /// valid.
+    pub fn corrupt_j_word(&mut self, index: usize, bit: usize) {
+        assert!(!self.jmem.is_empty(), "no j-particles loaded");
+        let i = index % self.jmem.len();
+        self.jmem[i].qpos[0] ^= 1i64 << (bit % 64);
+    }
+
+    /// Memory scrub: compare every resident j-word against the host's
+    /// authoritative copy, rewrite the ones that differ, and charge the
+    /// write-back traffic. Returns the repaired indices.
+    pub fn scrub_jmem(&mut self, authoritative: &[JParticle]) -> Vec<usize> {
+        assert_eq!(authoritative.len(), self.jmem.len(), "scrub copy length mismatch");
+        let mut repaired = Vec::new();
+        for (i, (res, truth)) in self.jmem.iter_mut().zip(authoritative).enumerate() {
+            if res != truth {
+                *res = *truth;
+                repaired.push(i);
+            }
+        }
+        self.wire_bytes += (repaired.len() * crate::wire::J_PACKET_BYTES) as u64;
+        repaired
+    }
+
     fn encode_j(&self, sys: &ParticleSystem, i: usize) -> JParticle {
         JParticle::encode(
             &self.config.format,
@@ -305,6 +338,44 @@ impl ForceEngine for Grape6Engine {
 
     fn modeled_seconds(&self) -> f64 {
         self.clock.seconds()
+    }
+
+    fn checkpoint_state(&self) -> Vec<u8> {
+        // j-memory itself is NOT carried: `load` on the checkpointed system
+        // reproduces it bit-identically (each j-entry is the encoding of
+        // the owning particle's state as of its last correction). Only the
+        // accumulated counters and the modeled clock need to survive.
+        let mut s = Vec::with_capacity(81);
+        s.extend_from_slice(&self.interactions.to_le_bytes());
+        s.extend_from_slice(&self.wire_bytes.to_le_bytes());
+        s.extend_from_slice(&self.clock.steps.to_le_bytes());
+        let b = &self.clock.breakdown;
+        for v in [b.host, b.send_i, b.pipeline, b.receive, b.jshare_intra, b.jshare_inter, b.sync] {
+            s.extend_from_slice(&v.to_le_bytes());
+        }
+        s.push(b.overlapped as u8);
+        s
+    }
+
+    fn restore_checkpoint_state(&mut self, state: &[u8]) -> Result<(), String> {
+        if state.len() != 81 {
+            return Err(format!("grape6 checkpoint state: expected 81 bytes, got {}", state.len()));
+        }
+        let u64_at = |k: usize| u64::from_le_bytes(state[k..k + 8].try_into().unwrap());
+        let f64_at = |k: usize| f64::from_le_bytes(state[k..k + 8].try_into().unwrap());
+        self.interactions = u64_at(0);
+        self.wire_bytes = u64_at(8);
+        self.clock.steps = u64_at(16);
+        let b = &mut self.clock.breakdown;
+        b.host = f64_at(24);
+        b.send_i = f64_at(32);
+        b.pipeline = f64_at(40);
+        b.receive = f64_at(48);
+        b.jshare_intra = f64_at(56);
+        b.jshare_inter = f64_at(64);
+        b.sync = f64_at(72);
+        b.overlapped = state[80] != 0;
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

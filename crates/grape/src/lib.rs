@@ -28,6 +28,8 @@ pub mod board;
 pub mod chip;
 pub mod cluster;
 pub mod engine;
+pub mod fault;
+pub mod fault_engine;
 pub mod format;
 pub mod grid;
 pub mod host_api;
@@ -47,6 +49,8 @@ pub use board::{BoardGeometry, ProcessorBoard};
 pub use chip::{ChipGeometry, Grape6Chip, HwIParticle};
 pub use cluster::Grape6Cluster;
 pub use engine::{Grape6Config, Grape6Engine};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
+pub use fault_engine::FaultTolerantEngine;
 pub use format::{FixedPointFormat, Precision};
 pub use grid::HostGrid;
 pub use host_api::{g6_open, G6Error, G6Handle};
@@ -56,5 +60,5 @@ pub use node::{Grape6Node, NodeTraffic};
 pub use node_engine::NodeEngine;
 pub use parallel_models::{ParallelModel, Strategy};
 pub use perf::{HardwareClock, PerfReport};
-pub use redundancy::{compare_units, scrub, RedundancyReport};
+pub use redundancy::{compare_units, recover, scrub, Recovery, RedundancyReport};
 pub use timing::{MachineGeometry, StepBreakdown, TimingModel};

@@ -49,6 +49,14 @@ impl Link {
         self.latency + bytes as f64 / self.bytes_per_second
     }
 
+    /// Extra time lost to `retries` stop-and-wait retransmissions of one
+    /// `packet_bytes` packet: each checksum-detected corruption pays the
+    /// link latency and the packet body again. This is the timing cost of
+    /// the retry rung of the fault-recovery ladder.
+    pub fn retransmit_time(&self, packet_bytes: u64, retries: u64) -> f64 {
+        retries as f64 * self.transfer_time(packet_bytes)
+    }
+
     /// Effective bandwidth (bytes/s) achieved for a message of `bytes`.
     pub fn effective_bandwidth(&self, bytes: u64) -> f64 {
         if bytes == 0 {
@@ -119,6 +127,15 @@ mod tests {
         // LVDS and PCI are comparable; fast ethernet is far slower.
         assert!(Link::fast_ethernet().bytes_per_second < Link::gigabit_ethernet().bytes_per_second);
         assert!(Link::gigabit_ethernet().bytes_per_second < Link::pci().bytes_per_second);
+    }
+
+    #[test]
+    fn retransmissions_charge_latency_each() {
+        let l = Link::lvds();
+        assert_eq!(l.retransmit_time(60, 0), 0.0);
+        let one = l.retransmit_time(60, 1);
+        assert_eq!(one, l.transfer_time(60));
+        assert!((l.retransmit_time(60, 3) - 3.0 * one).abs() < 1e-18);
     }
 
     #[test]

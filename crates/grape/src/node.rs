@@ -42,6 +42,8 @@ pub struct Grape6Node {
     precision: Precision,
     /// j index → (board, local index) routing.
     routes: Vec<(usize, usize)>,
+    /// Boards taken out of service by [`Self::fail_board`].
+    failed: Vec<bool>,
     traffic: NodeTraffic,
     eps2: f64,
 }
@@ -61,6 +63,7 @@ impl Grape6Node {
             format,
             precision,
             routes: Vec::new(),
+            failed: vec![false; n_boards],
             traffic: NodeTraffic::default(),
             eps2: 0.0,
         }
@@ -91,9 +94,14 @@ impl Grape6Node {
         self.routes.len()
     }
 
-    /// j-particle capacity.
+    /// j-particle capacity of the boards still in service.
     pub fn capacity(&self) -> usize {
-        self.boards.iter().map(|b| b.geometry.jmem_capacity()).sum()
+        self.boards
+            .iter()
+            .zip(&self.failed)
+            .filter(|(_, dead)| !**dead)
+            .map(|(b, _)| b.geometry.jmem_capacity())
+            .sum()
     }
 
     /// Set the softening used by subsequent force calls.
@@ -115,15 +123,20 @@ impl Grape6Node {
             });
         }
         self.routes.clear();
-        let per_board = particles.len().div_ceil(self.boards.len());
-        for (b, chunk) in particles.chunks(per_board.max(1)).enumerate() {
+        let live: Vec<usize> = (0..self.boards.len()).filter(|&b| !self.failed[b]).collect();
+        let per_board = particles.len().div_ceil(live.len()).max(1);
+        let mut chunks = particles.chunks(per_board);
+        for &b in &live {
+            let chunk = chunks.next().unwrap_or(&[]);
             self.boards[b].load_j(chunk)?;
             for s in 0..chunk.len() {
                 self.routes.push((b, s));
             }
         }
-        for b in particles.len().div_ceil(per_board.max(1))..self.boards.len() {
-            self.boards[b].load_j(&[])?;
+        for (b, dead) in self.failed.iter().enumerate() {
+            if *dead {
+                self.boards[b].load_j(&[])?;
+            }
         }
         Ok(())
     }
@@ -140,7 +153,9 @@ impl Grape6Node {
     }
 
     /// Flip one bit of a stored position word — a single-event upset in the
-    /// SSRAM, the fault class memory scrubbing exists for.
+    /// SSRAM, the fault class memory scrubbing exists for. Routed down to
+    /// the owning chip's memory cell (no wire is crossed: this is the cell
+    /// changing underneath us).
     pub fn inject_position_fault(
         &mut self,
         index: usize,
@@ -151,13 +166,61 @@ impl Grape6Node {
             .routes
             .get(index)
             .ok_or(crate::chip::ChipError::BadSlot { slot: index, len: self.routes.len() })?;
-        let mut j = *self.boards[board]
-            .peek_j(slot)
-            .ok_or(crate::chip::ChipError::BadSlot { slot, len: 0 })?;
-        j.qpos[0] ^= 1i64 << bit;
-        // Direct corruption of the memory word (bypasses the wire on
-        // purpose — this is the memory cell changing underneath us).
-        self.boards[board].store_j(slot, j)
+        self.boards[board].corrupt_word(slot, bit)
+    }
+
+    /// Boards still in service.
+    pub fn live_boards(&self) -> usize {
+        self.failed.iter().filter(|f| !**f).count()
+    }
+
+    /// Kill a processor board: take it out of service and redistribute its
+    /// resident j-particles over the survivors (the migrated share is
+    /// re-DMA'd over the wire and charged to `j_bytes`). Returns the number
+    /// of particles migrated. Refuses to kill the last live board or to
+    /// overflow the survivors' capacity.
+    pub fn fail_board(&mut self, board: usize) -> Result<usize, crate::chip::ChipError> {
+        if board >= self.boards.len() {
+            return Err(crate::chip::ChipError::BadSlot { slot: board, len: self.boards.len() });
+        }
+        if self.failed[board] {
+            return Ok(0);
+        }
+        if self.live_boards() == 1 {
+            // Nothing left to repartition onto.
+            return Err(crate::chip::ChipError::MemoryOverflow {
+                requested: self.n_j(),
+                capacity: 0,
+            });
+        }
+        let migrated = self.routes.iter().filter(|&&(b, _)| b == board).count();
+        // Gather the resident set in global order (still readable — the
+        // board died, its last-known memory image is the host's copy).
+        let particles: Vec<JParticle> =
+            (0..self.routes.len()).map(|k| *self.peek_j(k).expect("routed j missing")).collect();
+        self.failed[board] = true;
+        let live: Vec<usize> = (0..self.boards.len()).filter(|&b| !self.failed[b]).collect();
+        let cap: usize = live.iter().map(|&b| self.boards[b].geometry.jmem_capacity()).sum();
+        if particles.len() > cap {
+            self.failed[board] = false;
+            return Err(crate::chip::ChipError::MemoryOverflow {
+                requested: particles.len(),
+                capacity: cap,
+            });
+        }
+        self.routes.clear();
+        let per_board = particles.len().div_ceil(live.len()).max(1);
+        let mut chunks = particles.chunks(per_board);
+        for &b in &live {
+            let chunk = chunks.next().unwrap_or(&[]);
+            self.boards[b].load_j(chunk)?;
+            for s in 0..chunk.len() {
+                self.routes.push((b, s));
+            }
+        }
+        self.boards[board].load_j(&[])?;
+        self.traffic.j_bytes += (migrated * wire::J_PACKET_BYTES) as u64;
+        Ok(migrated)
     }
 
     /// Write back one updated j-particle by global index (over the wire).
@@ -357,6 +420,47 @@ mod tests {
         let expect = term(1.0) + term(2.0) + term(3.0) + term(100.0);
         assert!((out[0].acc.x - expect).abs() < 1e-10);
         assert!(node.store_j(4, &j_at(0.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn failed_board_repartitions_without_changing_forces() {
+        let mut node = small_node();
+        let js: Vec<JParticle> = (1..=10).map(|k| j_at(k as f64, 1.0)).collect();
+        node.load_j(&js).unwrap();
+        let ip = HwIParticle::encode(
+            &FixedPointFormat::default(),
+            Precision::Exact,
+            Vec3::zero(),
+            Vec3::zero(),
+        );
+        let before = node.compute(0.0, &[(ip, 0)]);
+        let j_bytes_before = node.traffic().j_bytes;
+        // Kill board 0 (held the first 5 particles): they migrate to board 1.
+        let migrated = node.fail_board(0).unwrap();
+        assert_eq!(migrated, 5);
+        assert_eq!(node.live_boards(), 1);
+        assert_eq!(node.capacity(), 32);
+        assert_eq!(node.n_j(), 10);
+        assert_eq!(
+            node.traffic().j_bytes,
+            j_bytes_before + 5 * wire::J_PACKET_BYTES as u64,
+            "the migrated share crosses the wire again"
+        );
+        // Same forces, bit for bit, from the surviving board.
+        let after = node.compute(0.0, &[(ip, 0)]);
+        assert_eq!(before[0].acc, after[0].acc);
+        assert_eq!(before[0].jerk, after[0].jerk);
+        assert_eq!(before[0].pot, after[0].pot);
+        // Killing the same board again is a no-op; killing the last live
+        // board is refused.
+        assert_eq!(node.fail_board(0).unwrap(), 0);
+        assert!(node.fail_board(1).is_err());
+        assert!(node.fail_board(9).is_err());
+        // A reload on the degraded node routes around the dead board.
+        node.load_j(&js).unwrap();
+        assert_eq!(node.n_j(), 10);
+        let reloaded = node.compute(0.0, &[(ip, 0)]);
+        assert_eq!(before[0].acc, reloaded[0].acc);
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! periodically rewriting the j-memories from the host's authoritative copy.
 //! This module implements both for the simulated machine, and the tests
 //! inject real faults to prove they are caught and repaired.
+//!
+//! [`recover`] chains them into the operational ladder the engine-level
+//! wrapper (`crate::fault_engine::FaultTolerantEngine`) also follows:
+//! detect (DMR compare) → retry (recompute) → scrub (rewrite from the
+//! host's copy) → give up and let the caller degrade around the unit.
 
 use crate::chip::HwIParticle;
 use crate::node::Grape6Node;
@@ -67,6 +72,60 @@ pub fn scrub(node: &mut Grape6Node, authoritative: &[JParticle]) -> Vec<usize> {
         }
     }
     repaired
+}
+
+/// Outcome of one pass of the detect → retry → scrub recovery ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recovery {
+    /// The units agreed on the first compare — nothing to do.
+    Clean,
+    /// The first compare disagreed but a plain recompute matched: a
+    /// transient upset that never touched resident state.
+    RetryHealed,
+    /// Resident corruption: scrubbing rewrote this many words in each unit
+    /// and the post-scrub recompute agreed bit-for-bit.
+    Scrubbed {
+        /// Words repaired in unit A.
+        unit_a: usize,
+        /// Words repaired in unit B.
+        unit_b: usize,
+    },
+    /// The units still disagree on this many probes after scrubbing — the
+    /// fault is not in j-memory (dead pipeline, bad board). The caller
+    /// must degrade: repartition around the unit and take it offline.
+    Failed {
+        /// Probes still mismatching after the full ladder.
+        mismatches: usize,
+    },
+}
+
+/// Run the detect → retry → scrub ladder over one probe set, using the
+/// host's authoritative j-memory copy as scrub source. Consumes the
+/// [`RedundancyReport::is_clean`] verdicts and [`scrub`] repair lists that
+/// decide each escalation.
+pub fn recover(
+    a: &mut Grape6Node,
+    b: &mut Grape6Node,
+    t: f64,
+    probes: &[(HwIParticle, u32)],
+    authoritative: &[JParticle],
+) -> Recovery {
+    if compare_units(a, b, t, probes).is_clean() {
+        return Recovery::Clean;
+    }
+    // Retry: identical inputs through deterministic pipelines — if the
+    // recompute now agrees, the upset was in flight, not in memory.
+    if compare_units(a, b, t, probes).is_clean() {
+        return Recovery::RetryHealed;
+    }
+    let repaired_a = scrub(a, authoritative).len();
+    let repaired_b = scrub(b, authoritative).len();
+    let report = compare_units(a, b, t, probes);
+    if report.is_clean() {
+        Recovery::Scrubbed { unit_a: repaired_a, unit_b: repaired_b }
+    } else {
+        Recovery::Failed { mismatches: report.mismatches.len() }
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +230,31 @@ mod tests {
         let repaired = scrub(&mut dirty, &js);
         assert_eq!(repaired.len(), 2);
         assert!(compare_units(&mut clean, &mut dirty, 0.0, &probes()).is_clean());
+    }
+
+    #[test]
+    fn recover_ladder_clean_scrub_and_failed() {
+        let js = particle_set(24);
+        let mut a = test_node();
+        let mut b = test_node();
+        a.load_j(&js).unwrap();
+        b.load_j(&js).unwrap();
+        assert_eq!(recover(&mut a, &mut b, 0.0, &probes(), &js), Recovery::Clean);
+        // Resident corruption in one unit escalates to a scrub that repairs
+        // exactly the flipped word, after which the units agree again.
+        b.inject_position_fault(7, 50).unwrap();
+        assert_eq!(
+            recover(&mut a, &mut b, 0.0, &probes(), &js),
+            Recovery::Scrubbed { unit_a: 0, unit_b: 1 }
+        );
+        assert_eq!(recover(&mut a, &mut b, 0.0, &probes(), &js), Recovery::Clean);
+        // Corruption outside the scrub source's reach cannot be healed:
+        // with a truncated authoritative copy the flipped word at index 7
+        // is never rewritten and the ladder must report Failed — the
+        // caller's cue to degrade around the unit.
+        b.inject_position_fault(7, 50).unwrap();
+        let out = recover(&mut a, &mut b, 0.0, &probes(), &js[..7]);
+        assert!(matches!(out, Recovery::Failed { mismatches } if mismatches > 0), "{out:?}");
     }
 
     #[test]

@@ -29,6 +29,61 @@ pub const I_PACKET_BYTES: usize = 40;
 pub const J_PACKET_BYTES: usize = 72;
 /// Bytes on the wire for one force result.
 pub const F_PACKET_BYTES: usize = 56;
+/// Bytes on the wire for one checksummed force result (payload + Fletcher-32
+/// trailer). The fault-tolerant readout path uses these packets; a corrupted
+/// packet is detected at the host and retransmitted.
+pub const F_PACKET_CHECKED_BYTES: usize = F_PACKET_BYTES + 4;
+
+/// Fletcher-32 checksum over a byte payload (the real GRAPE-6 host
+/// interface protected DMA transfers with a simple additive check; Fletcher
+/// additionally catches reordered words). Deterministic, endian-fixed.
+pub fn packet_checksum(payload: &[u8]) -> u32 {
+    let mut s1: u32 = 0;
+    let mut s2: u32 = 0;
+    for chunk in payload.chunks(2) {
+        let word = if chunk.len() == 2 {
+            u16::from_le_bytes([chunk[0], chunk[1]]) as u32
+        } else {
+            chunk[0] as u32
+        };
+        s1 = (s1 + word) % 65535;
+        s2 = (s2 + s1) % 65535;
+    }
+    (s2 << 16) | s1
+}
+
+/// Encode a force-readout packet with a Fletcher-32 trailer.
+pub fn encode_force_checked(buf: &mut BytesMut, f: &ForceResult) {
+    buf.reserve(F_PACKET_CHECKED_BYTES);
+    let start = buf.len();
+    encode_force(buf, f);
+    let sum = packet_checksum(&buf[start..start + F_PACKET_BYTES]);
+    buf.put_u32_le(sum);
+}
+
+/// Decode a checksummed force packet, verifying its trailer. On a checksum
+/// mismatch the (corrupt) payload is consumed and an error returned — the
+/// caller's recovery policy decides whether to retransmit.
+pub fn decode_force_checked(buf: &mut Bytes) -> Result<ForceResult, u32> {
+    let expected = packet_checksum(&buf[..F_PACKET_BYTES]);
+    let f = decode_force(buf);
+    let sum = buf.get_u32_le();
+    if sum == expected {
+        Ok(f)
+    } else {
+        Err(sum ^ expected)
+    }
+}
+
+/// Flip one bit of an encoded packet buffer (fault injection on a modeled
+/// LVDS/PCI link). `bit` is taken modulo the buffer's bit length, so a
+/// seeded fault plan can address any packet size safely.
+pub fn flip_packet_bit(packet: &mut [u8], bit: usize) {
+    let nbits = packet.len() * 8;
+    assert!(nbits > 0, "cannot flip a bit of an empty packet");
+    let b = bit % nbits;
+    packet[b / 8] ^= 1 << (b % 8);
+}
 
 fn put_vec3_f32(buf: &mut BytesMut, v: Vec3) {
     buf.put_f32_le(v.x as f32);
@@ -220,6 +275,50 @@ mod tests {
             assert_eq!(a.qpos, b.qpos);
             assert_eq!(a.t0, b.t0);
         }
+    }
+
+    #[test]
+    fn checked_force_roundtrip_and_detection() {
+        let f = ForceResult {
+            acc: Vec3::new(1.23456789e-4, -9.87e-6, 0.0),
+            jerk: Vec3::new(1.5e-7, 0.0, -2.0e-8),
+            pot: -4.25e-5,
+            nn: None,
+        };
+        let mut buf = BytesMut::new();
+        encode_force_checked(&mut buf, &f);
+        assert_eq!(buf.len(), F_PACKET_CHECKED_BYTES);
+        // Clean packet decodes to the same bits.
+        let back = decode_force_checked(&mut buf.clone().freeze()).expect("clean packet");
+        assert_eq!(back.acc, f.acc);
+        assert_eq!(back.jerk, f.jerk);
+        assert_eq!(back.pot, f.pot);
+        // Any single-bit flip in the payload is caught.
+        for bit in [0usize, 7, 63, 200, F_PACKET_BYTES * 8 - 1] {
+            let mut corrupt = buf.clone();
+            flip_packet_bit(&mut corrupt[..F_PACKET_BYTES], bit);
+            assert!(decode_force_checked(&mut corrupt.freeze()).is_err(), "bit {bit} undetected");
+        }
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        // Fletcher-32 catches swapped words (a plain sum would not).
+        let a = packet_checksum(&[1, 0, 2, 0]);
+        let b = packet_checksum(&[2, 0, 1, 0]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn flip_packet_bit_is_an_involution() {
+        let mut p = [0u8; 8];
+        flip_packet_bit(&mut p, 13);
+        assert_eq!(p[1], 1 << 5);
+        flip_packet_bit(&mut p, 13);
+        assert_eq!(p, [0u8; 8]);
+        // Out-of-range bits wrap.
+        flip_packet_bit(&mut p, 64 + 3);
+        assert_eq!(p[0], 1 << 3);
     }
 
     #[test]

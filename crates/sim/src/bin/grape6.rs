@@ -3,22 +3,35 @@
 //! Subcommands:
 //!
 //! * `gen      --n <N> [--seed <S>] [--no-protoplanets] --out <snap.json>`
-//! * `run      --in <snap.json> --t <time> [--engine direct|grape6|tree]
+//! * `run      --in <snap.json> --t <time> [--engine direct|grape6|grape6-ft|tree]
 //!             [--eta <η>] [--accrete <inflation>] [--out <snap.json>]
-//!             [--diag <diag.csv>] [--telemetry <tele.json>]`
+//!             [--diag <diag.csv>] [--telemetry <tele.json>]
+//!             [--faults <plan.json>] [--checkpoint <file.g6ck>]
+//!             [--checkpoint-every <blocks>] [--resume <file.g6ck>]`
 //! * `analyze  --in <snap.json> [--bins <B>]`
 //! * `perf     --n <N> --block <n_act>`
 //!
 //! Times are in simulation units (1 yr = 2π); snapshots are JSON, or the
 //! compact binary format when the filename ends in `.g6sn`.
+//!
+//! `--faults` loads a JSON [`grape6_hw::FaultPlan`] and runs it on the
+//! fault-tolerant dual-unit GRAPE engine (`--engine grape6-ft`, implied).
+//! `--checkpoint` writes a `G6CK` restart file every `--checkpoint-every`
+//! block steps (default 256) and once at the end; `--resume` restarts from
+//! such a file bit-identically (pass the same `--engine`; `--in` is then
+//! ignored).
 
+use grape6_core::engine::ForceEngine;
 use grape6_core::force::DirectEngine;
 use grape6_core::integrator::HermiteConfig;
 use grape6_core::units;
 use grape6_disk::{DiskBuilder, RadialHistogram, ScatteringCensus};
-use grape6_hw::{Grape6Engine, TimingModel};
+use grape6_hw::{FaultPlan, FaultTolerantEngine, Grape6Config, Grape6Engine, TimingModel};
 use grape6_sim::accretion::RadiusModel;
-use grape6_sim::{load_auto, save_auto, save_diagnostics_csv, Simulation};
+use grape6_sim::{
+    load_auto, load_checkpoint, run_to_with_checkpoints, save_auto, save_diagnostics_csv,
+    Simulation,
+};
 use grape6_tree::TreeEngine;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -87,15 +100,22 @@ fn cmd_gen(args: &Args) -> ExitCode {
 }
 
 fn cmd_run(args: &Args) -> ExitCode {
-    let Some(input) = args.get("--in").map(PathBuf::from) else {
-        return fail("run requires --in <snap.json>");
-    };
     let Some(t_end) = args.parse::<f64>("--t") else {
         return fail("run requires --t <time units>");
     };
-    let sys = match load_auto(&input) {
-        Ok(s) => s,
-        Err(e) => return fail(&format!("reading {}: {e}", input.display())),
+    let resume = args.get("--resume").map(PathBuf::from);
+    let input = args.get("--in").map(PathBuf::from);
+    if resume.is_none() && input.is_none() {
+        return fail("run requires --in <snap.json> (or --resume <file.g6ck>)");
+    }
+    // The initial system is only loaded for fresh runs; a resume rebuilds
+    // everything (system, schedule, counters) from the checkpoint.
+    let sys = match (&resume, &input) {
+        (None, Some(path)) => match load_auto(path) {
+            Ok(s) => Some(s),
+            Err(e) => return fail(&format!("reading {}: {e}", path.display())),
+        },
+        _ => None,
     };
     let eta = args.parse::<f64>("--eta").unwrap_or(0.02);
     let config = HermiteConfig {
@@ -104,23 +124,75 @@ fn cmd_run(args: &Args) -> ExitCode {
         dt_max: 2.0f64.powi(3),
         dt_min: 2.0f64.powi(-40),
     };
-    let engine_name = args.get("--engine").unwrap_or("direct").to_string();
-    let t_target = sys.t + t_end;
+    let fault_plan = match args.get("--faults") {
+        None => None,
+        Some(path) => {
+            let parsed = std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|s| serde_json::from_str::<FaultPlan>(&s).map_err(|e| e.to_string()));
+            match parsed {
+                Ok(plan) => Some(plan),
+                Err(e) => return fail(&format!("reading fault plan {path}: {e}")),
+            }
+        }
+    };
+    // A fault plan implies the fault-tolerant engine.
+    let engine_name = match (args.get("--engine"), &fault_plan) {
+        (Some("grape6") | Some("grape6-ft") | None, Some(_)) => "grape6-ft".to_string(),
+        (Some(other), Some(_)) => {
+            return fail(&format!("--faults requires the grape6 engine, not '{other}'"))
+        }
+        (name, None) => name.unwrap_or("direct").to_string(),
+    };
+    let checkpoint = args.get("--checkpoint").map(PathBuf::from);
+    let checkpoint_every = args.parse::<u64>("--checkpoint-every").unwrap_or(256);
+    if checkpoint.is_none() && args.get("--checkpoint-every").is_some() {
+        return fail("--checkpoint-every needs --checkpoint <file.g6ck>");
+    }
 
     let telemetry_out = args.get("--telemetry").map(PathBuf::from);
 
-    // Monomorphized per engine; the driver logic is shared.
+    // Monomorphized per engine; the driver logic is shared. `$engine` is the
+    // freshly configured engine; for a resume it is reloaded and its
+    // counters restored from the checkpoint instead of initialized anew.
     macro_rules! drive {
         ($engine:expr) => {{
-            let mut sim = if telemetry_out.is_some() {
-                Simulation::with_telemetry(sys, config, $engine)
-            } else {
-                Simulation::new(sys, config, $engine)
+            let mut sim = match &resume {
+                Some(path) => match load_checkpoint(path, $engine) {
+                    Ok(s) => s,
+                    Err(e) => return fail(&format!("resuming {}: {e}", path.display())),
+                },
+                None => {
+                    let sys = sys.expect("fresh run loads --in");
+                    if telemetry_out.is_some() {
+                        Simulation::with_telemetry(sys, config, $engine)
+                    } else {
+                        Simulation::new(sys, config, $engine)
+                    }
+                }
             };
             if let Some(inflation) = args.parse::<f64>("--accrete") {
                 sim.enable_accretion(RadiusModel::icy_inflated(inflation));
             }
-            sim.run_to(t_target, (t_target - sim.t()) / 16.0);
+            let t_target = sim.t() + t_end;
+            let diag_interval = (t_target - sim.t()) / 16.0;
+            match &checkpoint {
+                Some(path) => {
+                    if let Err(e) = run_to_with_checkpoints(
+                        &mut sim,
+                        t_target,
+                        diag_interval,
+                        checkpoint_every,
+                        path,
+                    ) {
+                        return fail(&format!("checkpointing {}: {e}", path.display()));
+                    }
+                    println!("checkpoints -> {} (every {checkpoint_every} blocks)", path.display());
+                }
+                None => {
+                    sim.run_to(t_target, diag_interval);
+                }
+            }
             sim.record_diagnostics();
             let d = *sim.diagnostics.last().unwrap();
             println!(
@@ -131,6 +203,20 @@ fn cmd_run(args: &Args) -> ExitCode {
                 sim.block_hist.mean(),
                 d.energy_error
             );
+            let faults = sim.engine.fault_stats();
+            if !faults.is_zero() {
+                println!(
+                    "faults: {} injected, {} DMR mismatches, {} checksum errors, \
+                     {} retries, {} scrubs ({} words), {} boards failed",
+                    faults.injected,
+                    faults.dmr_mismatches,
+                    faults.checksum_errors,
+                    faults.retries,
+                    faults.scrubs,
+                    faults.words_scrubbed,
+                    faults.boards_failed
+                );
+            }
             if sim.accretion_log.count() > 0 {
                 println!("mergers: {}", sim.accretion_log.count());
             }
@@ -147,17 +233,24 @@ fn cmd_run(args: &Args) -> ExitCode {
                 println!("diagnostics -> {}", diag.display());
             }
             if let Some(tele) = &telemetry_out {
-                let rep = sim.telemetry_report().expect("telemetry was enabled");
-                let json = serde_json::to_string_pretty(&rep);
-                if let Err(e) = json.and_then(|j| Ok(std::fs::write(tele, j)?)) {
-                    return fail(&format!("writing {}: {e}", tele.display()));
+                match sim.telemetry_report() {
+                    Some(rep) => {
+                        let json = serde_json::to_string_pretty(&rep);
+                        if let Err(e) = json.and_then(|j| Ok(std::fs::write(tele, j)?)) {
+                            return fail(&format!("writing {}: {e}", tele.display()));
+                        }
+                        println!(
+                            "telemetry -> {} ({:.3} s host, {:.2e} interactions/s real)",
+                            tele.display(),
+                            rep.total_host_seconds,
+                            rep.interactions_per_second_real
+                        );
+                    }
+                    // A resumed run only has telemetry if the original did.
+                    None => eprintln!(
+                        "warning: --telemetry ignored (checkpoint was written without telemetry)"
+                    ),
                 }
-                println!(
-                    "telemetry -> {} ({:.3} s host, {:.2e} interactions/s real)",
-                    tele.display(),
-                    rep.total_host_seconds,
-                    rep.interactions_per_second_real
-                );
             }
             sim
         }};
@@ -171,11 +264,15 @@ fn cmd_run(args: &Args) -> ExitCode {
             let sim = drive!(Grape6Engine::sc2002());
             println!("modeled hardware: {}", sim.engine.perf_report());
         }
+        "grape6-ft" => {
+            let plan = fault_plan.clone().unwrap_or_default();
+            drive!(FaultTolerantEngine::new(Grape6Config::sc2002(), &plan));
+        }
         "tree" => {
             let theta = args.parse::<f64>("--theta").unwrap_or(0.5);
             drive!(TreeEngine::new(theta));
         }
-        other => return fail(&format!("unknown engine '{other}' (direct|grape6|tree)")),
+        other => return fail(&format!("unknown engine '{other}' (direct|grape6|grape6-ft|tree)")),
     }
     ExitCode::SUCCESS
 }

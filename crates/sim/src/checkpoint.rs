@@ -1,0 +1,399 @@
+//! Checkpoint/restart: serialize a running [`Simulation`] so a killed run
+//! can resume **bit-identically** where it left off.
+//!
+//! ## Why bit-identical resume is even possible
+//!
+//! The integrator's event schedule is a pure function of the per-particle
+//! `time[i] + dt[i]` the corrector left behind, so it is rebuilt exactly by
+//! [`BlockHermite::resume_from`]. The GRAPE engines' j-memory is likewise a
+//! pure function of the particle state (each j-entry is the fixed-point
+//! encoding of the owning particle as of its last correction), so
+//! `engine.load(&sys)` reproduces it bit-for-bit; only the engines' opaque
+//! *counters* (interactions, wire bytes, modeled clock, fault statistics)
+//! travel in the checkpoint, via [`ForceEngine::checkpoint_state`].
+//!
+//! ## The `G6CK` v1 container
+//!
+//! Little-endian throughout:
+//!
+//! | section | contents |
+//! |---|---|
+//! | header | magic `G6CK`, `u32` version |
+//! | system | `u64` length + a `G6SN` binary snapshot (lossless f64) |
+//! | integrator | 4×`f64` [`HermiteConfig`] + 3×`u64` [`RunStats`] |
+//! | ledger | 2×`f64` (`e0`, `l0` reference invariants) |
+//! | block histogram | `u32` bin count + bins + blocks + particle steps |
+//! | telemetry | flag byte + `u32`-length-prefixed opaque state |
+//! | engine | `u32`-length-prefixed name + `u32`-length-prefixed opaque state |
+//!
+//! Diagnostics rows and the accretion/encounter logs are **not**
+//! checkpointed: they are append-only observational byproducts that do not
+//! feed back into the dynamics, so a resumed run continues producing correct
+//! rows from the resume point onward.
+
+use crate::simulation::Simulation;
+use crate::stats::BlockSizeHistogram;
+use crate::telemetry::Telemetry;
+use grape6_core::energy::EnergyLedger;
+use grape6_core::engine::ForceEngine;
+use grape6_core::integrator::{BlockHermite, HermiteConfig, RunStats};
+use grape6_core::particle::ParticleSystem;
+use std::path::Path;
+
+/// Magic bytes of the checkpoint container.
+pub const CHECKPOINT_MAGIC: &[u8; 4] = b"G6CK";
+/// Version of the checkpoint container format.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+fn bad(m: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, m.into())
+}
+
+/// Encode a running simulation into the `G6CK` v1 container.
+///
+/// The telemetry state captured here deliberately does **not** include the
+/// cost of writing this checkpoint itself: checkpoint I/O is charged to the
+/// run that pays it, so an interrupted-and-resumed run reports the same
+/// counters as an uninterrupted one.
+pub fn encode_checkpoint<E: ForceEngine>(sim: &Simulation<E>) -> bytes::Bytes {
+    use bytes::BufMut;
+    let snap = crate::io::encode_binary_snapshot(&sim.sys);
+    let tel_state = sim.telemetry.as_ref().map(|t| t.checkpoint_state());
+    let engine_state = sim.engine.checkpoint_state();
+    let name = sim.engine.name().as_bytes();
+    let mut buf = bytes::BytesMut::with_capacity(snap.len() + engine_state.len() + 256);
+    buf.put_slice(CHECKPOINT_MAGIC);
+    buf.put_u32_le(CHECKPOINT_VERSION);
+    buf.put_u64_le(snap.len() as u64);
+    buf.put_slice(&snap);
+    let cfg = sim.integrator.config;
+    buf.put_f64_le(cfg.eta);
+    buf.put_f64_le(cfg.eta_start);
+    buf.put_f64_le(cfg.dt_max);
+    buf.put_f64_le(cfg.dt_min);
+    let stats = sim.integrator.stats();
+    buf.put_u64_le(stats.block_steps);
+    buf.put_u64_le(stats.particle_steps);
+    buf.put_u64_le(stats.interactions);
+    buf.put_f64_le(sim.ledger.e0);
+    buf.put_f64_le(sim.ledger.l0);
+    buf.put_u32_le(sim.block_hist.bins.len() as u32);
+    for &b in &sim.block_hist.bins {
+        buf.put_u64_le(b);
+    }
+    buf.put_u64_le(sim.block_hist.blocks);
+    buf.put_u64_le(sim.block_hist.particle_steps);
+    match &tel_state {
+        Some(state) => {
+            buf.put_u8(1);
+            buf.put_u32_le(state.len() as u32);
+            buf.put_slice(state);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u32_le(name.len() as u32);
+    buf.put_slice(name);
+    buf.put_u32_le(engine_state.len() as u32);
+    buf.put_slice(&engine_state);
+    buf.freeze()
+}
+
+/// Rebuild a simulation from checkpoint bytes, continuing bit-identically.
+///
+/// `engine` must be a freshly configured engine of the *same kind* (same
+/// [`ForceEngine::name`]) and configuration as the one that wrote the
+/// checkpoint; the name is verified, the configuration cannot be and is the
+/// caller's responsibility. The engine is reloaded from the particle
+/// snapshot and its counters restored from the opaque state section.
+pub fn decode_checkpoint<E: ForceEngine>(
+    data: bytes::Bytes,
+    mut engine: E,
+) -> std::io::Result<Simulation<E>> {
+    use bytes::Buf;
+    let mut buf = data;
+    if buf.len() < 16 {
+        return Err(bad("truncated checkpoint header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != CHECKPOINT_MAGIC {
+        return Err(bad("bad checkpoint magic"));
+    }
+    let version = buf.get_u32_le();
+    if version != CHECKPOINT_VERSION {
+        return Err(bad(format!("unsupported checkpoint version {version}")));
+    }
+    let snap_len = buf.get_u64_le() as usize;
+    if buf.len() < snap_len {
+        return Err(bad("truncated system snapshot"));
+    }
+    let snap = buf.copy_to_bytes(snap_len);
+    let sys: ParticleSystem = crate::io::decode_binary_snapshot(snap)?;
+    if buf.len() < 4 * 8 + 3 * 8 + 2 * 8 + 4 {
+        return Err(bad("truncated integrator section"));
+    }
+    let config = HermiteConfig {
+        eta: buf.get_f64_le(),
+        eta_start: buf.get_f64_le(),
+        dt_max: buf.get_f64_le(),
+        dt_min: buf.get_f64_le(),
+    };
+    config.validate().map_err(bad)?;
+    let stats = RunStats {
+        block_steps: buf.get_u64_le(),
+        particle_steps: buf.get_u64_le(),
+        interactions: buf.get_u64_le(),
+    };
+    let ledger = EnergyLedger { e0: buf.get_f64_le(), l0: buf.get_f64_le() };
+    let n_bins = buf.get_u32_le() as usize;
+    if buf.len() < (n_bins + 2) * 8 + 1 {
+        return Err(bad("truncated block histogram"));
+    }
+    let mut block_hist = BlockSizeHistogram::new();
+    block_hist.bins = (0..n_bins).map(|_| buf.get_u64_le()).collect();
+    block_hist.blocks = buf.get_u64_le();
+    block_hist.particle_steps = buf.get_u64_le();
+    let telemetry = match buf.get_u8() {
+        0 => None,
+        1 => {
+            if buf.len() < 4 {
+                return Err(bad("truncated telemetry section"));
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.len() < len {
+                return Err(bad("truncated telemetry state"));
+            }
+            let state = buf.copy_to_bytes(len);
+            Some(Telemetry::restore_checkpoint_state(&state).map_err(bad)?)
+        }
+        f => return Err(bad(format!("bad telemetry flag {f}"))),
+    };
+    if buf.len() < 4 {
+        return Err(bad("truncated engine name"));
+    }
+    let name_len = buf.get_u32_le() as usize;
+    if buf.len() < name_len {
+        return Err(bad("truncated engine name"));
+    }
+    let name_bytes = buf.copy_to_bytes(name_len);
+    let name = std::str::from_utf8(&name_bytes).map_err(|e| bad(e.to_string()))?;
+    if name != engine.name() {
+        return Err(bad(format!(
+            "checkpoint was written by engine '{name}' but resume got '{}'",
+            engine.name()
+        )));
+    }
+    if buf.len() < 4 {
+        return Err(bad("truncated engine state"));
+    }
+    let state_len = buf.get_u32_le() as usize;
+    if buf.len() < state_len {
+        return Err(bad("truncated engine state"));
+    }
+    let engine_state = buf.copy_to_bytes(state_len);
+    if !buf.is_empty() {
+        return Err(bad(format!("{} trailing bytes after engine state", buf.len())));
+    }
+    // Reload j-memory from the snapshot (bit-exact by construction), *then*
+    // overwrite the counters `load` itself charged with the checkpointed
+    // ones, so wire-byte accounting resumes where it stopped.
+    engine.load(&sys);
+    engine.restore_checkpoint_state(&engine_state).map_err(bad)?;
+    let integrator = BlockHermite::resume_from(config, &sys, stats);
+    Ok(Simulation {
+        sys,
+        integrator,
+        engine,
+        ledger,
+        block_hist,
+        diagnostics: Vec::new(),
+        radius_model: None,
+        accretion_log: Default::default(),
+        encounter_log: None,
+        telemetry,
+    })
+}
+
+/// Write a checkpoint of `sim` to `path` (atomically: temp file + rename, so
+/// a crash mid-write never clobbers the previous good checkpoint).
+pub fn save_checkpoint<E: ForceEngine>(path: &Path, sim: &Simulation<E>) -> std::io::Result<()> {
+    let bytes = encode_checkpoint(sim);
+    let tmp = path.with_extension("ckpt.tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Read a checkpoint from `path` and resume it onto `engine`.
+pub fn load_checkpoint<E: ForceEngine>(path: &Path, engine: E) -> std::io::Result<Simulation<E>> {
+    let data = std::fs::read(path)?;
+    decode_checkpoint(bytes::Bytes::from(data), engine)
+}
+
+/// Like [`Simulation::run_to`], but writes a checkpoint to `path` every
+/// `every_blocks` block steps (and once more on completion). Checkpoint
+/// encode+write time is recorded under the `checkpoint` telemetry phase when
+/// telemetry is enabled — but the state *inside* each checkpoint excludes
+/// that cost (see [`encode_checkpoint`]).
+pub fn run_to_with_checkpoints<E: ForceEngine>(
+    sim: &mut Simulation<E>,
+    t_end: f64,
+    diag_interval: f64,
+    every_blocks: u64,
+    path: &Path,
+) -> std::io::Result<RunStats> {
+    let start = sim.stats();
+    let every = every_blocks.max(1);
+    let mut next_diag = if diag_interval > 0.0 { sim.sys.t + diag_interval } else { f64::INFINITY };
+    let mut since_ckpt = 0u64;
+    while sim.integrator.next_time().is_some_and(|t| t <= t_end) {
+        sim.step();
+        if sim.sys.t >= next_diag {
+            sim.record_diagnostics();
+            next_diag += diag_interval;
+        }
+        since_ckpt += 1;
+        if since_ckpt >= every {
+            since_ckpt = 0;
+            checkpoint_now(sim, path)?;
+        }
+    }
+    checkpoint_now(sim, path)?;
+    let s = sim.stats();
+    Ok(RunStats {
+        block_steps: s.block_steps - start.block_steps,
+        particle_steps: s.particle_steps - start.particle_steps,
+        interactions: s.interactions - start.interactions,
+    })
+}
+
+/// Write one checkpoint immediately, timed under the `checkpoint` phase.
+pub fn checkpoint_now<E: ForceEngine>(sim: &mut Simulation<E>, path: &Path) -> std::io::Result<()> {
+    let bytes = encode_checkpoint(sim);
+    let tmp = path.with_extension("ckpt.tmp");
+    let write = || -> std::io::Result<()> {
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)
+    };
+    match &mut sim.telemetry {
+        Some(t) => t.checkpoint_span(write),
+        None => write(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape6_core::force::DirectEngine;
+    use grape6_core::integrator::HermiteConfig;
+    use grape6_core::observer::HostPhase;
+    use grape6_disk::DiskBuilder;
+
+    fn cfg() -> HermiteConfig {
+        HermiteConfig { dt_max: 2.0f64.powi(-2), ..HermiteConfig::default() }
+    }
+
+    fn fresh(n: usize, seed: u64) -> Simulation<DirectEngine> {
+        Simulation::new(DiskBuilder::paper(n).with_seed(seed).build(), cfg(), DirectEngine::new())
+    }
+
+    fn assert_bitwise_equal(a: &ParticleSystem, b: &ParticleSystem) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.t.to_bits(), b.t.to_bits());
+        for i in 0..a.len() {
+            assert_eq!(a.pos[i], b.pos[i], "pos[{i}]");
+            assert_eq!(a.vel[i], b.vel[i], "vel[{i}]");
+            assert_eq!(a.acc[i], b.acc[i], "acc[{i}]");
+            assert_eq!(a.jerk[i], b.jerk[i], "jerk[{i}]");
+            assert_eq!(a.time[i].to_bits(), b.time[i].to_bits(), "time[{i}]");
+            assert_eq!(a.dt[i].to_bits(), b.dt[i].to_bits(), "dt[{i}]");
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_uninterrupted_run() {
+        let mut reference = fresh(48, 11);
+        reference.run_to(2.0, 0.0);
+
+        let mut interrupted = fresh(48, 11);
+        interrupted.run_to(1.0, 0.0);
+        let ckpt = encode_checkpoint(&interrupted);
+        drop(interrupted); // the "kill"
+
+        let mut resumed = decode_checkpoint(ckpt, DirectEngine::new()).unwrap();
+        resumed.run_to(2.0, 0.0);
+
+        assert_bitwise_equal(&reference.sys, &resumed.sys);
+        assert_eq!(reference.stats(), resumed.stats());
+        assert_eq!(reference.engine.interaction_count(), resumed.engine.interaction_count());
+        assert_eq!(reference.block_hist, resumed.block_hist);
+        assert_eq!(reference.ledger.e0.to_bits(), resumed.ledger.e0.to_bits());
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip_with_telemetry() {
+        let dir = std::env::temp_dir().join("grape6_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.g6ck");
+        let sys = DiskBuilder::paper(32).with_seed(3).build();
+        let mut sim = Simulation::with_telemetry(sys, cfg(), DirectEngine::new());
+        sim.run_to(0.5, 0.0);
+        checkpoint_now(&mut sim, &path).unwrap();
+        assert!(sim.telemetry.as_ref().unwrap().phase_calls(HostPhase::Checkpoint) >= 1);
+        let resumed = load_checkpoint(&path, DirectEngine::new()).unwrap();
+        assert_bitwise_equal(&sim.sys, &resumed.sys);
+        let t0 = sim.telemetry.as_ref().unwrap();
+        let t1 = resumed.telemetry.as_ref().unwrap();
+        assert_eq!(t0.block_steps(), t1.block_steps());
+        assert_eq!(t0.interactions(), t1.interactions());
+        // The checkpoint span itself is charged to the writer, not the state.
+        assert_eq!(t1.phase_calls(HostPhase::Checkpoint), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_with_checkpoints_leaves_a_resumable_file() {
+        let dir = std::env::temp_dir().join("grape6_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("periodic.g6ck");
+        let mut sim = fresh(32, 5);
+        run_to_with_checkpoints(&mut sim, 1.0, 0.0, 4, &path).unwrap();
+        let resumed = load_checkpoint(&path, DirectEngine::new()).unwrap();
+        // Final checkpoint is written on completion, so it matches the end state.
+        assert_bitwise_equal(&sim.sys, &resumed.sys);
+        assert_eq!(sim.stats(), resumed.stats());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn engine_name_mismatch_rejected() {
+        let sim = fresh(16, 7);
+        let ckpt = encode_checkpoint(&sim);
+        // Tamper the stored engine name so it no longer matches.
+        let mut raw = ckpt.to_vec();
+        let pat = b"direct-cpu";
+        let at = raw.windows(pat.len()).rposition(|w| w == pat).unwrap();
+        raw[at..at + pat.len()].copy_from_slice(b"DIRECT-cpu");
+        let err = match decode_checkpoint(bytes::Bytes::from(raw), DirectEngine::new()) {
+            Err(e) => e,
+            Ok(_) => panic!("tampered engine name accepted"),
+        };
+        assert!(err.to_string().contains("engine"), "{err}");
+    }
+
+    #[test]
+    fn garbage_and_truncation_rejected() {
+        assert!(decode_checkpoint(bytes::Bytes::from_static(b"nope"), DirectEngine::new()).is_err());
+        let good = encode_checkpoint(&fresh(16, 7));
+        for cut in [3, 15, good.len() / 2, good.len() - 1] {
+            let mut raw = good.to_vec();
+            raw.truncate(cut);
+            assert!(
+                decode_checkpoint(bytes::Bytes::from(raw), DirectEngine::new()).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+        let mut trailing = good.to_vec();
+        trailing.push(0);
+        assert!(decode_checkpoint(bytes::Bytes::from(trailing), DirectEngine::new()).is_err());
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod accretion;
+pub mod checkpoint;
 pub mod encounters;
 pub mod ensemble;
 pub mod io;
@@ -17,6 +18,10 @@ pub mod stats;
 pub mod telemetry;
 
 pub use accretion::{AccretionLog, MergerEvent, RadiusModel};
+pub use checkpoint::{
+    decode_checkpoint, encode_checkpoint, load_checkpoint, run_to_with_checkpoints,
+    save_checkpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use encounters::{Encounter, EncounterLog};
 pub use ensemble::{run_ensemble, EnsembleMember};
 pub use io::{

@@ -11,7 +11,7 @@
 //! points pass the null observer `()` whose hooks monomorphize to nothing,
 //! so the hot path pays only when a `Telemetry` is actually attached.
 
-use grape6_core::engine::ForceEngine;
+use grape6_core::engine::{FaultStats, ForceEngine};
 use grape6_core::observer::{HostPhase, StepObserver};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -99,6 +99,76 @@ impl Telemetry {
         out
     }
 
+    /// Run `f` inside an [`HostPhase::Checkpoint`] span (serializing a
+    /// restartable checkpoint, also driver-level).
+    pub fn checkpoint_span<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        self.phase_begin(HostPhase::Checkpoint);
+        let out = f();
+        self.phase_end(HostPhase::Checkpoint);
+        out
+    }
+
+    /// Serialize the accumulator for a run checkpoint: every closed span
+    /// and counter, as fixed-width little-endian words. Open spans are not
+    /// carried (a checkpoint is always written between spans).
+    pub fn checkpoint_state(&self) -> Vec<u8> {
+        let mut s = Vec::with_capacity(N_PHASES * 16 + 7 * 8);
+        for v in &self.phase_seconds {
+            s.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.phase_calls {
+            s.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in [
+            self.block_steps,
+            self.particle_steps,
+            self.step_interactions,
+            self.init_calls,
+            self.init_interactions,
+            self.wire_bytes,
+            self.host_threads,
+        ] {
+            s.extend_from_slice(&v.to_le_bytes());
+        }
+        s
+    }
+
+    /// Rebuild an accumulator from [`Self::checkpoint_state`] bytes. The
+    /// resumed process keeps its *own* thread count (wall clocks from the
+    /// interrupted run still add in, but new spans time the new host).
+    pub fn restore_checkpoint_state(state: &[u8]) -> Result<Self, String> {
+        let expect = N_PHASES * 16 + 7 * 8;
+        if state.len() != expect {
+            return Err(format!(
+                "telemetry checkpoint state: expected {expect} bytes, got {}",
+                state.len()
+            ));
+        }
+        let mut t = Telemetry::new();
+        let mut k = 0;
+        for v in &mut t.phase_seconds {
+            *v = f64::from_le_bytes(state[k..k + 8].try_into().unwrap());
+            k += 8;
+        }
+        for v in &mut t.phase_calls {
+            *v = u64::from_le_bytes(state[k..k + 8].try_into().unwrap());
+            k += 8;
+        }
+        let mut next = || {
+            let v = u64::from_le_bytes(state[k..k + 8].try_into().unwrap());
+            k += 8;
+            v
+        };
+        t.block_steps = next();
+        t.particle_steps = next();
+        t.step_interactions = next();
+        t.init_calls = next();
+        t.init_interactions = next();
+        t.wire_bytes = next();
+        let _checkpointed_threads = next();
+        Ok(t)
+    }
+
     /// Fold another accumulator into this one. Counter accumulation is
     /// order-independent (exact integer sums); wall times add as f64.
     pub fn merge(&mut self, other: &Telemetry) {
@@ -134,6 +204,7 @@ impl Telemetry {
             interactions,
             wire_bytes: self.wire_bytes,
             host_threads: self.host_threads,
+            faults: engine.fault_stats(),
             modeled_seconds: modeled,
             interactions_per_second_real: rate(total),
             interactions_per_second_modeled: rate(modeled),
@@ -188,6 +259,10 @@ pub struct PhaseSeconds {
     pub j_update: f64,
     /// Snapshot/diagnostic output.
     pub io: f64,
+    /// Checkpoint serialization (driver-level; absent in pre-fault-layer
+    /// reports, hence defaulted).
+    #[serde(default)]
+    pub checkpoint: f64,
 }
 
 impl PhaseSeconds {
@@ -199,12 +274,19 @@ impl PhaseSeconds {
             correct: a[HostPhase::Correct.index()],
             j_update: a[HostPhase::JUpdate.index()],
             io: a[HostPhase::Io.index()],
+            checkpoint: a[HostPhase::Checkpoint.index()],
         }
     }
 
     /// Sum over all phases, in [`HostPhase::ALL`] order.
     pub fn total(&self) -> f64 {
-        self.schedule + self.predict + self.force + self.correct + self.j_update + self.io
+        self.schedule
+            + self.predict
+            + self.force
+            + self.correct
+            + self.j_update
+            + self.io
+            + self.checkpoint
     }
 }
 
@@ -223,6 +305,9 @@ pub struct PhaseCalls {
     pub j_update: u64,
     /// Snapshot/diagnostic output.
     pub io: u64,
+    /// Checkpoint serialization (defaulted for pre-fault-layer reports).
+    #[serde(default)]
+    pub checkpoint: u64,
 }
 
 impl PhaseCalls {
@@ -234,6 +319,7 @@ impl PhaseCalls {
             correct: a[HostPhase::Correct.index()],
             j_update: a[HostPhase::JUpdate.index()],
             io: a[HostPhase::Io.index()],
+            checkpoint: a[HostPhase::Checkpoint.index()],
         }
     }
 }
@@ -263,6 +349,10 @@ pub struct TelemetryReport {
     /// with this; work counters are independent of it by construction).
     #[serde(default)]
     pub host_threads: u64,
+    /// Fault-tolerance counters (all zero for engines without a fault
+    /// model; defaulted for pre-fault-layer reports).
+    #[serde(default)]
+    pub faults: FaultStats,
     /// Modeled machine seconds (0 for engines without a timing model).
     pub modeled_seconds: f64,
     /// Interactions per real (host wall) second.
@@ -381,5 +471,49 @@ mod tests {
         let v = t.io_span(|| 42);
         assert_eq!(v, 42);
         assert_eq!(t.phase_calls(HostPhase::Io), 1);
+    }
+
+    #[test]
+    fn checkpoint_span_records_checkpoint_phase() {
+        let mut t = Telemetry::new();
+        let v = t.checkpoint_span(|| 7);
+        assert_eq!(v, 7);
+        assert_eq!(t.phase_calls(HostPhase::Checkpoint), 1);
+        assert!(t.phase_seconds(HostPhase::Checkpoint) >= 0.0);
+        let rep = t.report(&DirectEngine::new());
+        assert_eq!(rep.phase_calls.checkpoint, 1);
+        assert!((rep.phase_seconds.total() - rep.total_host_seconds).abs() < 1e-15);
+    }
+
+    #[test]
+    fn checkpoint_state_roundtrip_preserves_counters_and_clocks() {
+        let mut t = Telemetry::new();
+        t.init_step(8, 64);
+        t.block_step(2, 16);
+        t.block_step(5, 40);
+        t.wire_transfer(640);
+        spin(&mut t, HostPhase::Force);
+        spin(&mut t, HostPhase::Checkpoint);
+        let state = t.checkpoint_state();
+        let back = Telemetry::restore_checkpoint_state(&state).unwrap();
+        assert_eq!(back.block_steps(), t.block_steps());
+        assert_eq!(back.particle_steps(), t.particle_steps());
+        assert_eq!(back.interactions(), t.interactions());
+        assert_eq!(back.wire_bytes(), t.wire_bytes());
+        for p in HostPhase::ALL {
+            assert_eq!(back.phase_seconds(p).to_bits(), t.phase_seconds(p).to_bits());
+            assert_eq!(back.phase_calls(p), t.phase_calls(p));
+        }
+        assert!(Telemetry::restore_checkpoint_state(&state[..5]).is_err());
+    }
+
+    #[test]
+    fn report_carries_engine_fault_stats() {
+        let t = Telemetry::new();
+        let rep = t.report(&DirectEngine::new());
+        assert!(rep.faults.is_zero(), "engines without a fault model report zeros");
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: TelemetryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faults, rep.faults);
     }
 }

@@ -71,6 +71,13 @@ impl AsRef<[u8]> for Bytes {
     }
 }
 
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Bytes({} unread)", self.len())
@@ -118,6 +125,9 @@ pub trait Buf {
     fn advance(&mut self, n: usize);
     /// Copy `dst.len()` bytes out, advancing the cursor.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
+    /// Split off the next `n` bytes as an owned [`Bytes`], advancing the
+    /// cursor.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
     /// Read one byte.
     fn get_u8(&mut self) -> u8;
     get_le! {
@@ -141,6 +151,9 @@ impl Buf for Bytes {
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
         let n = dst.len();
         dst.copy_from_slice(self.take(n));
+    }
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        Bytes::from(self.take(n).to_vec())
     }
     fn get_u8(&mut self) -> u8 {
         self.take(1)[0]
@@ -196,6 +209,19 @@ impl BytesMut {
     /// The written bytes.
     pub fn as_slice(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 

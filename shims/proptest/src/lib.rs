@@ -206,7 +206,7 @@ tuple_strategy! {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Acceptable length specifications for [`vec`].
+    /// Acceptable length specifications for [`vec()`].
     pub struct SizeRange {
         lo: usize,
         hi_inclusive: usize,
@@ -236,7 +236,7 @@ pub mod collection {
         VecStrategy { element, len: len.into() }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: SizeRange,

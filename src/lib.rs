@@ -46,7 +46,13 @@ pub mod prelude {
         DiskBuilder, DiskSnapshot, PowerLawMass, Protoplanet, RadialHistogram, RadialProfile,
         ScatteringCensus,
     };
-    pub use grape6_hw::{Grape6Config, Grape6Engine, MachineGeometry, PerfReport, TimingModel};
-    pub use grape6_sim::{run_ensemble, AccretionLog, RadiusModel, Simulation, TimestepHistogram};
+    pub use grape6_hw::{
+        FaultPlan, FaultTolerantEngine, Grape6Config, Grape6Engine, MachineGeometry, PerfReport,
+        TimingModel,
+    };
+    pub use grape6_sim::{
+        decode_checkpoint, encode_checkpoint, load_checkpoint, run_ensemble, save_checkpoint,
+        AccretionLog, RadiusModel, Simulation, TimestepHistogram,
+    };
     pub use grape6_tree::TreeEngine;
 }
