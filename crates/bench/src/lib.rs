@@ -8,7 +8,7 @@
 //! workload helpers.
 
 #![warn(missing_docs)]
-
+#![forbid(unsafe_code)]
 pub mod report;
 
 use grape6_core::integrator::HermiteConfig;

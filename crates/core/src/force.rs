@@ -29,6 +29,7 @@ const J_TILE: usize = 1024;
 /// to a scalar per-i sweep — the unroll only changes instruction scheduling.
 #[inline]
 #[allow(clippy::too_many_arguments)]
+// grape6-lint: hot
 fn sweep_tile<const W: usize>(
     os: &mut [ForceResult],
     ips: &[IParticle],
@@ -75,6 +76,7 @@ fn sweep_tile<const W: usize>(
 
 /// Cache-blocked sweep of all j-particles for one i-chunk: j in L2-sized
 /// tiles (outer), i-particles four at a time (inner), remainder scalar.
+// grape6-lint: hot
 fn tiled_block_sweep(
     os: &mut [ForceResult],
     ips: &[IParticle],
@@ -117,6 +119,7 @@ fn tiled_block_sweep(
 /// jerk but `−mj/ε` of potential; this mirrors the hardware, which does not
 /// skip the self term and leaves the potential correction to the host.
 #[inline(always)]
+// grape6-lint: hot
 pub fn pair_force_jerk(dx: Vec3, dv: Vec3, mj: f64, eps2: f64) -> (Vec3, Vec3, f64) {
     let r2 = dx.norm2() + eps2;
     let rinv = 1.0 / r2.sqrt();
@@ -131,6 +134,7 @@ pub fn pair_force_jerk(dx: Vec3, dv: Vec3, mj: f64, eps2: f64) -> (Vec3, Vec3, f
 /// Sum the forces on one i-particle over a slice of j-particles, skipping the
 /// j-particle whose slot equals `skip` (usize::MAX to disable skipping).
 #[inline]
+// grape6-lint: hot
 pub fn accumulate_on(
     ipos: Vec3,
     ivel: Vec3,
@@ -160,6 +164,7 @@ pub fn accumulate_on(
 /// Like [`accumulate_on`], but also tracks the nearest neighbour (by
 /// unsoftened distance), as the GRAPE-6 pipelines do in hardware.
 #[inline]
+// grape6-lint: hot
 pub fn accumulate_with_nn(
     ipos: Vec3,
     ivel: Vec3,
@@ -223,6 +228,7 @@ impl DirectEngine {
         self.jpos.len()
     }
 
+    // grape6-lint: hot
     fn predict_all(&mut self, t: f64) {
         let n = self.jpos.len();
         self.ppos.resize(n, Vec3::zero());
@@ -262,6 +268,7 @@ impl crate::engine::ForceEngine for DirectEngine {
         }
     }
 
+    // grape6-lint: hot
     fn compute(&mut self, t: f64, ips: &[IParticle], out: &mut [ForceResult]) {
         assert_eq!(ips.len(), out.len());
         let b = ips.len();

@@ -38,7 +38,7 @@
 //! ```
 
 #![warn(missing_docs)]
-
+#![forbid(unsafe_code)]
 pub mod blockstep;
 pub mod central;
 pub mod energy;

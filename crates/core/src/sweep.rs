@@ -34,6 +34,7 @@ pub fn j_chunk_size(n_j: usize) -> usize {
 ///
 /// `scratch` holds the per-chunk partial rows between calls so steady-state
 /// sweeps allocate nothing (capacity is retained).
+// grape6-lint: hot
 pub fn chunked_jsweep<R, F>(
     n_j: usize,
     chunk: usize,

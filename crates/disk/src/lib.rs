@@ -12,7 +12,7 @@
 //!   excitation profiles, and the scattering census.
 
 #![warn(missing_docs)]
-
+#![forbid(unsafe_code)]
 pub mod analysis;
 pub mod builder;
 pub mod massfn;

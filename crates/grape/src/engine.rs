@@ -97,6 +97,10 @@ pub struct Grape6Engine {
     pred: Vec<crate::predictor::PredictedJ>,
     // Per-chunk partial rows of the small-block sweep (capacity reused).
     partials: Vec<SweepPartial>,
+    // Encoded i-particles of the current small block (capacity reused).
+    hws: Vec<HwIParticle>,
+    // Merged sweep results of the current small block (capacity reused).
+    swept: Vec<SweepPartial>,
 }
 
 impl Grape6Engine {
@@ -111,6 +115,8 @@ impl Grape6Engine {
             wire_bytes: 0,
             pred: Vec::new(),
             partials: Vec::new(),
+            hws: Vec::new(),
+            swept: Vec::new(),
         }
     }
 
@@ -217,6 +223,7 @@ impl ForceEngine for Grape6Engine {
         self.wire_bytes += (indices.len() * crate::wire::J_PACKET_BYTES) as u64;
     }
 
+    // grape6-lint: hot
     fn compute(&mut self, t: f64, ips: &[IParticle], out: &mut [ForceResult]) {
         assert_eq!(ips.len(), out.len());
         let n_j = self.jmem.len();
@@ -281,15 +288,18 @@ impl ForceEngine for Grape6Engine {
             // fused into each chunk (the chip predicts the j-particle right
             // before feeding its pipelines). Exact fixed-point associativity
             // makes the chunked merge bit-identical to the flat sweep above.
-            let hws: Vec<HwIParticle> =
-                ips.iter().map(|ip| HwIParticle::encode(&fmt, precision, ip.pos, ip.vel)).collect();
+            self.hws.clear();
+            self.hws
+                .extend(ips.iter().map(|ip| HwIParticle::encode(&fmt, precision, ip.pos, ip.vel)));
+            self.swept.clear();
+            self.swept.resize(ips.len(), SweepPartial::default());
             let jmem = &self.jmem;
-            let mut swept = vec![SweepPartial::default(); ips.len()];
+            let hws = &self.hws;
             chunked_jsweep(
                 n_j,
                 j_chunk_size(n_j),
                 &mut self.partials,
-                &mut swept,
+                &mut self.swept,
                 |js, row| {
                     for j in js {
                         let pj = predict_j(&fmt, precision, &jmem[j], t);
@@ -313,7 +323,7 @@ impl ForceEngine for Grape6Engine {
                 },
                 SweepPartial::merge,
             );
-            for ((o, p), ip) in out.iter_mut().zip(&swept).zip(ips) {
+            for ((o, p), ip) in out.iter_mut().zip(&self.swept).zip(ips) {
                 let (acc, jerk, mut pot) = p.regs.read();
                 if ip.index < self.jmem.len() {
                     pot += self.jmem[ip.index].mass / eps2.sqrt();

@@ -23,7 +23,7 @@
 //! host code drives either the CPU reference or the simulated hardware.
 
 #![warn(missing_docs)]
-
+#![forbid(unsafe_code)]
 pub mod board;
 pub mod chip;
 pub mod cluster;

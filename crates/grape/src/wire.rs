@@ -37,6 +37,7 @@ pub const F_PACKET_CHECKED_BYTES: usize = F_PACKET_BYTES + 4;
 /// Fletcher-32 checksum over a byte payload (the real GRAPE-6 host
 /// interface protected DMA transfers with a simple additive check; Fletcher
 /// additionally catches reordered words). Deterministic, endian-fixed.
+// grape6-lint: hot
 pub fn packet_checksum(payload: &[u8]) -> u32 {
     let mut s1: u32 = 0;
     let mut s2: u32 = 0;
@@ -53,6 +54,7 @@ pub fn packet_checksum(payload: &[u8]) -> u32 {
 }
 
 /// Encode a force-readout packet with a Fletcher-32 trailer.
+// grape6-lint: hot
 pub fn encode_force_checked(buf: &mut BytesMut, f: &ForceResult) {
     buf.reserve(F_PACKET_CHECKED_BYTES);
     let start = buf.len();
@@ -64,6 +66,7 @@ pub fn encode_force_checked(buf: &mut BytesMut, f: &ForceResult) {
 /// Decode a checksummed force packet, verifying its trailer. On a checksum
 /// mismatch the (corrupt) payload is consumed and an error returned — the
 /// caller's recovery policy decides whether to retransmit.
+// grape6-lint: hot
 pub fn decode_force_checked(buf: &mut Bytes) -> Result<ForceResult, u32> {
     let expected = packet_checksum(&buf[..F_PACKET_BYTES]);
     let f = decode_force(buf);
@@ -78,6 +81,7 @@ pub fn decode_force_checked(buf: &mut Bytes) -> Result<ForceResult, u32> {
 /// Flip one bit of an encoded packet buffer (fault injection on a modeled
 /// LVDS/PCI link). `bit` is taken modulo the buffer's bit length, so a
 /// seeded fault plan can address any packet size safely.
+// grape6-lint: hot
 pub fn flip_packet_bit(packet: &mut [u8], bit: usize) {
     let nbits = packet.len() * 8;
     assert!(nbits > 0, "cannot flip a bit of an empty packet");
@@ -85,17 +89,20 @@ pub fn flip_packet_bit(packet: &mut [u8], bit: usize) {
     packet[b / 8] ^= 1 << (b % 8);
 }
 
+// grape6-lint: hot
 fn put_vec3_f32(buf: &mut BytesMut, v: Vec3) {
     buf.put_f32_le(v.x as f32);
     buf.put_f32_le(v.y as f32);
     buf.put_f32_le(v.z as f32);
 }
 
+// grape6-lint: hot
 fn get_vec3_f32(buf: &mut Bytes) -> Vec3 {
     Vec3::new(buf.get_f32_le() as f64, buf.get_f32_le() as f64, buf.get_f32_le() as f64)
 }
 
 /// Encode an i-particle packet.
+// grape6-lint: hot
 pub fn encode_i_particle(buf: &mut BytesMut, ip: &HwIParticle, id: u32) {
     buf.reserve(I_PACKET_BYTES);
     for q in ip.qpos {
@@ -106,6 +113,7 @@ pub fn encode_i_particle(buf: &mut BytesMut, ip: &HwIParticle, id: u32) {
 }
 
 /// Decode an i-particle packet. Returns the particle and its id.
+// grape6-lint: hot
 pub fn decode_i_particle(buf: &mut Bytes) -> (HwIParticle, u32) {
     let qpos = [buf.get_i64_le(), buf.get_i64_le(), buf.get_i64_le()];
     let vel = get_vec3_f32(buf);
@@ -114,6 +122,7 @@ pub fn decode_i_particle(buf: &mut Bytes) -> (HwIParticle, u32) {
 }
 
 /// Encode a j-particle write-back packet.
+// grape6-lint: hot
 pub fn encode_j_particle(buf: &mut BytesMut, j: &JParticle) {
     buf.reserve(J_PACKET_BYTES);
     for q in j.qpos {
@@ -127,6 +136,7 @@ pub fn encode_j_particle(buf: &mut BytesMut, j: &JParticle) {
 }
 
 /// Decode a j-particle packet.
+// grape6-lint: hot
 pub fn decode_j_particle(buf: &mut Bytes) -> JParticle {
     let qpos = [buf.get_i64_le(), buf.get_i64_le(), buf.get_i64_le()];
     let vel = get_vec3_f32(buf);
@@ -138,6 +148,7 @@ pub fn decode_j_particle(buf: &mut Bytes) -> JParticle {
 }
 
 /// Encode a force-readout packet at full accumulator width.
+// grape6-lint: hot
 pub fn encode_force(buf: &mut BytesMut, f: &ForceResult) {
     buf.reserve(F_PACKET_BYTES);
     buf.put_f64_le(f.acc.x);
@@ -150,6 +161,7 @@ pub fn encode_force(buf: &mut BytesMut, f: &ForceResult) {
 }
 
 /// Decode a force-readout packet (no neighbour report on this wire).
+// grape6-lint: hot
 pub fn decode_force(buf: &mut Bytes) -> ForceResult {
     let acc = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
     let jerk = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
@@ -159,6 +171,7 @@ pub fn decode_force(buf: &mut Bytes) -> ForceResult {
 
 /// Encode a whole block of j-particles (the per-blockstep write-back
 /// stream). Returns the frozen buffer.
+// grape6-lint: hot
 pub fn encode_j_block(js: &[JParticle]) -> Bytes {
     let mut buf = BytesMut::with_capacity(js.len() * J_PACKET_BYTES);
     for j in js {
@@ -168,6 +181,7 @@ pub fn encode_j_block(js: &[JParticle]) -> Bytes {
 }
 
 /// Decode a stream of j-particle packets.
+// grape6-lint: hot
 pub fn decode_j_block(mut buf: Bytes) -> Vec<JParticle> {
     assert_eq!(buf.len() % J_PACKET_BYTES, 0, "truncated j stream");
     let mut out = Vec::with_capacity(buf.len() / J_PACKET_BYTES);

@@ -1,0 +1,304 @@
+//! `lint.toml` parsing: a hand-rolled parser for the TOML subset the
+//! configuration actually uses (no external deps, offline like the shims).
+//!
+//! Supported grammar: `[section.sub]` headers, `key = "string"`,
+//! `key = ["a", "b"]` (arrays may span lines), `key = true|false`, and `#`
+//! comments. That is the whole surface `lint.toml` needs; anything else is
+//! a hard configuration error, never a silent skip.
+
+use std::collections::BTreeMap;
+
+/// How a rule's findings are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Rule disabled.
+    Allow,
+    /// Findings printed, exit status unaffected.
+    Warn,
+    /// Findings printed and fail the run.
+    Deny,
+}
+
+impl Level {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "allow" => Ok(Level::Allow),
+            "warn" => Ok(Level::Warn),
+            "deny" => Ok(Level::Deny),
+            other => Err(format!("unknown lint level {other:?} (allow|warn|deny)")),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Allow => "allow",
+            Level::Warn => "warn",
+            Level::Deny => "deny",
+        }
+    }
+}
+
+/// Per-rule configuration.
+#[derive(Debug, Clone)]
+pub struct RuleConfig {
+    /// Findings treatment.
+    pub level: Level,
+    /// Path prefixes (relative, `/`-separated) the rule applies to; empty
+    /// means every scanned file.
+    pub paths: Vec<String>,
+    /// Path prefixes exempted from the rule (subtracted from `paths`).
+    pub allow_paths: Vec<String>,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        Self { level: Level::Deny, paths: Vec::new(), allow_paths: Vec::new() }
+    }
+}
+
+/// The whole `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directories (or files) scanned, relative to the workspace root.
+    pub include: Vec<String>,
+    /// Path prefixes never scanned (fixture corpora, generated code).
+    pub exclude: Vec<String>,
+    /// Per-rule settings, keyed by rule id (`D001`, …). Rules absent from
+    /// the file run with [`RuleConfig::default`] (deny, everywhere).
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// Parse `lint.toml` text.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        for (section, key, value) in parse_toml(text)? {
+            match (section.as_str(), key.as_str()) {
+                ("lint", "include") => cfg.include = value.into_strings()?,
+                ("lint", "exclude") => cfg.exclude = value.into_strings()?,
+                ("lint", other) => return Err(format!("unknown [lint] key {other:?}")),
+                (sec, k) => {
+                    let rule_id = sec
+                        .strip_prefix("rules.")
+                        .ok_or_else(|| format!("unknown section [{sec}]"))?;
+                    let rule = cfg.rules.entry(rule_id.to_string()).or_default();
+                    match k {
+                        "level" => rule.level = Level::parse(&value.into_string()?)?,
+                        "paths" => rule.paths = value.into_strings()?,
+                        "allow_paths" => rule.allow_paths = value.into_strings()?,
+                        other => return Err(format!("unknown key {other:?} in [rules.{rule_id}]")),
+                    }
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The effective configuration for `rule_id` (default: deny everywhere).
+    pub fn rule(&self, rule_id: &str) -> RuleConfig {
+        self.rules.get(rule_id).cloned().unwrap_or_default()
+    }
+
+    /// True when `rel_path` is inside the rule's scope: matched by `paths`
+    /// (or `paths` empty) and not matched by `allow_paths`.
+    pub fn rule_applies(&self, rule_id: &str, rel_path: &str) -> bool {
+        let rc = self.rule(rule_id);
+        let matches = |prefixes: &[String]| {
+            prefixes.iter().any(|p| {
+                p == "." || rel_path == p.as_str() || rel_path.starts_with(&format!("{p}/"))
+            })
+        };
+        (rc.paths.is_empty() || matches(&rc.paths)) && !matches(&rc.allow_paths)
+    }
+
+    /// True when `rel_path` falls under an `exclude` prefix.
+    pub fn is_excluded(&self, rel_path: &str) -> bool {
+        self.exclude
+            .iter()
+            .any(|p| rel_path == p.as_str() || rel_path.starts_with(&format!("{p}/")))
+    }
+}
+
+/// A parsed TOML value (only the shapes `lint.toml` uses).
+enum TomlValue {
+    Str(String),
+    Array(Vec<String>),
+    Bool(#[allow(dead_code)] bool),
+}
+
+impl TomlValue {
+    fn into_string(self) -> Result<String, String> {
+        match self {
+            TomlValue::Str(s) => Ok(s),
+            _ => Err("expected a string value".into()),
+        }
+    }
+
+    fn into_strings(self) -> Result<Vec<String>, String> {
+        match self {
+            TomlValue::Array(v) => Ok(v),
+            _ => Err("expected an array of strings".into()),
+        }
+    }
+}
+
+/// Flatten the file into `(section, key, value)` triples.
+fn parse_toml(text: &str) -> Result<Vec<(String, String, TomlValue)>, String> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate();
+    while let Some((k, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = k + 1;
+        if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            section = name.trim().to_string();
+            continue;
+        }
+        let (key, mut value) = line
+            .split_once('=')
+            .map(|(a, b)| (a.trim().to_string(), b.trim().to_string()))
+            .ok_or_else(|| format!("lint.toml:{lineno}: expected `key = value`"))?;
+        // Arrays may span lines: accumulate until the bracket closes.
+        if value.starts_with('[') {
+            while !bracket_closed(&value) {
+                let (_, cont) = lines
+                    .next()
+                    .ok_or_else(|| format!("lint.toml:{lineno}: unterminated array"))?;
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+            }
+        }
+        let parsed = parse_value(&value)
+            .map_err(|e| format!("lint.toml:{lineno}: {e} (value: {value:?})"))?;
+        out.push((section.clone(), key, parsed));
+    }
+    Ok(out)
+}
+
+/// Strip a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn bracket_closed(accum: &str) -> bool {
+    let mut in_str = false;
+    let mut depth = 0i32;
+    for c in accum.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_value(v: &str) -> Result<TomlValue, String> {
+    if v == "true" {
+        return Ok(TomlValue::Bool(true));
+    }
+    if v == "false" {
+        return Ok(TomlValue::Bool(false));
+    }
+    if let Some(s) = v.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        if s.contains('"') {
+            return Err("string with embedded quote".into());
+        }
+        return Ok(TomlValue::Str(s.to_string()));
+    }
+    if let Some(inner) = v.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            match parse_value(part)? {
+                TomlValue::Str(s) => items.push(s),
+                _ => return Err("arrays may only hold strings".into()),
+            }
+        }
+        return Ok(TomlValue::Array(items));
+    }
+    Err("unsupported value syntax".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# top comment
+[lint]
+include = ["crates", "src"] # trailing comment
+exclude = [
+    "crates/lint/tests/fixtures",
+]
+
+[rules.D001]
+level = "deny"
+paths = ["crates/core"]
+
+[rules.D002]
+level = "warn"
+paths = ["crates"]
+allow_paths = ["crates/bench"]
+"#;
+
+    #[test]
+    fn parses_sections_arrays_and_levels() {
+        let cfg = Config::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.include, vec!["crates", "src"]);
+        assert_eq!(cfg.exclude, vec!["crates/lint/tests/fixtures"]);
+        assert_eq!(cfg.rule("D001").level, Level::Deny);
+        assert_eq!(cfg.rule("D002").level, Level::Warn);
+        assert_eq!(cfg.rule("D002").allow_paths, vec!["crates/bench"]);
+        // Unconfigured rules default to deny-everywhere.
+        assert_eq!(cfg.rule("U001").level, Level::Deny);
+        assert!(cfg.rule("U001").paths.is_empty());
+    }
+
+    #[test]
+    fn rule_scoping_and_exclusion() {
+        let cfg = Config::parse(SAMPLE).unwrap();
+        assert!(cfg.rule_applies("D001", "crates/core/src/force.rs"));
+        assert!(!cfg.rule_applies("D001", "crates/sim/src/lib.rs"));
+        assert!(cfg.rule_applies("D002", "crates/sim/src/lib.rs"));
+        assert!(!cfg.rule_applies("D002", "crates/bench/src/lib.rs"));
+        assert!(cfg.rule_applies("U001", "anything/at/all.rs"));
+        assert!(cfg.is_excluded("crates/lint/tests/fixtures/d001.rs"));
+        assert!(!cfg.is_excluded("crates/lint/tests/fixtures.rs"));
+    }
+
+    #[test]
+    fn prefix_match_is_component_wise() {
+        let mut cfg = Config::default();
+        cfg.rules.insert(
+            "D001".into(),
+            RuleConfig { paths: vec!["crates/core".into()], ..Default::default() },
+        );
+        assert!(!cfg.rule_applies("D001", "crates/core2/src/lib.rs"));
+    }
+
+    #[test]
+    fn errors_are_loud() {
+        assert!(Config::parse("[lint]\ninclude = 5\n").is_err());
+        assert!(Config::parse("[rules.D001]\nlevel = \"fatal\"\n").is_err());
+        assert!(Config::parse("[lint]\nbogus = \"x\"\n").is_err());
+        assert!(Config::parse("[typo]\nx = \"y\"\n").is_err());
+        assert!(Config::parse("[rules.D001]\nbogus = \"x\"\n").is_err());
+    }
+}

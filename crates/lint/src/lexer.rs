@@ -1,0 +1,333 @@
+//! A hand-rolled Rust lexer: just enough of the language to scan token
+//! trees without any external parser dependency (this workspace builds
+//! offline, like the `shims/`).
+//!
+//! The lexer's one job is to let the rule engine match identifier/punct
+//! sequences (`Instant :: now`, `vec !`, …) **without** false positives from
+//! string literals or comments, and to keep comments in the stream (with
+//! their line numbers) so `// SAFETY:` audits, `// grape6-lint: hot`
+//! annotations and inline waivers can be resolved. It therefore understands:
+//! line and (nested) block comments, string / raw-string / byte-string /
+//! char literals, lifetimes, numbers, identifiers, and multi-char `::`.
+//! Everything else is a single-character punct.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `Vec`, …).
+    Ident,
+    /// Punctuation; `::` is one token, everything else one char.
+    Punct,
+    /// String, char or number literal (contents never rule-matched).
+    Literal,
+    /// Line or block comment, text included (`//…`, `/*…*/`, doc forms).
+    Comment,
+}
+
+/// One token with its 1-based source line (the line it *starts* on).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    fn new(kind: TokKind, text: impl Into<String>, line: u32) -> Self {
+        Self { kind, text: text.into(), line }
+    }
+}
+
+/// Lex `src` into a token stream. Never fails: unterminated literals or
+/// comments simply run to end of input (the linter scans real, compiling
+/// code; fixtures are well-formed too).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { b: src.chars().collect(), i: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    b: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn at(&self, k: usize) -> Option<char> {
+        self.b.get(self.i + k).copied()
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.at(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ if c.is_whitespace() => self.i += 1,
+                '/' if self.at(1) == Some('/') => self.line_comment(),
+                '/' if self.at(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_string(),
+                ':' if self.at(1) == Some(':') => {
+                    self.out.push(Token::new(TokKind::Punct, "::", self.line));
+                    self.i += 2;
+                }
+                _ => {
+                    self.out.push(Token::new(TokKind::Punct, c, self.line));
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.at(0).is_some_and(|c| c != '\n') {
+            self.i += 1;
+        }
+        let text: String = self.b[start..self.i].iter().collect();
+        self.out.push(Token::new(TokKind::Comment, text, self.line));
+    }
+
+    fn block_comment(&mut self) {
+        let (start, start_line) = (self.i, self.line);
+        let mut depth = 1usize;
+        self.i += 2;
+        while depth > 0 {
+            match (self.at(0), self.at(1)) {
+                (None, _) => break,
+                (Some('\n'), _) => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                _ => self.i += 1,
+            }
+        }
+        let text: String = self.b[start..self.i].iter().collect();
+        self.out.push(Token::new(TokKind::Comment, text, start_line));
+    }
+
+    /// Ordinary `"…"` (or the tail of a `b"…"`) with escape handling.
+    fn string_literal(&mut self) {
+        let (start, start_line) = (self.i, self.line);
+        self.i += 1;
+        loop {
+            match self.at(0) {
+                None => break,
+                Some('\\') => self.i += 2,
+                Some('"') => {
+                    self.i += 1;
+                    break;
+                }
+                Some('\n') => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+        let text: String = self.b[start..self.i].iter().collect();
+        self.out.push(Token::new(TokKind::Literal, text, start_line));
+    }
+
+    /// `r"…"`, `r#"…"#`, … with any number of `#` guards.
+    fn raw_string_tail(&mut self, start: usize, start_line: u32) {
+        let mut hashes = 0usize;
+        while self.at(0) == Some('#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        // Opening quote.
+        if self.at(0) == Some('"') {
+            self.i += 1;
+        }
+        loop {
+            match self.at(0) {
+                None => break,
+                Some('\n') => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                Some('"') => {
+                    self.i += 1;
+                    if (0..hashes).all(|k| self.at(k) == Some('#')) {
+                        self.i += hashes;
+                        break;
+                    }
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+        let text: String = self.b[start..self.i].iter().collect();
+        self.out.push(Token::new(TokKind::Literal, text, start_line));
+    }
+
+    /// Char literal (`'x'`, `'\n'`) vs lifetime (`'a`): a lifetime's tick is
+    /// followed by an ident char with no closing tick right after it.
+    fn char_or_lifetime(&mut self) {
+        let (start, start_line) = (self.i, self.line);
+        let next = self.at(1);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if c != '\'' => self.at(2) == Some('\''),
+            _ => false,
+        };
+        if is_char {
+            self.i += 1; // tick
+            if self.at(0) == Some('\\') {
+                self.i += 2; // escape lead
+                while self.at(0).is_some_and(|c| c != '\'') {
+                    self.i += 1;
+                }
+            } else {
+                self.i += 1; // the char
+            }
+            if self.at(0) == Some('\'') {
+                self.i += 1;
+            }
+            let text: String = self.b[start..self.i].iter().collect();
+            self.out.push(Token::new(TokKind::Literal, text, start_line));
+        } else {
+            // Lifetime or loop label: tick + ident, matched as one punct-ish
+            // literal so it can never alias a rule identifier.
+            self.i += 1;
+            while self.at(0).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                self.i += 1;
+            }
+            let text: String = self.b[start..self.i].iter().collect();
+            self.out.push(Token::new(TokKind::Literal, text, start_line));
+        }
+    }
+
+    fn number(&mut self) {
+        let (start, start_line) = (self.i, self.line);
+        while let Some(c) = self.at(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.i += 1;
+            } else if c == '.' && self.at(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..n` does not.
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.b[start..self.i].iter().collect();
+        self.out.push(Token::new(TokKind::Literal, text, start_line));
+    }
+
+    fn ident_or_prefixed_string(&mut self) {
+        let (start, start_line) = (self.i, self.line);
+        while self.at(0).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            self.i += 1;
+        }
+        let text: String = self.b[start..self.i].iter().collect();
+        // Raw / byte string prefixes glue onto a following quote.
+        match (text.as_str(), self.at(0)) {
+            ("r" | "br", Some('"' | '#')) => self.raw_string_tail(start, start_line),
+            ("b", Some('"')) => {
+                // Re-lex as a string including the prefix.
+                self.string_literal();
+                let tok = self.out.last_mut().expect("string token just pushed");
+                tok.text.insert(0, 'b');
+            }
+            _ => self.out.push(Token::new(TokKind::Ident, text, start_line)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_double_colon() {
+        let toks = kinds("Instant::now()");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "Instant".into()),
+                (TokKind::Punct, "::".into()),
+                (TokKind::Ident, "now".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "Instant::now() unsafe HashMap";"#);
+        assert!(toks.iter().all(|(k, t)| *k != TokKind::Ident || t != "Instant"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Literal && t.contains("HashMap")));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r##"let s = r#"unsafe "quoted" HashMap"#; let b = b"unsafe";"##);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn comments_are_kept_with_lines() {
+        let toks = lex("let a = 1;\n// grape6-lint: hot\nfn f() {}\n");
+        let c = toks.iter().find(|t| t.kind == TokKind::Comment).unwrap();
+        assert_eq!(c.line, 2);
+        assert!(c.text.contains("grape6-lint: hot"));
+        let f = toks.iter().find(|t| t.kind == TokKind::Ident && t.text == "fn").unwrap();
+        assert_eq!(f.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comment_and_line_tracking() {
+        let toks = lex("/* a /* b */ c\nstill comment */\nunsafe");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        let u = &toks[1];
+        assert_eq!((u.kind, u.text.as_str(), u.line), (TokKind::Ident, "unsafe", 3));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Literal && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Literal && t == "'x'"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "str"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let c = '\n'; let q = '\''; let u = '\u{1F600}';");
+        let lits: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Literal).map(|(_, t)| t.clone()).collect();
+        assert_eq!(lits, vec![r"'\n'", r"'\''", r"'\u{1F600}'"]);
+    }
+
+    #[test]
+    fn range_is_not_swallowed_by_number() {
+        let toks = kinds("for i in 0..n_chunks {}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Literal && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "n_chunks"));
+        let toks = kinds("let x = 1.5e-3;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Literal && t.starts_with("1.5e")));
+    }
+}

@@ -1,0 +1,290 @@
+//! `grape6-lint`: determinism & unsafe-audit static analysis for the grape6
+//! workspace.
+//!
+//! The workspace's central contract — bit-identical trajectories for any
+//! `RAYON_NUM_THREADS`, any fault plan, and across checkpoint/restart — is
+//! enforced dynamically by the tier-1 tests. This crate enforces the *source*
+//! invariants behind that contract statically: no unordered collections in
+//! the deterministic crates (D001), no wall-clock reads outside the
+//! telemetry seam (D002), no thread-count-dependent expressions outside
+//! `shims/rayon` (D003), a `// SAFETY:` comment on every `unsafe` (U001),
+//! `#![forbid(unsafe_code)]` in every unsafe-free crate (U002), and no heap
+//! allocation in `// grape6-lint: hot` kernels (H001).
+//!
+//! Everything is hand-rolled (lexer, TOML-subset config parser, file walk)
+//! so the tool builds offline with zero external dependencies, like the
+//! `shims/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use config::{Config, Level};
+use lexer::TokKind;
+use rules::SourceFile;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// One reportable diagnostic, after scoping/waiver/level filtering.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// `/`-separated path relative to the linted root.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Effective level (never [`Level::Allow`]).
+    pub level: Level,
+    /// Rule id (`D001`, …).
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `path:line: level [rule] message` — stable, test-assertable format.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {} [{}] {}",
+            self.path,
+            self.line,
+            self.level.name(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Lint the tree under `root` according to `cfg`.
+///
+/// `deny_all` escalates every non-suppressed finding to [`Level::Deny`]
+/// (path scoping and inline waivers still apply — they express *intent*,
+/// not severity). Diagnostics come back sorted by `(path, line, rule)` so
+/// output is deterministic regardless of filesystem iteration order.
+pub fn run_lint(root: &Path, cfg: &Config, deny_all: bool) -> Result<Vec<Diagnostic>, String> {
+    let files = discover(root, cfg)?;
+    let mut out = Vec::new();
+    let mut sources: BTreeMap<&str, SourceFile> = BTreeMap::new();
+    for rel in &files.rust_sources {
+        let text = read(root, rel)?;
+        sources.insert(rel, SourceFile::new(&text));
+    }
+    for (rel, sf) in &sources {
+        for f in sf.scan() {
+            if cfg.rule_applies(f.rule, rel) && !sf.is_waived(f.rule, f.line) {
+                push(cfg, deny_all, rel, f.line, f.rule, f.message, &mut out);
+            }
+        }
+    }
+    scan_u002(root, cfg, deny_all, &files, &sources, &mut out)?;
+    out.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    Ok(out)
+}
+
+fn push(
+    cfg: &Config,
+    deny_all: bool,
+    rel: &str,
+    line: u32,
+    rule: &str,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    let level = if deny_all { Level::Deny } else { cfg.rule(rule).level };
+    if level == Level::Allow {
+        return;
+    }
+    out.push(Diagnostic { path: rel.to_string(), line, level, rule: rule.to_string(), message });
+}
+
+/// U002: every crate (a `Cargo.toml` with a `[package]` section) whose `src/`
+/// tree contains no `unsafe` token must declare `#![forbid(unsafe_code)]` in
+/// each crate root (`src/lib.rs`, `src/main.rs`) it has.
+fn scan_u002(
+    root: &Path,
+    cfg: &Config,
+    deny_all: bool,
+    files: &Discovered,
+    sources: &BTreeMap<&str, SourceFile>,
+    out: &mut Vec<Diagnostic>,
+) -> Result<(), String> {
+    for manifest in &files.manifests {
+        let manifest_text = read(root, manifest)?;
+        if !manifest_text.contains("[package]") {
+            continue; // virtual workspace manifest
+        }
+        let crate_dir = match manifest.rfind('/') {
+            Some(k) => &manifest[..k],
+            None => "",
+        };
+        let src_prefix =
+            if crate_dir.is_empty() { "src/".to_string() } else { format!("{crate_dir}/src/") };
+        let src_files: Vec<&str> = files
+            .rust_sources
+            .iter()
+            .map(String::as_str)
+            .filter(|r| r.starts_with(&src_prefix))
+            .collect();
+        if src_files.is_empty() {
+            continue; // src tree outside the include scope: nothing to audit
+        }
+        let has_unsafe = src_files.iter().any(|r| match sources.get(r) {
+            Some(sf) => sf.tokens.iter().any(|t| t.kind == TokKind::Ident && t.text == "unsafe"),
+            None => false,
+        });
+        if has_unsafe {
+            continue;
+        }
+        let name = package_name(&manifest_text).unwrap_or_else(|| crate_dir.to_string());
+        for root_file in ["lib.rs", "main.rs"] {
+            let rel = format!("{src_prefix}{root_file}");
+            let Some(sf) = sources.get(rel.as_str()) else {
+                continue;
+            };
+            if !cfg.rule_applies("U002", &rel) || sf.is_waived("U002", 1) {
+                continue;
+            }
+            let has_forbid = sf.lines.iter().any(|l| l.trim().starts_with("#![forbid(unsafe_code"));
+            if !has_forbid {
+                push(
+                    cfg,
+                    deny_all,
+                    &rel,
+                    1,
+                    "U002",
+                    format!(
+                        "crate `{name}` contains no unsafe code; declare \
+                         #![forbid(unsafe_code)] in this crate root so it stays that way"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `name = "…"` from a manifest's `[package]` section.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(section) = line.strip_prefix('[') {
+            in_package = section.trim_end_matches(']').trim() == "package";
+            continue;
+        }
+        if in_package {
+            if let Some(v) = line.strip_prefix("name") {
+                let v = v.trim_start();
+                if let Some(v) = v.strip_prefix('=') {
+                    return Some(v.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Files found under the configured include roots, as sorted relative paths.
+struct Discovered {
+    rust_sources: Vec<String>,
+    manifests: Vec<String>,
+}
+
+fn discover(root: &Path, cfg: &Config) -> Result<Discovered, String> {
+    let mut found = Discovered { rust_sources: Vec::new(), manifests: Vec::new() };
+    // The root manifest is always considered (it hosts the root package).
+    if root.join("Cargo.toml").is_file() {
+        found.manifests.push("Cargo.toml".to_string());
+    }
+    let includes: Vec<String> =
+        if cfg.include.is_empty() { vec![".".to_string()] } else { cfg.include.clone() };
+    for inc in &includes {
+        let path = if inc == "." { root.to_path_buf() } else { root.join(inc) };
+        if path.is_dir() {
+            walk(&path, root, cfg, &mut found)?;
+        } else if path.is_file() {
+            classify(inc.clone(), cfg, &mut found);
+        } else {
+            return Err(format!("include path {inc:?} does not exist under {}", root.display()));
+        }
+    }
+    found.rust_sources.sort();
+    found.rust_sources.dedup();
+    found.manifests.sort();
+    found.manifests.dedup();
+    Ok(found)
+}
+
+fn walk(dir: &Path, root: &Path, cfg: &Config, found: &mut Discovered) -> Result<(), String> {
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .map_err(|e| format!("reading directory {}: {e}", dir.display()))?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("reading directory {}: {e}", dir.display()))?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|_| format!("path {} escapes the lint root", path.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        if cfg.is_excluded(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, cfg, found)?;
+        } else {
+            classify(rel, cfg, found);
+        }
+    }
+    Ok(())
+}
+
+fn classify(rel: String, cfg: &Config, found: &mut Discovered) {
+    if cfg.is_excluded(&rel) {
+        return;
+    }
+    if rel.ends_with(".rs") {
+        found.rust_sources.push(rel);
+    } else if rel == "Cargo.toml" || rel.ends_with("/Cargo.toml") {
+        found.manifests.push(rel);
+    }
+}
+
+fn read(root: &Path, rel: &str) -> Result<String, String> {
+    let path = root.join(rel);
+    fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_is_parsed_from_package_section() {
+        let m = "[workspace]\nmembers = [\"x\"]\n\n[package]\nname = \"grape6\"\nversion = \
+                 \"0.1.0\"\n";
+        assert_eq!(package_name(m), Some("grape6".to_string()));
+        assert_eq!(package_name("[workspace]\nname = \"nope\"\n"), None);
+    }
+
+    #[test]
+    fn render_format_is_stable() {
+        let d = Diagnostic {
+            path: "crates/core/src/force.rs".into(),
+            line: 12,
+            level: Level::Deny,
+            rule: "D001".into(),
+            message: "msg".into(),
+        };
+        assert_eq!(d.render(), "crates/core/src/force.rs:12: deny [D001] msg");
+    }
+}

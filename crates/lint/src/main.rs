@@ -1,0 +1,83 @@
+//! CLI entry point for `grape6-lint`.
+//!
+//! Exit codes: 0 clean (or warnings only), 1 at least one denied
+//! diagnostic, 2 usage/configuration/IO error.
+
+#![forbid(unsafe_code)]
+
+use grape6_lint::config::Config;
+use grape6_lint::rules::RULES;
+use grape6_lint::{run_lint, Diagnostic};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+grape6-lint: determinism & unsafe-audit static analysis for the grape6 workspace
+
+USAGE:
+    grape6-lint [--root DIR] [--config FILE] [--deny-all] [--list-rules]
+
+OPTIONS:
+    --root DIR      workspace root to lint (default: current directory)
+    --config FILE   lint configuration (default: <root>/lint.toml)
+    --deny-all      escalate every finding to deny (CI mode); path scoping
+                    and inline waivers still apply
+    --list-rules    print the rule table and exit
+    -h, --help      print this help
+";
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("grape6-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut deny_all = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(args.next().ok_or("--root requires a value")?),
+            "--config" => {
+                config_path = Some(PathBuf::from(args.next().ok_or("--config requires a value")?))
+            }
+            "--deny-all" => deny_all = true,
+            "--list-rules" => {
+                for rule in &RULES {
+                    println!("{}  {}", rule.id, rule.summary);
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+    let cfg = Config::parse(&text)?;
+    let diagnostics = run_lint(&root, &cfg, deny_all)?;
+    report(&diagnostics);
+    let denied = diagnostics.iter().filter(|d| d.level == grape6_lint::config::Level::Deny).count();
+    Ok(if denied > 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+fn report(diagnostics: &[Diagnostic]) {
+    for d in diagnostics {
+        println!("{}", d.render());
+    }
+    if diagnostics.is_empty() {
+        eprintln!("grape6-lint: clean");
+    } else {
+        eprintln!("grape6-lint: {} diagnostic(s)", diagnostics.len());
+    }
+}

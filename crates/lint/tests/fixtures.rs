@@ -1,0 +1,132 @@
+//! Integration tests: the linter over its self-test fixture corpus (exact
+//! rule/file/line assertions, waiver and scoping suppression), and the
+//! `--deny-all` contract over the real workspace.
+
+#![forbid(unsafe_code)]
+
+use grape6_lint::config::Config;
+use grape6_lint::run_lint;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Lint the fixture corpus with its checked-in lint.toml; return
+/// `(rule, path, line)` triples in the linter's (sorted) output order.
+fn lint_fixtures() -> Vec<(String, String, u32)> {
+    let root = fixtures_root();
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("fixture lint.toml");
+    let cfg = Config::parse(&text).expect("fixture lint.toml parses");
+    run_lint(&root, &cfg, true)
+        .expect("fixture lint runs")
+        .into_iter()
+        .map(|d| (d.rule, d.path, d.line))
+        .collect()
+}
+
+#[test]
+fn fixture_corpus_yields_exact_diagnostics() {
+    let got = lint_fixtures();
+    let want: Vec<(String, String, u32)> = [
+        ("D001", "d001_hashmap.rs", 1),
+        ("D001", "d001_hashmap.rs", 2),
+        ("D001", "d001_hashmap.rs", 5),
+        ("D001", "d001_hashmap.rs", 6),
+        ("D002", "d002_time.rs", 2),
+        ("D002", "d002_time.rs", 6),
+        ("D003", "d003_thread.rs", 2),
+        ("D003", "d003_thread.rs", 6),
+        ("H001", "h001_hot.rs", 7),
+        ("H001", "h001_hot.rs", 8),
+        ("U001", "u001_unsafe.rs", 7),
+        ("U002", "u002_missing_forbid/src/lib.rs", 1),
+        ("D001", "waivers.rs", 3),
+    ]
+    .iter()
+    .map(|(r, p, l)| (r.to_string(), p.to_string(), *l))
+    .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn inline_waivers_suppress_waived_lines_only() {
+    let got = lint_fixtures();
+    // Line 2's HashMap is covered by the line-1 waiver; line 3's HashSet is
+    // not (waivers reach one line down, no further).
+    assert!(!got.contains(&("D001".into(), "waivers.rs".into(), 2)));
+    assert!(got.contains(&("D001".into(), "waivers.rs".into(), 3)));
+    // The U001 waiver on line 6 covers the unsafe on line 7.
+    assert!(!got.iter().any(|(r, p, _)| r == "U001" && p == "waivers.rs"));
+}
+
+#[test]
+fn lint_toml_path_scoping_suppresses() {
+    let got = lint_fixtures();
+    // scoped/skipped.rs has two HashMap uses; allow_paths = ["scoped"]
+    // exempts the whole directory from D001.
+    assert!(!got.iter().any(|(_, p, _)| p.starts_with("scoped/")));
+}
+
+#[test]
+fn strings_and_comments_never_match() {
+    let got = lint_fixtures();
+    assert!(!got.iter().any(|(_, p, _)| p == "strings_and_comments.rs"));
+}
+
+#[test]
+fn unsafe_free_fixture_crate_with_forbid_is_clean() {
+    let got = lint_fixtures();
+    assert!(!got.iter().any(|(_, p, _)| p.starts_with("u002_ok/")));
+}
+
+#[test]
+fn deny_all_exits_nonzero_on_fixtures_with_diagnostics_on_stdout() {
+    let out = Command::new(env!("CARGO_BIN_EXE_grape6-lint"))
+        .arg("--root")
+        .arg(fixtures_root())
+        .arg("--deny-all")
+        .output()
+        .expect("run grape6-lint");
+    assert_eq!(out.status.code(), Some(1), "deny-all over fixtures must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("d001_hashmap.rs:1: deny [D001]"),
+        "missing expected diagnostic, got:\n{stdout}"
+    );
+    assert!(stdout.contains("u002_missing_forbid/src/lib.rs:1: deny [U002]"));
+}
+
+#[test]
+fn deny_all_exits_zero_on_the_real_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_grape6-lint"))
+        .arg("--root")
+        .arg(workspace_root())
+        .arg("--deny-all")
+        .output()
+        .expect("run grape6-lint");
+    assert!(
+        out.status.success(),
+        "workspace must be lint-clean under --deny-all.\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = Command::new(env!("CARGO_BIN_EXE_grape6-lint"))
+        .arg("--list-rules")
+        .output()
+        .expect("run grape6-lint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ["D001", "D002", "D003", "U001", "U002", "H001"] {
+        assert!(stdout.contains(rule), "--list-rules missing {rule}:\n{stdout}");
+    }
+}

@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::collections::BTreeMap;
+
+fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+fn ordered() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}

@@ -1,0 +1,8 @@
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn epoch() -> u64 {
+    let _ = std::time::SystemTime::now();
+    0
+}

@@ -1,0 +1,7 @@
+fn pool_size() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn worker_tag() -> std::thread::ThreadId {
+    std::thread::current().id()
+}

@@ -1,0 +1,15 @@
+fn cold() -> Vec<u8> {
+    vec![0u8; 4]
+}
+
+// grape6-lint: hot
+fn hot(xs: &[u8]) -> Vec<u8> {
+    let grown = xs.to_vec();
+    let boxed = Box::new(0u8);
+    drop(boxed);
+    grown
+}
+
+fn cold_again() -> Vec<u8> {
+    Vec::new()
+}

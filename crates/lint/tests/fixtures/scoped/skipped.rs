@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+fn tolerated_here() -> HashMap<u8, u8> {
+    HashMap::new()
+}

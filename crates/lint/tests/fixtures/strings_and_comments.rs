@@ -1,0 +1,10 @@
+// Instant::now() HashMap HashSet unsafe vec![ Box::new — comments never match.
+/* Nor block comments: SystemTime thread::current available_parallelism. */
+
+fn spelled_out() -> &'static str {
+    "Instant::now() SystemTime HashMap HashSet unsafe Box::new vec![ to_vec"
+}
+
+fn raw_spelled_out() -> &'static str {
+    r#"thread::current() available_parallelism "unsafe" collect::<Vec<_>>"#
+}

@@ -1,0 +1,8 @@
+fn checked(p: *mut u8) {
+    // SAFETY: the caller guarantees p is valid for writes.
+    unsafe { *p = 1 };
+}
+
+fn unchecked(p: *mut u8) {
+    unsafe { *p = 2 };
+}

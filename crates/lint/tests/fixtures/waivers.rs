@@ -1,0 +1,8 @@
+// grape6-lint: allow(D001)
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn noisy() {
+    // grape6-lint: allow(U001)
+    unsafe { std::hint::unreachable_unchecked() };
+}

@@ -7,7 +7,7 @@
 //! run statistics and snapshot I/O.
 
 #![warn(missing_docs)]
-
+#![forbid(unsafe_code)]
 pub mod accretion;
 pub mod checkpoint;
 pub mod encounters;

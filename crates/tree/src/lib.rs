@@ -8,7 +8,7 @@
 //! under both shared and individual timesteps.
 
 #![warn(missing_docs)]
-
+#![forbid(unsafe_code)]
 pub mod engine;
 pub mod octree;
 

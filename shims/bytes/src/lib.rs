@@ -2,6 +2,7 @@
 //! read cursor (`Bytes`), a growable write buffer (`BytesMut`), and the
 //! little-endian `Buf`/`BufMut` accessors the wire model uses.
 
+#![forbid(unsafe_code)]
 use std::sync::Arc;
 
 /// Cheaply clonable immutable byte buffer with an internal read cursor.

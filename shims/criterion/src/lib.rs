@@ -4,6 +4,7 @@
 //! two configurations in one run (e.g. telemetry on vs. off) and to keep
 //! `cargo bench` compiling offline.
 
+#![forbid(unsafe_code)]
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -1,6 +1,7 @@
 //! Offline shim for the `crossbeam` surface this workspace uses:
 //! `channel::unbounded` and `thread::scope`.
 
+#![forbid(unsafe_code)]
 /// MPMC channels over `std::sync::mpsc`, with crossbeam's clonable
 /// `Receiver` (std's receiver is single-consumer, so it sits behind a
 /// mutex here; contention is irrelevant at this workspace's channel use).

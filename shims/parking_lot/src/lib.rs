@@ -1,6 +1,7 @@
 //! Offline shim for `parking_lot`: std sync primitives with the
 //! poison-free `lock()` signature.
 
+#![forbid(unsafe_code)]
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutex whose `lock` never returns a poison error.

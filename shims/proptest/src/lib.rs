@@ -6,6 +6,7 @@
 //!   runs are reproducible without `proptest-regressions` files;
 //! - strategies generate uniformly over their range (no bias toward edges).
 
+#![forbid(unsafe_code)]
 use std::ops::{Range, RangeInclusive};
 
 /// Deterministic splitmix64 generator used to drive strategies.

@@ -3,6 +3,7 @@
 //! `StdRng` (ChaCha12), which is fine here — all workspace uses are
 //! statistical (disk realizations, random clouds), never golden-value.
 
+#![forbid(unsafe_code)]
 /// Raw 64-bit generator.
 pub trait RngCore {
     /// Next raw 64 bits.

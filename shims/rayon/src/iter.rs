@@ -35,7 +35,12 @@ fn element_chunk(n: usize, threads: usize) -> usize {
 /// Raw pointer wrapper asserting cross-thread use is safe because distinct
 /// slots/indices are written by distinct workers.
 struct SyncPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced at indices partitioned across
+// workers (each slot written by exactly one thread), and T: Send lets the
+// pointee move between threads.
 unsafe impl<T: Send> Send for SyncPtr<T> {}
+// SAFETY: shared use is index-disjoint writes only (see Send above); no two
+// threads ever touch the same element through the same `&SyncPtr`.
 unsafe impl<T: Send> Sync for SyncPtr<T> {}
 
 /// Evaluate `eval(c)` for every chunk index `0..n_chunks` on up to
@@ -230,6 +235,8 @@ impl ParallelIterator for RangeIter {
     fn len(&self) -> usize {
         self.len
     }
+    // SAFETY: no memory access — producing `start + i` is sound for any `i`;
+    // the trait contract (`i < len`) is simply inherited.
     unsafe fn get(&self, i: usize) -> usize {
         self.start + i
     }
@@ -253,7 +260,10 @@ impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
     fn len(&self) -> usize {
         self.slice.len()
     }
+    // SAFETY: relies on the trait contract (i < len); elements are shared
+    // references, so multiple production is harmless.
     unsafe fn get(&self, i: usize) -> &'a T {
+        // SAFETY: the trait contract guarantees i < self.len() = slice len.
         self.slice.get_unchecked(i)
     }
 }
@@ -266,7 +276,12 @@ pub struct ParIterMut<'a, T> {
     _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
+// SAFETY: the producer owns an exclusive borrow of the slice (PhantomData
+// &'a mut [T]); moving it to another thread is moving that exclusive borrow,
+// sound for T: Send.
 unsafe impl<T: Send> Send for ParIterMut<'_, T> {}
+// SAFETY: sharing `&ParIterMut` across workers only ever yields disjoint
+// `&mut T` (each index produced at most once per drive — trait contract).
 unsafe impl<T: Send> Sync for ParIterMut<'_, T> {}
 
 impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
@@ -274,9 +289,11 @@ impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
     fn len(&self) -> usize {
         self.len
     }
+    // SAFETY: relies on the trait contract — i < len and each index produced
+    // at most once per drive.
     unsafe fn get(&self, i: usize) -> &'a mut T {
-        // SAFETY: i < len and each index is produced at most once, so the
-        // &mut references are disjoint.
+        // SAFETY: i < len (in-bounds) and each index is produced at most
+        // once, so the &mut references are disjoint.
         &mut *self.ptr.add(i)
     }
 }
@@ -292,9 +309,13 @@ impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
     fn len(&self) -> usize {
         self.slice.len().div_ceil(self.size)
     }
+    // SAFETY: relies on the trait contract (i < len); windows are shared,
+    // so multiple production is harmless.
     unsafe fn get(&self, i: usize) -> &'a [T] {
         let lo = i * self.size;
         let hi = (lo + self.size).min(self.slice.len());
+        // SAFETY: i < len() = ceil(slice len / size) (trait contract), so
+        // lo..hi is in bounds with lo <= hi.
         self.slice.get_unchecked(lo..hi)
     }
 }
@@ -308,7 +329,11 @@ pub struct ParChunksMut<'a, T> {
     _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
+// SAFETY: owns an exclusive borrow of the slice (PhantomData &'a mut [T]);
+// sending it is sending that exclusive borrow, sound for T: Send.
 unsafe impl<T: Send> Send for ParChunksMut<'_, T> {}
+// SAFETY: shared use only ever yields disjoint `&mut [T]` windows (each
+// chunk index produced at most once per drive — trait contract).
 unsafe impl<T: Send> Sync for ParChunksMut<'_, T> {}
 
 impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
@@ -316,11 +341,13 @@ impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
     fn len(&self) -> usize {
         self.len.div_ceil(self.size)
     }
+    // SAFETY: relies on the trait contract — i < len() and each chunk index
+    // produced at most once per drive.
     unsafe fn get(&self, i: usize) -> &'a mut [T] {
         let lo = i * self.size;
         let hi = (lo + self.size).min(self.len);
-        // SAFETY: chunk windows are disjoint and each index is produced at
-        // most once per drive.
+        // SAFETY: lo..hi is in bounds (i < ceil(len/size)), chunk windows
+        // are disjoint, and each index is produced at most once per drive.
         std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
     }
 }
@@ -375,6 +402,8 @@ where
     fn len(&self) -> usize {
         self.base.len()
     }
+    // SAFETY: forwards the caller's contract (i < len, produced once)
+    // unchanged to the base producer.
     unsafe fn get(&self, i: usize) -> R {
         (self.f)(self.base.get(i))
     }
@@ -391,6 +420,8 @@ impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
     fn len(&self) -> usize {
         self.a.len().min(self.b.len())
     }
+    // SAFETY: i < min(a.len, b.len) (trait contract), so the caller's
+    // contract holds for both base producers.
     unsafe fn get(&self, i: usize) -> (A::Item, B::Item) {
         (self.a.get(i), self.b.get(i))
     }
@@ -406,6 +437,7 @@ impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
     fn len(&self) -> usize {
         self.base.len()
     }
+    // SAFETY: forwards the caller's contract unchanged to the base producer.
     unsafe fn get(&self, i: usize) -> (usize, P::Item) {
         (i, self.base.get(i))
     }
@@ -422,6 +454,8 @@ impl<P: ParallelIterator> ParallelIterator for IterChunks<P> {
     fn len(&self) -> usize {
         self.base.len().div_ceil(self.size)
     }
+    // SAFETY: relies on the trait contract — chunk index i produced at most
+    // once per drive.
     unsafe fn get(&self, i: usize) -> Vec<P::Item> {
         let lo = i * self.size;
         let hi = (lo + self.size).min(self.base.len());

@@ -37,10 +37,13 @@ use std::sync::{Condvar, Mutex, OnceLock};
 /// returning, so the `'static` here is a scoped-thread-style promise, not a
 /// real static lifetime.
 struct Task {
-    f: &'static (dyn Fn(usize) + Sync),
+    f: TaskFn,
     latch: &'static Latch,
     slot: usize,
 }
+
+/// The lifetime-erased slot-closure type carried by [`Task`].
+type TaskFn = &'static (dyn Fn(usize) + Sync);
 
 /// Countdown latch carrying the first worker panic, if any.
 struct Latch {
@@ -130,13 +133,23 @@ pub fn broadcast(threads: usize, f: &(dyn Fn(usize) + Sync)) {
             let idx = pool.len();
             pool.push(spawn_worker(idx));
         }
-        // SAFETY (lifetime erasure): `latch.wait()` below does not return
-        // until every dispatched slot has completed, so the borrows of `f`
-        // and `latch` cannot outlive this frame — the same contract as
-        // `std::thread::scope`.
-        let f_erased: &'static (dyn Fn(usize) + Sync) =
-            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
-        let latch_erased: &'static Latch = unsafe { std::mem::transmute::<&Latch, _>(&latch) };
+        // SAFETY: lifetime erasure of `f`. Workers read `f` only while
+        // running their dispatched slot, and `latch.wait()` below does not
+        // return until every dispatched slot has called `latch.complete`
+        // (worker loop: `task.latch.complete(...)` runs after `task.f`
+        // returns or panics). So every worker read of `f` happens-before
+        // this frame returns — the same contract `std::thread::scope`
+        // provides, erased to 'static because the channel `Task` type can
+        // name no stack lifetime.
+        let f_erased = unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), TaskFn>(f) };
+        // SAFETY: lifetime erasure of `latch`. A worker's last touch of the
+        // latch is the `complete` call itself; `Latch::wait` returns only
+        // after observing all `t - 1` completions (and `complete`'s
+        // lock/notify releases the borrow before `wait` can observe the
+        // final count). The latch therefore outlives every worker access,
+        // even on the panic paths, because `wait` runs unconditionally
+        // before this frame unwinds.
+        let latch_erased = unsafe { std::mem::transmute::<&Latch, &'static Latch>(&latch) };
         for slot in 1..t {
             pool[slot - 1]
                 .send(Task { f: f_erased, latch: latch_erased, slot })
@@ -174,6 +187,9 @@ mod tests {
     }
 
     #[test]
+    // Asserts *about* scheduling on purpose (D003/clippy backup allowlists
+    // shims/rayon).
+    #[allow(clippy::disallowed_methods)]
     fn broadcast_one_runs_on_caller_thread() {
         let caller = std::thread::current().id();
         broadcast(1, &|_| assert_eq!(std::thread::current().id(), caller));

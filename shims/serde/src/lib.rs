@@ -7,6 +7,7 @@
 //! single-method traits, and `serde_json` is a JSON reader/writer over
 //! [`Value`].
 
+#![forbid(unsafe_code)]
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Tree representation of any serializable datum (JSON-shaped).

@@ -10,6 +10,7 @@
 //! Anything else panics with a message naming the unsupported construct, so
 //! a future change fails at compile time instead of misbehaving at runtime.
 
+#![forbid(unsafe_code)]
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 struct Field {

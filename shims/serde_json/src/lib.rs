@@ -2,6 +2,7 @@
 //! `serde::Value` tree. Writes shortest-round-trip float literals (Rust's
 //! `{}` formatting), so `f64` survives a text round trip bit-exactly.
 
+#![forbid(unsafe_code)]
 pub use serde::Value;
 use serde::{Deserialize, Serialize};
 

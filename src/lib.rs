@@ -33,6 +33,7 @@
 //! assert!(report.tflops() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 pub use grape6_core as core;
 pub use grape6_disk as disk;
 pub use grape6_hw as hw;
