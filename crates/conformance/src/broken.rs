@@ -1,0 +1,122 @@
+//! An intentionally broken force kernel, used (behind the CLI's dev-only
+//! `--broken-kernel` flag and in tests) to prove the harness *catches* and
+//! *minimizes* real bugs rather than merely passing on correct code.
+//!
+//! The bug is a classic off-by-one: the j-loop runs to `n − 1`, silently
+//! dropping the last j-particle from every sum. On any system with two or
+//! more particles this loses an entire pair force, which overshoots the
+//! oracle budget by many orders of magnitude — and the shrinker reduces any
+//! failing scenario to the minimal two-particle repro.
+
+use grape6_core::engine::ForceEngine;
+use grape6_core::force::pair_force_jerk;
+use grape6_core::particle::{ForceResult, IParticle, Neighbor, ParticleSystem};
+use grape6_core::vec3::Vec3;
+
+/// A direct-summation engine whose j-loop drops the last particle.
+#[derive(Debug, Default)]
+pub struct BrokenEngine {
+    jpos: Vec<Vec3>,
+    jvel: Vec<Vec3>,
+    jacc: Vec<Vec3>,
+    jjerk: Vec<Vec3>,
+    jtime: Vec<f64>,
+    jmass: Vec<f64>,
+    eps2: f64,
+    interactions: u64,
+}
+
+impl BrokenEngine {
+    /// Create an empty broken engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ForceEngine for BrokenEngine {
+    fn load(&mut self, sys: &ParticleSystem) {
+        self.jpos = sys.pos.clone();
+        self.jvel = sys.vel.clone();
+        self.jacc = sys.acc.clone();
+        self.jjerk = sys.jerk.clone();
+        self.jtime = sys.time.clone();
+        self.jmass = sys.mass.clone();
+        self.eps2 = sys.softening * sys.softening;
+    }
+
+    fn update_j(&mut self, sys: &ParticleSystem, indices: &[usize]) {
+        for &j in indices {
+            self.jpos[j] = sys.pos[j];
+            self.jvel[j] = sys.vel[j];
+            self.jacc[j] = sys.acc[j];
+            self.jjerk[j] = sys.jerk[j];
+            self.jtime[j] = sys.time[j];
+            self.jmass[j] = sys.mass[j];
+        }
+    }
+
+    fn compute(&mut self, t: f64, ips: &[IParticle], out: &mut [ForceResult]) {
+        // BUG (intentional): `..n - 1` drops the last j-particle.
+        let n = self.jpos.len();
+        let upper = n.saturating_sub(1);
+        for (ip, res) in ips.iter().zip(out.iter_mut()) {
+            let mut r = ForceResult::default();
+            for j in 0..upper {
+                if j == ip.index {
+                    continue;
+                }
+                let dt = t - self.jtime[j];
+                let pos = self.jpos[j]
+                    + self.jvel[j] * dt
+                    + self.jacc[j] * (dt * dt / 2.0)
+                    + self.jjerk[j] * (dt * dt * dt / 6.0);
+                let vel = self.jvel[j] + self.jacc[j] * dt + self.jjerk[j] * (dt * dt / 2.0);
+                let dx = pos - ip.pos;
+                let dv = vel - ip.vel;
+                let (acc, jerk, pot) = pair_force_jerk(dx, dv, self.jmass[j], self.eps2);
+                r.acc += acc;
+                r.jerk += jerk;
+                r.pot += pot;
+                let r2 = dx.norm2();
+                if r.nn.is_none_or(|nn| r2 < nn.r2) {
+                    r.nn = Some(Neighbor { index: j, r2 });
+                }
+                self.interactions += 1;
+            }
+            *res = r;
+        }
+    }
+
+    fn interaction_count(&self) -> u64 {
+        self.interactions
+    }
+
+    fn reset_counters(&mut self) {
+        self.interactions = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "broken-dropped-pair"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_the_last_particle() {
+        let mut sys = ParticleSystem::new(0.008, 0.0);
+        sys.push(Vec3::new(10.0, 0.0, 0.0), Vec3::zero(), 1e-6);
+        sys.push(Vec3::new(-10.0, 0.0, 0.0), Vec3::zero(), 1e-6);
+        let mut engine = BrokenEngine::new();
+        engine.load(&sys);
+        let ips = vec![IParticle { index: 0, pos: sys.pos[0], vel: sys.vel[0] }];
+        let mut out = vec![ForceResult::default()];
+        engine.compute(0.0, &ips, &mut out);
+        // Particle 0's only partner is the last j-particle — which the bug
+        // drops, so the force comes back exactly zero.
+        assert_eq!(out[0].acc.norm(), 0.0);
+        assert_eq!(out[0].pot, 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Reading and writing scenario JSON: the minimized-repro corpus.
+//!
+//! Minimized failing scenarios are written as pretty JSON. Repros of *fixed*
+//! bugs get checked in under `conformance/corpus/` at the workspace root and
+//! replayed by the tier-1 test suite (`tests/conformance_corpus.rs`);
+//! fresh failures land in a scratch directory for triage (CI uploads them
+//! as artifacts). The scenario JSON round-trips f64 values exactly, so a
+//! replay sees the same bits the fuzzer saw.
+
+use crate::runner::run_scenario;
+use crate::scenario::Scenario;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Serialize a scenario to pretty JSON.
+pub fn to_json(sc: &Scenario) -> String {
+    serde_json::to_string_pretty(sc).expect("scenario serialization cannot fail")
+}
+
+/// Parse a scenario from JSON.
+pub fn from_json(s: &str) -> Result<Scenario, String> {
+    serde_json::from_str(s).map_err(|e| format!("bad scenario JSON: {e}"))
+}
+
+/// Load every `*.json` scenario in a directory, sorted by file name so the
+/// replay order is stable.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Scenario)>, String> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus dir {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let sc = from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((path, sc));
+    }
+    Ok(out)
+}
+
+/// Write a (minimized) failing scenario plus the check it fails to `dir`,
+/// returning the path. The failing check and detail ride along in the file
+/// as a leading comment-free JSON sibling (`meta` object) so triage does
+/// not need to re-run the fuzzer.
+pub fn write_failure(dir: &Path, sc: &Scenario, check: &str, detail: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let slug: String =
+        check.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect();
+    let path = dir.join(format!("{}-{slug}.json", sc.name));
+    let mut json = to_json(sc);
+    // Attach the failure report as extra top-level fields; the scenario
+    // deserializer ignores unknown keys, so the file replays as-is.
+    let tail = format!(
+        ",\n  \"failed_check\": {},\n  \"failure_detail\": {}\n}}",
+        serde_json::to_string(check).expect("string serialization cannot fail"),
+        serde_json::to_string(detail).expect("string serialization cannot fail"),
+    );
+    match json.rfind('}') {
+        Some(pos) => json.replace_range(pos.., &tail),
+        None => unreachable!("serialized scenario is a JSON object"),
+    }
+    fs::write(&path, &json)?;
+    Ok(path)
+}
+
+/// Replay every scenario in a corpus directory through the full check list.
+/// Returns the failures as `(file, check, detail)` triples.
+pub fn replay_dir(dir: &Path) -> Result<Vec<(PathBuf, String, String)>, String> {
+    let mut failures = Vec::new();
+    for (path, sc) in load_dir(dir)? {
+        for failure in run_scenario(&sc) {
+            failures.push((path.clone(), failure.check, failure.detail));
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::generate;
+
+    #[test]
+    fn json_survives_a_failure_annotation() {
+        let sc = generate(4);
+        let dir = std::env::temp_dir().join(format!("g6-conf-corpus-{}", std::process::id()));
+        let path = write_failure(&dir, &sc, "diff/grape6-vs-direct", "particle 0: boom")
+            .expect("write failure file");
+        let text = fs::read_to_string(&path).unwrap();
+        let back = from_json(&text).expect("annotated repro still parses as a scenario");
+        assert_eq!(back.len(), sc.len());
+        assert!(text.contains("failed_check"));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

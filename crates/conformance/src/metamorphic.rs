@@ -1,0 +1,126 @@
+//! Metamorphic transformations of a particle system and the bitwise
+//! equivariance arguments behind them.
+//!
+//! Each transform comes with a precise claim about what an engine must
+//! produce on the transformed system:
+//!
+//! * [`permute`] — gravity does not care about storage order. The GRAPE
+//!   engines promise **bitwise** invariance (the wide fixed-point
+//!   accumulator is exactly associative *and* commutative); the f64
+//!   reference only reorders its summation, so it gets the reorder
+//!   tolerance.
+//! * [`rotate_z90`] — the quarter-turn (x,y,z) → (−y,x,z) permutes and
+//!   negates coordinates. IEEE negation is exact, `x·x + y·y + z·z` is
+//!   invariant under commuting the first two addends, and every rounding in
+//!   both engines (round-to-nearest-even, fixed-point encode) is symmetric
+//!   in sign — so this rotation is **bitwise** for *both* engine families.
+//! * [`translate`] — shifts re-round positions (f64 and fixed-point), so
+//!   translation invariance holds to the oracle tolerance only.
+//! * [`rescale_mass`] — scaling all masses by a power of two is exact in
+//!   every float multiply, so the f64 reference is **bitwise** equivariant;
+//!   the hardware accumulator quantizes on a fixed absolute grid, which
+//!   leaves a few quanta per pair.
+
+use grape6_core::particle::ParticleSystem;
+use grape6_core::vec3::Vec3;
+
+/// Reverse the particle order. Returns the permuted system and `perm` with
+/// `perm[new_index] = old_index`.
+pub fn permute(sys: &ParticleSystem) -> (ParticleSystem, Vec<usize>) {
+    let n = sys.len();
+    let perm: Vec<usize> = (0..n).rev().collect();
+    let mut out = ParticleSystem::new(sys.softening, sys.central_mass);
+    out.t = sys.t;
+    for &old in &perm {
+        let k = out.push(sys.pos[old], sys.vel[old], sys.mass[old]);
+        out.acc[k] = sys.acc[old];
+        out.jerk[k] = sys.jerk[old];
+        out.time[k] = sys.time[old];
+        out.dt[k] = sys.dt[old];
+        out.id[k] = sys.id[old];
+    }
+    (out, perm)
+}
+
+/// Rotate a vector a quarter turn about z: (x,y,z) → (−y,x,z).
+pub fn rot90(v: Vec3) -> Vec3 {
+    Vec3::new(-v.y, v.x, v.z)
+}
+
+/// Rotate the whole system (positions, velocities, accelerations, jerks)
+/// a quarter turn about z.
+pub fn rotate_z90(sys: &ParticleSystem) -> ParticleSystem {
+    let mut out = sys.clone();
+    for i in 0..sys.len() {
+        out.pos[i] = rot90(sys.pos[i]);
+        out.vel[i] = rot90(sys.vel[i]);
+        out.acc[i] = rot90(sys.acc[i]);
+        out.jerk[i] = rot90(sys.jerk[i]);
+    }
+    out
+}
+
+/// Shift every position by `d`.
+pub fn translate(sys: &ParticleSystem, d: Vec3) -> ParticleSystem {
+    let mut out = sys.clone();
+    for i in 0..sys.len() {
+        out.pos[i] = sys.pos[i] + d;
+    }
+    out
+}
+
+/// Scale every particle mass (use a power of two for the bitwise claim).
+/// Accelerations and jerks already stored in the system scale with it, so
+/// predictor inputs stay consistent.
+pub fn rescale_mass(sys: &ParticleSystem, factor: f64) -> ParticleSystem {
+    let mut out = sys.clone();
+    for i in 0..sys.len() {
+        out.mass[i] = sys.mass[i] * factor;
+        out.acc[i] = sys.acc[i] * factor;
+        out.jerk[i] = sys.jerk[i] * factor;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ParticleSystem {
+        let mut sys = ParticleSystem::new(0.008, 1.0);
+        sys.push(Vec3::new(1.0, 2.0, 3.0), Vec3::new(0.1, -0.2, 0.3), 1e-6);
+        sys.push(Vec3::new(-4.0, 5.0, -6.0), Vec3::new(0.0, 0.0, 0.1), 2e-6);
+        sys.push(Vec3::new(7.0, -8.0, 9.0), Vec3::new(-0.3, 0.1, 0.0), 3e-6);
+        sys
+    }
+
+    #[test]
+    fn permute_is_an_involution_on_state() {
+        let sys = sample();
+        let (p, perm) = permute(&sys);
+        let (pp, _) = permute(&p);
+        for (i, &src) in perm.iter().enumerate() {
+            assert_eq!(pp.pos[i], sys.pos[i]);
+            assert_eq!(p.pos[i], sys.pos[src]);
+            assert_eq!(p.mass[i], sys.mass[src]);
+        }
+    }
+
+    #[test]
+    fn rot90_preserves_norm_bitwise() {
+        for v in [Vec3::new(0.1, -2.5, 3.25), Vec3::new(-1e-9, 7.0, 0.0)] {
+            // x·x + y·y is commutative in IEEE, so norm² bits survive.
+            assert_eq!(rot90(v).norm2().to_bits(), v.norm2().to_bits());
+        }
+    }
+
+    #[test]
+    fn rescale_by_power_of_two_is_exact() {
+        let sys = sample();
+        let scaled = rescale_mass(&sys, 4.0);
+        for i in 0..sys.len() {
+            assert_eq!(scaled.mass[i], 4.0 * sys.mass[i]);
+            assert_eq!(scaled.mass[i] / 4.0, sys.mass[i]);
+        }
+    }
+}

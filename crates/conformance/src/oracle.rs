@@ -1,0 +1,221 @@
+//! The precision oracle: engine-agreement tolerances derived from the bit
+//! widths in `grape6_hw::format`, not from hand-tuned epsilons.
+//!
+//! For every i-particle the oracle walks the same pairs the engines sum and
+//! accumulates an error *budget* with one term per hardware error source:
+//!
+//! * **pipeline rounding** — every rounded stage of
+//!   `grape6_hw::pipeline::pipeline_interaction` (dx, dv, r², 1/r, 1/r²,
+//!   m/r³ twice, r·v, α, acc, jerk, pot ≈ a dozen stages) perturbs a pair
+//!   relatively by at most [`grape6_hw::format::rel_half_ulp`] of the
+//!   pipeline mantissa; `K_PIPE` bounds the stage count with slack;
+//! * **position quantization** — fixed-point encoding moves each coordinate
+//!   by at most [`grape6_hw::format::FixedPointFormat::half_ulp`], which
+//!   propagates into a pair force through the force gradient (≤ 3·a/r̃ per
+//!   unit of displacement, r̃ the softened distance);
+//! * **prediction rounding** — at t > 0 the hardware predictor evaluates
+//!   its Taylor polynomial in pipeline precision, so each predicted
+//!   position/velocity carries a relative half-ulp of the polynomial terms;
+//! * **accumulation quanta** — the wide fixed-point accumulator rounds each
+//!   of the ~N partial forces to the grid of
+//!   [`grape6_hw::format::accum_quantum`];
+//! * **reference reordering** — the f64 reference itself is only exact to
+//!   its own summation order; `(n+8)·2⁻⁵³` per pair covers any reordering;
+//! * **self-interaction leak** — the chip predicts a particle's own j-copy
+//!   in short floats while the host predicts the i-side in f64; the softened
+//!   self-pair then leaks `m·Δx/ε³` of force instead of cancelling (zero at
+//!   t = 0, where both sides encode identical bits).
+//!
+//! A global `SAFETY` factor absorbs the slack between these per-term upper
+//! bounds and the exact worst case. The oracle's job is discrimination, not
+//! tightness: real hardware-arithmetic error sits just below the budget
+//! while a genuinely broken kernel (a dropped pair, a wrong exponent)
+//! overshoots it by many orders of magnitude.
+
+use grape6_core::particle::ParticleSystem;
+use grape6_hw::format::{accum_quantum, rel_half_ulp};
+use grape6_hw::FixedPointFormat;
+
+/// Rounded-stage bound of one pipeline interaction (with slack; the actual
+/// sequence in `pipeline_interaction` rounds ~12 scalar stages).
+pub const K_PIPE: f64 = 16.0;
+
+/// Global slack between per-term upper bounds and the exact worst case.
+pub const SAFETY: f64 = 8.0;
+
+/// Per-particle absolute tolerances on the engine outputs.
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    /// On `|acc_a − acc_b|` (vector norm).
+    pub acc: Vec<f64>,
+    /// On `|jerk_a − jerk_b|` (vector norm).
+    pub jerk: Vec<f64>,
+    /// On `|pot_a − pot_b|`.
+    pub pot: Vec<f64>,
+}
+
+/// What is being compared, and therefore which error sources apply.
+#[derive(Debug, Clone, Copy)]
+pub struct Oracle {
+    /// Pipeline mantissa bits of the lower-precision side (53 = exact f64).
+    pub mantissa_bits: u32,
+    /// Include fixed-point position quantization and accumulator quanta
+    /// (true when a hardware engine is on either side).
+    pub quantized: bool,
+    /// Additional absolute position uncertainty per coordinate (used by the
+    /// translation invariant, where the frame shift re-rounds positions).
+    pub extra_dpos: f64,
+    /// Per-pair relative slack factor in units of `rel_half_ulp`.
+    pub pipeline_k: f64,
+}
+
+impl Oracle {
+    /// Hardware engine vs f64 reference, given the pipeline mantissa width.
+    pub fn hardware(mantissa_bits: u32) -> Self {
+        Self { mantissa_bits, quantized: true, extra_dpos: 0.0, pipeline_k: K_PIPE }
+    }
+
+    /// f64 engine vs f64 engine where only the summation order differs
+    /// (permutation, small-vs-large block path). `n` is the pair count.
+    pub fn reorder(n: usize) -> Self {
+        Self { mantissa_bits: 53, quantized: false, extra_dpos: 0.0, pipeline_k: (n + 8) as f64 }
+    }
+
+    /// Compute per-particle tolerances for comparing engine outputs on
+    /// `sys`'s particles predicted to time `t` (pass `sys.t` for the
+    /// unpredicted case).
+    pub fn tolerances(&self, sys: &ParticleSystem, t: f64) -> Tolerances {
+        let n = sys.len();
+        let eps2 = sys.softening * sys.softening;
+        let u = rel_half_ulp(self.mantissa_bits);
+        let fmt = FixedPointFormat::default();
+        // Per-coordinate quantization, doubled for the two particles of a
+        // pair, √3 for three coordinates.
+        let quant = if self.quantized { 2.0 * 3.0f64.sqrt() * fmt.half_ulp() } else { 0.0 };
+        let q = if self.quantized { accum_quantum() } else { 0.0 };
+        // f64 reference reordering slack, always present.
+        let uref = (n + 8) as f64 * rel_half_ulp(53);
+
+        // Predicted state and per-particle prediction scale: the magnitude
+        // of the predictor polynomial's moving terms, whose rounding in
+        // pipeline precision displaces predicted positions/velocities.
+        let mut ppos = Vec::with_capacity(n);
+        let mut pvel = Vec::with_capacity(n);
+        let mut dpos = Vec::with_capacity(n);
+        let mut dvel = Vec::with_capacity(n);
+        for j in 0..n {
+            let (p, v) = sys.predict(j, t);
+            ppos.push(p);
+            pvel.push(v);
+            let dt = (t - sys.time[j]).abs();
+            let travel = sys.vel[j].norm() * dt
+                + sys.acc[j].norm() * dt * dt / 2.0
+                + sys.jerk[j].norm() * dt * dt * dt / 6.0;
+            let vchange = sys.acc[j].norm() * dt + sys.jerk[j].norm() * dt * dt / 2.0;
+            // Positions ride in 54-bit fixed point, so only the predictor
+            // *increment* is rounded at pipeline precision; velocities live
+            // in short-mantissa words, so theirs includes the base value.
+            dpos.push(u * travel + quant + uref * p.norm() + self.extra_dpos);
+            dvel.push(u * (vchange + v.norm()));
+        }
+
+        let mut tol = Tolerances {
+            acc: Vec::with_capacity(n),
+            jerk: Vec::with_capacity(n),
+            pot: Vec::with_capacity(n),
+        };
+        for i in 0..n {
+            let mut acc_b = 0.0;
+            let mut jerk_b = 0.0;
+            let mut pot_b = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let dx = ppos[j] - ppos[i];
+                let dv = pvel[j] - pvel[i];
+                let re = (dx.norm2() + eps2).sqrt().max(f64::MIN_POSITIVE);
+                let m = sys.mass[j];
+                let a = m / (re * re);
+                let p = m / re;
+                // Jerk magnitude bound: |dv − 3(d̂x·dv)d̂x|·m/r̃³ ≤ 4m|dv|/r̃³.
+                let jb = 4.0 * m * dv.norm() / (re * re * re);
+                let dp = dpos[i] + dpos[j];
+                let dvl = dvel[i] + dvel[j];
+                acc_b += a * (self.pipeline_k * u + uref) + 3.0 * a * dp / re;
+                jerk_b += jb * (self.pipeline_k * u + uref)
+                    + 3.0 * m * dvl / (re * re * re)
+                    + 4.0 * jb * dp / re
+                    + 12.0 * m * dv.norm() * dp / (re * re * re * re);
+                pot_b += p * (self.pipeline_k * u + uref) + p * dp / re;
+            }
+            // Accumulator quanta: one half-step per partial, per component.
+            let aq = (n as f64 + 2.0) * q * 3.0f64.sqrt();
+            acc_b += aq;
+            jerk_b += aq;
+            pot_b += (n as f64 + 2.0) * q;
+            // Self-potential correction residual: the pipeline's −m/ε self
+            // term and the host's +m/ε correction round differently.
+            if sys.softening > 0.0 {
+                pot_b += self.pipeline_k * u * sys.mass[i] / sys.softening;
+            }
+            // Self-interaction leak (the hardware's best-known artifact): at
+            // t > 0 the chip's short-float prediction of a particle's own
+            // j-copy disagrees with the host's f64-predicted i-position by
+            // dpos[i], so the softened self-pair leaks |m·Δx|/ε³ of force
+            // and ~4m|Δv|/ε³ of jerk instead of cancelling exactly.
+            if self.quantized && sys.softening > 0.0 {
+                let e3 = sys.softening * sys.softening * sys.softening;
+                acc_b += sys.mass[i] * dpos[i] / e3;
+                jerk_b += 4.0 * sys.mass[i] * dvel[i] / e3;
+                pot_b += sys.mass[i] * dpos[i] * dpos[i] / e3;
+            }
+            tol.acc.push(SAFETY * acc_b);
+            tol.jerk.push(SAFETY * jerk_b);
+            tol.pot.push(SAFETY * pot_b);
+        }
+        tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape6_core::vec3::Vec3;
+
+    fn pair() -> ParticleSystem {
+        let mut sys = ParticleSystem::new(0.008, 1.0);
+        sys.push(Vec3::new(20.0, 0.0, 0.0), Vec3::new(0.0, 0.2, 0.0), 1e-6);
+        sys.push(Vec3::new(20.1, 0.0, 0.0), Vec3::new(0.0, 0.19, 0.0), 2e-6);
+        sys
+    }
+
+    #[test]
+    fn hardware_oracle_scales_with_mantissa() {
+        let sys = pair();
+        let t24 = Oracle::hardware(24).tolerances(&sys, 0.0);
+        let t53 = Oracle::hardware(53).tolerances(&sys, 0.0);
+        // 24-bit pipelines must be allowed vastly more error than exact
+        // arithmetic (where only quantization terms remain).
+        assert!(t24.acc[0] > 1e3 * t53.acc[0], "24-bit {} vs 53-bit {}", t24.acc[0], t53.acc[0]);
+        assert!(t24.acc[0] > 0.0 && t24.acc[0].is_finite());
+    }
+
+    #[test]
+    fn tolerance_is_far_below_the_signal() {
+        // The oracle must discriminate: the allowed error on a pair force
+        // stays orders of magnitude below the force itself.
+        let sys = pair();
+        let tol = Oracle::hardware(24).tolerances(&sys, 0.0);
+        let a = 2e-6 / (0.1f64 * 0.1); // partner's m/r²
+        assert!(tol.acc[0] < 1e-3 * a, "tolerance {} vs signal {a}", tol.acc[0]);
+    }
+
+    #[test]
+    fn reorder_oracle_is_tiny() {
+        let sys = pair();
+        let tol = Oracle::reorder(sys.len()).tolerances(&sys, 0.0);
+        let a = 2e-6 / (0.1f64 * 0.1);
+        assert!(tol.acc[0] < 1e-10 * a, "reorder tolerance {} too loose", tol.acc[0]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Deterministic seeded scenario generation.
+//!
+//! Every scenario is a pure function of its seed: the same seed produces the
+//! same particle set, bit for bit, on every machine (the `rand` shim is a
+//! fixed xoshiro256** and all arithmetic is plain f64). Scenarios serialize
+//! to JSON (Rust's shortest-roundtrip float formatting makes the round trip
+//! exact), which is what the shrinker writes and the corpus replays.
+
+use grape6_core::particle::ParticleSystem;
+use grape6_core::vec3::Vec3;
+use grape6_disk::DiskBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Families of stress scenarios, cycled by seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// A slice of the paper's Uranus-Neptune planetesimal disk.
+    DiskSlice,
+    /// Masses spanning seven orders of magnitude in one shell.
+    ExtremeMassRatio,
+    /// Pairs separated by less than the softening length.
+    NearCollision,
+    /// Ring lattices at power-of-two radii → commensurate block times.
+    CommensurateBlocks,
+    /// One to four particles: the degenerate small-block paths.
+    TinyN,
+    /// Positions and masses spread over the whole fixed-point range.
+    WideRange,
+}
+
+impl ScenarioKind {
+    /// The kind assigned to a seed (cycles through all six).
+    pub fn for_seed(seed: u64) -> Self {
+        match seed % 6 {
+            0 => Self::DiskSlice,
+            1 => Self::ExtremeMassRatio,
+            2 => Self::NearCollision,
+            3 => Self::CommensurateBlocks,
+            4 => Self::TinyN,
+            _ => Self::WideRange,
+        }
+    }
+}
+
+/// A self-contained conformance scenario: the particle system plus the run
+/// parameters the differential checks use.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name (kind + seed, or the shrinker's repro tag).
+    pub name: String,
+    /// Generating seed (0 for hand-written or minimized scenarios).
+    pub seed: u64,
+    /// Stress family.
+    pub kind: ScenarioKind,
+    /// The particle set (positions/velocities/masses; dynamical state
+    /// zeroed — the runner initializes it where a check needs it).
+    pub sys: ParticleSystem,
+    /// Largest block timestep (power of two) for trajectory checks.
+    pub dt_max: f64,
+    /// Number of block steps the trajectory checks advance.
+    pub steps: usize,
+}
+
+impl Scenario {
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.sys.len()
+    }
+
+    /// True if the scenario holds no particles.
+    pub fn is_empty(&self) -> bool {
+        self.sys.is_empty()
+    }
+}
+
+fn unit_vec(rng: &mut StdRng) -> Vec3 {
+    // Rejection-free: z uniform in [-1,1], azimuth uniform.
+    let z = rng.gen_range(-1.0..1.0);
+    let th = rng.gen_range(0.0..std::f64::consts::TAU);
+    let s = (1.0 - z * z).max(0.0).sqrt();
+    Vec3::new(s * th.cos(), s * th.sin(), z)
+}
+
+fn disk_slice(rng: &mut StdRng, seed: u64) -> ParticleSystem {
+    let n = 24 + rng.gen_range(0.0..136.0) as usize;
+    let builder = DiskBuilder::paper(n).with_seed(seed.wrapping_mul(31).wrapping_add(7));
+    if rng.gen_bool(0.5) {
+        builder.without_protoplanets().build()
+    } else {
+        builder.build()
+    }
+}
+
+fn extreme_mass_ratio(rng: &mut StdRng) -> ParticleSystem {
+    let n = 8 + rng.gen_range(0.0..56.0) as usize;
+    let mut sys = ParticleSystem::new(0.008, 1.0);
+    for _ in 0..n {
+        let r = rng.gen_range(10.0..40.0);
+        let pos = unit_vec(rng) * r;
+        let v = grape6_core::units::circular_speed(r, 1.0);
+        let vel = unit_vec(rng) * (v * rng.gen_range(0.5..1.5));
+        // Log-uniform masses: protoplanet (3e-5) down to dust (1e-12).
+        let mass = 10.0f64.powf(rng.gen_range(-12.0..-4.5));
+        sys.push(pos, vel, mass);
+    }
+    sys
+}
+
+fn near_collision(rng: &mut StdRng) -> ParticleSystem {
+    let eps = 0.008;
+    let mut sys = ParticleSystem::new(eps, 1.0);
+    let pairs = 2 + rng.gen_range(0.0..10.0) as usize;
+    for _ in 0..pairs {
+        let r = rng.gen_range(15.0..35.0);
+        let center = unit_vec(rng) * r;
+        let v = grape6_core::units::circular_speed(r, 1.0);
+        let vel = unit_vec(rng) * v;
+        // Separation down to 1% of the softening length: the fixed-point
+        // subtraction must stay exact where f64 would cancel.
+        let sep = unit_vec(rng) * (eps * rng.gen_range(0.01..1.5) / 2.0);
+        let dv = unit_vec(rng) * (v * rng.gen_range(0.0..0.02));
+        let m = 10.0f64.powf(rng.gen_range(-9.0..-6.0));
+        sys.push(center + sep, vel + dv, m);
+        sys.push(center - sep, vel - dv, m);
+    }
+    sys
+}
+
+fn commensurate_blocks(rng: &mut StdRng) -> ParticleSystem {
+    let mut sys = ParticleSystem::new(0.008, 1.0);
+    let rings = 2 + rng.gen_range(0.0..3.0) as usize;
+    let per_ring = 4 + rng.gen_range(0.0..20.0) as usize;
+    for k in 0..rings {
+        // Power-of-two radii → orbital accelerations (and hence Hermite
+        // timesteps) land on commensurate power-of-two blocks.
+        let r = 8.0 * 2.0f64.powi(k as i32);
+        let v = grape6_core::units::circular_speed(r, 1.0);
+        let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        for p in 0..per_ring {
+            let th = phase + p as f64 * std::f64::consts::TAU / per_ring as f64;
+            sys.push(
+                Vec3::new(r * th.cos(), r * th.sin(), 0.0),
+                Vec3::new(-v * th.sin(), v * th.cos(), 0.0),
+                10.0f64.powf(rng.gen_range(-10.0..-7.0)),
+            );
+        }
+    }
+    sys
+}
+
+fn tiny_n(rng: &mut StdRng) -> ParticleSystem {
+    let n = 1 + rng.gen_range(0.0..4.0) as usize;
+    let mut sys = ParticleSystem::new(0.008, 1.0);
+    for _ in 0..n {
+        let pos = unit_vec(rng) * rng.gen_range(5.0..40.0);
+        let vel = unit_vec(rng) * rng.gen_range(0.0..0.3);
+        sys.push(pos, vel, 10.0f64.powf(rng.gen_range(-10.0..-5.0)));
+    }
+    sys
+}
+
+fn wide_range(rng: &mut StdRng) -> ParticleSystem {
+    let n = 16 + rng.gen_range(0.0..64.0) as usize;
+    let mut sys = ParticleSystem::new(0.008, 1.0);
+    for _ in 0..n {
+        // Radii from 0.01 AU to ~300 AU: most of the ±512 AU fixed-point
+        // range, so quantization is exercised at both extremes.
+        let r = 10.0f64.powf(rng.gen_range(-2.0..2.5));
+        let pos = unit_vec(rng) * r;
+        let vel = unit_vec(rng) * rng.gen_range(0.0..2.0);
+        sys.push(pos, vel, 10.0f64.powf(rng.gen_range(-12.0..-4.0)));
+    }
+    sys
+}
+
+/// Generate the scenario for `seed`. Pure: same seed, same bits.
+pub fn generate(seed: u64) -> Scenario {
+    let kind = ScenarioKind::for_seed(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let sys = match kind {
+        ScenarioKind::DiskSlice => disk_slice(&mut rng, seed),
+        ScenarioKind::ExtremeMassRatio => extreme_mass_ratio(&mut rng),
+        ScenarioKind::NearCollision => near_collision(&mut rng),
+        ScenarioKind::CommensurateBlocks => commensurate_blocks(&mut rng),
+        ScenarioKind::TinyN => tiny_n(&mut rng),
+        ScenarioKind::WideRange => wide_range(&mut rng),
+    };
+    let dt_max = 2.0f64.powi(rng.gen_range(-4.0..4.0) as i32);
+    let steps = 4 + rng.gen_range(0.0..9.0) as usize;
+    Scenario { name: format!("{kind:?}-{seed:04}"), seed, kind, sys, dt_max, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..12 {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a.len(), b.len(), "seed {seed}");
+            for i in 0..a.len() {
+                assert_eq!(a.sys.pos[i], b.sys.pos[i]);
+                assert_eq!(a.sys.vel[i], b.sys.vel[i]);
+                assert_eq!(a.sys.mass[i], b.sys.mass[i]);
+            }
+            assert_eq!(a.dt_max, b.dt_max);
+        }
+    }
+
+    #[test]
+    fn every_kind_appears_and_validates() {
+        let mut seen = [false; 6];
+        for seed in 0..12 {
+            let sc = generate(seed);
+            seen[seed as usize % 6] = true;
+            assert!(!sc.is_empty(), "seed {seed} generated an empty system");
+            assert!(sc.sys.softening > 0.0);
+            assert!(sc.dt_max > 0.0 && sc.dt_max.log2().fract() == 0.0);
+            sc.sys.validate().expect("generated system must validate");
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let sc = generate(3);
+        let json = serde_json::to_string(&sc).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), sc.len());
+        for i in 0..sc.len() {
+            assert_eq!(back.sys.pos[i], sc.sys.pos[i], "pos {i} not bit-exact after JSON");
+            assert_eq!(back.sys.vel[i], sc.sys.vel[i]);
+            assert_eq!(back.sys.mass[i], sc.sys.mass[i]);
+        }
+        assert_eq!(back.kind, sc.kind);
+        assert_eq!(back.dt_max, sc.dt_max);
+    }
+}

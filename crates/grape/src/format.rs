@@ -48,6 +48,28 @@ pub fn round_vec(v: Vec3, bits: u32) -> Vec3 {
     Vec3::new(round_mantissa(v.x, bits), round_mantissa(v.y, bits), round_mantissa(v.z, bits))
 }
 
+/// Documented half-ulp *relative* error bound of [`round_mantissa`]:
+/// for every finite `x`, `|round_mantissa(x, bits) − x| ≤ rel_half_ulp(bits)·|x|`.
+///
+/// Round-to-nearest on a `bits`-bit mantissa (implicit leading bit included)
+/// perturbs a value with exponent `e` by at most half an ulp, `2^(e−bits)`;
+/// since `|x| ≥ 2^e`, the relative error is at most `2^−bits`. This constant
+/// is the foundation of the conformance harness's precision oracle and is
+/// pinned by property tests against the actual rounding code.
+#[inline]
+pub fn rel_half_ulp(bits: u32) -> f64 {
+    2.0f64.powi(-(bits.min(53) as i32))
+}
+
+/// Quantization step of the wide force accumulator: contributions are
+/// rounded to multiples of `2^−ACCUM_FRAC_BITS`, so a sum of `n` terms can
+/// drift from the exact f64 result by at most `n/2` steps (half a step per
+/// [`FixedAccumulator::add`]).
+#[inline]
+pub fn accum_quantum() -> f64 {
+    2.0f64.powi(-(ACCUM_FRAC_BITS as i32))
+}
+
 /// 64-bit fixed-point position format.
 ///
 /// Coordinates are stored as `i64` in units of `2^-frac_bits` length units;
@@ -76,6 +98,14 @@ impl FixedPointFormat {
     /// Smallest representable increment.
     pub fn resolution(&self) -> f64 {
         2.0f64.powi(-(self.frac_bits as i32))
+    }
+
+    /// Documented half-ulp *absolute* round-trip bound: away from
+    /// saturation, `|decode(encode(x)) − x| ≤ half_ulp()` (half the grid
+    /// resolution). Like [`rel_half_ulp`] this is an oracle constant of the
+    /// conformance harness, pinned by property tests.
+    pub fn half_ulp(&self) -> f64 {
+        self.resolution() / 2.0
     }
 
     /// Largest representable magnitude.

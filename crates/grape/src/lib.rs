@@ -27,6 +27,7 @@
 pub mod board;
 pub mod chip;
 pub mod cluster;
+pub mod cluster_engine;
 pub mod engine;
 pub mod fault;
 pub mod fault_engine;
@@ -48,6 +49,7 @@ pub mod wire;
 pub use board::{BoardGeometry, ProcessorBoard};
 pub use chip::{ChipGeometry, Grape6Chip, HwIParticle};
 pub use cluster::Grape6Cluster;
+pub use cluster_engine::ClusterEngine;
 pub use engine::{Grape6Config, Grape6Engine};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use fault_engine::FaultTolerantEngine;

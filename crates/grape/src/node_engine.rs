@@ -15,6 +15,7 @@ use grape6_core::engine::ForceEngine;
 use grape6_core::particle::{ForceResult, IParticle, ParticleSystem};
 
 /// A force engine backed by one fully-routed [`Grape6Node`].
+#[derive(Debug, Clone)]
 pub struct NodeEngine {
     node: Grape6Node,
     format: FixedPointFormat,

@@ -186,3 +186,69 @@ proptest! {
         prop_assert!((got - expect).norm() <= 1e-12 * expect.norm().max(1.0));
     }
 }
+
+// ---------------------------------------------------------------------------
+// The documented half-ulp bounds ARE the conformance oracle's constants:
+// `rel_half_ulp`, `FixedPointFormat::half_ulp` and `accum_quantum` feed the
+// tolerance budget in `grape6-conformance`. These properties pin the format
+// implementations to exactly those exported bounds, so the oracle can never
+// silently drift away from the arithmetic it models.
+// ---------------------------------------------------------------------------
+
+use grape6_hw::format::{accum_quantum, rel_half_ulp};
+
+proptest! {
+    #[test]
+    fn round_mantissa_error_never_exceeds_rel_half_ulp(
+        x in -1e30..1e30f64,
+        bits in 8u32..54,
+    ) {
+        prop_assume!(x != 0.0);
+        let r = round_mantissa(x, bits);
+        prop_assert!(
+            (r - x).abs() <= rel_half_ulp(bits) * x.abs(),
+            "x = {x:e}, bits = {bits}: error {:e} > bound {:e}",
+            (r - x).abs(),
+            rel_half_ulp(bits) * x.abs()
+        );
+    }
+
+    #[test]
+    fn rel_half_ulp_is_tight_for_the_pipeline_word(x in 1.0..2.0f64) {
+        // Not just an upper bound: some inputs in every binade reach at
+        // least half of it (round-to-nearest achieves u/2 .. u).
+        let bits = 24u32;
+        let worst = (0..64)
+            .map(|k| {
+                let y = x + k as f64 * 2.0f64.powi(-30);
+                (round_mantissa(y, bits) - y).abs() / y
+            })
+            .fold(0.0f64, f64::max);
+        prop_assert!(worst >= rel_half_ulp(bits) / 4.0, "bound is vacuously loose: {worst:e}");
+    }
+
+    #[test]
+    fn fixed_roundtrip_error_never_exceeds_half_ulp(x in -511.0..511.0f64) {
+        let f = FixedPointFormat::default();
+        let err = (f.decode(f.encode(x)) - x).abs();
+        prop_assert!(err <= f.half_ulp(), "x = {x}: {err:e} > {:e}", f.half_ulp());
+    }
+
+    #[test]
+    fn accumulator_roundtrip_error_never_exceeds_quantum(x in -1e-3..1e-3f64) {
+        // One add into the wide accumulator quantizes by at most one grid
+        // step (the conformance oracle charges `accum_quantum` per partial).
+        let mut acc = FixedAccumulator::new();
+        acc.add(x);
+        prop_assert!((acc.to_f64() - x).abs() <= accum_quantum());
+    }
+
+    #[test]
+    fn exact_precision_rounds_nothing(x in -1e15..1e15f64) {
+        // `Precision::Exact` is mantissa_bits ≥ 53, where the oracle's
+        // relative half-ulp collapses to the f64 epsilon and rounding is
+        // the identity.
+        prop_assert_eq!(round_mantissa(x, Precision::Exact.mantissa_bits()), x);
+        prop_assert_eq!(rel_half_ulp(Precision::Exact.mantissa_bits()), 2.0f64.powi(-53));
+    }
+}

@@ -48,8 +48,8 @@ pub mod prelude {
         ScatteringCensus,
     };
     pub use grape6_hw::{
-        FaultPlan, FaultTolerantEngine, Grape6Config, Grape6Engine, MachineGeometry, PerfReport,
-        TimingModel,
+        ClusterEngine, FaultPlan, FaultTolerantEngine, FixedPointFormat, Grape6Config,
+        Grape6Engine, MachineGeometry, NodeEngine, PerfReport, Precision, TimingModel,
     };
     pub use grape6_sim::{
         decode_checkpoint, encode_checkpoint, load_checkpoint, run_ensemble, save_checkpoint,

@@ -1,0 +1,74 @@
+//! Golden-file compatibility test for the `G6CK` v1 checkpoint container.
+//!
+//! `tests/fixtures/golden-v1.g6ck` was written by the checkpoint encoder at
+//! the time the v1 format was frozen (a 24-particle paper disk, single-host
+//! GRAPE-6, 8 block steps, dt_max = 1/4, seed 7). Today's reader must keep
+//! loading it **bit-exactly**, and today's writer must reproduce the exact
+//! container bytes from the decoded state — any intentional format change
+//! must bump `CHECKPOINT_VERSION` and add a new golden file, not rewrite
+//! this one.
+
+mod common;
+
+use common::{assert_systems_bit_equal, disk};
+use grape6::prelude::*;
+use grape6_sim::checkpoint::{decode_checkpoint, encode_checkpoint, CHECKPOINT_VERSION};
+
+const GOLDEN: &[u8] = include_bytes!("fixtures/golden-v1.g6ck");
+
+fn golden_cfg() -> HermiteConfig {
+    HermiteConfig { dt_max: 2.0f64.powi(-2), ..HermiteConfig::default() }
+}
+
+fn golden_engine() -> Grape6Engine {
+    Grape6Engine::new(Grape6Config::single_host())
+}
+
+/// Re-run the simulation that produced the golden file.
+fn golden_reference() -> Simulation<Grape6Engine> {
+    let mut sim = Simulation::new(disk(24, 7), golden_cfg(), golden_engine());
+    for _ in 0..8 {
+        sim.step();
+    }
+    sim
+}
+
+#[test]
+fn golden_header_is_v1() {
+    assert_eq!(&GOLDEN[..4], b"G6CK");
+    assert_eq!(u32::from_le_bytes(GOLDEN[4..8].try_into().unwrap()), 1);
+    assert_eq!(CHECKPOINT_VERSION, 1, "version bumped: freeze a new golden file for it");
+}
+
+#[test]
+fn golden_checkpoint_loads_bit_exactly() {
+    let sim = decode_checkpoint(Vec::from(GOLDEN).into(), golden_engine())
+        .expect("the v1 golden checkpoint must stay readable");
+    let reference = golden_reference();
+    assert_systems_bit_equal(&sim.sys, &reference.sys, "golden checkpoint state");
+    assert_eq!(sim.stats(), reference.stats(), "integrator counters");
+    assert_eq!(
+        sim.engine.interaction_count(),
+        reference.engine.interaction_count(),
+        "engine interaction counter"
+    );
+}
+
+#[test]
+fn golden_checkpoint_reencodes_to_identical_bytes() {
+    let sim = decode_checkpoint(Vec::from(GOLDEN).into(), golden_engine()).unwrap();
+    let reencoded = encode_checkpoint(&sim);
+    assert_eq!(reencoded.len(), GOLDEN.len(), "container length changed");
+    assert_eq!(&reencoded[..], GOLDEN, "decode → encode is no longer the identity on v1");
+}
+
+#[test]
+fn golden_checkpoint_resumes_the_original_trajectory() {
+    let mut resumed = decode_checkpoint(Vec::from(GOLDEN).into(), golden_engine()).unwrap();
+    let mut reference = golden_reference();
+    for _ in 0..6 {
+        resumed.step();
+        reference.step();
+    }
+    assert_systems_bit_equal(&resumed.sys, &reference.sys, "post-resume trajectory");
+}

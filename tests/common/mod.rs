@@ -1,0 +1,57 @@
+//! Helpers shared by the integration-test binaries. Each test file is its
+//! own crate, so anything not used by a given file would warn — hence the
+//! blanket `dead_code` allow.
+#![allow(dead_code)]
+
+use grape6_core::engine::ForceEngine;
+use grape6_core::particle::{ForceResult, IParticle, ParticleSystem};
+use grape6_disk::DiskBuilder;
+
+/// The standard test disk: the paper's initial model at reduced N.
+pub fn disk(n: usize, seed: u64) -> ParticleSystem {
+    DiskBuilder::paper(n).with_seed(seed).build()
+}
+
+/// i-particles for a subset of indices, unpredicted (t = 0 state).
+pub fn ips_for(sys: &ParticleSystem, idx: &[usize]) -> Vec<IParticle> {
+    idx.iter().map(|&i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect()
+}
+
+/// i-particles for every particle, unpredicted.
+pub fn all_ips(sys: &ParticleSystem) -> Vec<IParticle> {
+    ips_for(sys, &(0..sys.len()).collect::<Vec<_>>())
+}
+
+/// Load `sys` into a fresh engine and compute forces on all particles at `t`.
+pub fn forces<E: ForceEngine>(engine: &mut E, sys: &ParticleSystem, t: f64) -> Vec<ForceResult> {
+    engine.load(sys);
+    let ips = all_ips(sys);
+    let mut out = vec![ForceResult::default(); ips.len()];
+    engine.compute(t, &ips, &mut out);
+    out
+}
+
+/// Assert two force sets are bit-identical (acc, jerk, pot, nn index).
+pub fn assert_forces_bit_equal(a: &[ForceResult], b: &[ForceResult], tag: &str) {
+    assert_eq!(a.len(), b.len(), "{tag}: result count");
+    for (k, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.acc, y.acc, "{tag}: particle {k} acc");
+        assert_eq!(x.jerk, y.jerk, "{tag}: particle {k} jerk");
+        assert_eq!(x.pot.to_bits(), y.pot.to_bits(), "{tag}: particle {k} pot");
+        assert_eq!(x.nn.map(|n| n.index), y.nn.map(|n| n.index), "{tag}: particle {k} nn");
+    }
+}
+
+/// Assert two particle systems carry identical dynamical state, bit for bit.
+pub fn assert_systems_bit_equal(a: &ParticleSystem, b: &ParticleSystem, tag: &str) {
+    assert_eq!(a.len(), b.len(), "{tag}: particle count");
+    assert_eq!(a.t.to_bits(), b.t.to_bits(), "{tag}: time");
+    for i in 0..a.len() {
+        assert_eq!(a.pos[i], b.pos[i], "{tag}: pos[{i}]");
+        assert_eq!(a.vel[i], b.vel[i], "{tag}: vel[{i}]");
+        assert_eq!(a.acc[i], b.acc[i], "{tag}: acc[{i}]");
+        assert_eq!(a.jerk[i], b.jerk[i], "{tag}: jerk[{i}]");
+        assert_eq!(a.time[i].to_bits(), b.time[i].to_bits(), "{tag}: time[{i}]");
+        assert_eq!(a.dt[i].to_bits(), b.dt[i].to_bits(), "{tag}: dt[{i}]");
+    }
+}

@@ -1,0 +1,37 @@
+//! Tier-1 replay of the checked-in conformance corpus.
+//!
+//! `conformance/corpus/` holds small scenarios (one per generator kind,
+//! plus any minimized repro of a bug that has since been fixed). Every
+//! scenario replays through the *full* conformance check list — the
+//! differential engine comparisons, the bitwise determinism contracts, the
+//! metamorphic invariants and the trajectory locks — on every `cargo test`.
+
+use grape6_conformance::corpus;
+use grape6_conformance::ALL_CHECKS;
+use std::path::Path;
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/conformance/corpus"))
+}
+
+#[test]
+fn corpus_is_present_and_covers_every_kind() {
+    let entries = corpus::load_dir(corpus_dir()).expect("corpus directory must load");
+    assert!(entries.len() >= 6, "corpus has {} scenarios, want ≥ 6", entries.len());
+    let mut kinds: Vec<String> = entries.iter().map(|(_, sc)| format!("{:?}", sc.kind)).collect();
+    kinds.sort();
+    kinds.dedup();
+    assert!(kinds.len() >= 6, "corpus covers only kinds {kinds:?}");
+}
+
+#[test]
+fn corpus_replays_clean_through_all_checks() {
+    let failures = corpus::replay_dir(corpus_dir()).expect("corpus directory must load");
+    assert!(
+        failures.is_empty(),
+        "{} corpus failures (of {} checks per scenario): {:?}",
+        failures.len(),
+        ALL_CHECKS.len(),
+        failures
+    );
+}

@@ -1,32 +1,22 @@
 //! Cross-crate integration: the GRAPE-6 simulator and the CPU reference
-//! engine must produce the same physics, and the tree baseline must
-//! approximate it.
+//! engine must produce the same physics, the tree baseline must approximate
+//! it, and the whole engine matrix must agree across block sizes and
+//! softening settings (driven by the conformance scenario generator and its
+//! format-derived oracle).
 
+mod common;
+
+use common::{assert_forces_bit_equal, disk, forces};
 use grape6::prelude::*;
+use grape6_conformance::{generate, Oracle};
 use grape6_core::engine::ForceEngine;
-use grape6_core::particle::{ForceResult, IParticle};
-
-fn disk(n: usize) -> grape6_core::particle::ParticleSystem {
-    DiskBuilder::paper(n).with_seed(77).build()
-}
-
-fn forces<E: ForceEngine>(
-    engine: &mut E,
-    sys: &grape6_core::particle::ParticleSystem,
-) -> Vec<ForceResult> {
-    engine.load(sys);
-    let ips: Vec<IParticle> =
-        (0..sys.len()).map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect();
-    let mut out = vec![ForceResult::default(); ips.len()];
-    engine.compute(0.0, &ips, &mut out);
-    out
-}
+use grape6_core::particle::{ForceResult, ParticleSystem};
 
 #[test]
 fn grape6_exact_matches_cpu_to_fixed_point_resolution() {
-    let sys = disk(300);
-    let cpu = forces(&mut DirectEngine::new(), &sys);
-    let hw = forces(&mut Grape6Engine::new(Grape6Config::sc2002_exact()), &sys);
+    let sys = disk(300, 77);
+    let cpu = forces(&mut DirectEngine::new(), &sys, 0.0);
+    let hw = forces(&mut Grape6Engine::new(Grape6Config::sc2002_exact()), &sys, 0.0);
     for i in 0..sys.len() {
         let rel = (hw[i].acc - cpu[i].acc).norm() / cpu[i].acc.norm();
         assert!(rel < 1e-10, "particle {i}: rel {rel:e}");
@@ -37,9 +27,9 @@ fn grape6_exact_matches_cpu_to_fixed_point_resolution() {
 
 #[test]
 fn grape6_hw_arithmetic_single_precision_class() {
-    let sys = disk(300);
-    let cpu = forces(&mut DirectEngine::new(), &sys);
-    let hw = forces(&mut Grape6Engine::sc2002(), &sys);
+    let sys = disk(300, 77);
+    let cpu = forces(&mut DirectEngine::new(), &sys, 0.0);
+    let hw = forces(&mut Grape6Engine::sc2002(), &sys, 0.0);
     let mut worst: f64 = 0.0;
     for i in 0..sys.len() {
         worst = worst.max((hw[i].acc - cpu[i].acc).norm() / cpu[i].acc.norm());
@@ -50,9 +40,9 @@ fn grape6_hw_arithmetic_single_precision_class() {
 
 #[test]
 fn tree_approximates_cpu_within_mac_bound() {
-    let sys = disk(1000);
-    let cpu = forces(&mut DirectEngine::new(), &sys);
-    let tree = forces(&mut TreeEngine::new(0.4), &sys);
+    let sys = disk(1000, 77);
+    let cpu = forces(&mut DirectEngine::new(), &sys, 0.0);
+    let tree = forces(&mut TreeEngine::new(0.4), &sys, 0.0);
     let mut worst: f64 = 0.0;
     for i in 0..sys.len() {
         worst = worst.max((tree[i].acc - cpu[i].acc).norm() / cpu[i].acc.norm());
@@ -69,10 +59,10 @@ fn same_trajectory_under_both_engines() {
     let config = HermiteConfig { dt_max: 8.0, ..HermiteConfig::default() };
     let t_end = grape6::core::units::years_to_time(2.0);
 
-    let mut sim_cpu = Simulation::new(disk(128), config, DirectEngine::new());
+    let mut sim_cpu = Simulation::new(disk(128, 77), config, DirectEngine::new());
     sim_cpu.run_to(t_end, 0.0);
     let mut sim_hw =
-        Simulation::new(disk(128), config, Grape6Engine::new(Grape6Config::sc2002_exact()));
+        Simulation::new(disk(128, 77), config, Grape6Engine::new(Grape6Config::sc2002_exact()));
     sim_hw.run_to(t_end, 0.0);
 
     assert_eq!(sim_cpu.stats().block_steps, sim_hw.stats().block_steps);
@@ -89,11 +79,112 @@ fn same_trajectory_under_both_engines() {
 #[test]
 fn hardware_clock_accumulates_during_run() {
     let config = HermiteConfig { dt_max: 8.0, ..HermiteConfig::default() };
-    let mut sim = Simulation::new(disk(64), config, Grape6Engine::sc2002());
+    let mut sim = Simulation::new(disk(64, 77), config, Grape6Engine::sc2002());
     sim.run_to(1.0, 0.0);
     let report = sim.engine.perf_report();
     assert!(report.seconds > 0.0);
     assert!(report.interactions > 0);
     assert!(report.efficiency > 0.0 && report.efficiency < 1.0);
     assert_eq!(sim.engine.clock().steps, sim.stats().block_steps + 1); // +1 for initialization
+}
+
+// ---------------------------------------------------------------------------
+// Engine × block size × softening matrix, on conformance-generated scenarios.
+// ---------------------------------------------------------------------------
+
+const BLOCK_SIZES: [usize; 4] = [1, 16, 48, 256];
+
+/// Compute forces in i-blocks of `block` on a freshly loaded engine.
+fn forces_blocked<E: ForceEngine>(
+    engine: &mut E,
+    sys: &ParticleSystem,
+    block: usize,
+) -> Vec<ForceResult> {
+    engine.load(sys);
+    let ips = common::all_ips(sys);
+    let mut out = vec![ForceResult::default(); ips.len()];
+    for (is, os) in ips.chunks(block).zip(out.chunks_mut(block)) {
+        engine.compute(0.0, is, os);
+    }
+    out
+}
+
+#[test]
+fn engine_matrix_agrees_across_block_sizes_softened() {
+    // Softened rows: the full engine matrix. The hardware family must sit
+    // inside the format-derived oracle of the f64 reference, and the routed
+    // node / cluster / fault-tolerant wrapper must read out the flat
+    // engine's exact bits — at every i-block size.
+    for seed in [0u64, 5] {
+        let sc = generate(seed);
+        let sys = &sc.sys;
+        let oracle = Oracle::hardware(24).tolerances(sys, sys.t);
+        for &block in &BLOCK_SIZES {
+            let tag = format!("seed {seed} block {block}");
+            let cpu = forces_blocked(&mut DirectEngine::new(), sys, block);
+            let hw = forces_blocked(&mut Grape6Engine::sc2002(), sys, block);
+            for i in 0..sys.len() {
+                let d = (hw[i].acc - cpu[i].acc).norm();
+                assert!(
+                    d <= oracle.acc[i],
+                    "{tag}: particle {i} |Δacc| {d:e} > {:e}",
+                    oracle.acc[i]
+                );
+                let dj = (hw[i].jerk - cpu[i].jerk).norm();
+                assert!(dj <= oracle.jerk[i], "{tag}: particle {i} |Δjerk| {dj:e}");
+            }
+            // Routed data paths: forces bitwise (nn stays on the flat chip).
+            let node = forces_blocked(&mut NodeEngine::production(), sys, block);
+            let cluster = forces_blocked(&mut ClusterEngine::production(), sys, block);
+            for (i, (n, c)) in node.iter().zip(&cluster).enumerate() {
+                assert_eq!(n.acc, hw[i].acc, "{tag}: node particle {i} acc");
+                assert_eq!(n.pot.to_bits(), hw[i].pot.to_bits(), "{tag}: node particle {i} pot");
+                assert_eq!(c.acc, hw[i].acc, "{tag}: cluster particle {i} acc");
+                assert_eq!(c.jerk, hw[i].jerk, "{tag}: cluster particle {i} jerk");
+            }
+            let ft = forces_blocked(
+                &mut FaultTolerantEngine::new(Grape6Config::sc2002(), &FaultPlan::empty()),
+                sys,
+                block,
+            );
+            assert_forces_bit_equal(&ft, &hw, &tag);
+        }
+    }
+}
+
+#[test]
+fn engine_matrix_softening_zero_rows() {
+    // ε = 0 rows: the GRAPE engines assert softening > 0 (the hardware's
+    // self-interaction and potential correction need it), so these rows run
+    // the f64 reference and the tree baseline only — blocked sweeps must
+    // agree with the flat sweep to summation-reorder precision.
+    for seed in [0u64, 5] {
+        let mut sc = generate(seed);
+        sc.sys.softening = 0.0;
+        let sys = &sc.sys;
+        let full = forces(&mut DirectEngine::new(), sys, 0.0);
+        let tol = Oracle::reorder(sys.len()).tolerances(sys, sys.t);
+        for &block in &BLOCK_SIZES {
+            let blocked = forces_blocked(&mut DirectEngine::new(), sys, block);
+            for i in 0..sys.len() {
+                let d = (blocked[i].acc - full[i].acc).norm();
+                assert!(
+                    d <= tol.acc[i],
+                    "seed {seed} block {block}: particle {i} |Δacc| {d:e} > {:e}",
+                    tol.acc[i]
+                );
+            }
+        }
+        // The tree baseline accepts ε = 0 too and must stay a coarse
+        // approximation of the unsoftened reference.
+        let tree = forces(&mut TreeEngine::new(0.4), sys, 0.0);
+        let mut worst: f64 = 0.0;
+        for i in 0..sys.len() {
+            let a = full[i].acc.norm();
+            if a > 0.0 {
+                worst = worst.max((tree[i].acc - full[i].acc).norm() / a);
+            }
+        }
+        assert!(worst < 0.5, "seed {seed}: tree rel error {worst} at ε = 0");
+    }
 }

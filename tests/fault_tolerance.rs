@@ -8,17 +8,15 @@
 //! deaths), and a checkpoint written at any block boundary resumes
 //! bit-identically for every engine.
 
+mod common;
+
+use common::{assert_systems_bit_equal, disk};
 use grape6::prelude::*;
-use grape6_core::particle::ParticleSystem;
 use grape6_hw::{FaultEvent, FaultKind};
 use proptest::prelude::*;
 
 fn cfg() -> HermiteConfig {
     HermiteConfig { dt_max: 2.0f64.powi(-2), ..HermiteConfig::default() }
-}
-
-fn disk(n: usize, seed: u64) -> ParticleSystem {
-    DiskBuilder::paper(n).with_seed(seed).build()
 }
 
 /// A development machine with a board to lose.
@@ -31,19 +29,6 @@ fn two_board_config() -> Grape6Config {
 /// Seed for the randomized fault plans; the CI matrix overrides this.
 fn fault_seed() -> u64 {
     std::env::var("GRAPE6_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
-}
-
-fn assert_bitwise_equal(a: &ParticleSystem, b: &ParticleSystem, tag: &str) {
-    assert_eq!(a.len(), b.len(), "{tag}: particle count");
-    assert_eq!(a.t.to_bits(), b.t.to_bits(), "{tag}: time");
-    for i in 0..a.len() {
-        assert_eq!(a.pos[i], b.pos[i], "{tag}: pos[{i}]");
-        assert_eq!(a.vel[i], b.vel[i], "{tag}: vel[{i}]");
-        assert_eq!(a.acc[i], b.acc[i], "{tag}: acc[{i}]");
-        assert_eq!(a.jerk[i], b.jerk[i], "{tag}: jerk[{i}]");
-        assert_eq!(a.time[i].to_bits(), b.time[i].to_bits(), "{tag}: time[{i}]");
-        assert_eq!(a.dt[i].to_bits(), b.dt[i].to_bits(), "{tag}: dt[{i}]");
-    }
 }
 
 /// Drive a plain GRAPE-6 simulation `blocks` block steps: the fault-free
@@ -95,7 +80,7 @@ fn mid_run_board_failure_completes_with_recovery_telemetry() {
     assert_eq!(faulty.engine.boards_per_host(), (1, 2), "unit A runs degraded");
 
     // The physics is untouched: bit-identical state, hence identical energy.
-    assert_bitwise_equal(&reference.sys, &faulty.sys, "board-failure run");
+    assert_systems_bit_equal(&reference.sys, &faulty.sys, "board-failure run");
     // Retried blocks are real extra work, so the faulty run counts *more*
     // interactions over the same block schedule — never fewer.
     assert_eq!(reference.stats().block_steps, faulty.stats().block_steps);
@@ -132,7 +117,7 @@ fn jmem_flip_is_caught_by_dmr_before_the_corrector_sees_it() {
     assert_eq!(st.words_scrubbed, 1, "exactly the flipped word is rewritten");
     // "Before the corrector": had the corrupted force reached the Hermite
     // corrector even once, positions would differ from the reference bits.
-    assert_bitwise_equal(&reference.sys, &faulty.sys, "jmem-flip run");
+    assert_systems_bit_equal(&reference.sys, &faulty.sys, "jmem-flip run");
 }
 
 #[test]
@@ -146,7 +131,7 @@ fn seeded_fault_matrix_recovers_bit_identically() {
         let st = faulty.engine.fault_stats();
         assert_eq!(st.injected as usize, plan.len(), "seed {seed}: every event fires");
         assert!(st.detected() > 0 || st.boards_failed > 0, "seed {seed}: plan had no effect");
-        assert_bitwise_equal(&reference.sys, &faulty.sys, &format!("fault seed {seed}"));
+        assert_systems_bit_equal(&reference.sys, &faulty.sys, &format!("fault seed {seed}"));
         assert_eq!(reference.stats().block_steps, faulty.stats().block_steps, "seed {seed}");
         assert_eq!(reference.stats().particle_steps, faulty.stats().particle_steps, "seed {seed}");
         assert!(faulty.stats().interactions >= reference.stats().interactions, "seed {seed}");
@@ -173,7 +158,7 @@ fn checkpoint_roundtrip_bitwise<E: ForceEngine>(mk: impl Fn() -> E, tag: &str) {
     for _ in 0..(total - cut) {
         resumed.step();
     }
-    assert_bitwise_equal(&reference.sys, &resumed.sys, tag);
+    assert_systems_bit_equal(&reference.sys, &resumed.sys, tag);
     assert_eq!(reference.stats(), resumed.stats(), "{tag}: run stats");
     assert_eq!(
         reference.engine.interaction_count(),

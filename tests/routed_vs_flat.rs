@@ -5,11 +5,13 @@
 //! GRAPE-6 designers built in hardware: fixed-point accumulation makes the
 //! reduction order irrelevant, so topology cannot change the answer.
 
+mod common;
+
 use grape6::prelude::*;
 use grape6_hw::NodeEngine;
 
 fn disk() -> grape6_core::particle::ParticleSystem {
-    DiskBuilder::paper(96).with_seed(123).build()
+    common::disk(96, 123)
 }
 
 #[test]

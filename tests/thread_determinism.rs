@@ -3,16 +3,15 @@
 //! for any worker-pool size. Thread counts are pinned per-closure with
 //! `rayon::with_num_threads` (no racy process-global environment writes).
 
+mod common;
+
+use common::{assert_forces_bit_equal, disk, ips_for};
 use grape6::prelude::*;
 use grape6_core::integrator::BlockHermite;
-use grape6_core::particle::{ForceResult, IParticle};
+use grape6_core::particle::ForceResult;
 use proptest::prelude::*;
 
 const THREADS: [usize; 4] = [1, 2, 3, 8];
-
-fn ips_for(sys: &grape6_core::particle::ParticleSystem, idx: &[usize]) -> Vec<IParticle> {
-    idx.iter().map(|&i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect()
-}
 
 /// Compute one block force with a fresh engine at the given thread count.
 fn force_at<E: ForceEngine>(
@@ -22,7 +21,7 @@ fn force_at<E: ForceEngine>(
     t: usize,
 ) -> Vec<ForceResult> {
     rayon::with_num_threads(t, || {
-        let sys = DiskBuilder::paper(n).with_seed(99).build();
+        let sys = disk(n, 99);
         let mut e = mk();
         e.load(&sys);
         let idx: Vec<usize> = (0..block).collect();
@@ -31,16 +30,6 @@ fn force_at<E: ForceEngine>(
         e.compute(0.0, &ips, &mut out);
         out
     })
-}
-
-fn assert_forces_bit_equal(a: &[ForceResult], b: &[ForceResult], tag: &str) {
-    assert_eq!(a.len(), b.len());
-    for (k, (x, y)) in a.iter().zip(b).enumerate() {
-        assert_eq!(x.acc, y.acc, "{tag}: particle {k} acc");
-        assert_eq!(x.jerk, y.jerk, "{tag}: particle {k} jerk");
-        assert_eq!(x.pot.to_bits(), y.pot.to_bits(), "{tag}: particle {k} pot");
-        assert_eq!(x.nn.map(|n| n.index), y.nn.map(|n| n.index), "{tag}: particle {k} nn");
-    }
 }
 
 #[test]
@@ -69,7 +58,7 @@ fn grape6_force_bits_invariant_across_thread_counts() {
 
 #[test]
 fn energy_sum_bits_invariant_across_thread_counts() {
-    let sys = DiskBuilder::paper(777).with_seed(5).build();
+    let sys = disk(777, 5);
     let reference =
         rayon::with_num_threads(1, || grape6_core::energy::pairwise_potential_energy(&sys));
     for &t in &THREADS[1..] {
@@ -85,7 +74,7 @@ fn integration_bits_invariant_across_thread_counts() {
     // corrector and j-update must land on identical bits for any pool size.
     let run = |t: usize| {
         rayon::with_num_threads(t, || {
-            let mut sys = DiskBuilder::paper(48).with_seed(4242).build();
+            let mut sys = disk(48, 4242);
             let cfg = HermiteConfig { dt_max: 2.0f64.powi(3), ..HermiteConfig::default() };
             let mut engine = DirectEngine::new();
             let mut integ = BlockHermite::new(cfg);
@@ -122,7 +111,7 @@ proptest! {
         block in 1usize..40,
     ) {
         let block = block.min(n);
-        let build = || DiskBuilder::paper(n).with_seed(seed).build();
+        let build = || disk(n, seed);
         let run = |t: usize| {
             rayon::with_num_threads(t, || {
                 let sys = build();
