@@ -18,7 +18,7 @@
 //! Exit status is nonzero when any check fails, so CI can gate on it.
 
 use grape6_bench::arg_or;
-use grape6_bench::report::{BenchReport, WorkloadResult};
+use grape6_bench::report::{BenchReport, KernelRate, WorkloadResult};
 use std::process::ExitCode;
 
 struct Gate {
@@ -54,6 +54,31 @@ impl Gate {
             baseline,
             fresh,
             if ok { "ok" } else { "FAIL (modeled time must match exactly)" }
+        );
+    }
+
+    fn kernel_rate(&mut self, label: &str, baseline: f64, fresh: f64) {
+        // Rates: higher is better. Only a slowdown beyond the tolerance
+        // fails; a faster fresh kernel always passes.
+        let ok = fresh >= baseline * (1.0 - self.tolerance);
+        if !ok {
+            self.failures += 1;
+        }
+        println!(
+            "  {:<18} {:<16} {:>14.4e} {:>14.4e}  {}",
+            label,
+            "inter/s real",
+            baseline,
+            fresh,
+            if ok {
+                format!("ok ({:+.1} %)", (fresh / baseline - 1.0) * 100.0)
+            } else {
+                format!(
+                    "FAIL ({:.1} % slower > {:.0} % budget)",
+                    (1.0 - fresh / baseline) * 100.0,
+                    self.tolerance * 100.0
+                )
+            }
         );
     }
 
@@ -150,6 +175,30 @@ fn main() -> ExitCode {
     for w in &fresh.workloads {
         if !baseline.workloads.iter().any(|b| b.id == w.id) {
             println!("  {:<18} new workload (not in baseline, not gated)", w.id);
+        }
+    }
+
+    // Kernel microbenchmarks, matched per (kernel, lane width): the
+    // interaction count is deterministic (exact match required); the
+    // measured rate may only regress within the wall-clock tolerance.
+    let find = |rows: &[KernelRate], k: &KernelRate| -> Option<KernelRate> {
+        rows.iter().find(|r| r.kernel == k.kernel && r.lane_width == k.lane_width).cloned()
+    };
+    for base in &baseline.kernel_microbench {
+        let label = format!("{}/{}", base.kernel, base.lane_width);
+        match find(&fresh.kernel_microbench, base) {
+            Some(f) => {
+                gate.counter(&label, "interactions", base.interactions, f.interactions);
+                gate.kernel_rate(
+                    &label,
+                    base.interactions_per_second_real,
+                    f.interactions_per_second_real,
+                );
+            }
+            None => {
+                gate.failures += 1;
+                println!("  {label:<18} MISSING from fresh kernel microbench");
+            }
         }
     }
 

@@ -43,6 +43,21 @@ fn main() -> std::process::ExitCode {
         }
     }
 
+    println!("\nkernel microbench (AoSoA lane widths, full-block j-sweep):");
+    print_header(&["kernel", "lanes", "bodies", "inter/s real", "vs scalar"], 14);
+    for k in &report.kernel_microbench {
+        print_row(
+            &[
+                k.kernel.clone(),
+                k.lane_width.clone(),
+                k.n_bodies.to_string(),
+                fmt(k.interactions_per_second_real),
+                format!("{:.2}x", k.speedup_vs_scalar),
+            ],
+            14,
+        );
+    }
+
     let c = &report.paper_check;
     println!(
         "\npaper check: peak {:.1} Tflops, sustained {:.1}–{:.1} Tflops \

@@ -14,6 +14,8 @@
 use crate::experiment_config;
 use grape6_core::engine::ForceEngine;
 use grape6_core::force::FLOPS_PER_INTERACTION;
+use grape6_core::lanes::LaneWidth;
+use grape6_core::particle::ParticleSystem;
 use grape6_disk::DiskBuilder;
 use grape6_hw::{FaultPlan, FaultTolerantEngine, Grape6Config, Grape6Engine, TimingModel};
 use grape6_sim::{Simulation, TelemetryReport};
@@ -24,7 +26,10 @@ use serde::{Deserialize, Serialize};
 /// Version 2 added the `thread_scaling` section and the per-workload
 /// `telemetry.host_threads` field. Version 3 added the `telemetry.faults`
 /// counters, the `checkpoint` phase, and the `grape6_ft_faulty` workload.
-pub const SCHEMA_VERSION: u64 = 3;
+/// Version 4 added the per-workload `lane_width` field and the
+/// `kernel_microbench` section (per-kernel `interactions_per_second_real`
+/// at every AoSoA lane width, with speedups over the scalar reference).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Host thread counts the scaling section sweeps.
 pub const SCALING_THREADS: [usize; 3] = [1, 2, 4];
@@ -109,6 +114,11 @@ pub struct WorkloadResult {
     /// Modeled sustained machine speed, Tflops (57 flops per interaction
     /// over modeled seconds; 0 for engines without a timing model).
     pub modeled_tflops: f64,
+    /// AoSoA lane width of the force kernels the workload ran with
+    /// (`"scalar"`, `"w4"`, `"w8"`; engines without a lane path report
+    /// `"scalar"`). Results are bitwise lane-width-invariant — this field
+    /// records which kernel produced them, not what they contain.
+    pub lane_width: String,
 }
 
 /// §5.2/§6 self-check numbers derived from [`TimingModel::sc2002`].
@@ -185,8 +195,99 @@ pub struct BenchReport {
     /// Host thread-scaling sweep of every workload (wall clocks vary with
     /// the thread count; work counters must not).
     pub thread_scaling: Vec<ThreadScalingResult>,
+    /// Per-kernel interaction rates at every AoSoA lane width
+    /// (scalar / W = 4 / W = 8), with speedups over the scalar reference.
+    pub kernel_microbench: Vec<KernelRate>,
     /// Timing-model self-check against the paper's headline numbers.
     pub paper_check: PaperCheck,
+}
+
+/// One timed kernel microbenchmark point: a fixed blocked force sweep at a
+/// fixed lane width. The interaction count is deterministic; the wall clock
+/// (and hence the rate) tracks the host.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelRate {
+    /// Which force kernel (`"direct"` or `"grape6"`).
+    pub kernel: String,
+    /// AoSoA lane width (`"scalar"`, `"w4"`, `"w8"`).
+    pub lane_width: String,
+    /// Bodies in the j-memory.
+    pub n_bodies: u64,
+    /// i-particles per force call.
+    pub block: u64,
+    /// Total pairwise interactions timed (reps × block × n).
+    pub interactions: u64,
+    /// Wall seconds over all repetitions.
+    pub wall_seconds: f64,
+    /// `interactions / wall_seconds`.
+    pub interactions_per_second_real: f64,
+    /// This width's rate over the same kernel's scalar rate (1.0 for the
+    /// scalar rows themselves).
+    pub speedup_vs_scalar: f64,
+}
+
+fn time_kernel<E: ForceEngine>(mut engine: E, sys: &ParticleSystem, reps: usize) -> (u64, f64) {
+    engine.load(sys);
+    let n = sys.len();
+    let ips: Vec<grape6_core::particle::IParticle> = (0..n)
+        .map(|i| grape6_core::particle::IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] })
+        .collect();
+    let mut out = vec![grape6_core::particle::ForceResult::default(); n];
+    engine.compute(0.0, &ips, &mut out); // warm-up: page in j-memory, spawn pools
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        engine.compute(0.0, &ips, &mut out);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&out);
+    ((reps * n * n) as u64, secs)
+}
+
+/// Time the direct and GRAPE-6 force kernels at every lane width on fixed
+/// seeded disks (`n_direct` / `n_grape6` planetesimals, `reps` full-block
+/// sweeps each) and derive per-width speedups over the scalar reference.
+pub fn run_kernel_microbench(n_direct: usize, n_grape6: usize, reps: usize) -> Vec<KernelRate> {
+    let mut rates = Vec::new();
+    for (kernel, n) in [("direct", n_direct), ("grape6", n_grape6)] {
+        let sys = DiskBuilder::paper(n).with_seed(20020616).build();
+        let mut scalar_rate = 0.0;
+        for lanes in LaneWidth::ALL {
+            let (interactions, wall_seconds) = match kernel {
+                "direct" => time_kernel(
+                    grape6_core::force::DirectEngine::with_lane_width(lanes),
+                    &sys,
+                    reps,
+                ),
+                _ => time_kernel(
+                    Grape6Engine::new(Grape6Config { lanes, ..Grape6Config::sc2002() }),
+                    &sys,
+                    reps,
+                ),
+            };
+            let rate = if wall_seconds > 0.0 { interactions as f64 / wall_seconds } else { 0.0 };
+            if lanes == LaneWidth::Scalar {
+                scalar_rate = rate;
+            }
+            rates.push(KernelRate {
+                kernel: kernel.to_string(),
+                lane_width: lanes.label().to_string(),
+                n_bodies: sys.len() as u64,
+                block: sys.len() as u64,
+                interactions,
+                wall_seconds,
+                interactions_per_second_real: rate,
+                speedup_vs_scalar: if scalar_rate > 0.0 { rate / scalar_rate } else { 0.0 },
+            });
+        }
+    }
+    rates
+}
+
+/// The standard microbench configuration the shipped report uses: blocks
+/// large enough that the tiled j-sweep dominates, small enough that the
+/// full sweep stays under a few seconds per width.
+pub fn standard_kernel_microbench() -> Vec<KernelRate> {
+    run_kernel_microbench(4096, 512, 3)
 }
 
 fn run_with<E: ForceEngine>(spec: &WorkloadSpec, engine: E) -> WorkloadResult {
@@ -209,12 +310,19 @@ fn run_with<E: ForceEngine>(spec: &WorkloadSpec, engine: E) -> WorkloadResult {
         t_end: spec.t_end,
         telemetry,
         modeled_tflops,
+        lane_width: String::new(),
     }
 }
 
 /// Run one workload to completion.
 pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
-    match spec.engine {
+    // Direct and GRAPE-6 run their default AoSoA lane width; the tree code
+    // has no lane path and reports the scalar kernel.
+    let lanes = match spec.engine {
+        EngineKind::Tree(_) => LaneWidth::Scalar,
+        _ => LaneWidth::default(),
+    };
+    let mut out = match spec.engine {
         EngineKind::Direct => run_with(spec, grape6_core::force::DirectEngine::new()),
         EngineKind::Grape6 => run_with(spec, Grape6Engine::sc2002()),
         EngineKind::Tree(theta) => run_with(spec, TreeEngine::new(theta)),
@@ -222,7 +330,9 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
             let plan = FaultPlan::random(seed, 8, 40);
             run_with(spec, FaultTolerantEngine::new(Grape6Config::sc2002(), &plan))
         }
-    }
+    };
+    out.lane_width = lanes.label().to_string();
+    out
 }
 
 /// Run one workload's scaling sweep across [`SCALING_THREADS`], asserting
@@ -269,6 +379,7 @@ pub fn build_report(git_sha: String) -> BenchReport {
         git_sha,
         workloads: specs.iter().map(run_workload).collect(),
         thread_scaling: specs.iter().map(run_thread_scaling).collect(),
+        kernel_microbench: standard_kernel_microbench(),
         paper_check: PaperCheck::sc2002(),
     }
 }
@@ -316,6 +427,25 @@ mod tests {
     }
 
     #[test]
+    fn kernel_microbench_covers_both_kernels_at_every_width() {
+        let rates = run_kernel_microbench(48, 32, 1);
+        assert_eq!(rates.len(), 2 * LaneWidth::ALL.len());
+        for kernel in ["direct", "grape6"] {
+            let rows: Vec<&KernelRate> = rates.iter().filter(|r| r.kernel == kernel).collect();
+            assert_eq!(rows.len(), LaneWidth::ALL.len(), "{kernel}");
+            // The scalar row leads and anchors the speedup column.
+            assert_eq!(rows[0].lane_width, "scalar");
+            assert_eq!(rows[0].speedup_vs_scalar, 1.0);
+            for r in rows {
+                assert!(r.interactions > 0);
+                assert_eq!(r.interactions, r.block * r.n_bodies);
+                assert!(r.interactions_per_second_real > 0.0, "{kernel}/{}", r.lane_width);
+                assert!(r.speedup_vs_scalar > 0.0);
+            }
+        }
+    }
+
+    #[test]
     fn paper_check_brackets_gordon_bell_efficiency() {
         let c = PaperCheck::sc2002();
         assert!((c.peak_tflops - 63.4).abs() < 0.5);
@@ -333,9 +463,11 @@ mod tests {
             git_sha: "deadbeef".to_string(),
             workloads: vec![run_workload(&spec)],
             thread_scaling: vec![run_thread_scaling(&spec)],
+            kernel_microbench: run_kernel_microbench(64, 48, 1),
             paper_check: PaperCheck::sc2002(),
         };
         assert!(report.workloads[0].modeled_tflops > 0.0);
+        assert_eq!(report.workloads[0].lane_width, LaneWidth::default().label());
         assert_eq!(report.thread_scaling[0].entries.len(), SCALING_THREADS.len());
         assert!((report.thread_scaling[0].entries[0].speedup_force_vs_1 - 1.0).abs() < 1e-12);
         let json = serde_json::to_string_pretty(&report).unwrap();

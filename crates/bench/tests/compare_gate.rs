@@ -1,0 +1,89 @@
+//! The `bench_compare` regression gate, end to end: an identical fresh
+//! report passes, and a doctored report whose lane kernel slowed beyond
+//! the tolerance budget fails with a nonzero exit status.
+
+#![forbid(unsafe_code)]
+
+use grape6_bench::report::{
+    run_kernel_microbench, run_thread_scaling, run_workload, BenchReport, EngineKind, PaperCheck,
+    WorkloadSpec, SCHEMA_VERSION,
+};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A miniature but schema-complete report (one small workload, one
+/// microbench repetition) — bench_compare sees the same shape as the
+/// shipped baseline.
+fn mini_report() -> BenchReport {
+    let spec = WorkloadSpec { id: "mini", n: 32, seed: 7, t_end: 0.25, engine: EngineKind::Direct };
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        git_sha: "test".to_string(),
+        workloads: vec![run_workload(&spec)],
+        thread_scaling: vec![run_thread_scaling(&spec)],
+        kernel_microbench: run_kernel_microbench(48, 32, 1),
+        paper_check: PaperCheck::sc2002(),
+    }
+}
+
+fn write_json(dir: &Path, name: &str, report: &BenchReport) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, serde_json::to_string_pretty(report).unwrap()).unwrap();
+    path
+}
+
+fn run_compare(baseline: &Path, fresh: &Path) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .arg("--baseline")
+        .arg(baseline)
+        .arg("--fresh")
+        .arg(fresh)
+        .output()
+        .expect("run bench_compare");
+    (out.status.success(), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+#[test]
+fn kernel_rate_regression_fails_and_identical_report_passes() {
+    let report = mini_report();
+    let dir = std::env::temp_dir().join(format!("g6-bench-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = write_json(&dir, "baseline.json", &report);
+
+    // Identical fresh report: every counter matches, every rate ratio is
+    // exactly 1.0 — the gate must pass.
+    let fresh_ok = write_json(&dir, "fresh_ok.json", &report);
+    let (ok, stdout) = run_compare(&baseline, &fresh_ok);
+    assert!(ok, "identical reports must pass the gate:\n{stdout}");
+
+    // Simulated kernel regression: the W=8 direct kernel runs at half its
+    // baseline rate (wall clock doubled, counters untouched). That is far
+    // outside the 15 % default budget and must fail the gate.
+    let mut doctored = report.clone();
+    let row = doctored
+        .kernel_microbench
+        .iter_mut()
+        .find(|r| r.kernel == "direct" && r.lane_width == "w8")
+        .expect("microbench has a direct/w8 row");
+    row.wall_seconds *= 2.0;
+    row.interactions_per_second_real /= 2.0;
+    row.speedup_vs_scalar /= 2.0;
+    let fresh_bad = write_json(&dir, "fresh_bad.json", &doctored);
+    let (ok, stdout) = run_compare(&baseline, &fresh_bad);
+    assert!(!ok, "a 2x kernel slowdown must fail the gate:\n{stdout}");
+    assert!(
+        stdout.contains("direct/w8") && stdout.contains("FAIL"),
+        "failure must name the regressed kernel row:\n{stdout}"
+    );
+
+    // A missing kernel row is also a failure (a width silently dropped
+    // from the microbench is itself a regression).
+    let mut dropped = report.clone();
+    dropped.kernel_microbench.retain(|r| r.lane_width != "w4");
+    let fresh_dropped = write_json(&dir, "fresh_dropped.json", &dropped);
+    let (ok, stdout) = run_compare(&baseline, &fresh_dropped);
+    assert!(!ok, "dropping a lane width from the microbench must fail:\n{stdout}");
+    assert!(stdout.contains("MISSING"), "missing-row diagnostic expected:\n{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -6,8 +6,8 @@
 //! they are compared bit-for-bit here rather than against copied constants.
 
 use grape6_bench::report::{
-    standard_workloads, BenchReport, PaperCheck, ThreadScalingEntry, ThreadScalingResult,
-    SCALING_THREADS, SCHEMA_VERSION,
+    standard_workloads, BenchReport, KernelRate, PaperCheck, ThreadScalingEntry,
+    ThreadScalingResult, SCALING_THREADS, SCHEMA_VERSION,
 };
 use grape6_hw::TimingModel;
 
@@ -57,12 +57,23 @@ fn report_json_schema_is_stable() {
         git_sha: "test".to_string(),
         workloads: vec![],
         thread_scaling: vec![],
+        kernel_microbench: vec![],
         paper_check: PaperCheck::sc2002(),
     };
     let v = serde_json::to_value(&report).unwrap();
     let obj = v.as_object().unwrap();
     let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
-    assert_eq!(keys, ["schema_version", "git_sha", "workloads", "thread_scaling", "paper_check"]);
+    assert_eq!(
+        keys,
+        [
+            "schema_version",
+            "git_sha",
+            "workloads",
+            "thread_scaling",
+            "kernel_microbench",
+            "paper_check"
+        ]
+    );
     let pc = v.get("paper_check").unwrap().as_object().unwrap();
     let pc_keys: Vec<&str> = pc.iter().map(|(k, _)| k.as_str()).collect();
     assert_eq!(
@@ -104,6 +115,35 @@ fn thread_scaling_schema_is_stable() {
             "interactions",
             "block_steps",
             "speedup_force_vs_1",
+        ]
+    );
+}
+
+#[test]
+fn kernel_microbench_schema_is_stable() {
+    let k = KernelRate {
+        kernel: "direct".to_string(),
+        lane_width: "w8".to_string(),
+        n_bodies: 10,
+        block: 10,
+        interactions: 100,
+        wall_seconds: 0.5,
+        interactions_per_second_real: 200.0,
+        speedup_vs_scalar: 2.0,
+    };
+    let v = serde_json::to_value(&k).unwrap();
+    let keys: Vec<&str> = v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        [
+            "kernel",
+            "lane_width",
+            "n_bodies",
+            "block",
+            "interactions",
+            "wall_seconds",
+            "interactions_per_second_real",
+            "speedup_vs_scalar",
         ]
     );
 }

@@ -7,6 +7,7 @@
 //! convention the paper adopts, this costs 38 + 19 = 57 floating-point
 //! operations per interaction.
 
+use crate::lanes::{sweep_tile_lanes, LaneTile, LaneWidth};
 use crate::particle::{ForceResult, IParticle, Neighbor, ParticleSystem};
 use crate::sweep::{chunked_jsweep, j_chunk_size, SMALL_BLOCK_MAX};
 use crate::vec3::Vec3;
@@ -104,6 +105,68 @@ fn tiled_block_sweep(
             _ => {}
         }
         jlo = jhi;
+    }
+}
+
+/// Cache-blocked sweep of all j-particles for one i-chunk through the AoSoA
+/// lane kernel: j in L2-sized tiles (outer), i-particles in `W`-wide
+/// [`LaneTile`]s (inner); a ragged tail is padded inside the tile (see the
+/// remainder-lane rule in [`crate::lanes`]). Bitwise identical to
+/// [`tiled_block_sweep`] because lanes only span i-particles.
+// grape6-lint: hot
+fn tiled_block_sweep_lanes<const W: usize>(
+    os: &mut [ForceResult],
+    ips: &[IParticle],
+    ppos: &[Vec3],
+    pvel: &[Vec3],
+    jmass: &[f64],
+    eps2: f64,
+) {
+    for o in os.iter_mut() {
+        *o = ForceResult::default();
+    }
+    let n = ppos.len();
+    let mut jlo = 0;
+    while jlo < n {
+        let jhi = (jlo + J_TILE).min(n);
+        for (rs, is) in os.chunks_mut(W).zip(ips.chunks(W)) {
+            sweep_tile_lanes::<W>(rs, is, jlo, jhi, ppos, pvel, jmass, eps2);
+        }
+        jlo = jhi;
+    }
+}
+
+/// One j-chunk of the small-block sweep through the AoSoA lane kernel:
+/// groups of `W` i-particles share a [`LaneTile`], and each group predicts
+/// the chunk's j-particles on the fly with the same Taylor expression as the
+/// scalar fused sweep (prediction is a pure function of `(j, t)`, so
+/// re-evaluating it per group cannot change any bit).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+// grape6-lint: hot
+fn small_fill_lanes<const W: usize>(
+    js: std::ops::Range<usize>,
+    row: &mut [ForceResult],
+    ips: &[IParticle],
+    t: f64,
+    jpos: &[Vec3],
+    jvel: &[Vec3],
+    jacc: &[Vec3],
+    jjerk: &[Vec3],
+    jmass: &[f64],
+    jtime: &[f64],
+    eps2: f64,
+) {
+    for (rs, is) in row.chunks_mut(W).zip(ips.chunks(W)) {
+        let mut tile = LaneTile::<W>::load(is, rs);
+        for j in js.clone() {
+            let dt = t - jtime[j];
+            let dt2 = dt * dt;
+            let pp = jpos[j] + jvel[j] * dt + jacc[j] * (dt2 / 2.0) + jjerk[j] * (dt2 * dt / 6.0);
+            let pv = jvel[j] + jacc[j] * dt + jjerk[j] * (dt2 / 2.0);
+            tile.interact(j, pp, pv, jmass[j], eps2);
+        }
+        tile.store(rs);
     }
 }
 
@@ -213,6 +276,8 @@ pub struct DirectEngine {
     /// Per-chunk partial rows of the small-block sweep (capacity reused).
     partials: Vec<ForceResult>,
     eps2: f64,
+    /// Width of the AoSoA force kernels (all widths are bit-identical).
+    lane_width: LaneWidth,
     interactions: u64,
     force_calls: u64,
 }
@@ -221,6 +286,21 @@ impl DirectEngine {
     /// Create an engine; j-memory is filled by [`crate::engine::ForceEngine::load`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an engine with an explicit kernel lane width.
+    pub fn with_lane_width(lanes: LaneWidth) -> Self {
+        Self { lane_width: lanes, ..Self::default() }
+    }
+
+    /// Select the kernel lane width (bitwise-neutral; any time is safe).
+    pub fn set_lane_width(&mut self, lanes: LaneWidth) {
+        self.lane_width = lanes;
+    }
+
+    /// The currently selected kernel lane width.
+    pub fn lane_width(&self) -> LaneWidth {
+        self.lane_width
     }
 
     /// Number of j-particles currently resident.
@@ -288,9 +368,15 @@ impl crate::engine::ForceEngine for DirectEngine {
             self.predict_all(t);
             let (ppos, pvel, jmass, eps2) = (&self.ppos, &self.pvel, &self.jmass, self.eps2);
             let threads = rayon::current_num_threads().max(1);
-            let ic = b.div_ceil(4 * threads).next_multiple_of(4);
-            out.par_chunks_mut(ic).zip(ips.par_chunks(ic)).for_each(|(os, is)| {
-                tiled_block_sweep(os, is, ppos, pvel, jmass, eps2);
+            // i-chunks align to the tile width (bitwise-neutral: per-i
+            // results never depend on how the block is split).
+            let w = self.lane_width.width().max(4);
+            let ic = b.div_ceil(w * threads).next_multiple_of(w);
+            let lanes = self.lane_width;
+            out.par_chunks_mut(ic).zip(ips.par_chunks(ic)).for_each(|(os, is)| match lanes {
+                LaneWidth::Scalar => tiled_block_sweep(os, is, ppos, pvel, jmass, eps2),
+                LaneWidth::W4 => tiled_block_sweep_lanes::<4>(os, is, ppos, pvel, jmass, eps2),
+                LaneWidth::W8 => tiled_block_sweep_lanes::<8>(os, is, ppos, pvel, jmass, eps2),
             });
         } else {
             // Few i-particles (the common small-block case): parallelize the
@@ -300,40 +386,67 @@ impl crate::engine::ForceEngine for DirectEngine {
             // expression as `predict_all`, so the bits match while the
             // separate predict pass (and its memory round-trip) disappears.
             let jc = j_chunk_size(n);
-            let Self { jpos, jvel, jacc, jjerk, jmass, jtime, partials, eps2, .. } = self;
+            let Self { jpos, jvel, jacc, jjerk, jmass, jtime, partials, eps2, lane_width, .. } =
+                self;
             let eps2 = *eps2;
-            chunked_jsweep(
-                n,
-                jc,
-                partials,
-                out,
-                |js, row| {
-                    for j in js {
-                        let dt = t - jtime[j];
-                        let dt2 = dt * dt;
-                        let pp = jpos[j]
-                            + jvel[j] * dt
-                            + jacc[j] * (dt2 / 2.0)
-                            + jjerk[j] * (dt2 * dt / 6.0);
-                        let pv = jvel[j] + jacc[j] * dt + jjerk[j] * (dt2 / 2.0);
-                        for (r, ip) in row.iter_mut().zip(ips) {
-                            if j == ip.index {
-                                continue;
+            match *lane_width {
+                LaneWidth::Scalar => chunked_jsweep(
+                    n,
+                    jc,
+                    partials,
+                    out,
+                    |js, row| {
+                        for j in js {
+                            let dt = t - jtime[j];
+                            let dt2 = dt * dt;
+                            let pp = jpos[j]
+                                + jvel[j] * dt
+                                + jacc[j] * (dt2 / 2.0)
+                                + jjerk[j] * (dt2 * dt / 6.0);
+                            let pv = jvel[j] + jacc[j] * dt + jjerk[j] * (dt2 / 2.0);
+                            for (r, ip) in row.iter_mut().zip(ips) {
+                                if j == ip.index {
+                                    continue;
+                                }
+                                let dx = pp - ip.pos;
+                                let r2 = dx.norm2();
+                                if r.nn.is_none_or(|nb| r2 < nb.r2) {
+                                    r.nn = Some(Neighbor { index: j, r2 });
+                                }
+                                let (a, jk, p) = pair_force_jerk(dx, pv - ip.vel, jmass[j], eps2);
+                                r.acc += a;
+                                r.jerk += jk;
+                                r.pot += p;
                             }
-                            let dx = pp - ip.pos;
-                            let r2 = dx.norm2();
-                            if r.nn.is_none_or(|nb| r2 < nb.r2) {
-                                r.nn = Some(Neighbor { index: j, r2 });
-                            }
-                            let (a, jk, p) = pair_force_jerk(dx, pv - ip.vel, jmass[j], eps2);
-                            r.acc += a;
-                            r.jerk += jk;
-                            r.pot += p;
                         }
-                    }
-                },
-                ForceResult::merge,
-            );
+                    },
+                    ForceResult::merge,
+                ),
+                LaneWidth::W4 => chunked_jsweep(
+                    n,
+                    jc,
+                    partials,
+                    out,
+                    |js, row| {
+                        small_fill_lanes::<4>(
+                            js, row, ips, t, jpos, jvel, jacc, jjerk, jmass, jtime, eps2,
+                        )
+                    },
+                    ForceResult::merge,
+                ),
+                LaneWidth::W8 => chunked_jsweep(
+                    n,
+                    jc,
+                    partials,
+                    out,
+                    |js, row| {
+                        small_fill_lanes::<8>(
+                            js, row, ips, t, jpos, jvel, jacc, jjerk, jmass, jtime, eps2,
+                        )
+                    },
+                    ForceResult::merge,
+                ),
+            }
         }
     }
 
@@ -509,6 +622,51 @@ mod tests {
             assert!((out[0].jerk - out_large[k].jerk).norm() < 1e-13);
             assert!((out[0].pot - out_large[k].pot).abs() < 1e-12);
             assert_eq!(out[0].nn.map(|nb| nb.index), out_large[k].nn.map(|nb| nb.index));
+        }
+    }
+
+    #[test]
+    fn lane_widths_bit_identical_on_both_paths() {
+        // Scalar / W4 / W8 engines must agree bit for bit on the small-block
+        // (j-parallel) and large-block (i-parallel tiled) paths, including
+        // ragged blocks not divisible by either lane width.
+        let mut sys = ParticleSystem::new(0.003, 0.0);
+        let mut seed = 777u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for _ in 0..61 {
+            sys.push(
+                Vec3::new(rng() * 20.0, rng() * 20.0, rng()),
+                Vec3::new(rng(), rng(), rng()),
+                1e-8 * (1.0 + rng().abs()),
+            );
+        }
+        let force = |lanes: crate::lanes::LaneWidth, b: usize| {
+            let mut e = DirectEngine::with_lane_width(lanes);
+            e.load(&sys);
+            let ips: Vec<IParticle> =
+                (0..b).map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect();
+            let mut out = vec![ForceResult::default(); b];
+            e.compute(0.0, &ips, &mut out);
+            out
+        };
+        for b in [1usize, 3, 7, 13, 16, 17, 21, 40, 61] {
+            let reference = force(crate::lanes::LaneWidth::Scalar, b);
+            for lanes in [crate::lanes::LaneWidth::W4, crate::lanes::LaneWidth::W8] {
+                let got = force(lanes, b);
+                for (k, (g, r)) in got.iter().zip(&reference).enumerate() {
+                    assert_eq!(g.acc, r.acc, "{lanes} b={b} k={k} acc");
+                    assert_eq!(g.jerk, r.jerk, "{lanes} b={b} k={k} jerk");
+                    assert_eq!(g.pot.to_bits(), r.pot.to_bits(), "{lanes} b={b} k={k} pot");
+                    assert_eq!(
+                        g.nn.map(|nb| (nb.index, nb.r2.to_bits())),
+                        r.nn.map(|nb| (nb.index, nb.r2.to_bits())),
+                        "{lanes} b={b} k={k} nn"
+                    );
+                }
+            }
         }
     }
 

@@ -1,0 +1,397 @@
+//! AoSoA SIMD-blocked force tiles — the lane layer of the hot j-sweep.
+//!
+//! GRAPE-6 reached its throughput by having each physical force pipeline
+//! serve eight *virtual multiple pipelines*: one j-particle stream broadcast
+//! to a fixed-width bank of i-particle register sets (paper §5.2). This
+//! module is the host-side analogue: a [`LaneTile`] packs `W` i-particles
+//! into structure-of-arrays lanes (`W` ∈ {4, 8}, the AoSoA tile), and the
+//! inner j-sweep broadcasts one j-particle to all `W` lanes per iteration.
+//! Every per-lane operation is a straight-line `f64` add/mul/div/sqrt or a
+//! select over a fixed-width array, which the autovectorizer lowers to
+//! packed SIMD on x86-64 (2 lanes on SSE2, 4 on AVX2) without any `unsafe`
+//! or `core::arch` intrinsics — the crate stays `forbid(unsafe_code)`.
+//!
+//! # Determinism contract (why lane width cannot change bits)
+//!
+//! Lanes run over **i-particles only**; the j-loop is never split or
+//! reordered by the lane structure. Each i-particle's accumulator therefore
+//! sees exactly the same contributions in exactly the same ascending-j
+//! order as the scalar reference kernel, and every lane operation
+//! (IEEE-754 add, mul, div, sqrt — all correctly rounded on every target)
+//! computes the identical expression tree. Hence the output bits are
+//! identical for scalar, `W = 4` and `W = 8` — a property pinned by
+//! `tests/lane_determinism.rs` and the conformance runner's `lanes/*`
+//! checks. No FMA contraction is used or permitted (rustc does not contract
+//! `a * b + c` across `f64` expressions).
+//!
+//! # Remainder-lane rule
+//!
+//! A block whose i-count is not a multiple of `W` ends in a ragged tile.
+//! The tail tile is padded to full width by **replicating lane 0** (same
+//! position, velocity and self-skip index); the padding lanes compute real,
+//! finite values (no NaN/subnormal slow paths) and are simply never stored.
+//! Only `LaneTile::store`'s first `out.len()` lanes are read back, so the
+//! padding cannot influence any result bit.
+
+use crate::particle::{ForceResult, IParticle, Neighbor};
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Runtime-selected lane width of the blocked force kernels.
+///
+/// `Scalar` keeps the original (pre-AoSoA) kernels as the bitwise reference;
+/// `W4`/`W8` select the 4- and 8-wide AoSoA tiles. All three produce
+/// bit-identical results — the width only changes instruction scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LaneWidth {
+    /// The scalar reference kernels (one i-particle at a time in the small
+    /// path, the legacy 4-wide AoS unroll in the large path).
+    Scalar,
+    /// 4-wide AoSoA tiles (one AVX2 register of f64 per lane array).
+    W4,
+    /// 8-wide AoSoA tiles (two AVX2 registers / one AVX-512 per array).
+    W8,
+}
+
+impl Default for LaneWidth {
+    /// The production default: 8-wide tiles.
+    fn default() -> Self {
+        LaneWidth::W8
+    }
+}
+
+impl LaneWidth {
+    /// Number of i-particles per tile (1 for the scalar reference).
+    pub const fn width(self) -> usize {
+        match self {
+            LaneWidth::Scalar => 1,
+            LaneWidth::W4 => 4,
+            LaneWidth::W8 => 8,
+        }
+    }
+
+    /// All selectable widths, scalar reference first.
+    pub const ALL: [LaneWidth; 3] = [LaneWidth::Scalar, LaneWidth::W4, LaneWidth::W8];
+
+    /// Parse a CLI/env spelling: `"scalar"`, `"4"`, or `"8"`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "scalar" | "1" => Ok(LaneWidth::Scalar),
+            "4" | "w4" => Ok(LaneWidth::W4),
+            "8" | "w8" => Ok(LaneWidth::W8),
+            other => Err(format!("unknown lane width `{other}` (expected scalar, 4 or 8)")),
+        }
+    }
+
+    /// Stable identifier used in reports and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            LaneWidth::Scalar => "scalar",
+            LaneWidth::W4 => "w4",
+            LaneWidth::W8 => "w8",
+        }
+    }
+}
+
+impl std::fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Sentinel for "no self-index to skip" / "no neighbour seen yet".
+const NONE: u64 = u64::MAX;
+
+/// An AoSoA tile: `W` i-particles in structure-of-arrays lanes, together
+/// with their running force accumulators and nearest-neighbour registers.
+///
+/// The field arrays are the software equivalent of the chip's `W` virtual
+/// pipeline register sets; one j-particle is broadcast to all of them per
+/// [`LaneTile::interact`] call.
+#[derive(Debug, Clone)]
+pub struct LaneTile<const W: usize> {
+    /// i-particle positions (lanes).
+    px: [f64; W],
+    py: [f64; W],
+    pz: [f64; W],
+    /// i-particle velocities (lanes).
+    vx: [f64; W],
+    vy: [f64; W],
+    vz: [f64; W],
+    /// j-index whose interaction this lane must skip (its own slot), or
+    /// [`NONE`].
+    skip: [u64; W],
+    /// Acceleration accumulators.
+    ax: [f64; W],
+    ay: [f64; W],
+    az: [f64; W],
+    /// Jerk accumulators.
+    jx: [f64; W],
+    jy: [f64; W],
+    jz: [f64; W],
+    /// Potential accumulators.
+    pot: [f64; W],
+    /// Nearest-neighbour squared distance (valid only when `nn_j != NONE`).
+    nn_r2: [f64; W],
+    /// Nearest-neighbour j-index, [`NONE`] until the first candidate.
+    nn_j: [u64; W],
+}
+
+impl<const W: usize> LaneTile<W> {
+    /// Build a tile from up to `W` i-particles, seeding the accumulators
+    /// from `prior` (the running [`ForceResult`]s of an outer j-tile loop).
+    /// Ragged tails (`ips.len() < W`) are padded by replicating lane 0 (see
+    /// the module-level remainder-lane rule).
+    #[inline]
+    pub fn load(ips: &[IParticle], prior: &[ForceResult]) -> Self {
+        assert!(!ips.is_empty() && ips.len() <= W);
+        assert_eq!(ips.len(), prior.len());
+        let mut t = Self {
+            px: [0.0; W],
+            py: [0.0; W],
+            pz: [0.0; W],
+            vx: [0.0; W],
+            vy: [0.0; W],
+            vz: [0.0; W],
+            skip: [NONE; W],
+            ax: [0.0; W],
+            ay: [0.0; W],
+            az: [0.0; W],
+            jx: [0.0; W],
+            jy: [0.0; W],
+            jz: [0.0; W],
+            pot: [0.0; W],
+            nn_r2: [f64::INFINITY; W],
+            nn_j: [NONE; W],
+        };
+        for k in 0..W {
+            // Padding lanes replicate lane 0: real, finite arithmetic whose
+            // results are discarded by `store`.
+            let (ip, o) = if k < ips.len() { (&ips[k], &prior[k]) } else { (&ips[0], &prior[0]) };
+            t.px[k] = ip.pos.x;
+            t.py[k] = ip.pos.y;
+            t.pz[k] = ip.pos.z;
+            t.vx[k] = ip.vel.x;
+            t.vy[k] = ip.vel.y;
+            t.vz[k] = ip.vel.z;
+            t.skip[k] = ip.index as u64;
+            t.ax[k] = o.acc.x;
+            t.ay[k] = o.acc.y;
+            t.az[k] = o.acc.z;
+            t.jx[k] = o.jerk.x;
+            t.jy[k] = o.jerk.y;
+            t.jz[k] = o.jerk.z;
+            t.pot[k] = o.pot;
+            if let Some(nb) = o.nn {
+                t.nn_r2[k] = nb.r2;
+                t.nn_j[k] = nb.index as u64;
+            }
+        }
+        t
+    }
+
+    /// Broadcast one predicted j-particle to all lanes and accumulate its
+    /// force, jerk, potential and nearest-neighbour candidacy.
+    ///
+    /// Per lane this computes exactly the expression tree of
+    /// [`crate::force::pair_force_jerk`] (same association order), with the
+    /// self-interaction excluded by a select instead of a branch: masked
+    /// lanes keep their previous accumulator bits untouched, which is
+    /// bitwise identical to the scalar kernel's `continue`.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    // grape6-lint: hot
+    pub fn interact(&mut self, j: usize, pj: Vec3, vj: Vec3, mj: f64, eps2: f64) {
+        let j64 = j as u64;
+        for k in 0..W {
+            let dx = pj.x - self.px[k];
+            let dy = pj.y - self.py[k];
+            let dz = pj.z - self.pz[k];
+            let dvx = vj.x - self.vx[k];
+            let dvy = vj.y - self.vy[k];
+            let dvz = vj.z - self.vz[k];
+            // Same association order as Vec3::norm2: (x² + y²) + z².
+            let r2 = dx * dx + dy * dy + dz * dz;
+            let active = self.skip[k] != j64;
+            // Nearest neighbour: unconditionally take the first non-skipped
+            // candidate (matches `Option::is_none_or`), then strict `<`.
+            let take = active & ((self.nn_j[k] == NONE) | (r2 < self.nn_r2[k]));
+            self.nn_r2[k] = if take { r2 } else { self.nn_r2[k] };
+            self.nn_j[k] = if take { j64 } else { self.nn_j[k] };
+            // pair_force_jerk, lane-local, identical association order.
+            let r2e = r2 + eps2;
+            let rinv = 1.0 / r2e.sqrt();
+            let rinv2 = rinv * rinv;
+            let mr3inv = mj * rinv2 * rinv;
+            let rv = dx * dvx + dy * dvy + dz * dvz;
+            let alpha = 3.0 * rv * rinv2;
+            let nax = self.ax[k] + dx * mr3inv;
+            let nay = self.ay[k] + dy * mr3inv;
+            let naz = self.az[k] + dz * mr3inv;
+            let njx = self.jx[k] + (dvx - dx * alpha) * mr3inv;
+            let njy = self.jy[k] + (dvy - dy * alpha) * mr3inv;
+            let njz = self.jz[k] + (dvz - dz * alpha) * mr3inv;
+            let npot = self.pot[k] + -mj * rinv;
+            self.ax[k] = if active { nax } else { self.ax[k] };
+            self.ay[k] = if active { nay } else { self.ay[k] };
+            self.az[k] = if active { naz } else { self.az[k] };
+            self.jx[k] = if active { njx } else { self.jx[k] };
+            self.jy[k] = if active { njy } else { self.jy[k] };
+            self.jz[k] = if active { njz } else { self.jz[k] };
+            self.pot[k] = if active { npot } else { self.pot[k] };
+        }
+    }
+
+    /// Write the first `out.len()` lanes back; padding lanes are dropped.
+    #[inline]
+    pub fn store(&self, out: &mut [ForceResult]) {
+        debug_assert!(out.len() <= W);
+        for (k, o) in out.iter_mut().enumerate() {
+            o.acc = Vec3::new(self.ax[k], self.ay[k], self.az[k]);
+            o.jerk = Vec3::new(self.jx[k], self.jy[k], self.jz[k]);
+            o.pot = self.pot[k];
+            o.nn = if self.nn_j[k] == NONE {
+                None
+            } else {
+                Some(Neighbor { index: self.nn_j[k] as usize, r2: self.nn_r2[k] })
+            };
+        }
+    }
+}
+
+/// Sweep the j-range `jlo..jhi` for up to `W` i-particles through an AoSoA
+/// tile, continuing the accumulation already present in `os`. The lane-width
+/// counterpart of the scalar `sweep_tile` in `crate::force`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+// grape6-lint: hot
+pub fn sweep_tile_lanes<const W: usize>(
+    os: &mut [ForceResult],
+    ips: &[IParticle],
+    jlo: usize,
+    jhi: usize,
+    ppos: &[Vec3],
+    pvel: &[Vec3],
+    jmass: &[f64],
+    eps2: f64,
+) {
+    let mut tile = LaneTile::<W>::load(ips, os);
+    for j in jlo..jhi {
+        tile.interact(j, ppos[j], pvel[j], jmass[j], eps2);
+    }
+    tile.store(os);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::pair_force_jerk;
+
+    fn jset(n: usize) -> (Vec<Vec3>, Vec<Vec3>, Vec<f64>) {
+        let mut seed = 99u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut pos = Vec::new();
+        let mut vel = Vec::new();
+        let mut mass = Vec::new();
+        for _ in 0..n {
+            pos.push(Vec3::new(rng() * 30.0, rng() * 30.0, rng()));
+            vel.push(Vec3::new(rng(), rng(), rng()));
+            mass.push(1e-9 * (1.0 + rng().abs()));
+        }
+        (pos, vel, mass)
+    }
+
+    fn scalar_reference(
+        ip: &IParticle,
+        jlo: usize,
+        jhi: usize,
+        pos: &[Vec3],
+        vel: &[Vec3],
+        mass: &[f64],
+        eps2: f64,
+    ) -> ForceResult {
+        let mut r = ForceResult::default();
+        for j in jlo..jhi {
+            if j == ip.index {
+                continue;
+            }
+            let dx = pos[j] - ip.pos;
+            let r2 = dx.norm2();
+            if r.nn.is_none_or(|nb| r2 < nb.r2) {
+                r.nn = Some(Neighbor { index: j, r2 });
+            }
+            let (a, jk, p) = pair_force_jerk(dx, vel[j] - ip.vel, mass[j], eps2);
+            r.acc += a;
+            r.jerk += jk;
+            r.pot += p;
+        }
+        r
+    }
+
+    fn assert_tile_matches_scalar<const W: usize>(b: usize) {
+        let (pos, vel, mass) = jset(37);
+        let eps2 = 0.008 * 0.008;
+        let ips: Vec<IParticle> =
+            (0..b).map(|i| IParticle { index: i, pos: pos[i], vel: vel[i] }).collect();
+        let mut out = vec![ForceResult::default(); b];
+        // Two j-segments to exercise accumulator reload between tiles.
+        sweep_tile_lanes::<W>(&mut out, &ips, 0, 20, &pos, &vel, &mass, eps2);
+        sweep_tile_lanes::<W>(&mut out, &ips, 20, 37, &pos, &vel, &mass, eps2);
+        for (k, ip) in ips.iter().enumerate() {
+            let want = scalar_reference(ip, 0, 37, &pos, &vel, &mass, eps2);
+            assert_eq!(out[k].acc, want.acc, "W={W} b={b} lane {k} acc");
+            assert_eq!(out[k].jerk, want.jerk, "W={W} b={b} lane {k} jerk");
+            assert_eq!(out[k].pot.to_bits(), want.pot.to_bits(), "W={W} b={b} lane {k} pot");
+            assert_eq!(out[k].nn.map(|n| n.index), want.nn.map(|n| n.index));
+            assert_eq!(out[k].nn.map(|n| n.r2.to_bits()), want.nn.map(|n| n.r2.to_bits()));
+        }
+    }
+
+    #[test]
+    fn full_tiles_match_scalar_bitwise() {
+        assert_tile_matches_scalar::<4>(4);
+        assert_tile_matches_scalar::<8>(8);
+    }
+
+    #[test]
+    fn ragged_tiles_match_scalar_bitwise() {
+        // Every remainder count 1..W−1 for both widths.
+        for b in 1..4 {
+            assert_tile_matches_scalar::<4>(b);
+        }
+        for b in 1..8 {
+            assert_tile_matches_scalar::<8>(b);
+        }
+    }
+
+    #[test]
+    fn self_interaction_is_skipped_like_scalar() {
+        // i-particles that are also j-particles: the skip select must keep
+        // accumulator bits untouched and exclude self from the neighbour.
+        let (pos, vel, mass) = jset(9);
+        let ips: Vec<IParticle> =
+            (0..3).map(|i| IParticle { index: i, pos: pos[i], vel: vel[i] }).collect();
+        let mut out = vec![ForceResult::default(); 3];
+        sweep_tile_lanes::<4>(&mut out, &ips, 0, 9, &pos, &vel, &mass, 1e-4);
+        for (k, ip) in ips.iter().enumerate() {
+            assert_ne!(out[k].nn.unwrap().index, ip.index);
+            let want = scalar_reference(ip, 0, 9, &pos, &vel, &mass, 1e-4);
+            assert_eq!(out[k].acc, want.acc);
+        }
+    }
+
+    #[test]
+    fn lane_width_parse_and_labels() {
+        assert_eq!(LaneWidth::parse("scalar").unwrap(), LaneWidth::Scalar);
+        assert_eq!(LaneWidth::parse("4").unwrap(), LaneWidth::W4);
+        assert_eq!(LaneWidth::parse("w8").unwrap(), LaneWidth::W8);
+        assert!(LaneWidth::parse("16").is_err());
+        assert_eq!(LaneWidth::W4.width(), 4);
+        assert_eq!(LaneWidth::Scalar.width(), 1);
+        assert_eq!(LaneWidth::W8.label(), "w8");
+        assert_eq!(LaneWidth::default(), LaneWidth::W8);
+    }
+}

@@ -47,6 +47,7 @@ pub mod force;
 pub mod hermite;
 pub mod integrator;
 pub mod kepler;
+pub mod lanes;
 pub mod observer;
 pub mod particle;
 pub mod shared_step;
@@ -61,6 +62,7 @@ pub mod prelude {
     pub use crate::force::DirectEngine;
     pub use crate::integrator::{BlockHermite, BlockStepInfo, HermiteConfig, RunStats};
     pub use crate::kepler::{elements_to_state, state_to_elements, Elements};
+    pub use crate::lanes::LaneWidth;
     pub use crate::observer::{HostPhase, StepObserver};
     pub use crate::particle::{ForceResult, IParticle, ParticleSystem};
     pub use crate::shared_step::SharedHermite;

@@ -14,33 +14,66 @@
 
 use crate::chip::HwIParticle;
 use crate::format::{FixedPointFormat, Precision};
+use crate::lanes::{partial_to_force, GrapeLaneTile, SweepPartial};
 use crate::perf::HardwareClock;
 use crate::pipeline::PipelineRegisters;
-use crate::predictor::{predict_j, JParticle};
+use crate::predictor::{predict_j, JParticle, PredictedJ};
 use crate::timing::TimingModel;
 use grape6_core::engine::ForceEngine;
+use grape6_core::lanes::LaneWidth;
 use grape6_core::particle::{ForceResult, IParticle, Neighbor, ParticleSystem};
 use grape6_core::sweep::{chunked_jsweep, j_chunk_size, SMALL_BLOCK_MAX};
 use rayon::prelude::*;
 
-/// Partial pipeline state for one i-particle over one j-chunk. The
-/// fixed-point accumulators merge exactly associatively (the hardware
-/// reduction-tree property), so chunked partials read out bit-identically
-/// to one flat sweep — for any chunking, on any thread count.
-#[derive(Debug, Clone, Copy, Default)]
-struct SweepPartial {
-    regs: PipelineRegisters,
-    nn: Option<Neighbor>,
+/// Sweep every predicted j-particle for up to `W` i-particles through one
+/// AoSoA lane tile (large-block path) and read the results out, including
+/// the host-side self-potential correction.
+// grape6-lint: hot
+fn sweep_group_lanes<const W: usize>(
+    fmt: &FixedPointFormat,
+    precision: Precision,
+    os: &mut [ForceResult],
+    ips: &[IParticle],
+    pred: &[PredictedJ],
+    jmem: &[JParticle],
+    eps2: f64,
+) {
+    let fresh = [SweepPartial::default(); W];
+    let mut tile = GrapeLaneTile::<W>::load(fmt, precision, ips, &fresh[..ips.len()]);
+    for (j, pj) in pred.iter().enumerate() {
+        tile.interact(fmt, precision, j, pj, eps2);
+    }
+    let mut parts = [SweepPartial::default(); W];
+    tile.store(&mut parts[..ips.len()]);
+    for ((o, p), ip) in os.iter_mut().zip(&parts).zip(ips) {
+        let m = (ip.index < jmem.len()).then(|| jmem[ip.index].mass);
+        *o = partial_to_force(p, m, eps2);
+    }
 }
 
-impl SweepPartial {
-    fn merge(&mut self, other: &Self) {
-        self.regs.merge(&other.regs);
-        if let Some(nb) = other.nn {
-            if self.nn.is_none_or(|t| nb.r2 < t.r2) {
-                self.nn = Some(nb);
-            }
+/// One j-chunk of the small-block sweep through the AoSoA lane kernel:
+/// groups of `W` i-particles share a tile, each group predicting the
+/// chunk's j-particles on the fly (prediction is a pure function of
+/// `(j, t)`, so re-evaluating it per group cannot change any bit).
+#[allow(clippy::too_many_arguments)]
+// grape6-lint: hot
+fn small_fill_lanes<const W: usize>(
+    fmt: &FixedPointFormat,
+    precision: Precision,
+    js: std::ops::Range<usize>,
+    row: &mut [SweepPartial],
+    ips: &[IParticle],
+    jmem: &[JParticle],
+    t: f64,
+    eps2: f64,
+) {
+    for (rs, is) in row.chunks_mut(W).zip(ips.chunks(W)) {
+        let mut tile = GrapeLaneTile::<W>::load(fmt, precision, is, rs);
+        for j in js.clone() {
+            let pj = predict_j(fmt, precision, &jmem[j], t);
+            tile.interact(fmt, precision, j, &pj, eps2);
         }
+        tile.store(rs);
     }
 }
 
@@ -56,6 +89,10 @@ pub struct Grape6Config {
     /// Refuse particle sets that exceed one node's j-memory (on by default;
     /// the real machine simply cannot run them).
     pub enforce_memory_limit: bool,
+    /// Lane width of the host-side pipeline emulation kernels (the virtual
+    /// multiple pipelines of §5.2). Bitwise-neutral: every width produces
+    /// identical output bits; only throughput changes.
+    pub lanes: LaneWidth,
 }
 
 impl Grape6Config {
@@ -66,6 +103,7 @@ impl Grape6Config {
             format: FixedPointFormat::default(),
             precision: Precision::grape6(),
             enforce_memory_limit: true,
+            lanes: LaneWidth::default(),
         }
     }
 
@@ -252,59 +290,16 @@ impl ForceEngine for Grape6Engine {
             // is bit-identical to the hardware's chip/board/NB tree.
             let pred = &self.pred;
             let jmem = &self.jmem;
-            out.par_iter_mut().zip(ips.par_iter()).for_each(|(o, ip)| {
-                let hw = HwIParticle::encode(&fmt, precision, ip.pos, ip.vel);
-                let mut regs = PipelineRegisters::new();
-                // The hardware also reports the nearest neighbour of each
-                // i-particle (used for collision/accretion detection).
-                let mut nn: Option<Neighbor> = None;
-                for (j, pj) in pred.iter().enumerate() {
-                    regs.accumulate(
-                        &fmt, precision, hw.qpos, pj.qpos, hw.vel, pj.vel, pj.mass, eps2,
-                    );
-                    if j != ip.index {
-                        let dx = fmt.decode_vec([
-                            pj.qpos[0].wrapping_sub(hw.qpos[0]),
-                            pj.qpos[1].wrapping_sub(hw.qpos[1]),
-                            pj.qpos[2].wrapping_sub(hw.qpos[2]),
-                        ]);
-                        let r2 = dx.norm2();
-                        if nn.is_none_or(|n| r2 < n.r2) {
-                            nn = Some(Neighbor { index: j, r2 });
-                        }
-                    }
-                }
-                let (acc, jerk, mut pot) = regs.read();
-                // The pipeline sums over *all* j including the particle
-                // itself; the self term contributes no force but −m/ε of
-                // potential, which the host removes (paper convention).
-                if ip.index < jmem.len() {
-                    pot += jmem[ip.index].mass / eps2.sqrt();
-                }
-                *o = ForceResult { acc, jerk, pot, nn };
-            });
-        } else {
-            // Small block: split j-space across the pool instead, prediction
-            // fused into each chunk (the chip predicts the j-particle right
-            // before feeding its pipelines). Exact fixed-point associativity
-            // makes the chunked merge bit-identical to the flat sweep above.
-            self.hws.clear();
-            self.hws
-                .extend(ips.iter().map(|ip| HwIParticle::encode(&fmt, precision, ip.pos, ip.vel)));
-            self.swept.clear();
-            self.swept.resize(ips.len(), SweepPartial::default());
-            let jmem = &self.jmem;
-            let hws = &self.hws;
-            chunked_jsweep(
-                n_j,
-                j_chunk_size(n_j),
-                &mut self.partials,
-                &mut self.swept,
-                |js, row| {
-                    for j in js {
-                        let pj = predict_j(&fmt, precision, &jmem[j], t);
-                        for (r, (hw, ip)) in row.iter_mut().zip(hws.iter().zip(ips)) {
-                            r.regs.accumulate(
+            match self.config.lanes {
+                LaneWidth::Scalar => {
+                    out.par_iter_mut().zip(ips.par_iter()).for_each(|(o, ip)| {
+                        let hw = HwIParticle::encode(&fmt, precision, ip.pos, ip.vel);
+                        let mut regs = PipelineRegisters::new();
+                        // The hardware also reports the nearest neighbour of
+                        // each i-particle (for collision/accretion detection).
+                        let mut nn: Option<Neighbor> = None;
+                        for (j, pj) in pred.iter().enumerate() {
+                            regs.accumulate(
                                 &fmt, precision, hw.qpos, pj.qpos, hw.vel, pj.vel, pj.mass, eps2,
                             );
                             if j != ip.index {
@@ -314,21 +309,98 @@ impl ForceEngine for Grape6Engine {
                                     pj.qpos[2].wrapping_sub(hw.qpos[2]),
                                 ]);
                                 let r2 = dx.norm2();
-                                if r.nn.is_none_or(|n| r2 < n.r2) {
-                                    r.nn = Some(Neighbor { index: j, r2 });
+                                if nn.is_none_or(|n| r2 < n.r2) {
+                                    nn = Some(Neighbor { index: j, r2 });
                                 }
                             }
                         }
-                    }
-                },
-                SweepPartial::merge,
-            );
-            for ((o, p), ip) in out.iter_mut().zip(&self.swept).zip(ips) {
-                let (acc, jerk, mut pot) = p.regs.read();
-                if ip.index < self.jmem.len() {
-                    pot += self.jmem[ip.index].mass / eps2.sqrt();
+                        let (acc, jerk, mut pot) = regs.read();
+                        // The pipeline sums over *all* j including the
+                        // particle itself; the self term contributes no force
+                        // but −m/ε of potential, which the host removes
+                        // (paper convention).
+                        if ip.index < jmem.len() {
+                            pot += jmem[ip.index].mass / eps2.sqrt();
+                        }
+                        *o = ForceResult { acc, jerk, pot, nn };
+                    });
                 }
-                *o = ForceResult { acc, jerk, pot, nn: p.nn };
+                LaneWidth::W4 => {
+                    out.par_chunks_mut(4).zip(ips.par_chunks(4)).for_each(|(os, is)| {
+                        sweep_group_lanes::<4>(&fmt, precision, os, is, pred, jmem, eps2)
+                    });
+                }
+                LaneWidth::W8 => {
+                    out.par_chunks_mut(8).zip(ips.par_chunks(8)).for_each(|(os, is)| {
+                        sweep_group_lanes::<8>(&fmt, precision, os, is, pred, jmem, eps2)
+                    });
+                }
+            }
+        } else {
+            // Small block: split j-space across the pool instead, prediction
+            // fused into each chunk (the chip predicts the j-particle right
+            // before feeding its pipelines). Exact fixed-point associativity
+            // makes the chunked merge bit-identical to the flat sweep above.
+            self.swept.clear();
+            self.swept.resize(ips.len(), SweepPartial::default());
+            let jmem = &self.jmem;
+            match self.config.lanes {
+                LaneWidth::Scalar => {
+                    self.hws.clear();
+                    self.hws.extend(
+                        ips.iter().map(|ip| HwIParticle::encode(&fmt, precision, ip.pos, ip.vel)),
+                    );
+                    let hws = &self.hws;
+                    chunked_jsweep(
+                        n_j,
+                        j_chunk_size(n_j),
+                        &mut self.partials,
+                        &mut self.swept,
+                        |js, row| {
+                            for j in js {
+                                let pj = predict_j(&fmt, precision, &jmem[j], t);
+                                for (r, (hw, ip)) in row.iter_mut().zip(hws.iter().zip(ips)) {
+                                    r.regs.accumulate(
+                                        &fmt, precision, hw.qpos, pj.qpos, hw.vel, pj.vel, pj.mass,
+                                        eps2,
+                                    );
+                                    if j != ip.index {
+                                        let dx = fmt.decode_vec([
+                                            pj.qpos[0].wrapping_sub(hw.qpos[0]),
+                                            pj.qpos[1].wrapping_sub(hw.qpos[1]),
+                                            pj.qpos[2].wrapping_sub(hw.qpos[2]),
+                                        ]);
+                                        let r2 = dx.norm2();
+                                        if r.nn.is_none_or(|n| r2 < n.r2) {
+                                            r.nn = Some(Neighbor { index: j, r2 });
+                                        }
+                                    }
+                                }
+                            }
+                        },
+                        SweepPartial::merge,
+                    );
+                }
+                LaneWidth::W4 => chunked_jsweep(
+                    n_j,
+                    j_chunk_size(n_j),
+                    &mut self.partials,
+                    &mut self.swept,
+                    |js, row| small_fill_lanes::<4>(&fmt, precision, js, row, ips, jmem, t, eps2),
+                    SweepPartial::merge,
+                ),
+                LaneWidth::W8 => chunked_jsweep(
+                    n_j,
+                    j_chunk_size(n_j),
+                    &mut self.partials,
+                    &mut self.swept,
+                    |js, row| small_fill_lanes::<8>(&fmt, precision, js, row, ips, jmem, t, eps2),
+                    SweepPartial::merge,
+                ),
+            }
+            for ((o, p), ip) in out.iter_mut().zip(&self.swept).zip(ips) {
+                let m = (ip.index < self.jmem.len()).then(|| self.jmem[ip.index].mass);
+                *o = partial_to_force(p, m, eps2);
             }
         }
     }
@@ -498,6 +570,39 @@ mod tests {
             assert_eq!(out[0].jerk, all[i].jerk, "particle {i}");
             assert_eq!(out[0].pot, all[i].pot, "particle {i}");
             assert_eq!(out[0].nn.map(|n| n.index), all[i].nn.map(|n| n.index));
+        }
+    }
+
+    #[test]
+    fn lane_widths_bit_identical_on_both_paths() {
+        // Scalar / W4 / W8 pipeline emulation must agree bit for bit on the
+        // small-block (j-parallel) and large-block (per-i) paths, including
+        // ragged blocks not divisible by either lane width.
+        let sys = ring_system(61);
+        let force = |lanes: LaneWidth, b: usize| {
+            let mut hw = Grape6Engine::new(Grape6Config { lanes, ..Grape6Config::sc2002() });
+            hw.load(&sys);
+            let idx: Vec<usize> = (0..b).collect();
+            let ips = ips_for(&sys, &idx);
+            let mut out = vec![ForceResult::default(); b];
+            hw.compute(0.0, &ips, &mut out);
+            out
+        };
+        for b in [1usize, 3, 7, 13, 16, 17, 21, 61] {
+            let reference = force(LaneWidth::Scalar, b);
+            for lanes in [LaneWidth::W4, LaneWidth::W8] {
+                let got = force(lanes, b);
+                for (k, (g, r)) in got.iter().zip(&reference).enumerate() {
+                    assert_eq!(g.acc, r.acc, "{lanes} b={b} k={k} acc");
+                    assert_eq!(g.jerk, r.jerk, "{lanes} b={b} k={k} jerk");
+                    assert_eq!(g.pot.to_bits(), r.pot.to_bits(), "{lanes} b={b} k={k} pot");
+                    assert_eq!(
+                        g.nn.map(|n| (n.index, n.r2.to_bits())),
+                        r.nn.map(|n| (n.index, n.r2.to_bits())),
+                        "{lanes} b={b} k={k} nn"
+                    );
+                }
+            }
         }
     }
 

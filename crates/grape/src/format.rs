@@ -48,6 +48,39 @@ pub fn round_vec(v: Vec3, bits: u32) -> Vec3 {
     Vec3::new(round_mantissa(v.x, bits), round_mantissa(v.y, bits), round_mantissa(v.z, bits))
 }
 
+/// Lane-parallel [`round_mantissa`]: round `W` values at once, bit-identical
+/// to the scalar routine in every lane.
+///
+/// The loop body is branch-free — the `bits ≥ 53` early-out is hoisted (it
+/// depends only on the format, not the data), and the scalar routine's
+/// zero/non-finite early-outs become per-lane selects of the *input* value
+/// (for `x = ±0.0` the untouched input preserves the sign bit; for
+/// NaN/infinity it preserves the payload, exactly as the scalar early
+/// return does). Everything else is integer mask/compare/add on the raw
+/// bit patterns, which the autovectorizer lowers to packed SIMD.
+#[inline]
+// grape6-lint: hot
+pub fn round_mantissa_lanes<const W: usize>(xs: [f64; W], bits: u32) -> [f64; W] {
+    if bits >= 53 {
+        return xs;
+    }
+    let shift = 53 - bits;
+    let mask = (1u64 << shift) - 1;
+    let half = 1u64 << (shift - 1);
+    let mut out = [0.0f64; W];
+    for k in 0..W {
+        let x = xs[k];
+        let b = x.to_bits();
+        let frac = b & mask;
+        let mut base = b & !mask;
+        // Round to nearest, ties to even — same predicate as the scalar path.
+        let up = frac > half || (frac == half && (base >> shift) & 1 == 1);
+        base = if up { base.wrapping_add(1u64 << shift) } else { base };
+        out[k] = if x == 0.0 || !x.is_finite() { x } else { f64::from_bits(base) };
+    }
+    out
+}
+
 /// Documented half-ulp *relative* error bound of [`round_mantissa`]:
 /// for every finite `x`, `|round_mantissa(x, bits) − x| ≤ rel_half_ulp(bits)·|x|`.
 ///

@@ -1,0 +1,394 @@
+//! AoSoA lane tiles for the simulated GRAPE-6 force pipelines.
+//!
+//! The real chip feeds one j-particle to eight *virtual multiple pipelines*
+//! per physical pipeline (paper §5.2); [`GrapeLaneTile`] is the software
+//! analogue: `W` i-particle register sets in structure-of-arrays lanes,
+//! one broadcast j-particle per [`GrapeLaneTile::interact`] call. Every
+//! pipeline stage runs as a fixed-width array operation — exact fixed-point
+//! subtraction, decode, then [`round_mantissa_lanes`] after each arithmetic
+//! stage — so the autovectorizer can emit packed SIMD while each lane
+//! computes *exactly* the scalar [`crate::pipeline::pipeline_interaction`]
+//! expression tree. The wide fixed-point accumulators stay scalar per lane
+//! (`i128` adds are exactly associative, so they never limit bit equality).
+//!
+//! Determinism: lanes span i-particles only, the j-stream is never split or
+//! reordered, and every stage is either exact integer arithmetic or a
+//! correctly-rounded IEEE f64 operation followed by the same rounding step
+//! the scalar path applies. Lane width therefore cannot change any output
+//! bit — the contract pinned by the conformance runner's `lanes/*` checks.
+//!
+//! Ragged tails follow the core remainder-lane rule: the tile is padded by
+//! replicating lane 0 (position, velocity and self-index); padding lanes run
+//! real arithmetic whose results are never stored.
+
+use crate::format::{round_mantissa_lanes, FixedPointFormat, Precision};
+use crate::pipeline::PipelineRegisters;
+use crate::predictor::PredictedJ;
+use grape6_core::particle::{ForceResult, IParticle, Neighbor};
+use grape6_core::vec3::Vec3;
+
+/// Partial pipeline state for one i-particle over one j-chunk. The
+/// fixed-point accumulators merge exactly associatively (the hardware
+/// reduction-tree property), so chunked partials read out bit-identically
+/// to one flat sweep — for any chunking, on any thread count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepPartial {
+    /// Accumulated pipeline output registers.
+    pub regs: PipelineRegisters,
+    /// Running nearest-neighbour candidate.
+    pub nn: Option<Neighbor>,
+}
+
+impl SweepPartial {
+    /// Hardware reduction-tree merge (ascending chunk order keeps the
+    /// first-minimum nearest-neighbour tie-break deterministic).
+    pub fn merge(&mut self, other: &Self) {
+        self.regs.merge(&other.regs);
+        if let Some(nb) = other.nn {
+            if self.nn.is_none_or(|t| nb.r2 < t.r2) {
+                self.nn = Some(nb);
+            }
+        }
+    }
+}
+
+/// Sentinel for "no neighbour seen yet" in the lane registers.
+const NONE: u64 = u64::MAX;
+
+/// `W` virtual-pipeline register sets in structure-of-arrays lanes.
+#[derive(Debug, Clone)]
+pub struct GrapeLaneTile<const W: usize> {
+    /// Fixed-point i-positions (lanes).
+    qx: [i64; W],
+    qy: [i64; W],
+    qz: [i64; W],
+    /// Pipeline-word i-velocities (lanes).
+    vx: [f64; W],
+    vy: [f64; W],
+    vz: [f64; W],
+    /// j-index excluded from the nearest-neighbour search per lane (the
+    /// force sum runs unmasked over all j, exactly like the hardware).
+    skip: [u64; W],
+    /// Wide fixed-point accumulators, one register set per lane.
+    regs: [PipelineRegisters; W],
+    /// Nearest-neighbour r² (valid only when `nn_j != NONE`).
+    nn_r2: [f64; W],
+    /// Nearest-neighbour j-index, [`NONE`] until the first candidate.
+    nn_j: [u64; W],
+}
+
+impl<const W: usize> GrapeLaneTile<W> {
+    /// Encode up to `W` i-particles into a tile, seeding accumulators and
+    /// neighbour registers from `prior` (zeroed partials for a fresh sweep).
+    /// Ragged tails are padded by replicating lane 0.
+    pub fn load(
+        fmt: &FixedPointFormat,
+        precision: Precision,
+        ips: &[IParticle],
+        prior: &[SweepPartial],
+    ) -> Self {
+        assert!(!ips.is_empty() && ips.len() <= W);
+        assert_eq!(ips.len(), prior.len());
+        let mut t = Self {
+            qx: [0; W],
+            qy: [0; W],
+            qz: [0; W],
+            vx: [0.0; W],
+            vy: [0.0; W],
+            vz: [0.0; W],
+            skip: [NONE; W],
+            regs: [PipelineRegisters::new(); W],
+            nn_r2: [f64::INFINITY; W],
+            nn_j: [NONE; W],
+        };
+        for k in 0..W {
+            let (ip, p) = if k < ips.len() { (&ips[k], &prior[k]) } else { (&ips[0], &prior[0]) };
+            let hw = crate::chip::HwIParticle::encode(fmt, precision, ip.pos, ip.vel);
+            t.qx[k] = hw.qpos[0];
+            t.qy[k] = hw.qpos[1];
+            t.qz[k] = hw.qpos[2];
+            t.vx[k] = hw.vel.x;
+            t.vy[k] = hw.vel.y;
+            t.vz[k] = hw.vel.z;
+            t.skip[k] = ip.index as u64;
+            t.regs[k] = p.regs;
+            if let Some(nb) = p.nn {
+                t.nn_r2[k] = nb.r2;
+                t.nn_j[k] = nb.index as u64;
+            }
+        }
+        t
+    }
+
+    /// Feed one predicted j-particle through all `W` lanes: the pipeline
+    /// stages of [`crate::pipeline::pipeline_interaction`] as fixed-width
+    /// array arithmetic, each stage rounded by [`round_mantissa_lanes`].
+    ///
+    /// The force accumulates *unmasked* over every j, the own slot included
+    /// (its self term contributes no force but −m/ε of potential, removed by
+    /// the host at readout) — exactly the hardware convention the scalar
+    /// path follows. Only the nearest-neighbour search masks the own slot,
+    /// using the **unrounded** fixed-point difference like the scalar path.
+    #[inline(always)]
+    // grape6-lint: hot
+    pub fn interact(
+        &mut self,
+        fmt: &FixedPointFormat,
+        precision: Precision,
+        j: usize,
+        pj: &PredictedJ,
+        eps2: f64,
+    ) {
+        let bits = precision.mantissa_bits();
+        let res = fmt.resolution();
+        let j64 = j as u64;
+
+        // Stage 1: exact fixed-point subtraction, decode to f64 (unrounded).
+        let mut dxu = [0.0f64; W];
+        let mut dyu = [0.0f64; W];
+        let mut dzu = [0.0f64; W];
+        for k in 0..W {
+            dxu[k] = pj.qpos[0].wrapping_sub(self.qx[k]) as f64 * res;
+            dyu[k] = pj.qpos[1].wrapping_sub(self.qy[k]) as f64 * res;
+            dzu[k] = pj.qpos[2].wrapping_sub(self.qz[k]) as f64 * res;
+        }
+
+        // Nearest neighbour uses the unrounded difference (same association
+        // order as Vec3::norm2) and masks the own slot.
+        for k in 0..W {
+            let r2u = dxu[k] * dxu[k] + dyu[k] * dyu[k] + dzu[k] * dzu[k];
+            let take = (self.skip[k] != j64) & ((self.nn_j[k] == NONE) | (r2u < self.nn_r2[k]));
+            self.nn_r2[k] = if take { r2u } else { self.nn_r2[k] };
+            self.nn_j[k] = if take { j64 } else { self.nn_j[k] };
+        }
+
+        // Stage 2: conversion to the short pipeline word.
+        let dx = round_mantissa_lanes(dxu, bits);
+        let dy = round_mantissa_lanes(dyu, bits);
+        let dz = round_mantissa_lanes(dzu, bits);
+        let mut dvx = [0.0f64; W];
+        let mut dvy = [0.0f64; W];
+        let mut dvz = [0.0f64; W];
+        for k in 0..W {
+            dvx[k] = pj.vel.x - self.vx[k];
+            dvy[k] = pj.vel.y - self.vy[k];
+            dvz[k] = pj.vel.z - self.vz[k];
+        }
+        let dvx = round_mantissa_lanes(dvx, bits);
+        let dvy = round_mantissa_lanes(dvy, bits);
+        let dvz = round_mantissa_lanes(dvz, bits);
+
+        // Stage 3: the arithmetic pipeline, one rounding per stage.
+        let mut r2 = [0.0f64; W];
+        for k in 0..W {
+            r2[k] = dx[k] * dx[k] + dy[k] * dy[k] + dz[k] * dz[k] + eps2;
+        }
+        let r2 = round_mantissa_lanes(r2, bits);
+        let mut rinv = [0.0f64; W];
+        for k in 0..W {
+            rinv[k] = 1.0 / r2[k].sqrt();
+        }
+        let rinv = round_mantissa_lanes(rinv, bits);
+        let mut rinv2 = [0.0f64; W];
+        for k in 0..W {
+            rinv2[k] = rinv[k] * rinv[k];
+        }
+        let rinv2 = round_mantissa_lanes(rinv2, bits);
+        let mut r3 = [0.0f64; W];
+        for k in 0..W {
+            r3[k] = rinv2[k] * rinv[k];
+        }
+        let r3 = round_mantissa_lanes(r3, bits);
+        let mut mr3inv = [0.0f64; W];
+        for k in 0..W {
+            mr3inv[k] = pj.mass * r3[k];
+        }
+        let mr3inv = round_mantissa_lanes(mr3inv, bits);
+        let mut rv = [0.0f64; W];
+        for k in 0..W {
+            rv[k] = dx[k] * dvx[k] + dy[k] * dvy[k] + dz[k] * dvz[k];
+        }
+        let rv = round_mantissa_lanes(rv, bits);
+        let mut alpha = [0.0f64; W];
+        for k in 0..W {
+            alpha[k] = 3.0 * rv[k] * rinv2[k];
+        }
+        let alpha = round_mantissa_lanes(alpha, bits);
+        let mut ax = [0.0f64; W];
+        let mut ay = [0.0f64; W];
+        let mut az = [0.0f64; W];
+        for k in 0..W {
+            ax[k] = dx[k] * mr3inv[k];
+            ay[k] = dy[k] * mr3inv[k];
+            az[k] = dz[k] * mr3inv[k];
+        }
+        let ax = round_mantissa_lanes(ax, bits);
+        let ay = round_mantissa_lanes(ay, bits);
+        let az = round_mantissa_lanes(az, bits);
+        let mut jx = [0.0f64; W];
+        let mut jy = [0.0f64; W];
+        let mut jz = [0.0f64; W];
+        for k in 0..W {
+            jx[k] = (dvx[k] - dx[k] * alpha[k]) * mr3inv[k];
+            jy[k] = (dvy[k] - dy[k] * alpha[k]) * mr3inv[k];
+            jz[k] = (dvz[k] - dz[k] * alpha[k]) * mr3inv[k];
+        }
+        let jx = round_mantissa_lanes(jx, bits);
+        let jy = round_mantissa_lanes(jy, bits);
+        let jz = round_mantissa_lanes(jz, bits);
+        let mut pot = [0.0f64; W];
+        for k in 0..W {
+            pot[k] = -pj.mass * rinv[k];
+        }
+        let pot = round_mantissa_lanes(pot, bits);
+
+        // Stage 4: wide fixed-point accumulation (exact, scalar per lane).
+        for k in 0..W {
+            self.regs[k].acc.add(Vec3::new(ax[k], ay[k], az[k]));
+            self.regs[k].jerk.add(Vec3::new(jx[k], jy[k], jz[k]));
+            self.regs[k].pot.add(pot[k]);
+            self.regs[k].count += 1;
+        }
+    }
+
+    /// Write the first `out.len()` lanes back as partials (padding dropped).
+    pub fn store(&self, out: &mut [SweepPartial]) {
+        debug_assert!(out.len() <= W);
+        for (k, o) in out.iter_mut().enumerate() {
+            o.regs = self.regs[k];
+            o.nn = if self.nn_j[k] == NONE {
+                None
+            } else {
+                Some(Neighbor { index: self.nn_j[k] as usize, r2: self.nn_r2[k] })
+            };
+        }
+    }
+}
+
+/// Read a swept partial out as a [`ForceResult`], applying the host-side
+/// self-potential correction (the pipeline sums over *all* j including the
+/// particle itself, which contributes −m/ε of potential and nothing else).
+pub fn partial_to_force(p: &SweepPartial, self_mass: Option<f64>, eps2: f64) -> ForceResult {
+    let (acc, jerk, mut pot) = p.regs.read();
+    if let Some(m) = self_mass {
+        pot += m / eps2.sqrt();
+    }
+    ForceResult { acc, jerk, pot, nn: p.nn }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::HwIParticle;
+    use crate::pipeline::PipelineRegisters;
+    use crate::predictor::{predict_j, JParticle};
+
+    fn jmem(fmt: &FixedPointFormat, precision: Precision, n: usize) -> Vec<JParticle> {
+        let mut seed = 31u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n)
+            .map(|_| {
+                JParticle::encode(
+                    fmt,
+                    precision,
+                    Vec3::new(rng() * 30.0, rng() * 30.0, rng()),
+                    Vec3::new(rng(), rng(), rng()),
+                    Vec3::new(rng(), rng(), rng()) * 1e-3,
+                    Vec3::new(rng(), rng(), rng()) * 1e-5,
+                    1e-9 * (1.0 + rng().abs()),
+                    0.0,
+                )
+            })
+            .collect()
+    }
+
+    fn scalar_reference(
+        fmt: &FixedPointFormat,
+        precision: Precision,
+        ip: &IParticle,
+        pred: &[PredictedJ],
+        eps2: f64,
+    ) -> SweepPartial {
+        let hw = HwIParticle::encode(fmt, precision, ip.pos, ip.vel);
+        let mut regs = PipelineRegisters::new();
+        let mut nn: Option<Neighbor> = None;
+        for (j, pj) in pred.iter().enumerate() {
+            regs.accumulate(fmt, precision, hw.qpos, pj.qpos, hw.vel, pj.vel, pj.mass, eps2);
+            if j != ip.index {
+                let dx = fmt.decode_vec([
+                    pj.qpos[0].wrapping_sub(hw.qpos[0]),
+                    pj.qpos[1].wrapping_sub(hw.qpos[1]),
+                    pj.qpos[2].wrapping_sub(hw.qpos[2]),
+                ]);
+                let r2 = dx.norm2();
+                if nn.is_none_or(|n| r2 < n.r2) {
+                    nn = Some(Neighbor { index: j, r2 });
+                }
+            }
+        }
+        SweepPartial { regs, nn }
+    }
+
+    fn assert_tile_matches_scalar<const W: usize>(precision: Precision, b: usize) {
+        let fmt = FixedPointFormat::default();
+        let mem = jmem(&fmt, precision, 41);
+        let pred: Vec<PredictedJ> =
+            mem.iter().map(|j| predict_j(&fmt, precision, j, 0.125)).collect();
+        let eps2 = 0.008 * 0.008;
+        let ips: Vec<IParticle> = (0..b)
+            .map(|i| IParticle { index: i, pos: fmt.decode_vec(mem[i].qpos), vel: mem[i].vel })
+            .collect();
+        let mut out = vec![SweepPartial::default(); b];
+        // Two j-segments to exercise the accumulator reload between tiles.
+        let mut tile = GrapeLaneTile::<W>::load(&fmt, precision, &ips, &out);
+        for (j, pj) in pred.iter().enumerate().take(23) {
+            tile.interact(&fmt, precision, j, pj, eps2);
+        }
+        tile.store(&mut out);
+        let mut tile = GrapeLaneTile::<W>::load(&fmt, precision, &ips, &out);
+        for (j, pj) in pred.iter().enumerate().skip(23) {
+            tile.interact(&fmt, precision, j, pj, eps2);
+        }
+        tile.store(&mut out);
+        for (k, ip) in ips.iter().enumerate() {
+            let want = scalar_reference(&fmt, precision, ip, &pred, eps2);
+            let (ga, gj, gp) = out[k].regs.read();
+            let (wa, wj, wp) = want.regs.read();
+            assert_eq!(ga, wa, "W={W} b={b} lane {k} acc");
+            assert_eq!(gj, wj, "W={W} b={b} lane {k} jerk");
+            assert_eq!(gp.to_bits(), wp.to_bits(), "W={W} b={b} lane {k} pot");
+            assert_eq!(out[k].regs.count, want.regs.count);
+            assert_eq!(
+                out[k].nn.map(|n| (n.index, n.r2.to_bits())),
+                want.nn.map(|n| (n.index, n.r2.to_bits())),
+                "W={W} b={b} lane {k} nn"
+            );
+        }
+    }
+
+    #[test]
+    fn grape6_precision_tiles_match_scalar_bitwise() {
+        for b in [1usize, 3, 4, 5, 7, 8] {
+            assert_tile_matches_scalar::<4>(Precision::grape6(), b.min(4));
+            assert_tile_matches_scalar::<8>(Precision::grape6(), b);
+        }
+    }
+
+    #[test]
+    fn exact_precision_tiles_match_scalar_bitwise() {
+        for b in [1usize, 2, 4, 6, 8] {
+            assert_tile_matches_scalar::<8>(Precision::Exact, b);
+        }
+    }
+
+    #[test]
+    fn narrow_mantissa_tiles_match_scalar_bitwise() {
+        // An aggressively short word stresses the rounding step itself.
+        for b in [1usize, 3, 4] {
+            assert_tile_matches_scalar::<4>(Precision::Grape6 { mantissa_bits: 10 }, b);
+        }
+    }
+}

@@ -3,7 +3,8 @@
 use grape6_core::force::pair_force_jerk;
 use grape6_core::vec3::Vec3;
 use grape6_hw::format::{
-    round_mantissa, FixedAccumulator, FixedPointFormat, Precision, VecAccumulator,
+    round_mantissa, round_mantissa_lanes, FixedAccumulator, FixedPointFormat, Precision,
+    VecAccumulator,
 };
 use grape6_hw::pipeline::{pipeline_interaction, PipelineRegisters};
 use grape6_hw::predictor::{predict_j, JParticle};
@@ -243,6 +244,59 @@ proptest! {
         prop_assert!((acc.to_f64() - x).abs() <= accum_quantum());
     }
 
+    // ---------- lane-parallel rounding vs the scalar reference ----------
+
+    #[test]
+    fn round_lanes_match_scalar_on_raw_bit_patterns(
+        raw in prop::collection::vec(0u64..u64::MAX, 8),
+        bits in 1u32..60,
+    ) {
+        // Arbitrary bit patterns cover every class at once: normals,
+        // subnormals, ±0, ±∞, and NaNs with arbitrary payloads. The lane
+        // kernel must reproduce the scalar routine bit for bit on all of
+        // them (including NaN payload and −0.0 sign preservation).
+        let mut xs = [0.0f64; 8];
+        for k in 0..8 {
+            xs[k] = f64::from_bits(raw[k]);
+        }
+        let w8 = round_mantissa_lanes::<8>(xs, bits);
+        for k in 0..8 {
+            let want = round_mantissa(xs[k], bits).to_bits();
+            prop_assert_eq!(
+                w8[k].to_bits(), want,
+                "W=8 lane {}: x = {:e} ({:#018x}), bits = {}", k, xs[k], raw[k], bits
+            );
+        }
+        let w4a = round_mantissa_lanes::<4>([xs[0], xs[1], xs[2], xs[3]], bits);
+        let w4b = round_mantissa_lanes::<4>([xs[4], xs[5], xs[6], xs[7]], bits);
+        for k in 0..4 {
+            prop_assert_eq!(w4a[k].to_bits(), round_mantissa(xs[k], bits).to_bits());
+            prop_assert_eq!(w4b[k].to_bits(), round_mantissa(xs[k + 4], bits).to_bits());
+        }
+    }
+
+    #[test]
+    fn round_lanes_match_scalar_on_subnormals(
+        raw in prop::collection::vec(0u64..u64::MAX, 4),
+        bits in 1u32..53,
+    ) {
+        // Force the biased exponent to zero: every lane is a subnormal (or
+        // ±0), the regime where the integer round-up can carry into the
+        // exponent field and promote to the smallest normal.
+        let mut xs = [0.0f64; 4];
+        for k in 0..4 {
+            xs[k] = f64::from_bits(raw[k] & 0x800F_FFFF_FFFF_FFFF);
+        }
+        let got = round_mantissa_lanes::<4>(xs, bits);
+        for k in 0..4 {
+            let want = round_mantissa(xs[k], bits).to_bits();
+            prop_assert_eq!(
+                got[k].to_bits(), want,
+                "subnormal lane {}: x = {:e}, bits = {}", k, xs[k], bits
+            );
+        }
+    }
+
     #[test]
     fn exact_precision_rounds_nothing(x in -1e15..1e15f64) {
         // `Precision::Exact` is mantissa_bits ≥ 53, where the oracle's
@@ -250,5 +304,51 @@ proptest! {
         // the identity.
         prop_assert_eq!(round_mantissa(x, Precision::Exact.mantissa_bits()), x);
         prop_assert_eq!(rel_half_ulp(Precision::Exact.mantissa_bits()), 2.0f64.powi(-53));
+    }
+}
+
+#[test]
+fn round_lanes_edge_cases_bit_exact() {
+    // The specific values the lane kernel's per-lane selects exist for:
+    // signed zeros (sign bit must survive), infinities and NaNs (payload
+    // must survive), subnormals at both ends, and exact round-to-even ties.
+    let edges: [f64; 8] = [
+        0.0,
+        -0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::from_bits(0x7FF8_0000_DEAD_BEEF), // NaN with a payload
+        5e-324,                                // smallest positive subnormal
+        -f64::MIN_POSITIVE,                    // largest-magnitude negative normal boundary
+        f64::MAX,
+    ];
+    for bits in [1u32, 8, 24, 45, 52, 53, 60] {
+        let got = round_mantissa_lanes::<8>(edges, bits);
+        for k in 0..8 {
+            assert_eq!(
+                got[k].to_bits(),
+                round_mantissa(edges[k], bits).to_bits(),
+                "edge lane {k}: x = {:e}, bits = {bits}",
+                edges[k]
+            );
+        }
+    }
+    // Exact ties: mantissa fraction exactly half an ulp of the short word,
+    // one with an even target mantissa (stays) and one odd (rounds up).
+    for bits in [8u32, 24, 52] {
+        let shift = 53 - bits;
+        let even = f64::from_bits((0x3FF0_0000_0000_0000u64) | (1u64 << (shift - 1)));
+        let odd =
+            f64::from_bits((0x3FF0_0000_0000_0000u64 | (1u64 << shift)) | (1u64 << (shift - 1)));
+        let ties = [even, odd, -even, -odd];
+        let got = round_mantissa_lanes::<4>(ties, bits);
+        for k in 0..4 {
+            assert_eq!(
+                got[k].to_bits(),
+                round_mantissa(ties[k], bits).to_bits(),
+                "tie lane {k}: x = {:e}, bits = {bits}",
+                ties[k]
+            );
+        }
     }
 }

@@ -44,6 +44,8 @@ fn fixture_corpus_yields_exact_diagnostics() {
         ("D003", "d003_thread.rs", 6),
         ("H001", "h001_hot.rs", 7),
         ("H001", "h001_hot.rs", 8),
+        ("H001", "h001_lanes.rs", 10),
+        ("H001", "h001_lanes.rs", 11),
         ("U001", "u001_unsafe.rs", 7),
         ("U002", "u002_missing_forbid/src/lib.rs", 1),
         ("D001", "waivers.rs", 3),
@@ -71,6 +73,21 @@ fn lint_toml_path_scoping_suppresses() {
     // scoped/skipped.rs has two HashMap uses; allow_paths = ["scoped"]
     // exempts the whole directory from D001.
     assert!(!got.iter().any(|(_, p, _)| p.starts_with("scoped/")));
+}
+
+#[test]
+fn h001_fires_on_heap_allocation_inside_a_lane_kernel() {
+    // The AoSoA force kernels (`crates/core/src/lanes.rs`,
+    // `crates/grape/src/lanes.rs`) are annotated `// grape6-lint: hot`; this
+    // fixture pins that a heap allocation smuggled into such a lane kernel
+    // is caught, and that the hot region ends at the kernel's closing brace.
+    let got = lint_fixtures();
+    let lanes: Vec<u32> = got
+        .iter()
+        .filter(|(r, p, _)| r == "H001" && p == "h001_lanes.rs")
+        .map(|(_, _, l)| *l)
+        .collect();
+    assert_eq!(lanes, vec![10, 11], "collect::<Vec> and vec![] inside the lane kernel");
 }
 
 #[test]

@@ -1,0 +1,22 @@
+// An AoSoA lane-tile kernel that heap-allocates per interaction: the exact
+// regression H001 exists to catch in the SIMD-blocked force path.
+struct LaneTile {
+    ax: [f64; 4],
+    pot: [f64; 4],
+}
+
+// grape6-lint: hot
+fn interact_lanes(tile: &mut LaneTile, mj: f64, rinv: [f64; 4]) {
+    let scratch = rinv.iter().map(|r| mj * r).collect::<Vec<f64>>();
+    let mask = vec![true; 4];
+    for k in 0..4 {
+        if mask[k] {
+            tile.ax[k] += scratch[k];
+            tile.pot[k] -= mj * rinv[k];
+        }
+    }
+}
+
+fn cold_setup() -> Vec<f64> {
+    vec![0.0; 4]
+}
