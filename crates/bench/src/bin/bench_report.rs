@@ -58,6 +58,45 @@ fn main() -> std::process::ExitCode {
         );
     }
 
+    println!("\nhost phase (zero-force disks, ns per block step):");
+    print_header(&["sched", "bodies", "schedule", "predict", "jupdate", "wall s"], 12);
+    for h in &report.host_phase {
+        print_row(
+            &[
+                h.scheduler.clone(),
+                h.n_bodies.to_string(),
+                fmt(h.schedule_ns_per_block),
+                fmt(h.predict_ns_per_block),
+                fmt(h.jupdate_ns_per_block),
+                fmt(h.wall_seconds),
+            ],
+            12,
+        );
+    }
+
+    // Host-scaling check (ROADMAP item 2): the tick scheduler at the
+    // largest N against the heap baseline at the old N = 514 cap —
+    // per-block Schedule+Predict host time must grow slower than N does.
+    let tick_big =
+        report.host_phase.iter().filter(|h| h.scheduler == "tick").max_by_key(|h| h.n_bodies);
+    let heap_small =
+        report.host_phase.iter().filter(|h| h.scheduler == "heap").min_by_key(|h| h.n_bodies);
+    if let (Some(t), Some(h)) = (tick_big, heap_small) {
+        if h.n_bodies < t.n_bodies {
+            let grow = (t.schedule_ns_per_block + t.predict_ns_per_block)
+                / (h.schedule_ns_per_block + h.predict_ns_per_block);
+            let nfac = t.n_bodies as f64 / h.n_bodies as f64;
+            println!(
+                "host scaling: schedule+predict {:.0}x per block step while N grew {:.0}x vs \
+                 the heap N={} baseline ({})",
+                grow,
+                nfac,
+                h.n_bodies,
+                if grow < nfac { "sublinear" } else { "SUPERLINEAR" }
+            );
+        }
+    }
+
     let c = &report.paper_check;
     println!(
         "\npaper check: peak {:.1} Tflops, sustained {:.1}–{:.1} Tflops \

@@ -1,0 +1,189 @@
+//! `large_n_smoke` — the paper-scale host-path smoke test (weekly CI cron).
+//!
+//! Builds the §6 headline disk (N = 1,799,998 planetesimals + 2
+//! protoplanets by default), initializes the block-timestep integrator,
+//! runs a few hundred block steps and writes one chunked G6CK v2
+//! checkpoint — all through the zero-force [`NullForceEngine`], so the
+//! run isolates exactly the O(N) host terms this harness guards: tick
+//! scheduling, block prediction, lazy j-update flushes and the streamed
+//! checkpoint writer. Logs RSS and per-phase wall times, and writes a
+//! JSON telemetry artifact for the CI upload.
+//!
+//! Usage: `large_n_smoke [--n 1799998] [--steps 200]
+//!         [--out large_n_smoke.json] [--checkpoint large_n_smoke.g6ck]`
+//!
+//! Exit status is nonzero if the run produces no work or the checkpoint
+//! cannot be written/reloaded.
+
+use grape6_bench::report::NullForceEngine;
+use grape6_bench::{arg_or, experiment_config, fmt, paper_disk, print_header, print_row};
+use grape6_core::blockstep::SchedulerKind;
+use grape6_core::energy::EnergyLedger;
+use grape6_core::integrator::BlockHermite;
+use grape6_sim::checkpoint::{checkpoint_now, load_checkpoint};
+use grape6_sim::stats::BlockSizeHistogram;
+use grape6_sim::{Simulation, Telemetry, TelemetryReport};
+use serde::Serialize;
+use std::path::Path;
+use std::time::Instant;
+
+/// The telemetry artifact the weekly cron uploads.
+#[derive(Debug, Serialize)]
+struct SmokeReport {
+    n_bodies: u64,
+    scheduler: &'static str,
+    block_steps: u64,
+    particle_steps: u64,
+    build_seconds: f64,
+    init_seconds: f64,
+    step_seconds: f64,
+    checkpoint_seconds: f64,
+    checkpoint_bytes: u64,
+    reload_seconds: f64,
+    rss_mib: f64,
+    peak_rss_mib: f64,
+    telemetry: TelemetryReport,
+}
+
+/// Current and peak resident set size in MiB, from `/proc/self/status`
+/// (0.0 when unavailable, e.g. off Linux).
+fn rss_mib() -> (f64, f64) {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return (0.0, 0.0);
+    };
+    let grab = |key: &str| {
+        status
+            .lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|kb| kb.parse::<f64>().ok())
+            .map_or(0.0, |kb| kb / 1024.0)
+    };
+    (grab("VmRSS:"), grab("VmHWM:"))
+}
+
+fn main() -> std::process::ExitCode {
+    let n: usize = arg_or("--n", 1_799_998);
+    let steps: u64 = arg_or("--steps", 200);
+    let out: String = arg_or("--out", "large_n_smoke.json".to_string());
+    let ckpt: String = arg_or("--checkpoint", "large_n_smoke.g6ck".to_string());
+
+    let t_build = Instant::now();
+    let sys = paper_disk(n, 20020616);
+    let n_bodies = sys.len() as u64;
+    let build_seconds = t_build.elapsed().as_secs_f64();
+    println!("disk: {n_bodies} bodies in {build_seconds:.1} s");
+
+    let kind = SchedulerKind::TickBucket;
+    let mut sim = Simulation {
+        sys,
+        integrator: BlockHermite::with_scheduler(experiment_config(), kind),
+        engine: NullForceEngine::default(),
+        // The pairwise energy reference is O(N²) — 1.6e12 pair sums at this
+        // N — and the smoke never reads it; open a zeroed ledger instead.
+        ledger: EnergyLedger { e0: 0.0, l0: 0.0 },
+        block_hist: BlockSizeHistogram::new(),
+        diagnostics: Vec::new(),
+        radius_model: None,
+        accretion_log: Default::default(),
+        encounter_log: None,
+        telemetry: Some(Telemetry::new()),
+    };
+
+    let t_init = Instant::now();
+    match &mut sim.telemetry {
+        Some(t) => sim.integrator.initialize_observed(&mut sim.sys, &mut sim.engine, t),
+        None => unreachable!("telemetry attached above"),
+    }
+    let init_seconds = t_init.elapsed().as_secs_f64();
+    println!("init: forces + schedule in {init_seconds:.1} s");
+
+    let t_steps = Instant::now();
+    for _ in 0..steps {
+        sim.step();
+    }
+    let step_seconds = t_steps.elapsed().as_secs_f64();
+    let stats = sim.stats();
+    println!(
+        "steps: {} block steps / {} particle steps in {step_seconds:.1} s \
+         ({:.1} ms per block step)",
+        stats.block_steps,
+        stats.particle_steps,
+        1e3 * step_seconds / stats.block_steps.max(1) as f64
+    );
+
+    let t_ckpt = Instant::now();
+    if let Err(e) = checkpoint_now(&mut sim, Path::new(&ckpt)) {
+        eprintln!("error: writing checkpoint {ckpt}: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    let checkpoint_seconds = t_ckpt.elapsed().as_secs_f64();
+    let checkpoint_bytes = std::fs::metadata(&ckpt).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "checkpoint: {:.1} MiB chunked G6CK v2 in {checkpoint_seconds:.1} s -> {ckpt}",
+        checkpoint_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // The artifact must round-trip: reload it and spot-check the header.
+    let t_reload = Instant::now();
+    let reloaded = match load_checkpoint(Path::new(&ckpt), NullForceEngine::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: reloading checkpoint {ckpt}: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let reload_seconds = t_reload.elapsed().as_secs_f64();
+    if reloaded.sys.len() as u64 != n_bodies || reloaded.sys.t.to_bits() != sim.sys.t.to_bits() {
+        eprintln!("error: reloaded checkpoint does not match the live run");
+        return std::process::ExitCode::FAILURE;
+    }
+    println!("reload: checkpoint resumes at t = {} in {reload_seconds:.1} s", reloaded.sys.t);
+    drop(reloaded);
+
+    let (rss, peak) = rss_mib();
+    let telemetry = sim.telemetry_report().expect("telemetry attached");
+    println!("\nper-phase host seconds:");
+    print_header(&["schedule", "predict", "force", "correct", "jupdate", "ckpt"], 11);
+    let p = &telemetry.phase_seconds;
+    print_row(
+        &[
+            fmt(p.schedule),
+            fmt(p.predict),
+            fmt(p.force),
+            fmt(p.correct),
+            fmt(p.j_update),
+            fmt(p.checkpoint),
+        ],
+        11,
+    );
+    println!("rss: {rss:.0} MiB (peak {peak:.0} MiB)");
+
+    if stats.block_steps == 0 || stats.particle_steps == 0 {
+        eprintln!("error: the smoke run did no work");
+        return std::process::ExitCode::FAILURE;
+    }
+
+    let report = SmokeReport {
+        n_bodies,
+        scheduler: kind.name(),
+        block_steps: stats.block_steps,
+        particle_steps: stats.particle_steps,
+        build_seconds,
+        init_seconds,
+        step_seconds,
+        checkpoint_seconds,
+        checkpoint_bytes,
+        reload_seconds,
+        rss_mib: rss,
+        peak_rss_mib: peak,
+        telemetry,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize smoke report");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("error: writing {out}: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    println!("report -> {out}");
+    std::process::ExitCode::SUCCESS
+}

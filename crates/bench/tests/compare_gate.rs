@@ -5,8 +5,8 @@
 #![forbid(unsafe_code)]
 
 use grape6_bench::report::{
-    run_kernel_microbench, run_thread_scaling, run_workload, BenchReport, EngineKind, PaperCheck,
-    WorkloadSpec, SCHEMA_VERSION,
+    run_host_phase_bench, run_kernel_microbench, run_thread_scaling, run_workload, BenchReport,
+    EngineKind, PaperCheck, WorkloadSpec, SCHEMA_VERSION,
 };
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -22,6 +22,7 @@ fn mini_report() -> BenchReport {
         workloads: vec![run_workload(&spec)],
         thread_scaling: vec![run_thread_scaling(&spec)],
         kernel_microbench: run_kernel_microbench(48, 32, 1),
+        host_phase: run_host_phase_bench(&[32], 8),
         paper_check: PaperCheck::sc2002(),
     }
 }

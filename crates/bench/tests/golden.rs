@@ -58,6 +58,7 @@ fn report_json_schema_is_stable() {
         workloads: vec![],
         thread_scaling: vec![],
         kernel_microbench: vec![],
+        host_phase: vec![],
         paper_check: PaperCheck::sc2002(),
     };
     let v = serde_json::to_value(&report).unwrap();
@@ -71,6 +72,7 @@ fn report_json_schema_is_stable() {
             "workloads",
             "thread_scaling",
             "kernel_microbench",
+            "host_phase",
             "paper_check"
         ]
     );

@@ -18,6 +18,7 @@ use crate::broken::BrokenEngine;
 use crate::metamorphic;
 use crate::oracle::{Oracle, Tolerances, SAFETY};
 use crate::scenario::Scenario;
+use grape6_core::blockstep::SchedulerKind;
 use grape6_core::engine::ForceEngine;
 use grape6_core::force::DirectEngine;
 use grape6_core::integrator::{BlockHermite, HermiteConfig};
@@ -65,6 +66,7 @@ pub const ALL_CHECKS: &[&str] = &[
     "lanes/traj-direct",
     "traj/ft-vs-grape6",
     "traj/threads-grape6",
+    "sched/tick-vs-heap",
 ];
 
 fn all_ips(sys: &ParticleSystem) -> Vec<IParticle> {
@@ -193,6 +195,19 @@ fn forces_blocked<E: ForceEngine>(
 fn run_trajectory<E: ForceEngine>(sc: &Scenario, engine: E) -> ParticleSystem {
     let cfg = HermiteConfig { dt_max: sc.dt_max, ..HermiteConfig::default() };
     let mut sim = Simulation::new(sc.sys.clone(), cfg, engine);
+    for _ in 0..sc.steps {
+        sim.step();
+    }
+    sim.sys
+}
+
+fn run_trajectory_sched<E: ForceEngine>(
+    sc: &Scenario,
+    engine: E,
+    scheduler: SchedulerKind,
+) -> ParticleSystem {
+    let cfg = HermiteConfig { dt_max: sc.dt_max, ..HermiteConfig::default() };
+    let mut sim = Simulation::new_ext(sc.sys.clone(), cfg, engine, scheduler, false);
     for _ in 0..sc.steps {
         sim.step();
     }
@@ -518,6 +533,19 @@ pub fn run_check(sc: &Scenario, check: &str) -> Option<String> {
             let one = rayon::with_num_threads(1, || run_trajectory(sc, grape6()));
             let four = rayon::with_num_threads(4, || run_trajectory(sc, grape6()));
             cmp_system_bits(&four, &one)
+        }
+        "sched/tick-vs-heap" => {
+            // Whole integrations: the tick-bucket scheduler must reproduce
+            // the heap reference's (time, block) sequence exactly, and hence
+            // the whole trajectory bit for bit — on both engine families.
+            let heap_d = run_trajectory_sched(sc, DirectEngine::new(), SchedulerKind::Heap);
+            let tick_d = run_trajectory_sched(sc, DirectEngine::new(), SchedulerKind::TickBucket);
+            if let Some(d) = cmp_system_bits(&tick_d, &heap_d) {
+                return Some(format!("direct: {d}"));
+            }
+            let heap_g = run_trajectory_sched(sc, grape6(), SchedulerKind::Heap);
+            let tick_g = run_trajectory_sched(sc, grape6(), SchedulerKind::TickBucket);
+            cmp_system_bits(&tick_g, &heap_g).map(|d| format!("grape6: {d}"))
         }
         "broken/dropped-pair" => {
             // Dev-only: an intentionally broken kernel that drops the last

@@ -32,14 +32,48 @@ pub fn quantize_dt(dt: f64, dt_min: f64, dt_max: f64) -> f64 {
     q.clamp(dt_min, dt_max)
 }
 
-/// True if time `t` is an integer multiple of `dt` (exact in binary floating
-/// point for power-of-two `dt` and `t` built from such steps).
+/// Decompose a finite non-zero float as `|x| = m · 2^e` with `m` odd.
+///
+/// This is the exact integer view of a binary float that tick arithmetic
+/// needs: `m` carries every significant bit, `e` the position of the lowest
+/// set bit. Subnormals decompose the same way (their implicit leading bit is
+/// zero, not one).
+#[inline]
+fn odd_mantissa_exp(x: f64) -> (u64, i64) {
+    debug_assert!(x.is_finite() && x != 0.0);
+    let bits = x.abs().to_bits();
+    let raw_exp = (bits >> 52) & 0x7ff;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (m, e) = if raw_exp == 0 {
+        (frac, -1074i64) // subnormal: no implicit bit
+    } else {
+        (frac | (1u64 << 52), raw_exp as i64 - 1075)
+    };
+    let tz = m.trailing_zeros();
+    (m >> tz, e + i64::from(tz))
+}
+
+/// True if time `t` is an integer multiple of `dt`, computed **exactly** via
+/// mantissa/exponent arithmetic.
+///
+/// The obvious `(t / dt).fract() == 0.0` is wrong once `t/dt ≥ 2^53`: every
+/// float of that magnitude is integer-valued, so the division rounds to an
+/// integer and `fract()` vanishes no matter what the true ratio was. With
+/// `dt_min = 2^-40` that magnitude is reached by `t ≥ 2^13` against a
+/// dt_min-scale divisor — inside the paper's integration span. Writing
+/// `t = mt · 2^et` and `dt = md · 2^ed` with odd `mt`, `md`, the ratio is an
+/// integer iff `md` divides `mt` and `et ≥ ed`; both tests are exact in u64.
 #[inline]
 pub fn is_commensurate(t: f64, dt: f64) -> bool {
-    if dt == 0.0 {
+    if dt == 0.0 || !t.is_finite() || !dt.is_finite() {
         return false;
     }
-    (t / dt).fract() == 0.0
+    if t == 0.0 {
+        return true;
+    }
+    let (mt, et) = odd_mantissa_exp(t);
+    let (md, ed) = odd_mantissa_exp(dt);
+    et >= ed && mt % md == 0
 }
 
 /// Given the step `dt_old` just completed at new time `t_new` and the desired
@@ -138,6 +172,362 @@ impl BlockScheduler {
         }
         out.sort_unstable();
         Some(t0.0)
+    }
+}
+
+/// One rung of the tick-bucket ring: all pending events whose tick shares
+/// this bucket's trailing-zero count. Under the commensurate power-of-two
+/// contract they all share a *single* tick (see [`TickScheduler`]), recorded
+/// here together with the f64 time exactly as it was pushed.
+#[derive(Debug, Clone, Default)]
+struct TickBucket {
+    tick: u64,
+    time: f64,
+    items: Vec<usize>,
+}
+
+/// Integer tick-bucket event queue — the O(block) replacement for the
+/// float-keyed [`BlockScheduler`] heap.
+///
+/// # Tick representation
+///
+/// Every particle time and step the integrator produces is a power-of-two
+/// multiple of `dt_min`, so each event time is represented exactly as a
+/// `u64` tick `t / dt_min` (a power-of-two division: exponent shift, no
+/// rounding). Events live in a ring of 64 buckets keyed by
+/// `trailing_zeros(tick)` — the event's rung in the block-step hierarchy.
+///
+/// # Why one bucket holds exactly one tick
+///
+/// A pending event of a particle with step `2^r` ticks sits at a tick that
+/// is a multiple of `2^r` (commensurability) inside the half-open window
+/// `(T, T + 2^r]`, where `T` is the last popped block tick — its owner was
+/// last corrected at or before `T` and is not yet due. Its bucket index
+/// `b = trailing_zeros(tick) ≥ r`, and a window of length `2^r ≤ 2^b`
+/// contains at most one multiple of `2^b`. Hence all events that land in
+/// bucket `b` share one tick, pushes are O(1), and [`Self::pop_block`] is a
+/// 64-bucket min-scan plus a drain of the winning bucket — no comparisons
+/// against float keys, no heap, O(block) amortized.
+///
+/// # Equivalence with the heap scheduler
+///
+/// For tick counts below 2^53 the map `t ↔ tick` is a strictly monotone
+/// bijection on multiples of `dt_min`, so the minimum tick is the minimum
+/// time, the popped set is exactly the heap's popped set, and both sort the
+/// block ascending — the emitted `(time, block)` sequence is identical, and
+/// therefore so is every downstream trajectory bit. The f64 time returned
+/// is the value the caller pushed, never a back-conversion.
+///
+/// Pushes that violate the contract (times that are not commensurate
+/// multiples of `dt_min`) spill into an overflow list that the pop scan
+/// also consults, so the queue degrades gracefully instead of reordering
+/// events; the integrator never exercises that path.
+#[derive(Debug, Clone)]
+pub struct TickScheduler {
+    /// 1 / dt_min — a power of two, so `t * inv_dt_min` is exact.
+    inv_dt_min: f64,
+    buckets: Vec<TickBucket>,
+    /// Bit `b` set ⇔ `buckets[b]` is non-empty.
+    occupied: u64,
+    /// Out-of-contract events: (tick, pushed time, index).
+    overflow: Vec<(u64, f64, usize)>,
+    /// Scratch bitmap over particle indices (bit `i` set ⇔ `i` is in the
+    /// block being drained): emitting set bits in word order yields the
+    /// ascending block without an O(b log b) sort. Always all-zero between
+    /// [`Self::pop_block`] calls.
+    block_bits: Vec<u64>,
+    /// Out-of-contract duplicate indices seen while draining one block
+    /// (a particle pushed twice at the same time); forces the sort
+    /// fallback so the emitted multiset still matches the heap's.
+    dup_scratch: Vec<usize>,
+    len: usize,
+}
+
+const TICK_BUCKETS: usize = 64;
+
+impl TickScheduler {
+    /// Empty scheduler for a schedule quantized to `dt_min` (must be a
+    /// positive power of two).
+    pub fn new(dt_min: f64) -> Self {
+        assert!(
+            dt_min > 0.0 && dt_min.is_finite() && odd_mantissa_exp(dt_min).0 == 1,
+            "dt_min = {dt_min} must be a positive power of two"
+        );
+        Self {
+            inv_dt_min: 1.0 / dt_min,
+            buckets: vec![TickBucket::default(); TICK_BUCKETS],
+            occupied: 0,
+            overflow: Vec::new(),
+            block_bits: Vec::new(),
+            dup_scratch: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Build from per-particle next-update times.
+    pub fn from_times(next_times: &[f64], dt_min: f64) -> Self {
+        let mut s = Self::new(dt_min);
+        for (i, &t) in next_times.iter().enumerate() {
+            s.push(i, t);
+        }
+        s
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn tick_of(&self, t: f64) -> u64 {
+        let ticks = t * self.inv_dt_min;
+        debug_assert!(
+            ticks >= 0.0 && ticks.fract() == 0.0,
+            "time {t} is not a non-negative multiple of dt_min"
+        );
+        ticks as u64 // saturating on overflow/NaN: deterministic
+    }
+
+    /// Schedule (or reschedule after an update) particle `i` at time `t`.
+    // grape6-lint: hot
+    pub fn push(&mut self, i: usize, t: f64) {
+        let tick = self.tick_of(t);
+        let b = (tick.trailing_zeros() as usize).min(TICK_BUCKETS - 1);
+        let bucket = &mut self.buckets[b];
+        if bucket.items.is_empty() {
+            bucket.tick = tick;
+            bucket.time = t;
+            bucket.items.push(i);
+            self.occupied |= 1 << b;
+        } else if bucket.tick == tick {
+            bucket.items.push(i);
+        } else {
+            // Out-of-contract push; spill rather than corrupt the bucket.
+            self.overflow.push((tick, t, i));
+        }
+        self.len += 1;
+    }
+
+    /// Minimum pending (tick, time) over buckets and overflow.
+    #[inline]
+    fn peek_min(&self) -> Option<(u64, f64)> {
+        let mut best: Option<(u64, f64)> = None;
+        let mut mask = self.occupied;
+        while mask != 0 {
+            let b = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let bucket = &self.buckets[b];
+            if best.is_none_or(|(t, _)| bucket.tick < t) {
+                best = Some((bucket.tick, bucket.time));
+            }
+        }
+        for &(tick, time, _) in &self.overflow {
+            if best.is_none_or(|(t, _)| tick < t) {
+                best = Some((tick, time));
+            }
+        }
+        best
+    }
+
+    /// The earliest pending update time.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.peek_min().map(|(_, t)| t)
+    }
+
+    /// Mark index `i` in the block bitmap. An already-set bit is an
+    /// out-of-contract duplicate (one particle pushed twice at one time);
+    /// it is parked in `dup_scratch` so [`Self::pop_block`] can fall back
+    /// to a sort and still emit the heap scheduler's exact multiset.
+    #[inline]
+    fn mark(&mut self, i: usize) {
+        let w = i >> 6;
+        if w >= self.block_bits.len() {
+            // Grows to max-seen-index/64 words once (16 KiB at N = 2^20),
+            // then never again — not a steady-state allocation.
+            self.block_bits.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (i & 63);
+        if self.block_bits[w] & bit != 0 {
+            self.dup_scratch.push(i);
+        } else {
+            self.block_bits[w] |= bit;
+        }
+    }
+
+    /// Pop the full block of particles due at the minimum time. Returns the
+    /// block time and the particle indices (ascending) — the same set, order
+    /// and f64 time the heap scheduler would produce. The caller must push
+    /// each popped particle back with its new next-update time.
+    ///
+    /// Ascending order comes from a scratch bitmap over particle indices,
+    /// emitted in word order: O(block + touched words), no comparison sort
+    /// — the sort the heap pays per pop is exactly the O(b log b) term this
+    /// scheduler removes from the large-N host budget.
+    // grape6-lint: hot
+    pub fn pop_block(&mut self, out: &mut Vec<usize>) -> Option<f64> {
+        out.clear();
+        let (tick0, t0) = self.peek_min()?;
+        let mut drained = 0usize;
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        // Under the contract exactly one bucket holds tick0; scanning all of
+        // them (plus overflow) keeps out-of-contract pushes heap-equivalent.
+        let mut mask = self.occupied;
+        while mask != 0 {
+            let b = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if self.buckets[b].tick != tick0 {
+                continue;
+            }
+            let mut items = std::mem::take(&mut self.buckets[b].items);
+            for &i in &items {
+                self.mark(i);
+                lo = lo.min(i >> 6);
+                hi = hi.max(i >> 6);
+            }
+            drained += items.len();
+            items.clear();
+            self.buckets[b].items = items; // hand the capacity back
+            self.occupied &= !(1 << b);
+        }
+        if !self.overflow.is_empty() {
+            let mut spill = std::mem::take(&mut self.overflow);
+            spill.retain(|&(tick, _, i)| {
+                if tick == tick0 {
+                    self.mark(i);
+                    lo = lo.min(i >> 6);
+                    hi = hi.max(i >> 6);
+                    drained += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.overflow = spill;
+        }
+        if lo <= hi {
+            for w in lo..=hi {
+                let mut word = self.block_bits[w];
+                self.block_bits[w] = 0;
+                while word != 0 {
+                    let b = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    out.push((w << 6) | b);
+                }
+            }
+        }
+        if !self.dup_scratch.is_empty() {
+            // Out-of-contract duplicates: sort the combined multiset so the
+            // emitted block still matches the heap scheduler bit for bit.
+            out.append(&mut self.dup_scratch);
+            out.sort_unstable();
+        }
+        self.len -= drained;
+        Some(t0)
+    }
+}
+
+/// Which event-queue implementation the integrator schedules blocks with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Integer tick buckets (default): O(block) pops, no float keys.
+    TickBucket,
+    /// The original `BinaryHeap<Reverse<(OrdF64, usize)>>` reference.
+    Heap,
+}
+
+impl SchedulerKind {
+    /// Stable lowercase name (CLI / bench / report vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::TickBucket => "tick",
+            Self::Heap => "heap",
+        }
+    }
+
+    /// Parse the vocabulary accepted on the command line.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "tick" | "tick-bucket" | "bucket" => Some(Self::TickBucket),
+            "heap" => Some(Self::Heap),
+            _ => None,
+        }
+    }
+}
+
+/// The integrator-facing event queue: either scheduler behind one API.
+///
+/// Both variants emit bitwise-identical `(time, block)` sequences on
+/// commensurate power-of-two schedules (see [`TickScheduler`]), so the
+/// choice can never change trajectory bits — a property pinned by the
+/// differential proptest below, `tests/scheduler_determinism.rs`, and the
+/// `sched/tick-vs-heap` conformance check.
+#[derive(Debug, Clone)]
+pub enum EventQueue {
+    /// Tick-bucket scheduler.
+    Tick(TickScheduler),
+    /// Binary-heap scheduler.
+    Heap(BlockScheduler),
+}
+
+impl EventQueue {
+    /// Empty queue of the given kind; `dt_min` is the tick quantum.
+    pub fn new(kind: SchedulerKind, dt_min: f64) -> Self {
+        match kind {
+            SchedulerKind::TickBucket => Self::Tick(TickScheduler::new(dt_min)),
+            SchedulerKind::Heap => Self::Heap(BlockScheduler::new()),
+        }
+    }
+
+    /// Which implementation this queue uses.
+    pub fn kind(&self) -> SchedulerKind {
+        match self {
+            Self::Tick(_) => SchedulerKind::TickBucket,
+            Self::Heap(_) => SchedulerKind::Heap,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Tick(s) => s.len(),
+            Self::Heap(s) => s.len(),
+        }
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule (or reschedule after an update) particle `i` at time `t`.
+    #[inline]
+    pub fn push(&mut self, i: usize, t: f64) {
+        match self {
+            Self::Tick(s) => s.push(i, t),
+            Self::Heap(s) => s.push(i, t),
+        }
+    }
+
+    /// The earliest pending update time.
+    pub fn peek_time(&self) -> Option<f64> {
+        match self {
+            Self::Tick(s) => s.peek_time(),
+            Self::Heap(s) => s.peek_time(),
+        }
+    }
+
+    /// Pop the block due at the minimum time (see [`TickScheduler::pop_block`]).
+    #[inline]
+    pub fn pop_block(&mut self, out: &mut Vec<usize>) -> Option<f64> {
+        match self {
+            Self::Tick(s) => s.pop_block(out),
+            Self::Heap(s) => s.pop_block(out),
+        }
     }
 }
 
@@ -269,6 +659,192 @@ mod tests {
         while let Some(t) = s.pop_block(&mut block) {
             assert!(t >= last);
             last = t;
+        }
+    }
+
+    #[test]
+    fn commensurability_exact_beyond_2_53_ratio() {
+        // Regression for the old `(t / dt).fract() == 0.0` implementation:
+        // every float ≥ 2^53 is integer-valued, so once the *ratio* reaches
+        // that magnitude the division rounds to an integer and fract()
+        // vanishes regardless of the true remainder. With dt built on the
+        // default dt_min = 2^-40 grid the bad regime starts at t ≈ 2^15.
+        let dt_min = 2.0f64.powi(-40);
+        // t/dt = 2^55/3 ≈ 1.2e16 ≥ 2^53 — NOT an integer multiple.
+        let t = 2.0f64.powi(15);
+        let dt = 3.0 * dt_min;
+        assert!((t / dt).fract() == 0.0, "ratio must be in the fract-blind regime");
+        assert!(!is_commensurate(t, dt), "2^55/3 is not an integer");
+        // Same magnitude, genuinely commensurate: multiples of dt_min stay true.
+        assert!(is_commensurate(t, dt_min));
+        // The finest representable grid point at this magnitude (2^15 + 2^-37)
+        // still resolves exactly against finer and coarser rungs.
+        let t_odd = t + 2.0f64.powi(-37);
+        assert!(t_odd > t, "grid point must be representable");
+        assert!(is_commensurate(t_odd, 2.0f64.powi(-37)));
+        assert!(!is_commensurate(t_odd, 2.0f64.powi(-36)));
+        // And the power-of-two ladder is exact at any magnitude.
+        assert!(is_commensurate(2.0f64.powi(30), dt_min));
+    }
+
+    #[test]
+    fn commensurability_degenerate_inputs() {
+        assert!(!is_commensurate(f64::INFINITY, 0.25));
+        assert!(!is_commensurate(f64::NAN, 0.25));
+        assert!(!is_commensurate(1.0, f64::NAN));
+        assert!(is_commensurate(0.0, 0.25));
+        assert!(is_commensurate(-0.75, 0.25));
+        assert!(!is_commensurate(-0.75, 0.5));
+    }
+
+    const DT_MIN: f64 = 0.015625; // 2^-6 keeps test schedules readable
+
+    #[test]
+    fn tick_scheduler_pops_whole_block() {
+        let mut s = TickScheduler::new(DT_MIN);
+        s.push(0, 1.0);
+        s.push(1, 0.5);
+        s.push(2, 0.5);
+        s.push(3, 2.0);
+        let mut block = Vec::new();
+        let t = s.pop_block(&mut block).unwrap();
+        assert_eq!(t, 0.5);
+        assert_eq!(block, vec![1, 2]);
+        let t = s.pop_block(&mut block).unwrap();
+        assert_eq!(t, 1.0);
+        assert_eq!(block, vec![0]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn tick_scheduler_empty_behaviour() {
+        let mut s = TickScheduler::new(DT_MIN);
+        assert!(s.is_empty());
+        assert_eq!(s.peek_time(), None);
+        let mut block = Vec::new();
+        assert_eq!(s.pop_block(&mut block), None);
+    }
+
+    #[test]
+    fn tick_scheduler_handles_time_zero() {
+        // tick 0 has 64 trailing zeros; the bucket index clamps to 63.
+        let mut s = TickScheduler::new(DT_MIN);
+        s.push(5, 0.0);
+        s.push(1, DT_MIN);
+        let mut block = Vec::new();
+        assert_eq!(s.pop_block(&mut block), Some(0.0));
+        assert_eq!(block, vec![5]);
+        assert_eq!(s.pop_block(&mut block), Some(DT_MIN));
+        assert_eq!(block, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn tick_scheduler_rejects_non_power_of_two_quantum() {
+        let _ = TickScheduler::new(0.3);
+    }
+
+    #[test]
+    fn tick_scheduler_block_is_ascending_from_any_push_order() {
+        // The bitmap emission must sort what arrives unsorted (pushes land
+        // in correction order, which is ascending per block step but
+        // arbitrary across the rung hierarchy).
+        let mut s = TickScheduler::new(DT_MIN);
+        for &i in &[9, 2, 40, 0, 77, 3, 64, 63] {
+            s.push(i, 0.5);
+        }
+        let mut block = Vec::new();
+        assert_eq!(s.pop_block(&mut block), Some(0.5));
+        assert_eq!(block, vec![0, 2, 3, 9, 40, 63, 64, 77]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn tick_scheduler_duplicate_pushes_match_heap_multiset() {
+        // Out-of-contract double push: both schedulers must emit the same
+        // sorted multiset (the tick scheduler falls back to a sort).
+        let mut heap = BlockScheduler::new();
+        let mut tick = TickScheduler::new(DT_MIN);
+        for &(i, t) in &[(4, 0.25), (1, 0.25), (4, 0.25), (7, 0.5)] {
+            heap.push(i, t);
+            tick.push(i, t);
+        }
+        let (mut bh, mut bt) = (Vec::new(), Vec::new());
+        assert_eq!(heap.pop_block(&mut bh), tick.pop_block(&mut bt));
+        assert_eq!(bh, vec![1, 4, 4]);
+        assert_eq!(bh, bt);
+        assert_eq!(heap.len(), tick.len());
+    }
+
+    /// Drive both schedulers through the same schedule and demand identical
+    /// (time-bits, block) sequences.
+    fn assert_schedulers_agree(times: &[f64], dt_min: f64, rounds: usize) {
+        let mut heap = BlockScheduler::from_times(times);
+        let mut tick = TickScheduler::from_times(times, dt_min);
+        let (mut bh, mut bt) = (Vec::new(), Vec::new());
+        for round in 0..rounds {
+            assert_eq!(heap.len(), tick.len(), "round {round}");
+            assert_eq!(
+                heap.peek_time().map(f64::to_bits),
+                tick.peek_time().map(f64::to_bits),
+                "round {round} peek"
+            );
+            let (th, tt) = (heap.pop_block(&mut bh), tick.pop_block(&mut bt));
+            assert_eq!(th.map(f64::to_bits), tt.map(f64::to_bits), "round {round} time");
+            assert_eq!(bh, bt, "round {round} block");
+            let Some(t) = th else { break };
+            // Re-push each popped particle with a power-of-two step that is
+            // commensurate with the block time (the integrator's contract).
+            for &i in &bh {
+                let mut step = dt_min * 2.0f64.powi((i % 5) as i32);
+                while !is_commensurate(t, step) {
+                    step *= 0.5;
+                }
+                heap.push(i, t + step);
+                tick.push(i, t + step);
+            }
+        }
+    }
+
+    #[test]
+    fn tick_and_heap_emit_identical_sequences() {
+        let dt_min = 2.0f64.powi(-10);
+        let times: Vec<f64> = (0..37).map(|i| dt_min * 2.0f64.powi(i % 6)).collect();
+        assert_schedulers_agree(&times, dt_min, 500);
+    }
+
+    #[test]
+    fn tick_and_heap_agree_far_from_t_zero() {
+        // Resume-style start: events clustered just above a large base time.
+        let dt_min = 2.0f64.powi(-40);
+        let base = 12.0f64;
+        let times: Vec<f64> = (0..24).map(|i| base + dt_min * 2.0f64.powi(i % 8)).collect();
+        assert_schedulers_agree(&times, dt_min, 300);
+    }
+
+    mod sched_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// Differential proptest over random power-of-two schedules: the
+            /// tick-bucket and heap schedulers must emit identical
+            /// (time, block) sequences, bit for bit.
+            #[test]
+            fn tick_matches_heap_on_random_pow2_schedules(
+                exps in proptest::collection::vec(0u32..12, 1..40),
+                base_exp in 0u32..20,
+                rounds in 1usize..200,
+            ) {
+                let dt_min = 2.0f64.powi(-12);
+                let base = dt_min * 2.0f64.powi(base_exp as i32);
+                let times: Vec<f64> = exps
+                    .iter()
+                    .map(|&e| base + dt_min * 2.0f64.powi(e as i32))
+                    .collect();
+                assert_schedulers_agree(&times, dt_min, rounds);
+            }
         }
     }
 }

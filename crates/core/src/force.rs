@@ -258,6 +258,11 @@ pub fn accumulate_with_nn(
     ForceResult { acc, jerk, pot, nn }
 }
 
+/// j-particles per parallel chunk of the full-system prediction sweep.
+/// Large enough to amortize work-item scheduling at paper-scale N, small
+/// enough that a handful of chunks still load-balance a small host.
+const PREDICT_CHUNK: usize = 4096;
+
 /// CPU reference force engine: direct summation over a mirrored j-particle
 /// store with on-the-fly Hermite prediction — the software equivalent of the
 /// GRAPE memory unit + predictor pipeline + force pipelines.
@@ -270,7 +275,8 @@ pub struct DirectEngine {
     jjerk: Vec<Vec3>,
     jmass: Vec<f64>,
     jtime: Vec<f64>,
-    /// Predicted j state, refreshed by each `compute` call.
+    /// Predicted j state: persistent scratch sized by `load`, refreshed in
+    /// place by `predict_all` on each large-block `compute` call.
     ppos: Vec<Vec3>,
     pvel: Vec<Vec3>,
     /// Per-chunk partial rows of the small-block sweep (capacity reused).
@@ -308,21 +314,37 @@ impl DirectEngine {
         self.jpos.len()
     }
 
+    /// Refresh the persistent prediction scratch (`ppos`/`pvel`, sized once
+    /// by `load`) to time `t`. Position and velocity are fused in one pass
+    /// per j-particle, and the sweep runs in fixed-size chunks rather than
+    /// per-element work items — at paper-scale N this is the dominant O(N)
+    /// host cost of a large block, so it must neither allocate nor resize.
+    /// Chunking is bitwise-neutral: each prediction is a pure function of
+    /// `(j, t)`.
     // grape6-lint: hot
     fn predict_all(&mut self, t: f64) {
         let n = self.jpos.len();
-        self.ppos.resize(n, Vec3::zero());
-        self.pvel.resize(n, Vec3::zero());
+        debug_assert_eq!(self.ppos.len(), n, "prediction scratch is sized by load()");
+        debug_assert_eq!(self.pvel.len(), n, "prediction scratch is sized by load()");
         let (jpos, jvel, jacc, jjerk, jtime) =
             (&self.jpos, &self.jvel, &self.jacc, &self.jjerk, &self.jtime);
-        self.ppos.par_iter_mut().zip(self.pvel.par_iter_mut()).enumerate().for_each(
-            |(j, (pp, pv))| {
-                let dt = t - jtime[j];
-                let dt2 = dt * dt;
-                *pp = jpos[j] + jvel[j] * dt + jacc[j] * (dt2 / 2.0) + jjerk[j] * (dt2 * dt / 6.0);
-                *pv = jvel[j] + jacc[j] * dt + jjerk[j] * (dt2 / 2.0);
-            },
-        );
+        self.ppos
+            .par_chunks_mut(PREDICT_CHUNK)
+            .zip(self.pvel.par_chunks_mut(PREDICT_CHUNK))
+            .enumerate()
+            .for_each(|(c, (pps, pvs))| {
+                let base = c * PREDICT_CHUNK;
+                for (k, (pp, pv)) in pps.iter_mut().zip(pvs).enumerate() {
+                    let j = base + k;
+                    let dt = t - jtime[j];
+                    let dt2 = dt * dt;
+                    *pp = jpos[j]
+                        + jvel[j] * dt
+                        + jacc[j] * (dt2 / 2.0)
+                        + jjerk[j] * (dt2 * dt / 6.0);
+                    *pv = jvel[j] + jacc[j] * dt + jjerk[j] * (dt2 / 2.0);
+                }
+            });
     }
 }
 
@@ -334,6 +356,11 @@ impl crate::engine::ForceEngine for DirectEngine {
         self.jjerk = sys.jerk.clone();
         self.jmass = sys.mass.clone();
         self.jtime = sys.time.clone();
+        // Size the persistent prediction scratch once here so the per-block
+        // `predict_all` sweep never touches the allocator (capacity is
+        // retained across reloads).
+        self.ppos.resize(sys.len(), Vec3::zero());
+        self.pvel.resize(sys.len(), Vec3::zero());
         self.eps2 = sys.softening * sys.softening;
     }
 

@@ -8,7 +8,7 @@
 //! the quantized Aarseth timestep, and (6) writes the corrected particles
 //! back to the engine's j-memory.
 
-use crate::blockstep::{next_block_dt, quantize_dt, BlockScheduler};
+use crate::blockstep::{next_block_dt, quantize_dt, EventQueue, SchedulerKind};
 use crate::central::central_acc_jerk;
 use crate::engine::ForceEngine;
 use crate::hermite::{aarseth_dt, correct, initial_dt};
@@ -101,26 +101,45 @@ impl RunStats {
 pub struct BlockHermite {
     /// Accuracy configuration.
     pub config: HermiteConfig,
-    scheduler: BlockScheduler,
+    scheduler: EventQueue,
     stats: RunStats,
     // Reused workspaces (guide: keep workhorse collections out of hot loops).
     block: Vec<usize>,
     ips: Vec<IParticle>,
     results: Vec<ForceResult>,
+    /// Corrected particles whose engine j-entries have not been written yet.
+    /// Flushed (sorted, deduplicated) immediately before the next force
+    /// evaluation — the latest point the engine contract allows bitwise: the
+    /// engine only reads j-memory inside `compute`, and each entry is a pure
+    /// function of the owning particle's system state, which does not change
+    /// between its correction and the flush. Deferring lets writes coalesce
+    /// — a particle touched both by the corrector and by an external
+    /// [`Self::mark_dirty`] (e.g. an accretion merge) is sent once, not
+    /// twice.
+    pending_j: Vec<usize>,
     initialized: bool,
 }
 
 impl BlockHermite {
-    /// Create an integrator with the given configuration.
+    /// Create an integrator with the given configuration and the default
+    /// tick-bucket scheduler.
     pub fn new(config: HermiteConfig) -> Self {
+        Self::with_scheduler(config, SchedulerKind::TickBucket)
+    }
+
+    /// Create an integrator with an explicit scheduler implementation. Both
+    /// kinds produce bitwise-identical trajectories; the heap is kept as the
+    /// differential reference.
+    pub fn with_scheduler(config: HermiteConfig, kind: SchedulerKind) -> Self {
         config.validate().expect("invalid HermiteConfig");
         Self {
             config,
-            scheduler: BlockScheduler::new(),
+            scheduler: EventQueue::new(kind, config.dt_min),
             stats: RunStats::default(),
             block: Vec::new(),
             ips: Vec::new(),
             results: Vec::new(),
+            pending_j: Vec::new(),
             initialized: false,
         }
     }
@@ -137,11 +156,28 @@ impl BlockHermite {
     /// owning particle's state as of its last correction) and restore
     /// engine counters via `ForceEngine::restore_checkpoint_state`.
     pub fn resume_from(config: HermiteConfig, sys: &ParticleSystem, stats: RunStats) -> Self {
+        Self::resume_from_with(config, sys, stats, SchedulerKind::TickBucket)
+    }
+
+    /// [`Self::resume_from`] with an explicit scheduler implementation.
+    pub fn resume_from_with(
+        config: HermiteConfig,
+        sys: &ParticleSystem,
+        stats: RunStats,
+        kind: SchedulerKind,
+    ) -> Self {
         config.validate().expect("invalid HermiteConfig");
-        let mut scheduler = BlockScheduler::new();
+        let mut scheduler = EventQueue::new(kind, config.dt_min);
         for i in 0..sys.len() {
             scheduler.push(i, sys.time[i] + sys.dt[i]);
         }
+        // Reconstruct the deferred j-update set: exactly the particles the
+        // corrector (or a merge) touched at the current block time — their
+        // flush had not happened yet when the checkpoint was cut, so the
+        // resumed run must replay it to keep engine wire accounting (and the
+        // flush itself, which `engine.load` has made a no-op rewrite of
+        // identical bytes) bit-for-bit aligned with an uninterrupted run.
+        let pending_j: Vec<usize> = (0..sys.len()).filter(|&i| sys.time[i] == sys.t).collect();
         Self {
             config,
             scheduler,
@@ -149,8 +185,14 @@ impl BlockHermite {
             block: Vec::new(),
             ips: Vec::new(),
             results: Vec::new(),
+            pending_j,
             initialized: true,
         }
+    }
+
+    /// Which scheduler implementation this integrator runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.scheduler.kind()
     }
 
     /// Run statistics accumulated so far.
@@ -231,14 +273,12 @@ impl BlockHermite {
         }
         obs.phase_end(HostPhase::Correct);
         // The engine mirrored the system *before* accelerations and jerks
-        // existed; refresh it so its predictor polynomials are valid from
-        // the very first block step.
-        let all: Vec<usize> = (0..n).collect();
-        obs.phase_begin(HostPhase::JUpdate);
-        engine.update_j(sys, &all);
-        obs.phase_end(HostPhase::JUpdate);
+        // existed; mark every particle dirty so the deferred flush rewrites
+        // j-memory before the first block step reads it.
+        self.pending_j.clear();
+        self.pending_j.extend(0..n);
         obs.phase_begin(HostPhase::Schedule);
-        self.scheduler = BlockScheduler::new();
+        self.scheduler = EventQueue::new(self.scheduler.kind(), self.config.dt_min);
         for i in 0..n {
             self.scheduler.push(i, sys.time[i] + sys.dt[i]);
         }
@@ -263,6 +303,35 @@ impl BlockHermite {
     /// GRAPE-6 pipelines produce — the hook for collision detection.
     pub fn last_results(&self) -> &[ForceResult] {
         &self.results
+    }
+
+    /// Record externally mutated particles (e.g. an accretion merge) whose
+    /// engine j-entries must be rewritten before the next force evaluation.
+    /// The write is batched with the integrator's own deferred updates, so a
+    /// particle corrected this block *and* touched by the caller is sent to
+    /// the engine once.
+    pub fn mark_dirty(&mut self, indices: &[usize]) {
+        self.pending_j.extend_from_slice(indices);
+    }
+
+    /// Write all deferred j-updates (sorted, deduplicated) to the engine.
+    /// Runs automatically before every force evaluation; exposed for callers
+    /// that hand the engine to other readers between steps.
+    pub fn flush_j_updates<E: ForceEngine + ?Sized, O: StepObserver>(
+        &mut self,
+        sys: &ParticleSystem,
+        engine: &mut E,
+        obs: &mut O,
+    ) {
+        if self.pending_j.is_empty() {
+            return;
+        }
+        obs.phase_begin(HostPhase::JUpdate);
+        self.pending_j.sort_unstable();
+        self.pending_j.dedup();
+        engine.update_j(sys, &self.pending_j);
+        self.pending_j.clear();
+        obs.phase_end(HostPhase::JUpdate);
     }
 
     /// Advance the system by one block step. Returns what happened.
@@ -300,6 +369,12 @@ impl BlockHermite {
             self.ips.push(IParticle { index: i, pos, vel });
         }
         obs.phase_end(HostPhase::Predict);
+        // Flush the previous block's deferred j-updates now, immediately
+        // before the engine reads j-memory. Writing here instead of at the
+        // end of the previous step is bitwise-invisible: no force evaluation
+        // happened in between, and the entries written are identical (the
+        // corrector is the only mutator of the owning particles' state).
+        self.flush_j_updates(sys, engine, obs);
         self.results.clear();
         self.results.resize(block.len(), ForceResult::default());
         let before = engine.interaction_count();
@@ -336,9 +411,9 @@ impl BlockHermite {
             self.scheduler.push(i, t_block + sys.dt[i]);
         }
         obs.phase_end(HostPhase::Correct);
-        obs.phase_begin(HostPhase::JUpdate);
-        engine.update_j(sys, &block);
-        obs.phase_end(HostPhase::JUpdate);
+        // Defer the block's j-updates: they batch with any accretion marks
+        // and land just before the next force evaluation (see `pending_j`).
+        self.pending_j.extend_from_slice(&block);
         sys.t = t_block;
 
         self.stats.block_steps += 1;

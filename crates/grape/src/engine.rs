@@ -254,9 +254,28 @@ impl ForceEngine for Grape6Engine {
         self.wire_bytes += (sys.len() * crate::wire::J_PACKET_BYTES) as u64;
     }
 
+    /// Write back a batch of j-particles. The integrator defers corrector
+    /// and accretion write-backs and flushes them here as one sorted,
+    /// deduplicated batch per block step (see
+    /// `BlockHermite::flush_j_updates`), so a particle touched by both the
+    /// corrector and a merge crosses the wire once, not twice. Encoding is a
+    /// pure function of the particle's own system state, so batching never
+    /// changes the bits that land in j-memory.
+    // grape6-lint: hot
     fn update_j(&mut self, sys: &ParticleSystem, indices: &[usize]) {
+        let fmt = self.config.format;
+        let precision = self.config.precision;
         for &i in indices {
-            self.jmem[i] = self.encode_j(sys, i);
+            self.jmem[i] = JParticle::encode(
+                &fmt,
+                precision,
+                sys.pos[i],
+                sys.vel[i],
+                sys.acc[i],
+                sys.jerk[i],
+                sys.mass[i],
+                sys.time[i],
+            );
         }
         self.wire_bytes += (indices.len() * crate::wire::J_PACKET_BYTES) as u64;
     }

@@ -46,6 +46,8 @@ fn fixture_corpus_yields_exact_diagnostics() {
         ("H001", "h001_hot.rs", 8),
         ("H001", "h001_lanes.rs", 10),
         ("H001", "h001_lanes.rs", 11),
+        ("H001", "h001_pop_block.rs", 10),
+        ("H001", "h001_pop_block.rs", 11),
         ("U001", "u001_unsafe.rs", 7),
         ("U002", "u002_missing_forbid/src/lib.rs", 1),
         ("D001", "waivers.rs", 3),

@@ -1,0 +1,18 @@
+// The scheduler hot-path guard: `pop_block` carries the hot annotation in
+// grape6-core, so a heap allocation creeping into it must trip H001.
+
+struct Bucket {
+    items: Vec<usize>,
+}
+
+// grape6-lint: hot
+fn pop_block(buckets: &mut [Bucket]) -> Vec<usize> {
+    let mut out = vec![0usize; 8];
+    out.extend(buckets[0].items.to_vec());
+    out
+}
+
+fn rebuild(buckets: &[Bucket]) -> Vec<usize> {
+    // Cold rebuild paths may allocate freely.
+    buckets.iter().flat_map(|b| b.items.to_vec()).collect()
+}

@@ -7,7 +7,8 @@
 //!             [--eta <η>] [--accrete <inflation>] [--out <snap.json>]
 //!             [--diag <diag.csv>] [--telemetry <tele.json>]
 //!             [--faults <plan.json>] [--checkpoint <file.g6ck>]
-//!             [--checkpoint-every <blocks>] [--resume <file.g6ck>]`
+//!             [--checkpoint-every <blocks>] [--resume <file.g6ck>]
+//!             [--scheduler tick|heap]`
 //! * `analyze  --in <snap.json> [--bins <B>]`
 //! * `perf     --n <N> --block <n_act>`
 //!
@@ -21,6 +22,7 @@
 //! such a file bit-identically (pass the same `--engine`; `--in` is then
 //! ignored).
 
+use grape6_core::blockstep::SchedulerKind;
 use grape6_core::engine::ForceEngine;
 use grape6_core::force::DirectEngine;
 use grape6_core::integrator::HermiteConfig;
@@ -144,6 +146,15 @@ fn cmd_run(args: &Args) -> ExitCode {
         }
         (name, None) => name.unwrap_or("direct").to_string(),
     };
+    // Scheduler choice is bitwise-neutral (tick buckets and the heap emit
+    // identical block sequences); the flag exists for differential testing.
+    let scheduler = match args.get("--scheduler") {
+        None => SchedulerKind::TickBucket,
+        Some(s) => match SchedulerKind::parse(s) {
+            Some(k) => k,
+            None => return fail(&format!("unknown --scheduler '{s}' (use tick|heap)")),
+        },
+    };
     let checkpoint = args.get("--checkpoint").map(PathBuf::from);
     let checkpoint_every = args.parse::<u64>("--checkpoint-every").unwrap_or(256);
     if checkpoint.is_none() && args.get("--checkpoint-every").is_some() {
@@ -164,11 +175,7 @@ fn cmd_run(args: &Args) -> ExitCode {
                 },
                 None => {
                     let sys = sys.expect("fresh run loads --in");
-                    if telemetry_out.is_some() {
-                        Simulation::with_telemetry(sys, config, $engine)
-                    } else {
-                        Simulation::new(sys, config, $engine)
-                    }
+                    Simulation::new_ext(sys, config, $engine, scheduler, telemetry_out.is_some())
                 }
             };
             if let Some(inflation) = args.parse::<f64>("--accrete") {

@@ -12,60 +12,73 @@
 //! *counters* (interactions, wire bytes, modeled clock, fault statistics)
 //! travel in the checkpoint, via [`ForceEngine::checkpoint_state`].
 //!
-//! ## The `G6CK` v1 container
+//! ## The `G6CK` v2 container
 //!
 //! Little-endian throughout:
 //!
 //! | section | contents |
 //! |---|---|
 //! | header | magic `G6CK`, `u32` version |
-//! | system | `u64` length + a `G6SN` binary snapshot (lossless f64) |
+//! | system header | `u64` particle count + 3×`f64` (`t`, softening, central mass) |
+//! | system body | `u32`-length-prefixed chunks of whole particle records, `u32` 0 sentinel |
 //! | integrator | 4×`f64` [`HermiteConfig`] + 3×`u64` [`RunStats`] |
 //! | ledger | 2×`f64` (`e0`, `l0` reference invariants) |
 //! | block histogram | `u32` bin count + bins + blocks + particle steps |
 //! | telemetry | flag byte + `u32`-length-prefixed opaque state |
 //! | engine | `u32`-length-prefixed name + `u32`-length-prefixed opaque state |
 //!
+//! Each body chunk holds [`CHECKPOINT_CHUNK_PARTICLES`] records (the last
+//! chunk holds the remainder) in the `G6SN` per-particle layout
+//! ([`crate::io::BINARY_PARTICLE_BYTES`] each). Chunking is what lets
+//! [`save_checkpoint`] *stream* a paper-scale system to disk with O(chunk)
+//! peak memory instead of materializing the ~250 MB body of a 1.8 M-particle
+//! run in RAM first. The reader accepts any chunking whose lengths are whole
+//! multiples of the record size.
+//!
+//! The **v1** container (which embedded a single `u64`-length-prefixed
+//! `G6SN` snapshot as its system section) is still decoded; only the writer
+//! moved to v2. `tests/checkpoint_golden.rs` pins both directions with
+//! golden files.
+//!
 //! Diagnostics rows and the accretion/encounter logs are **not**
 //! checkpointed: they are append-only observational byproducts that do not
 //! feed back into the dynamics, so a resumed run continues producing correct
 //! rows from the resume point onward.
 
+use crate::io::BINARY_PARTICLE_BYTES;
 use crate::simulation::Simulation;
 use crate::stats::BlockSizeHistogram;
 use crate::telemetry::Telemetry;
 use grape6_core::energy::EnergyLedger;
 use grape6_core::engine::ForceEngine;
 use grape6_core::integrator::{BlockHermite, HermiteConfig, RunStats};
+use grape6_core::observer::{HostPhase, StepObserver};
 use grape6_core::particle::ParticleSystem;
+use std::io::Write;
 use std::path::Path;
 
 /// Magic bytes of the checkpoint container.
 pub const CHECKPOINT_MAGIC: &[u8; 4] = b"G6CK";
 /// Version of the checkpoint container format.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
+/// Particle records per streamed body chunk (~1.1 MB of payload): large
+/// enough that chunk framing is noise, small enough that the writer's
+/// resident buffer stays far below the body size at paper-scale N.
+pub const CHECKPOINT_CHUNK_PARTICLES: usize = 8192;
 
 fn bad(m: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, m.into())
 }
 
-/// Encode a running simulation into the `G6CK` v1 container.
-///
-/// The telemetry state captured here deliberately does **not** include the
-/// cost of writing this checkpoint itself: checkpoint I/O is charged to the
-/// run that pays it, so an interrupted-and-resumed run reports the same
-/// counters as an uninterrupted one.
-pub fn encode_checkpoint<E: ForceEngine>(sim: &Simulation<E>) -> bytes::Bytes {
+/// Everything after the system body: integrator, ledger, histogram,
+/// telemetry and engine sections. Identical in v1 and v2, and small — safe
+/// to materialize even at paper-scale N.
+fn encode_tail<E: ForceEngine>(sim: &Simulation<E>) -> Vec<u8> {
     use bytes::BufMut;
-    let snap = crate::io::encode_binary_snapshot(&sim.sys);
     let tel_state = sim.telemetry.as_ref().map(|t| t.checkpoint_state());
     let engine_state = sim.engine.checkpoint_state();
     let name = sim.engine.name().as_bytes();
-    let mut buf = bytes::BytesMut::with_capacity(snap.len() + engine_state.len() + 256);
-    buf.put_slice(CHECKPOINT_MAGIC);
-    buf.put_u32_le(CHECKPOINT_VERSION);
-    buf.put_u64_le(snap.len() as u64);
-    buf.put_slice(&snap);
+    let mut buf: Vec<u8> = Vec::with_capacity(engine_state.len() + 256);
     let cfg = sim.integrator.config;
     buf.put_f64_le(cfg.eta);
     buf.put_f64_le(cfg.eta_start);
@@ -95,7 +108,55 @@ pub fn encode_checkpoint<E: ForceEngine>(sim: &Simulation<E>) -> bytes::Bytes {
     buf.put_slice(name);
     buf.put_u32_le(engine_state.len() as u32);
     buf.put_slice(&engine_state);
-    buf.freeze()
+    buf
+}
+
+/// Stream a running simulation into `w` as a `G6CK` v2 container.
+///
+/// The particle body goes out in [`CHECKPOINT_CHUNK_PARTICLES`]-record
+/// chunks through one reused buffer, so peak encoder memory is O(chunk)
+/// regardless of N — this is the path the paper-scale runs take (via
+/// [`save_checkpoint`] / [`checkpoint_now`]).
+///
+/// The telemetry state captured here deliberately does **not** include the
+/// cost of writing this checkpoint itself: checkpoint I/O is charged to the
+/// run that pays it, so an interrupted-and-resumed run reports the same
+/// counters as an uninterrupted one. (The open `Checkpoint` span under
+/// which [`checkpoint_now`] calls this is not serialized.)
+pub fn write_checkpoint<E: ForceEngine, W: Write>(
+    sim: &Simulation<E>,
+    w: &mut W,
+) -> std::io::Result<()> {
+    let sys = &sim.sys;
+    w.write_all(CHECKPOINT_MAGIC)?;
+    w.write_all(&CHECKPOINT_VERSION.to_le_bytes())?;
+    w.write_all(&(sys.len() as u64).to_le_bytes())?;
+    w.write_all(&sys.t.to_le_bytes())?;
+    w.write_all(&sys.softening.to_le_bytes())?;
+    w.write_all(&sys.central_mass.to_le_bytes())?;
+    let mut chunk: Vec<u8> = Vec::new();
+    let mut start = 0;
+    while start < sys.len() {
+        let end = (start + CHECKPOINT_CHUNK_PARTICLES).min(sys.len());
+        chunk.clear();
+        crate::io::encode_particle_range(sys, start..end, &mut chunk);
+        w.write_all(&(chunk.len() as u32).to_le_bytes())?;
+        w.write_all(&chunk)?;
+        start = end;
+    }
+    w.write_all(&0u32.to_le_bytes())?;
+    w.write_all(&encode_tail(sim))
+}
+
+/// Encode a running simulation into an in-memory `G6CK` v2 container.
+///
+/// Convenience wrapper over [`write_checkpoint`] for tests and small runs;
+/// paper-scale runs should stream with [`save_checkpoint`] instead.
+pub fn encode_checkpoint<E: ForceEngine>(sim: &Simulation<E>) -> bytes::Bytes {
+    let mut buf: Vec<u8> =
+        Vec::with_capacity(64 + sim.sys.len() * BINARY_PARTICLE_BYTES + sim.sys.len() / 16);
+    write_checkpoint(sim, &mut buf).expect("in-memory checkpoint write cannot fail");
+    bytes::Bytes::from(buf)
 }
 
 /// Rebuild a simulation from checkpoint bytes, continuing bit-identically.
@@ -120,15 +181,19 @@ pub fn decode_checkpoint<E: ForceEngine>(
         return Err(bad("bad checkpoint magic"));
     }
     let version = buf.get_u32_le();
-    if version != CHECKPOINT_VERSION {
-        return Err(bad(format!("unsupported checkpoint version {version}")));
-    }
-    let snap_len = buf.get_u64_le() as usize;
-    if buf.len() < snap_len {
-        return Err(bad("truncated system snapshot"));
-    }
-    let snap = buf.copy_to_bytes(snap_len);
-    let sys: ParticleSystem = crate::io::decode_binary_snapshot(snap)?;
+    let sys: ParticleSystem = match version {
+        // v1 embedded a whole length-prefixed G6SN snapshot.
+        1 => {
+            let snap_len = buf.get_u64_le() as usize;
+            if buf.len() < snap_len {
+                return Err(bad("truncated system snapshot"));
+            }
+            let snap = buf.copy_to_bytes(snap_len);
+            crate::io::decode_binary_snapshot(snap)?
+        }
+        2 => decode_chunked_system(&mut buf)?,
+        v => return Err(bad(format!("unsupported checkpoint version {v}"))),
+    };
     if buf.len() < 4 * 8 + 3 * 8 + 2 * 8 + 4 {
         return Err(bad("truncated integrator section"));
     }
@@ -214,12 +279,59 @@ pub fn decode_checkpoint<E: ForceEngine>(
     })
 }
 
+/// Decode the v2 system section: header fields, then length-prefixed chunks
+/// of whole particle records up to the `u32` 0 sentinel.
+fn decode_chunked_system(buf: &mut bytes::Bytes) -> std::io::Result<ParticleSystem> {
+    use bytes::Buf;
+    if buf.len() < 8 + 3 * 8 {
+        return Err(bad("truncated system header"));
+    }
+    let n = buf.get_u64_le() as usize;
+    let t = buf.get_f64_le();
+    let softening = buf.get_f64_le();
+    let central_mass = buf.get_f64_le();
+    let mut sys = ParticleSystem::new(softening, central_mass);
+    sys.t = t;
+    loop {
+        if buf.len() < 4 {
+            return Err(bad("truncated body chunk length"));
+        }
+        let len = buf.get_u32_le() as usize;
+        if len == 0 {
+            break;
+        }
+        if !len.is_multiple_of(BINARY_PARTICLE_BYTES) {
+            return Err(bad(format!(
+                "body chunk length {len} is not a whole number of particle records"
+            )));
+        }
+        if buf.len() < len {
+            return Err(bad("truncated body chunk"));
+        }
+        for _ in 0..len / BINARY_PARTICLE_BYTES {
+            crate::io::decode_particle_record(buf, &mut sys);
+        }
+        if sys.len() > n {
+            return Err(bad(format!("body chunks carry more particles than the declared {n}")));
+        }
+    }
+    if sys.len() != n {
+        return Err(bad(format!("body chunks carry {} of the declared {n} particles", sys.len())));
+    }
+    Ok(sys)
+}
+
 /// Write a checkpoint of `sim` to `path` (atomically: temp file + rename, so
-/// a crash mid-write never clobbers the previous good checkpoint).
+/// a crash mid-write never clobbers the previous good checkpoint), streaming
+/// the particle body in [`CHECKPOINT_CHUNK_PARTICLES`]-record chunks through
+/// a buffered writer — the container is never materialized in memory.
 pub fn save_checkpoint<E: ForceEngine>(path: &Path, sim: &Simulation<E>) -> std::io::Result<()> {
-    let bytes = encode_checkpoint(sim);
     let tmp = path.with_extension("ckpt.tmp");
-    std::fs::write(&tmp, &bytes)?;
+    let f = std::fs::File::create(&tmp)?;
+    let mut w = std::io::BufWriter::new(f);
+    write_checkpoint(sim, &mut w)?;
+    w.flush()?;
+    drop(w);
     std::fs::rename(&tmp, path)
 }
 
@@ -267,17 +379,21 @@ pub fn run_to_with_checkpoints<E: ForceEngine>(
 }
 
 /// Write one checkpoint immediately, timed under the `checkpoint` phase.
+///
+/// The whole encode+write streams inside the open `Checkpoint` span. That is
+/// still invisible to the checkpointed telemetry state: open spans are not
+/// serialized (see [`Telemetry::checkpoint_state`]), so the resumed run
+/// starts with zero checkpoint cost, exactly as if the writer had paid for
+/// the I/O out of band.
 pub fn checkpoint_now<E: ForceEngine>(sim: &mut Simulation<E>, path: &Path) -> std::io::Result<()> {
-    let bytes = encode_checkpoint(sim);
-    let tmp = path.with_extension("ckpt.tmp");
-    let write = || -> std::io::Result<()> {
-        std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, path)
-    };
-    match &mut sim.telemetry {
-        Some(t) => t.checkpoint_span(write),
-        None => write(),
+    if let Some(t) = &mut sim.telemetry {
+        t.phase_begin(HostPhase::Checkpoint);
     }
+    let res = save_checkpoint(path, sim);
+    if let Some(t) = &mut sim.telemetry {
+        t.phase_end(HostPhase::Checkpoint);
+    }
+    res
 }
 
 #[cfg(test)]

@@ -51,6 +51,60 @@ pub const BINARY_VERSION: u32 = 1;
 /// pos/vel/acc/jerk (12×f64) + mass/time/dt/pot (4×f64) + id (u64).
 pub const BINARY_PARTICLE_BYTES: usize = 12 * 8 + 4 * 8 + 8;
 
+/// Append particle `i`'s binary record — the [`BINARY_PARTICLE_BYTES`]-long
+/// body layout shared by the `G6SN` snapshot and the chunked `G6CK` v2
+/// checkpoint container.
+fn put_particle_record(buf: &mut impl bytes::BufMut, sys: &ParticleSystem, i: usize) {
+    for v in [sys.pos[i], sys.vel[i], sys.acc[i], sys.jerk[i]] {
+        buf.put_f64_le(v.x);
+        buf.put_f64_le(v.y);
+        buf.put_f64_le(v.z);
+    }
+    buf.put_f64_le(sys.mass[i]);
+    buf.put_f64_le(sys.time[i]);
+    buf.put_f64_le(sys.dt[i]);
+    buf.put_f64_le(sys.pot[i]);
+    buf.put_u64_le(sys.id[i]);
+}
+
+/// Append the binary records of particles `range` to `buf` — one chunk
+/// payload of the streamed `G6CK` v2 body.
+pub(crate) fn encode_particle_range(
+    sys: &ParticleSystem,
+    range: std::ops::Range<usize>,
+    buf: &mut Vec<u8>,
+) {
+    buf.reserve(range.len() * BINARY_PARTICLE_BYTES);
+    for i in range {
+        put_particle_record(buf, sys, i);
+    }
+}
+
+/// Decode one binary particle record from `buf` onto `sys`. The caller must
+/// have verified that at least [`BINARY_PARTICLE_BYTES`] remain.
+pub(crate) fn decode_particle_record(buf: &mut bytes::Bytes, sys: &mut ParticleSystem) {
+    use bytes::Buf;
+    let get_v = |buf: &mut bytes::Bytes| {
+        grape6_core::vec3::Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le())
+    };
+    let pos = get_v(buf);
+    let vel = get_v(buf);
+    let acc = get_v(buf);
+    let jerk = get_v(buf);
+    let mass = buf.get_f64_le();
+    let time = buf.get_f64_le();
+    let dt = buf.get_f64_le();
+    let pot = buf.get_f64_le();
+    let id = buf.get_u64_le();
+    let i = sys.push(pos, vel, mass);
+    sys.acc[i] = acc;
+    sys.jerk[i] = jerk;
+    sys.time[i] = time;
+    sys.dt[i] = dt;
+    sys.pot[i] = pot;
+    sys.id[i] = id;
+}
+
 /// Serialize a system to the compact binary snapshot format (lossless f64;
 /// ~136 B/particle vs several hundred for JSON — the difference matters at
 /// the paper's 1.8 M particles).
@@ -63,21 +117,8 @@ pub fn encode_binary_snapshot(sys: &ParticleSystem) -> bytes::Bytes {
     buf.put_f64_le(sys.t);
     buf.put_f64_le(sys.softening);
     buf.put_f64_le(sys.central_mass);
-    let put_v = |buf: &mut bytes::BytesMut, v: grape6_core::vec3::Vec3| {
-        buf.put_f64_le(v.x);
-        buf.put_f64_le(v.y);
-        buf.put_f64_le(v.z);
-    };
     for i in 0..sys.len() {
-        put_v(&mut buf, sys.pos[i]);
-        put_v(&mut buf, sys.vel[i]);
-        put_v(&mut buf, sys.acc[i]);
-        put_v(&mut buf, sys.jerk[i]);
-        buf.put_f64_le(sys.mass[i]);
-        buf.put_f64_le(sys.time[i]);
-        buf.put_f64_le(sys.dt[i]);
-        buf.put_f64_le(sys.pot[i]);
-        buf.put_u64_le(sys.id[i]);
+        put_particle_record(&mut buf, sys, i);
     }
     buf.freeze()
 }
@@ -107,26 +148,8 @@ pub fn decode_binary_snapshot(mut buf: bytes::Bytes) -> std::io::Result<Particle
     let central_mass = buf.get_f64_le();
     let mut sys = ParticleSystem::new(softening, central_mass);
     sys.t = t;
-    let get_v = |buf: &mut bytes::Bytes| {
-        grape6_core::vec3::Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le())
-    };
     for _ in 0..n {
-        let pos = get_v(&mut buf);
-        let vel = get_v(&mut buf);
-        let acc = get_v(&mut buf);
-        let jerk = get_v(&mut buf);
-        let mass = buf.get_f64_le();
-        let time = buf.get_f64_le();
-        let dt = buf.get_f64_le();
-        let pot = buf.get_f64_le();
-        let id = buf.get_u64_le();
-        let i = sys.push(pos, vel, mass);
-        sys.acc[i] = acc;
-        sys.jerk[i] = jerk;
-        sys.time[i] = time;
-        sys.dt[i] = dt;
-        sys.pot[i] = pot;
-        sys.id[i] = id;
+        decode_particle_record(&mut buf, &mut sys);
     }
     Ok(sys)
 }

@@ -6,6 +6,7 @@ use crate::accretion::{try_merge, AccretionLog, RadiusModel};
 use crate::encounters::EncounterLog;
 use crate::stats::{BlockSizeHistogram, TimestepHistogram};
 use crate::telemetry::{Telemetry, TelemetryReport};
+use grape6_core::blockstep::SchedulerKind;
 use grape6_core::energy::EnergyLedger;
 use grape6_core::engine::ForceEngine;
 use grape6_core::integrator::{BlockHermite, HermiteConfig, RunStats};
@@ -60,31 +61,36 @@ pub struct Simulation<E: ForceEngine> {
 
 impl<E: ForceEngine> Simulation<E> {
     /// Initialize a simulation: computes initial forces and timesteps.
-    pub fn new(mut sys: ParticleSystem, config: HermiteConfig, mut engine: E) -> Self {
-        let mut integrator = BlockHermite::new(config);
-        integrator.initialize(&mut sys, &mut engine);
-        let ledger = EnergyLedger::open(&sys);
-        Self {
-            sys,
-            integrator,
-            engine,
-            ledger,
-            block_hist: BlockSizeHistogram::new(),
-            diagnostics: Vec::new(),
-            radius_model: None,
-            accretion_log: AccretionLog::default(),
-            encounter_log: None,
-            telemetry: None,
-        }
+    pub fn new(sys: ParticleSystem, config: HermiteConfig, engine: E) -> Self {
+        Self::new_ext(sys, config, engine, SchedulerKind::TickBucket, false)
     }
 
     /// Like [`Simulation::new`], but with host wall-clock telemetry attached
     /// from the first force evaluation (the initialization sweep is timed and
     /// counted too).
-    pub fn with_telemetry(mut sys: ParticleSystem, config: HermiteConfig, mut engine: E) -> Self {
-        let mut telemetry = Telemetry::new();
-        let mut integrator = BlockHermite::new(config);
-        integrator.initialize_observed(&mut sys, &mut engine, &mut telemetry);
+    pub fn with_telemetry(sys: ParticleSystem, config: HermiteConfig, engine: E) -> Self {
+        Self::new_ext(sys, config, engine, SchedulerKind::TickBucket, true)
+    }
+
+    /// Fully explicit constructor: choose the block-scheduler implementation
+    /// (tick buckets and the heap are bitwise-equivalent; the heap is kept
+    /// as the differential reference) and whether telemetry is attached.
+    pub fn new_ext(
+        mut sys: ParticleSystem,
+        config: HermiteConfig,
+        mut engine: E,
+        scheduler: SchedulerKind,
+        telemetry: bool,
+    ) -> Self {
+        let mut integrator = BlockHermite::with_scheduler(config, scheduler);
+        let telemetry = if telemetry {
+            let mut t = Telemetry::new();
+            integrator.initialize_observed(&mut sys, &mut engine, &mut t);
+            Some(t)
+        } else {
+            integrator.initialize(&mut sys, &mut engine);
+            None
+        };
         let ledger = EnergyLedger::open(&sys);
         Self {
             sys,
@@ -96,7 +102,7 @@ impl<E: ForceEngine> Simulation<E> {
             radius_model: None,
             accretion_log: AccretionLog::default(),
             encounter_log: None,
-            telemetry: Some(telemetry),
+            telemetry,
         }
     }
 
@@ -165,15 +171,11 @@ impl<E: ForceEngine> Simulation<E> {
                 }
             }
             if !touched.is_empty() {
-                if let Some(t) = &mut self.telemetry {
-                    let wire0 = self.engine.bytes_transferred();
-                    t.phase_begin(HostPhase::JUpdate);
-                    self.engine.update_j(&self.sys, &touched);
-                    t.phase_end(HostPhase::JUpdate);
-                    t.wire_transfer(self.engine.bytes_transferred() - wire0);
-                } else {
-                    self.engine.update_j(&self.sys, &touched);
-                }
+                // Batch with the integrator's deferred block updates: the
+                // write lands (sorted, deduplicated) before the next force
+                // evaluation, so a survivor corrected this block is sent to
+                // the engine once instead of twice.
+                self.integrator.mark_dirty(&touched);
             }
         }
         info

@@ -280,6 +280,37 @@ impl BufMut for BytesMut {
     }
 }
 
+macro_rules! put_le_vec_impl {
+    ($($name:ident($ty:ty)),+ $(,)?) => {
+        $(
+            fn $name(&mut self, v: $ty) {
+                self.extend_from_slice(&v.to_le_bytes());
+            }
+        )+
+    };
+}
+
+/// Plain `Vec<u8>` is a `BufMut` too, so encoders can stream into a reused
+/// byte vector (e.g. the chunked checkpoint writer) without going through
+/// `BytesMut`.
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    put_le_vec_impl! {
+        put_u16_le(u16),
+        put_u32_le(u32),
+        put_u64_le(u64),
+        put_i32_le(i32),
+        put_i64_le(i64),
+        put_f32_le(f32),
+        put_f64_le(f64),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
