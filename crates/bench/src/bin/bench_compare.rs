@@ -117,6 +117,42 @@ impl Gate {
         );
     }
 
+    fn latency_ms(&mut self, label: &str, name: &str, baseline: f64, fresh: f64) {
+        // Service latency / wall readings: lower is better, and the budget
+        // is four times the wall-clock tolerance. Closed-loop percentiles
+        // are queueing-dominated — on an oversubscribed host the tail moves
+        // ±35 % between back-to-back identical runs (measured), so the
+        // 15 %-class budgets of the compute benches would fail on noise; a
+        // real p99 regression (a lost wakeup, a serialized scheduler) shows
+        // up as 2x-plus and still trips this gate. Sub-millisecond
+        // baselines are pure syscall jitter and are skipped outright.
+        if baseline < 1.0 {
+            println!("  {label:<18} {name:<16} (baseline < 1 ms, skipped)");
+            return;
+        }
+        let ratio = fresh / baseline;
+        let ok = ratio <= 1.0 + 4.0 * self.tolerance;
+        if !ok {
+            self.failures += 1;
+        }
+        println!(
+            "  {:<18} {:<16} {:>14.2} {:>14.2}  {}",
+            label,
+            name,
+            baseline,
+            fresh,
+            if ok {
+                format!("ok ({:+.1} %)", (ratio - 1.0) * 100.0)
+            } else {
+                format!(
+                    "FAIL (+{:.1} % > {:.0} % budget)",
+                    (ratio - 1.0) * 100.0,
+                    4.0 * self.tolerance * 100.0
+                )
+            }
+        );
+    }
+
     fn wall_clock(&mut self, workload: &str, baseline: f64, fresh: f64) {
         // Short baselines are all scheduling noise; skip the ratio test.
         if baseline < 1e-2 {
@@ -279,6 +315,46 @@ fn main() -> ExitCode {
                 println!("  {label:<18} MISSING from fresh host_phase section");
             }
         }
+    }
+
+    // Service latency: the load mix is fully seeded, so the job/spec/
+    // duplicate accounting and the total block-step count are exact
+    // counters (each distinct spec is simulated exactly once regardless of
+    // scheduling). Latency percentiles are wall-clock and gate
+    // slowdown-only; preemption counts and the cache-hit/coalesced split of
+    // the (exact) duplicate total depend on thread interleaving and are
+    // informational only.
+    {
+        let (b, f) = (&baseline.service_latency, &fresh.service_latency);
+        let label = "service";
+        gate.counter(label, "jobs", b.jobs, f.jobs);
+        gate.counter(label, "tenants", b.tenants, f.tenants);
+        gate.counter(label, "clients", b.clients, f.clients);
+        gate.counter(label, "workers", b.workers, f.workers);
+        gate.counter(label, "slice_blocks", b.slice_blocks, f.slice_blocks);
+        gate.counter(label, "unique_specs", b.unique_specs, f.unique_specs);
+        gate.counter(label, "duplicate_jobs", b.duplicate_jobs, f.duplicate_jobs);
+        gate.counter(label, "duplicate_hits", b.duplicate_hits, f.duplicate_hits);
+        gate.counter(label, "completed", b.completed, f.completed);
+        gate.counter(label, "failed", b.failed, f.failed);
+        gate.counter(label, "block_steps", b.block_steps, f.block_steps);
+        gate.latency_ms(label, "p50_ms", b.p50_ms, f.p50_ms);
+        gate.latency_ms(label, "p99_ms", b.p99_ms, f.p99_ms);
+        // The service wall is the slowest client chain — the same queueing
+        // tail as p99, so it shares the latency budget, not the 15 %-class
+        // workload wall budget.
+        gate.latency_ms(label, "wall_ms", b.wall_seconds * 1e3, f.wall_seconds * 1e3);
+        println!(
+            "  {:<18} {:<16} {:>14} {:>14}  (interleaving-dependent, not gated)",
+            label, "preemptions", b.preemptions, f.preemptions
+        );
+        println!(
+            "  {:<18} {:<16} {:>14} {:>14}  (split of duplicate_hits, not gated)",
+            label,
+            "cache/coalesced",
+            format!("{}/{}", b.cache_hits, b.coalesced),
+            format!("{}/{}", f.cache_hits, f.coalesced)
+        );
     }
 
     if gate.failures > 0 {

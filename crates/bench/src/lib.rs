@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+pub mod loadgen;
 pub mod report;
 
 use grape6_core::integrator::HermiteConfig;

@@ -32,7 +32,11 @@ use serde::{Deserialize, Serialize};
 /// Version 5 added the `host_phase` section: per-block-step
 /// Schedule/Predict/JUpdate nanoseconds on zero-force disks up to the
 /// paper-scale 131 072-body workload, for both block schedulers.
-pub const SCHEMA_VERSION: u64 = 5;
+/// Version 6 added the `service_latency` section: the seeded 256-job /
+/// 4-tenant load-generator pass through the `grape6-serve` job service
+/// (submit-to-complete latency percentiles, throughput, preemption count,
+/// cache hit rate, and the exactness-verification counters).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Host thread counts the scaling section sweeps.
 pub const SCALING_THREADS: [usize; 3] = [1, 2, 4];
@@ -205,6 +209,10 @@ pub struct BenchReport {
     /// on zero-force disks, for both block schedulers, up to the
     /// paper-scale 131 072-body workload.
     pub host_phase: Vec<HostPhaseRow>,
+    /// The seeded load-generator pass through the `grape6-serve` job
+    /// service (256 jobs / 4 tenants): latency percentiles, throughput,
+    /// cache hit rate, and the deterministic work counters.
+    pub service_latency: crate::loadgen::ServiceLatencyResult,
     /// Timing-model self-check against the paper's headline numbers.
     pub paper_check: PaperCheck,
 }
@@ -538,6 +546,7 @@ pub fn build_report(git_sha: String) -> BenchReport {
         thread_scaling: specs.iter().map(run_thread_scaling).collect(),
         kernel_microbench: standard_kernel_microbench(),
         host_phase: standard_host_phase_bench(),
+        service_latency: crate::loadgen::standard_service_latency(),
         paper_check: PaperCheck::sc2002(),
     }
 }
@@ -657,6 +666,20 @@ mod tests {
             thread_scaling: vec![run_thread_scaling(&spec)],
             kernel_microbench: run_kernel_microbench(64, 48, 1),
             host_phase: run_host_phase_bench(&[48], 16),
+            service_latency: crate::loadgen::run_load_gen(&{
+                crate::loadgen::LoadGenConfig {
+                    jobs: 6,
+                    tenants: 2,
+                    clients_per_tenant: 1,
+                    pool_specs: 3,
+                    verify_fresh: 1,
+                    n_min: 6,
+                    n_max: 10,
+                    t_end: 1.0,
+                    ..crate::loadgen::LoadGenConfig::smoke()
+                }
+            })
+            .expect("tiny load pass holds its contracts"),
             paper_check: PaperCheck::sc2002(),
         };
         assert!(report.workloads[0].modeled_tflops > 0.0);

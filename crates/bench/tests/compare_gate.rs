@@ -4,6 +4,7 @@
 
 #![forbid(unsafe_code)]
 
+use grape6_bench::loadgen::ServiceLatencyResult;
 use grape6_bench::report::{
     run_host_phase_bench, run_kernel_microbench, run_thread_scaling, run_workload, BenchReport,
     EngineKind, PaperCheck, WorkloadSpec, SCHEMA_VERSION,
@@ -12,8 +13,9 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 /// A miniature but schema-complete report (one small workload, one
-/// microbench repetition) — bench_compare sees the same shape as the
-/// shipped baseline.
+/// microbench repetition, a hand-built service section with a baseline
+/// p99 safely above the 1 ms noise floor) — bench_compare sees the same
+/// shape as the shipped baseline.
 fn mini_report() -> BenchReport {
     let spec = WorkloadSpec { id: "mini", n: 32, seed: 7, t_end: 0.25, engine: EngineKind::Direct };
     BenchReport {
@@ -23,6 +25,31 @@ fn mini_report() -> BenchReport {
         thread_scaling: vec![run_thread_scaling(&spec)],
         kernel_microbench: run_kernel_microbench(48, 32, 1),
         host_phase: run_host_phase_bench(&[32], 8),
+        service_latency: ServiceLatencyResult {
+            jobs: 64,
+            tenants: 2,
+            clients: 4,
+            workers: 2,
+            slice_blocks: 16,
+            unique_specs: 24,
+            duplicate_jobs: 40,
+            duplicate_hits: 40,
+            completed: 64,
+            failed: 0,
+            cache_hits: 30,
+            coalesced: 10,
+            cache_hit_rate: 40.0 / 64.0,
+            preemptions: 12,
+            block_steps: 4096,
+            dup_groups_verified: 20,
+            fresh_verified: 2,
+            p50_ms: 12.0,
+            p99_ms: 80.0,
+            mean_ms: 18.0,
+            max_ms: 95.0,
+            wall_seconds: 1.5,
+            jobs_per_second: 64.0 / 1.5,
+        },
         paper_check: PaperCheck::sc2002(),
     }
 }
@@ -85,6 +112,56 @@ fn kernel_rate_regression_fails_and_identical_report_passes() {
     let (ok, stdout) = run_compare(&baseline, &fresh_dropped);
     assert!(!ok, "dropping a lane width from the microbench must fail:\n{stdout}");
     assert!(stdout.contains("MISSING"), "missing-row diagnostic expected:\n{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn service_latency_regression_fails_and_noise_passes() {
+    let report = mini_report();
+    let dir = std::env::temp_dir().join(format!("g6-svc-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = write_json(&dir, "baseline.json", &report);
+
+    // A p99 wobble inside the 4x-tolerance budget (default 15 % wall
+    // tolerance → 60 % latency budget; closed-loop tails are queueing
+    // noise) must pass, as must interleaving-dependent drift in the ungated
+    // preemption count and cache-hit/coalesced split.
+    let mut noisy = report.clone();
+    noisy.service_latency.p99_ms *= 1.50;
+    noisy.service_latency.p50_ms *= 0.90;
+    noisy.service_latency.preemptions = 99;
+    noisy.service_latency.cache_hits = 25;
+    noisy.service_latency.coalesced = 15;
+    let fresh_noisy = write_json(&dir, "fresh_noisy.json", &noisy);
+    let (ok, stdout) = run_compare(&baseline, &fresh_noisy);
+    assert!(ok, "p99 within the latency budget must pass the gate:\n{stdout}");
+
+    // Doctored p99 regression: submit-to-complete tail latency triples.
+    // That is far beyond the 60 % budget and must fail the gate, naming the
+    // service row.
+    let mut doctored = report.clone();
+    doctored.service_latency.p99_ms *= 3.0;
+    let fresh_bad = write_json(&dir, "fresh_bad.json", &doctored);
+    let (ok, stdout) = run_compare(&baseline, &fresh_bad);
+    assert!(!ok, "a 3x p99 latency regression must fail the gate:\n{stdout}");
+    assert!(
+        stdout.contains("service") && stdout.contains("p99_ms") && stdout.contains("FAIL"),
+        "failure must name the service p99 row:\n{stdout}"
+    );
+
+    // A lost job is an exact-counter failure regardless of latency: the
+    // completed count is deterministic, so any shortfall fails.
+    let mut lost = report.clone();
+    lost.service_latency.completed -= 1;
+    lost.service_latency.failed += 1;
+    let fresh_lost = write_json(&dir, "fresh_lost.json", &lost);
+    let (ok, stdout) = run_compare(&baseline, &fresh_lost);
+    assert!(!ok, "a lost job must fail the exact counter gate:\n{stdout}");
+    assert!(
+        stdout.contains("completed") && stdout.contains("FAIL"),
+        "failure must name the completed counter:\n{stdout}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -5,11 +5,41 @@
 //! both derive from the single source of truth `TimingModel::sc2002()`, so
 //! they are compared bit-for-bit here rather than against copied constants.
 
+use grape6_bench::loadgen::ServiceLatencyResult;
 use grape6_bench::report::{
     standard_workloads, BenchReport, KernelRate, PaperCheck, ThreadScalingEntry,
     ThreadScalingResult, SCALING_THREADS, SCHEMA_VERSION,
 };
 use grape6_hw::TimingModel;
+
+/// A schema-complete `service_latency` literal for structure-only tests.
+fn service_latency_fixture() -> ServiceLatencyResult {
+    ServiceLatencyResult {
+        jobs: 64,
+        tenants: 2,
+        clients: 4,
+        workers: 2,
+        slice_blocks: 16,
+        unique_specs: 24,
+        duplicate_jobs: 40,
+        duplicate_hits: 40,
+        completed: 64,
+        failed: 0,
+        cache_hits: 30,
+        coalesced: 10,
+        cache_hit_rate: 40.0 / 64.0,
+        preemptions: 12,
+        block_steps: 4096,
+        dup_groups_verified: 20,
+        fresh_verified: 2,
+        p50_ms: 12.0,
+        p99_ms: 80.0,
+        mean_ms: 18.0,
+        max_ms: 95.0,
+        wall_seconds: 1.5,
+        jobs_per_second: 64.0 / 1.5,
+    }
+}
 
 #[test]
 fn paper_check_matches_timing_model_bit_for_bit() {
@@ -59,6 +89,7 @@ fn report_json_schema_is_stable() {
         thread_scaling: vec![],
         kernel_microbench: vec![],
         host_phase: vec![],
+        service_latency: service_latency_fixture(),
         paper_check: PaperCheck::sc2002(),
     };
     let v = serde_json::to_value(&report).unwrap();
@@ -73,6 +104,7 @@ fn report_json_schema_is_stable() {
             "thread_scaling",
             "kernel_microbench",
             "host_phase",
+            "service_latency",
             "paper_check"
         ]
     );
@@ -146,6 +178,40 @@ fn kernel_microbench_schema_is_stable() {
             "wall_seconds",
             "interactions_per_second_real",
             "speedup_vs_scalar",
+        ]
+    );
+}
+
+#[test]
+fn service_latency_schema_is_stable() {
+    let v = serde_json::to_value(&service_latency_fixture()).unwrap();
+    let keys: Vec<&str> = v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        [
+            "jobs",
+            "tenants",
+            "clients",
+            "workers",
+            "slice_blocks",
+            "unique_specs",
+            "duplicate_jobs",
+            "duplicate_hits",
+            "completed",
+            "failed",
+            "cache_hits",
+            "coalesced",
+            "cache_hit_rate",
+            "preemptions",
+            "block_steps",
+            "dup_groups_verified",
+            "fresh_verified",
+            "p50_ms",
+            "p99_ms",
+            "mean_ms",
+            "max_ms",
+            "wall_seconds",
+            "jobs_per_second",
         ]
     );
 }

@@ -48,6 +48,8 @@ fn fixture_corpus_yields_exact_diagnostics() {
         ("H001", "h001_lanes.rs", 11),
         ("H001", "h001_pop_block.rs", 10),
         ("H001", "h001_pop_block.rs", 11),
+        ("H001", "h001_sched.rs", 12),
+        ("H001", "h001_sched.rs", 13),
         ("U001", "u001_unsafe.rs", 7),
         ("U002", "u002_missing_forbid/src/lib.rs", 1),
         ("D001", "waivers.rs", 3),
@@ -56,6 +58,25 @@ fn fixture_corpus_yields_exact_diagnostics() {
     .map(|(r, p, l)| (r.to_string(), p.to_string(), *l))
     .collect();
     assert_eq!(got, want);
+}
+
+#[test]
+fn scheduler_hot_fixture_flags_alloc_but_not_cold_telemetry() {
+    // The grape6-serve scheduler's `pick_next` is hot-annotated; this
+    // fixture mirrors it with a collect and a clone smuggled in. Both must
+    // be flagged, while the cold telemetry query below the hot region
+    // allocates without complaint.
+    let got = lint_fixtures();
+    let sched: Vec<&(String, String, u32)> =
+        got.iter().filter(|(_, p, _)| p == "h001_sched.rs").collect();
+    assert_eq!(sched.len(), 2, "exactly the two hot-region allocations: {sched:?}");
+    assert!(sched.iter().all(|(r, _, _)| r == "H001"));
+    assert_eq!(sched[0].2, 12, "collect::<Vec> in pick_next");
+    assert_eq!(sched[1].2, 13, "to_vec in pick_next");
+    assert!(
+        !got.iter().any(|(_, p, l)| p == "h001_sched.rs" && *l > 15),
+        "cold telemetry_rows must not be flagged: {got:?}"
+    );
 }
 
 #[test]

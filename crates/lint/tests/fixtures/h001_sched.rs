@@ -1,0 +1,20 @@
+// The job-service scheduler guard: `pick_next` in grape6-serve carries the
+// hot annotation (it runs under the service mutex at every slice boundary),
+// so collecting candidate lists or cloning tenant load there must trip H001.
+
+struct Job {
+    tenant: usize,
+    runnable: bool,
+}
+
+// grape6-lint: hot
+fn pick_next(jobs: &[Job], load: &[u64]) -> Option<usize> {
+    let runnable = jobs.iter().filter(|j| j.runnable).collect::<Vec<_>>();
+    let snapshot = load.to_vec();
+    runnable.iter().position(|j| snapshot[j.tenant] == load[j.tenant])
+}
+
+fn telemetry_rows(jobs: &[Job]) -> Vec<usize> {
+    // Cold query paths may allocate freely.
+    jobs.iter().map(|j| j.tenant).collect()
+}

@@ -1,0 +1,76 @@
+//! `grape6-serve` — run the multi-tenant job server.
+//!
+//! ```text
+//! grape6-serve [--tcp ADDR] [--workers N] [--slice-blocks B]
+//!              [--max-running J] [--block-budget S] [--max-bodies M]
+//! ```
+//!
+//! With `--tcp ADDR` (e.g. `127.0.0.1:7346`) the server listens for
+//! JSON-lines connections and also accepts requests on stdin; without it,
+//! stdin/stdout is the only transport. The process exits on stdin EOF or
+//! a `Shutdown` request.
+
+use grape6_serve::service::{ServeConfig, TenantQuota};
+use std::io::{BufRead, BufWriter, Write};
+
+fn flag_value(key: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == key {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn parsed_flag<T: std::str::FromStr>(key: &str, default: T) -> T {
+    match flag_value(key) {
+        None => default,
+        Some(raw) => match raw.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("grape6-serve: invalid value {raw:?} for {key}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let cfg = ServeConfig {
+        workers: parsed_flag("--workers", 2u64),
+        slice_blocks: parsed_flag("--slice-blocks", 64u64),
+        max_bodies: parsed_flag("--max-bodies", 4096u64),
+        quota: TenantQuota {
+            max_running: parsed_flag("--max-running", 2u64),
+            block_budget: parsed_flag("--block-budget", 0u64),
+        },
+        preempt_always: false,
+    };
+
+    match flag_value("--tcp") {
+        None => grape6_serve::serve_stdio(cfg),
+        Some(addr) => {
+            let server = grape6_serve::TcpServer::start(cfg, &addr)?;
+            eprintln!("grape6-serve: listening on {}", server.addr());
+            // stdin remains a control channel; EOF or Shutdown stops the
+            // server (and with it every TCP connection's scheduler).
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            for line in stdin.lock().lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let quit = grape6_serve::server::dispatch_line(server.service(), &line, &mut out)?;
+                out.flush()?;
+                if quit {
+                    break;
+                }
+            }
+            server.stop();
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! `grape6-serve` — a long-running multi-tenant simulation job service.
+//!
+//! The production analogue of the paper's single 29.5 Tflops run is many
+//! independent *tenants* multiplexed over one shared worker pool and the
+//! same modeled GRAPE-6 hardware (the GRAPE-6A cluster pattern). This
+//! crate turns the batch CLI architecture into that service:
+//!
+//! * **Protocol** ([`protocol`]): JSON-lines submit/query/cancel/stream
+//!   requests over stdin/stdout or TCP.
+//! * **Jobs** ([`job`]): seeded paper-disk simulations with a canonical,
+//!   injective configuration key.
+//! * **Scheduler** ([`service`]): fair-share time-slicing via
+//!   checkpoint-backed preemption (pause = `G6CK` v2 write, resume =
+//!   bit-identical continuation), per-tenant quotas, an exact result
+//!   cache, and duplicate-submit coalescing.
+//! * **Transports** ([`server`]): the TCP listener and the stdio loop.
+//!
+//! Determinism is what makes the service exact: a job's result bytes
+//! depend only on its effective specification — never on worker count,
+//! preemption pattern, or tenant mix — so a cache hit is byte-identical
+//! to a fresh computation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use job::{JobResultData, JobSpec};
+pub use protocol::{JobState, JobStatus, Request, Response, TenantTelemetry};
+pub use server::{serve_stdio, TcpServer};
+pub use service::{JobService, ServeConfig, ServiceHandle, SubmitTicket, TenantQuota};

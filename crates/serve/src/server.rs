@@ -1,0 +1,194 @@
+//! Transports: a TCP listener and a stdio loop, both speaking the same
+//! JSON-lines protocol through one shared dispatch function.
+//!
+//! Each connection is serviced by one thread and handles one request at a
+//! time in order; a `Stream` request occupies its connection until the
+//! streamed job settles. Clients that want concurrent requests open
+//! multiple connections — the scheduler behind them is shared.
+
+use crate::protocol::{hex_encode, JobStatus, Request, Response};
+use crate::service::{JobService, ServeConfig, ServiceHandle};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+fn write_resp<W: Write>(out: &mut W, resp: &Response) -> io::Result<()> {
+    let line = serde_json::to_string(resp)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    writeln!(out, "{line}")
+}
+
+fn status_resp(r: Result<JobStatus, String>) -> Response {
+    match r {
+        Ok(status) => Response::Status { status },
+        Err(message) => Response::Error { message },
+    }
+}
+
+/// Parse one request line, execute it against `svc`, and write the
+/// response line(s) to `out`. Returns `true` when the connection should
+/// close (a `Shutdown` request).
+pub fn dispatch_line<W: Write>(svc: &JobService, line: &str, out: &mut W) -> io::Result<bool> {
+    let req: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            write_resp(out, &Response::Error { message: format!("bad request: {e}") })?;
+            return Ok(false);
+        }
+    };
+    match req {
+        Request::Submit { tenant, job } => {
+            let resp = match svc.submit(&tenant, job) {
+                Ok(t) => Response::Submitted { id: t.id, state: t.state, cached: t.cached },
+                Err(message) => Response::Error { message },
+            };
+            write_resp(out, &resp)?;
+        }
+        Request::SubmitEnsemble { tenant, job, seeds } => {
+            let resp = match svc.submit_ensemble(&tenant, &job, &seeds) {
+                Ok(ids) => Response::SubmittedBatch { ids },
+                Err(message) => Response::Error { message },
+            };
+            write_resp(out, &resp)?;
+        }
+        Request::Query { id } => write_resp(out, &status_resp(svc.query(id)))?,
+        Request::Wait { id } => write_resp(out, &status_resp(svc.wait(id)))?,
+        Request::Cancel { id } => write_resp(out, &status_resp(svc.cancel(id)))?,
+        Request::Result { id } => {
+            let resp = match svc.result(id) {
+                Ok((data, config_hash)) => Response::ResultData {
+                    id,
+                    snapshot_hex: hex_encode(&data.snapshot),
+                    block_steps: data.stats.block_steps,
+                    particle_steps: data.stats.particle_steps,
+                    interactions: data.stats.interactions,
+                    config_hash,
+                },
+                Err(message) => Response::Error { message },
+            };
+            write_resp(out, &resp)?;
+        }
+        Request::Stream { id } => {
+            let mut prev: Option<JobStatus> = None;
+            loop {
+                match svc.next_change(id, prev.as_ref()) {
+                    Ok(st) => {
+                        let settled = st.state.settled();
+                        write_resp(out, &Response::Event { status: st.clone() })?;
+                        out.flush()?;
+                        if settled {
+                            break;
+                        }
+                        prev = Some(st);
+                    }
+                    Err(message) => {
+                        write_resp(out, &Response::Error { message })?;
+                        break;
+                    }
+                }
+            }
+        }
+        Request::Tenants => write_resp(out, &Response::Tenants { tenants: svc.tenants() })?,
+        Request::Shutdown => {
+            svc.shutdown();
+            write_resp(out, &Response::Done)?;
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+fn handle_conn(svc: Arc<JobService>, stream: TcpStream) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let quit = dispatch_line(&svc, &line, &mut writer)?;
+        writer.flush()?;
+        if quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// A running TCP server: scheduler, listener thread, connection threads.
+pub struct TcpServer {
+    addr: SocketAddr,
+    handle: ServiceHandle,
+    accept: JoinHandle<()>,
+}
+
+impl TcpServer {
+    /// Start the scheduler and listen on `bind_addr` (use port 0 for an
+    /// ephemeral port; the bound address is available via [`Self::addr`]).
+    pub fn start(cfg: ServeConfig, bind_addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let handle = ServiceHandle::start(cfg);
+        let service = handle.service().clone();
+        let accept = std::thread::spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                if service.is_shutdown() {
+                    break;
+                }
+                let svc = service.clone();
+                conns.push(std::thread::spawn(move || {
+                    let _ = handle_conn(svc, stream);
+                }));
+            }
+            for c in conns {
+                let _ = c.join();
+            }
+        });
+        Ok(Self { addr, handle, accept })
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared scheduler, for in-process submission alongside TCP.
+    pub fn service(&self) -> &Arc<JobService> {
+        self.handle.service()
+    }
+
+    /// Shut the scheduler down, unblock the accept loop, and join every
+    /// thread. Open client connections end when the clients close them.
+    pub fn stop(self) {
+        self.handle.service().shutdown();
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept.join();
+        self.handle.stop();
+    }
+}
+
+/// Serve the JSON-lines protocol over stdin/stdout until EOF or a
+/// `Shutdown` request.
+pub fn serve_stdio(cfg: ServeConfig) -> io::Result<()> {
+    let handle = ServiceHandle::start(cfg);
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let quit = dispatch_line(handle.service(), &line, &mut out)?;
+        out.flush()?;
+        if quit {
+            break;
+        }
+    }
+    handle.stop();
+    Ok(())
+}

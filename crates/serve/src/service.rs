@@ -1,0 +1,613 @@
+//! The multi-tenant job scheduler: a shared worker pool multiplexing many
+//! concurrent simulations with fair-share time-slicing, per-tenant quotas,
+//! an exact result cache, and duplicate-request coalescing.
+//!
+//! ## Scheduling model
+//!
+//! Work is sliced in *block steps* — the natural quantum of the block
+//! timestep integrator and the only work currency the server uses (wall
+//! time never enters a scheduling decision, preserving the workspace's
+//! determinism contract). A worker claims the queued job whose tenant has
+//! consumed the fewest block steps (ties to the oldest job), runs one slice
+//! of `slice_blocks` steps, and then either completes the job, keeps going,
+//! or — when other work is waiting — preempts it: pause is a `G6CK` v2
+//! checkpoint write, resume is a bit-identical continuation, so preemption
+//! is invisible in every result byte.
+//!
+//! ## Exact result cache and coalescing
+//!
+//! Jobs are keyed by [`JobSpec::canonical_key`]. A submit whose key is
+//! already cached settles instantly with the cached bytes; a submit whose
+//! key is currently in flight *attaches* to the running primary and settles
+//! with it — so each distinct configuration is computed at most once, and
+//! every duplicate is a cache hit with byte-identical output.
+
+use crate::job::{JobResultData, JobSpec, RunnerSim};
+use crate::protocol::{JobState, JobStatus, TenantTelemetry};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Per-tenant resource limits (every tenant gets the same quota).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantQuota {
+    /// Max jobs of one tenant running on workers at the same instant.
+    pub max_running: u64,
+    /// Total block steps a tenant may consume across all its jobs;
+    /// 0 = unlimited. Jobs that would exceed it fail with a budget error.
+    pub block_budget: u64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        Self { max_running: 2, block_budget: 0 }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Worker threads in the shared pool.
+    pub workers: u64,
+    /// Block steps per time slice (the preemption quantum).
+    pub slice_blocks: u64,
+    /// Largest admissible system (planetesimals + 2 protoplanets).
+    pub max_bodies: u64,
+    /// Per-tenant limits.
+    #[serde(default)]
+    pub quota: TenantQuota,
+    /// Test knob: preempt at every slice boundary even when no other job
+    /// is waiting (maximizes checkpoint/resume churn).
+    #[serde(default)]
+    pub preempt_always: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            slice_blocks: 64,
+            max_bodies: 4096,
+            quota: TenantQuota::default(),
+            preempt_always: false,
+        }
+    }
+}
+
+/// Internal job lifecycle (the wire state plus the coalesced link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Queued,
+    Running,
+    /// Duplicate of an in-flight job; settles when its primary does.
+    Attached {
+        primary: usize,
+    },
+    Completed,
+    Failed,
+    Cancelled,
+}
+
+struct Job {
+    tenant_idx: usize,
+    spec: JobSpec,
+    key: String,
+    config_hash: u64,
+    state: State,
+    blocks_done: u64,
+    preemptions: u64,
+    cached: bool,
+    error: String,
+    checkpoint: Option<bytes::Bytes>,
+    cancel_requested: bool,
+    result: Option<Arc<JobResultData>>,
+    /// Job indices attached to this primary (valid while unsettled).
+    attached: Vec<usize>,
+}
+
+#[derive(Default)]
+struct Tenant {
+    name: String,
+    running: u64,
+    peak_running: u64,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    rejected: u64,
+    cache_hits: u64,
+    coalesced: u64,
+    preemptions: u64,
+    block_steps: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    jobs: Vec<Job>,
+    tenants: Vec<Tenant>,
+    /// Exact result cache, sorted by canonical key.
+    cache: Vec<(String, Arc<JobResultData>)>,
+    /// Canonical key -> primary job index, for every unsettled primary.
+    inflight: Vec<(String, usize)>,
+    shutdown: bool,
+}
+
+/// Outcome of an accepted submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitTicket {
+    /// Assigned job id.
+    pub id: u64,
+    /// Initial state (`Completed` for an immediate cache hit).
+    pub state: JobState,
+    /// True when served from cache or coalesced onto an in-flight job.
+    pub cached: bool,
+}
+
+/// The job server: all scheduler state behind one mutex, with a condvar
+/// for workers (`work_cv`) and one for status waiters (`event_cv`).
+pub struct JobService {
+    cfg: ServeConfig,
+    inner: Mutex<Inner>,
+    work_cv: Condvar,
+    event_cv: Condvar,
+}
+
+/// Pick the queued job the fair-share policy runs next: among jobs whose
+/// tenant is under its concurrency cap, the one whose tenant has consumed
+/// the fewest block steps, ties to the lowest job id. Runs under the
+/// scheduler lock on every slice boundary.
+// grape6-lint: hot
+fn pick_next(jobs: &[Job], tenants: &[Tenant], max_running: u64) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    let mut best_used = u64::MAX;
+    let mut i = 0;
+    while i < jobs.len() {
+        let job = &jobs[i];
+        if job.state == State::Queued && tenants[job.tenant_idx].running < max_running {
+            let used = tenants[job.tenant_idx].block_steps;
+            if used < best_used {
+                best = Some(i);
+                best_used = used;
+            }
+        }
+        i += 1;
+    }
+    best
+}
+
+fn other_queued(jobs: &[Job], me: usize) -> bool {
+    jobs.iter().enumerate().any(|(i, j)| i != me && j.state == State::Queued)
+}
+
+impl JobService {
+    fn new(cfg: ServeConfig) -> Self {
+        Self {
+            cfg,
+            inner: Mutex::new(Inner::default()),
+            work_cv: Condvar::new(),
+            event_cv: Condvar::new(),
+        }
+    }
+
+    /// The configuration this service was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    fn tenant_idx(inner: &mut Inner, name: &str) -> usize {
+        match inner.tenants.iter().position(|t| t.name == name) {
+            Some(i) => i,
+            None => {
+                inner.tenants.push(Tenant { name: name.to_string(), ..Tenant::default() });
+                inner.tenants.len() - 1
+            }
+        }
+    }
+
+    /// Submit one job. `Err` is a rejection (validation failure), counted
+    /// in the tenant's `rejected` telemetry.
+    pub fn submit(&self, tenant: &str, spec: JobSpec) -> Result<SubmitTicket, String> {
+        let mut inner = self.inner.lock().expect("scheduler lock");
+        if inner.shutdown {
+            return Err("server is shutting down".into());
+        }
+        let tidx = Self::tenant_idx(&mut inner, tenant);
+        if let Err(e) = spec.validate(self.cfg.max_bodies) {
+            inner.tenants[tidx].rejected += 1;
+            return Err(e);
+        }
+        let key = spec.canonical_key().expect("validated spec has a key");
+        let config_hash = spec.config_hash().expect("validated spec has a digest");
+        let id = inner.jobs.len();
+        let mut job = Job {
+            tenant_idx: tidx,
+            spec,
+            key: key.clone(),
+            config_hash,
+            state: State::Queued,
+            blocks_done: 0,
+            preemptions: 0,
+            cached: false,
+            error: String::new(),
+            checkpoint: None,
+            cancel_requested: false,
+            result: None,
+            attached: Vec::new(),
+        };
+        inner.tenants[tidx].submitted += 1;
+
+        // Exact cache: settle instantly with the cached computation.
+        if let Ok(pos) = inner.cache.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
+            job.state = State::Completed;
+            job.cached = true;
+            job.result = Some(inner.cache[pos].1.clone());
+            inner.jobs.push(job);
+            inner.tenants[tidx].cache_hits += 1;
+            inner.tenants[tidx].completed += 1;
+            self.event_cv.notify_all();
+            return Ok(SubmitTicket { id: id as u64, state: JobState::Completed, cached: true });
+        }
+
+        // Coalesce: an identical job is in flight — attach to it.
+        if let Some(&(_, primary)) = inner.inflight.iter().find(|(k, _)| *k == key) {
+            job.state = State::Attached { primary };
+            job.cached = true;
+            inner.jobs.push(job);
+            inner.jobs[primary].attached.push(id);
+            inner.tenants[tidx].coalesced += 1;
+            self.event_cv.notify_all();
+            return Ok(SubmitTicket { id: id as u64, state: JobState::Queued, cached: true });
+        }
+
+        inner.jobs.push(job);
+        inner.inflight.push((key, id));
+        self.work_cv.notify_all();
+        self.event_cv.notify_all();
+        Ok(SubmitTicket { id: id as u64, state: JobState::Queued, cached: false })
+    }
+
+    /// Submit `seeds.len()` jobs sharing one template spec (seed overridden
+    /// per member). All-or-nothing: the template is validated before any
+    /// member is queued.
+    pub fn submit_ensemble(
+        &self,
+        tenant: &str,
+        template: &JobSpec,
+        seeds: &[u64],
+    ) -> Result<Vec<u64>, String> {
+        template.validate(self.cfg.max_bodies)?;
+        let mut ids = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let spec = JobSpec { seed, ..template.clone() };
+            ids.push(self.submit(tenant, spec)?.id);
+        }
+        Ok(ids)
+    }
+
+    fn status_locked(&self, inner: &Inner, id: u64) -> Result<JobStatus, String> {
+        let job = inner.jobs.get(id as usize).ok_or_else(|| format!("no such job {id}"))?;
+        let state = match job.state {
+            State::Queued | State::Attached { .. } => JobState::Queued,
+            State::Running => JobState::Running,
+            State::Completed => JobState::Completed,
+            State::Failed => JobState::Failed,
+            State::Cancelled => JobState::Cancelled,
+        };
+        Ok(JobStatus {
+            id,
+            tenant: inner.tenants[job.tenant_idx].name.clone(),
+            state,
+            blocks_done: job.blocks_done,
+            preemptions: job.preemptions,
+            cached: job.cached,
+            error: job.error.clone(),
+            config_hash: job.config_hash,
+        })
+    }
+
+    /// Current status of a job.
+    pub fn query(&self, id: u64) -> Result<JobStatus, String> {
+        let inner = self.inner.lock().expect("scheduler lock");
+        self.status_locked(&inner, id)
+    }
+
+    /// Block until the job settles; returns its final status. Errs if the
+    /// server shuts down first (parked jobs never settle).
+    pub fn wait(&self, id: u64) -> Result<JobStatus, String> {
+        let mut inner = self.inner.lock().expect("scheduler lock");
+        loop {
+            let st = self.status_locked(&inner, id)?;
+            if st.state.settled() {
+                return Ok(st);
+            }
+            if inner.shutdown {
+                return Err(format!("server shut down before job {id} settled"));
+            }
+            inner = self.event_cv.wait(inner).expect("scheduler lock");
+        }
+    }
+
+    /// Block until the job's status differs from `prev` (or immediately
+    /// when `prev` is `None`), returning the new status. Callers must stop
+    /// once a settled status has been returned — a settled job never
+    /// changes again.
+    pub fn next_change(&self, id: u64, prev: Option<&JobStatus>) -> Result<JobStatus, String> {
+        let mut inner = self.inner.lock().expect("scheduler lock");
+        loop {
+            let st = self.status_locked(&inner, id)?;
+            if prev != Some(&st) {
+                return Ok(st);
+            }
+            if inner.shutdown {
+                return Err(format!("server shut down while streaming job {id}"));
+            }
+            inner = self.event_cv.wait(inner).expect("scheduler lock");
+        }
+    }
+
+    /// Result payload of a completed job (cached or computed).
+    pub fn result(&self, id: u64) -> Result<(Arc<JobResultData>, u64), String> {
+        let inner = self.inner.lock().expect("scheduler lock");
+        let job = inner.jobs.get(id as usize).ok_or_else(|| format!("no such job {id}"))?;
+        match (&job.state, &job.result) {
+            (State::Completed, Some(r)) => Ok((r.clone(), job.config_hash)),
+            (State::Failed, _) => Err(format!("job {id} failed: {}", job.error)),
+            (State::Cancelled, _) => Err(format!("job {id} was cancelled")),
+            _ => Err(format!("job {id} has not completed yet")),
+        }
+    }
+
+    /// Request cancellation; returns the status after the request applied.
+    /// Queued/attached jobs cancel immediately, running jobs at the next
+    /// slice boundary, settled jobs are untouched.
+    pub fn cancel(&self, id: u64) -> Result<JobStatus, String> {
+        let mut inner = self.inner.lock().expect("scheduler lock");
+        let idx = id as usize;
+        if idx >= inner.jobs.len() {
+            return Err(format!("no such job {id}"));
+        }
+        match inner.jobs[idx].state {
+            State::Queued => {
+                let ckpt = inner.jobs[idx].checkpoint.take();
+                inner.jobs[idx].state = State::Cancelled;
+                let tidx = inner.jobs[idx].tenant_idx;
+                inner.tenants[tidx].cancelled += 1;
+                self.detach_primary(&mut inner, idx, ckpt);
+                self.work_cv.notify_all();
+                self.event_cv.notify_all();
+            }
+            State::Attached { primary } => {
+                inner.jobs[primary].attached.retain(|&a| a != idx);
+                inner.jobs[idx].state = State::Cancelled;
+                inner.jobs[idx].cached = false;
+                let tidx = inner.jobs[idx].tenant_idx;
+                inner.tenants[tidx].cancelled += 1;
+                self.event_cv.notify_all();
+            }
+            State::Running => inner.jobs[idx].cancel_requested = true,
+            State::Completed | State::Failed | State::Cancelled => {}
+        }
+        self.status_locked(&inner, id)
+    }
+
+    /// Per-tenant telemetry, sorted by tenant name.
+    pub fn tenants(&self) -> Vec<TenantTelemetry> {
+        let inner = self.inner.lock().expect("scheduler lock");
+        let mut rows: Vec<TenantTelemetry> = inner
+            .tenants
+            .iter()
+            .map(|t| TenantTelemetry {
+                tenant: t.name.clone(),
+                submitted: t.submitted,
+                completed: t.completed,
+                failed: t.failed,
+                cancelled: t.cancelled,
+                rejected: t.rejected,
+                cache_hits: t.cache_hits,
+                coalesced: t.coalesced,
+                preemptions: t.preemptions,
+                block_steps: t.block_steps,
+                block_budget: self.cfg.quota.block_budget,
+                max_running: self.cfg.quota.max_running,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        rows
+    }
+
+    /// Highest number of this tenant's jobs ever running at the same
+    /// instant (test observability for the concurrency quota).
+    pub fn peak_running(&self, tenant: &str) -> u64 {
+        let inner = self.inner.lock().expect("scheduler lock");
+        inner.tenants.iter().find(|t| t.name == tenant).map_or(0, |t| t.peak_running)
+    }
+
+    /// True once [`Self::shutdown`] has been called.
+    pub fn is_shutdown(&self) -> bool {
+        self.inner.lock().expect("scheduler lock").shutdown
+    }
+
+    /// Stop accepting submissions and wake everything up. Running slices
+    /// finish, are checkpointed, and park in the queue.
+    pub fn shutdown(&self) {
+        let mut inner = self.inner.lock().expect("scheduler lock");
+        inner.shutdown = true;
+        self.work_cv.notify_all();
+        self.event_cv.notify_all();
+    }
+
+    /// When a primary leaves the queue without producing a result (cancel
+    /// or failure), promote its first attached duplicate to primary —
+    /// inheriting the checkpoint, so work done so far is not lost — or
+    /// clear the in-flight entry when no duplicate is waiting.
+    fn detach_primary(&self, inner: &mut Inner, idx: usize, ckpt: Option<bytes::Bytes>) {
+        let attached = std::mem::take(&mut inner.jobs[idx].attached);
+        match attached.split_first() {
+            None => inner.inflight.retain(|(_, p)| *p != idx),
+            Some((&heir, rest)) => {
+                inner.jobs[heir].state = State::Queued;
+                inner.jobs[heir].cached = false;
+                inner.jobs[heir].checkpoint = ckpt;
+                inner.jobs[heir].attached = rest.to_vec();
+                for entry in inner.inflight.iter_mut() {
+                    if entry.1 == idx {
+                        entry.1 = heir;
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete_locked(&self, inner: &mut Inner, idx: usize, result: Arc<JobResultData>) {
+        inner.jobs[idx].state = State::Completed;
+        inner.jobs[idx].result = Some(result.clone());
+        let tidx = inner.jobs[idx].tenant_idx;
+        inner.tenants[tidx].completed += 1;
+        let key = inner.jobs[idx].key.clone();
+        if let Err(pos) = inner.cache.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
+            inner.cache.insert(pos, (key, result.clone()));
+        }
+        inner.inflight.retain(|(_, p)| *p != idx);
+        for a in std::mem::take(&mut inner.jobs[idx].attached) {
+            inner.jobs[a].state = State::Completed;
+            inner.jobs[a].result = Some(result.clone());
+            let at = inner.jobs[a].tenant_idx;
+            inner.tenants[at].completed += 1;
+        }
+        self.event_cv.notify_all();
+    }
+
+    fn fail_locked(&self, inner: &mut Inner, idx: usize, msg: &str, ckpt: Option<bytes::Bytes>) {
+        inner.jobs[idx].state = State::Failed;
+        inner.jobs[idx].error = msg.to_string();
+        let tidx = inner.jobs[idx].tenant_idx;
+        inner.tenants[tidx].failed += 1;
+        self.detach_primary(inner, idx, ckpt);
+        self.work_cv.notify_all();
+        self.event_cv.notify_all();
+    }
+
+    fn worker_loop(&self) {
+        let mut inner = self.inner.lock().expect("scheduler lock");
+        'claim: loop {
+            // Claim the fair-share pick, or sleep until there is one.
+            let idx = loop {
+                if inner.shutdown {
+                    return;
+                }
+                match pick_next(&inner.jobs, &inner.tenants, self.cfg.quota.max_running) {
+                    Some(i) => break i,
+                    None => inner = self.work_cv.wait(inner).expect("scheduler lock"),
+                }
+            };
+            let tidx = inner.jobs[idx].tenant_idx;
+            let budget = self.cfg.quota.block_budget;
+            if budget > 0 && inner.tenants[tidx].block_steps >= budget {
+                self.fail_locked(&mut inner, idx, "tenant block-step budget exhausted", None);
+                continue 'claim;
+            }
+            inner.jobs[idx].state = State::Running;
+            inner.tenants[tidx].running += 1;
+            inner.tenants[tidx].peak_running =
+                inner.tenants[tidx].peak_running.max(inner.tenants[tidx].running);
+            self.event_cv.notify_all();
+            let spec = inner.jobs[idx].spec.clone();
+            let ckpt = inner.jobs[idx].checkpoint.take();
+            drop(inner);
+
+            let built = match ckpt {
+                Some(c) => RunnerSim::resume(&spec, c),
+                None => RunnerSim::fresh(&spec),
+            };
+            let mut sim = match built {
+                Ok(s) => s,
+                Err(e) => {
+                    inner = self.inner.lock().expect("scheduler lock");
+                    inner.tenants[tidx].running -= 1;
+                    self.fail_locked(&mut inner, idx, &format!("runner error: {e}"), None);
+                    continue 'claim;
+                }
+            };
+
+            // Slice loop: run a quantum, then decide under the lock.
+            loop {
+                let rep = sim.run_slice(spec.t_end, self.cfg.slice_blocks);
+                inner = self.inner.lock().expect("scheduler lock");
+                inner.jobs[idx].blocks_done += rep.blocks;
+                inner.tenants[tidx].block_steps += rep.blocks;
+                if inner.jobs[idx].cancel_requested {
+                    inner.tenants[tidx].running -= 1;
+                    inner.jobs[idx].state = State::Cancelled;
+                    inner.tenants[tidx].cancelled += 1;
+                    self.detach_primary(&mut inner, idx, Some(sim.checkpoint()));
+                    self.work_cv.notify_all();
+                    self.event_cv.notify_all();
+                    continue 'claim;
+                }
+                if rep.done {
+                    inner.tenants[tidx].running -= 1;
+                    let result = Arc::new(sim.result());
+                    self.complete_locked(&mut inner, idx, result);
+                    self.work_cv.notify_all();
+                    continue 'claim;
+                }
+                if budget > 0 && inner.tenants[tidx].block_steps >= budget {
+                    inner.tenants[tidx].running -= 1;
+                    self.fail_locked(
+                        &mut inner,
+                        idx,
+                        "tenant block-step budget exhausted",
+                        Some(sim.checkpoint()),
+                    );
+                    continue 'claim;
+                }
+                let yield_now =
+                    self.cfg.preempt_always || inner.shutdown || other_queued(&inner.jobs, idx);
+                if yield_now {
+                    inner.jobs[idx].checkpoint = Some(sim.checkpoint());
+                    inner.jobs[idx].state = State::Queued;
+                    inner.jobs[idx].preemptions += 1;
+                    inner.tenants[tidx].preemptions += 1;
+                    inner.tenants[tidx].running -= 1;
+                    self.work_cv.notify_all();
+                    self.event_cv.notify_all();
+                    continue 'claim;
+                }
+                drop(inner);
+            }
+        }
+    }
+}
+
+/// A started service: the shared [`JobService`] plus its worker threads.
+pub struct ServiceHandle {
+    service: Arc<JobService>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// Start the scheduler with `cfg.workers` worker threads.
+    pub fn start(cfg: ServeConfig) -> Self {
+        let service = Arc::new(JobService::new(cfg));
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let svc = service.clone();
+                std::thread::spawn(move || svc.worker_loop())
+            })
+            .collect();
+        Self { service, workers }
+    }
+
+    /// The shared service.
+    pub fn service(&self) -> &Arc<JobService> {
+        &self.service
+    }
+
+    /// Signal shutdown and join every worker.
+    pub fn stop(self) {
+        self.service.shutdown();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
