@@ -155,20 +155,39 @@ pub struct ServiceLatencyResult {
 }
 
 /// The seeded spec pool: pool entry `k` is a small paper disk whose size
-/// and realization seed derive from the master seed.
+/// and realization seed derive from the master seed. Entries are distinct
+/// by canonical cache key — a colliding draw is redrawn — so pool index
+/// and cache key identify the same duplicate groups and the
+/// one-primary-per-group contract checks cannot trip on an unlucky
+/// `(n, seed)` repeat.
 fn spec_pool(cfg: &LoadGenConfig) -> Vec<JobSpec> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let span = cfg.n_max - cfg.n_min + 1;
-    (0..cfg.pool_specs)
-        .map(|_| JobSpec {
+    let mut keys = std::collections::BTreeSet::new();
+    let mut pool = Vec::with_capacity(cfg.pool_specs as usize);
+    let mut attempts = 0u64;
+    while (pool.len() as u64) < cfg.pool_specs {
+        attempts += 1;
+        assert!(
+            attempts < 1000 * cfg.pool_specs,
+            "spec pool of {} cannot be filled with distinct specs from n in {}..={}",
+            cfg.pool_specs,
+            cfg.n_min,
+            cfg.n_max,
+        );
+        let spec = JobSpec {
             n: cfg.n_min + rng.gen::<u64>() % span,
             seed: rng.gen::<u64>() % 1_000_000,
             t_end: cfg.t_end,
             dt_max: 0.0,
             eta: 0.0,
             engine: String::new(),
-        })
-        .collect()
+        };
+        if keys.insert(spec.canonical_key().expect("pool specs are valid")) {
+            pool.push(spec);
+        }
+    }
+    pool
 }
 
 /// The seeded job sequence: job `j` draws pool index `j % pool` for the
@@ -456,6 +475,14 @@ mod tests {
     fn spec_pool_and_sequence_are_seeded_and_duplicate_bearing() {
         let cfg = tiny();
         assert_eq!(spec_pool(&cfg), spec_pool(&cfg));
+        // Pool entries are distinct by cache key (collisions are redrawn),
+        // so per-pool-index duplicate accounting equals per-key accounting
+        // — for the test config and the shipped standard/smoke configs.
+        for c in [&cfg, &LoadGenConfig::standard(), &LoadGenConfig::smoke()] {
+            let keys: std::collections::BTreeSet<String> =
+                spec_pool(c).iter().map(|s| s.canonical_key().unwrap()).collect();
+            assert_eq!(keys.len() as u64, c.pool_specs);
+        }
         assert_eq!(job_sequence(&cfg), job_sequence(&cfg));
         let seq = job_sequence(&cfg);
         assert_eq!(seq.len() as u64, cfg.jobs);

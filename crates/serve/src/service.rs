@@ -21,6 +21,18 @@
 //! key is currently in flight *attaches* to the running primary and settles
 //! with it — so each distinct configuration is computed at most once, and
 //! every duplicate is a cache hit with byte-identical output.
+//!
+//! ## Retention
+//!
+//! The job table, the exact result cache, and parked checkpoints are
+//! retained for the lifetime of the process: job ids are stable handles
+//! (queryable forever), and evicting a cache entry would silently turn a
+//! guaranteed duplicate hit into a recomputation. Memory therefore grows
+//! with every distinct job ever submitted — the service is operated like
+//! the batch runs it replaces, sized for a bounded campaign and restarted
+//! between campaigns, not as an unbounded-uptime daemon. (Per-tenant
+//! `block_budget` quotas bound how much *compute* — and thus how many
+//! distinct cached results — any one tenant can force.)
 
 use crate::job::{JobResultData, JobSpec, RunnerSim};
 use crate::protocol::{JobState, JobStatus, TenantTelemetry};
@@ -208,10 +220,19 @@ impl JobService {
     /// in the tenant's `rejected` telemetry.
     pub fn submit(&self, tenant: &str, spec: JobSpec) -> Result<SubmitTicket, String> {
         let mut inner = self.inner.lock().expect("scheduler lock");
+        self.submit_locked(&mut inner, tenant, spec)
+    }
+
+    fn submit_locked(
+        &self,
+        inner: &mut Inner,
+        tenant: &str,
+        spec: JobSpec,
+    ) -> Result<SubmitTicket, String> {
         if inner.shutdown {
             return Err("server is shutting down".into());
         }
-        let tidx = Self::tenant_idx(&mut inner, tenant);
+        let tidx = Self::tenant_idx(inner, tenant);
         if let Err(e) = spec.validate(self.cfg.max_bodies) {
             inner.tenants[tidx].rejected += 1;
             return Err(e);
@@ -267,19 +288,29 @@ impl JobService {
     }
 
     /// Submit `seeds.len()` jobs sharing one template spec (seed overridden
-    /// per member). All-or-nothing: the template is validated before any
-    /// member is queued.
+    /// per member). All-or-nothing: every member is validated first and the
+    /// whole batch is enqueued under one scheduler lock, so a rejected (or
+    /// shutdown-raced) batch queues nothing.
     pub fn submit_ensemble(
         &self,
         tenant: &str,
         template: &JobSpec,
         seeds: &[u64],
     ) -> Result<Vec<u64>, String> {
-        template.validate(self.cfg.max_bodies)?;
-        let mut ids = Vec::with_capacity(seeds.len());
-        for &seed in seeds {
-            let spec = JobSpec { seed, ..template.clone() };
-            ids.push(self.submit(tenant, spec)?.id);
+        let specs: Vec<JobSpec> =
+            seeds.iter().map(|&seed| JobSpec { seed, ..template.clone() }).collect();
+        for spec in &specs {
+            spec.validate(self.cfg.max_bodies)?;
+        }
+        let mut inner = self.inner.lock().expect("scheduler lock");
+        if inner.shutdown {
+            return Err("server is shutting down".into());
+        }
+        // Pre-validated members under a held lock cannot be rejected, so
+        // this loop is infallible and the batch queues atomically.
+        let mut ids = Vec::with_capacity(specs.len());
+        for spec in specs {
+            ids.push(self.submit_locked(&mut inner, tenant, spec)?.id);
         }
         Ok(ids)
     }
@@ -441,7 +472,12 @@ impl JobService {
     /// inheriting the checkpoint, so work done so far is not lost — or
     /// clear the in-flight entry when no duplicate is waiting.
     fn detach_primary(&self, inner: &mut Inner, idx: usize, ckpt: Option<bytes::Bytes>) {
-        let attached = std::mem::take(&mut inner.jobs[idx].attached);
+        // Settled states are terminal: only jobs still attached to *this*
+        // primary are eligible for promotion or re-linking.
+        let attached: Vec<usize> = std::mem::take(&mut inner.jobs[idx].attached)
+            .into_iter()
+            .filter(|&a| inner.jobs[a].state == (State::Attached { primary: idx }))
+            .collect();
         match attached.split_first() {
             None => inner.inflight.retain(|(_, p)| *p != idx),
             Some((&heir, rest)) => {
@@ -449,6 +485,12 @@ impl JobService {
                 inner.jobs[heir].cached = false;
                 inner.jobs[heir].checkpoint = ckpt;
                 inner.jobs[heir].attached = rest.to_vec();
+                // Re-point the surviving duplicates at the heir, so a later
+                // cancel retains on the heir's attached list and the heir's
+                // own settlement sees a consistent chain.
+                for &dup in rest {
+                    inner.jobs[dup].state = State::Attached { primary: heir };
+                }
                 for entry in inner.inflight.iter_mut() {
                     if entry.1 == idx {
                         entry.1 = heir;
@@ -469,6 +511,11 @@ impl JobService {
         }
         inner.inflight.retain(|(_, p)| *p != idx);
         for a in std::mem::take(&mut inner.jobs[idx].attached) {
+            // Settled states are terminal: never overwrite a duplicate that
+            // already left the attachment (e.g. was cancelled).
+            if inner.jobs[a].state != (State::Attached { primary: idx }) {
+                continue;
+            }
             inner.jobs[a].state = State::Completed;
             inner.jobs[a].result = Some(result.clone());
             let at = inner.jobs[a].tenant_idx;

@@ -264,6 +264,64 @@ fn cancelling_a_primary_promotes_its_duplicate() {
 }
 
 #[test]
+fn promotion_repoints_surviving_duplicates_and_keeps_cancelled_ones_settled() {
+    // Same pinning trick as above: with one worker and max_running = 1,
+    // alice's long blocker keeps every other alice job in Queued, so the
+    // whole cancel/promote chain below runs deterministically before any
+    // of the coalesced jobs can execute.
+    let handle = ServiceHandle::start(ServeConfig {
+        slice_blocks: 2,
+        quota: TenantQuota { max_running: 1, block_budget: 0 },
+        ..cfg(1)
+    });
+    let svc = handle.service();
+    let blocker = svc.submit("alice", spec(16, 1, 50.0)).unwrap().id;
+    let job = spec(14, 9, 0.5);
+    let primary = svc.submit("alice", job.clone()).unwrap();
+    let dup_a = svc.submit("alice", job.clone()).unwrap();
+    let dup_b = svc.submit("bob", job.clone()).unwrap();
+    let dup_c = svc.submit("carol", job.clone()).unwrap();
+    assert!(dup_a.cached && dup_b.cached && dup_c.cached);
+
+    // Cancel the primary: alice's dup_a inherits primaryship (still pinned
+    // behind the blocker), and dup_b/dup_c must now be attached to *it*.
+    svc.cancel(primary.id).unwrap();
+    assert_eq!(svc.wait(primary.id).unwrap().state, JobState::Cancelled);
+
+    // Cancelling dup_b must detach it from the heir, not from the settled
+    // old primary — it settles Cancelled, terminally.
+    svc.cancel(dup_b.id).unwrap();
+    assert_eq!(svc.wait(dup_b.id).unwrap().state, JobState::Cancelled);
+
+    // Cancel the heir too: the next heir must be the live dup_c, never the
+    // already-cancelled dup_b. carol is unblocked, so dup_c now runs.
+    svc.cancel(dup_a.id).unwrap();
+    assert_eq!(svc.wait(dup_a.id).unwrap().state, JobState::Cancelled);
+    let st = svc.wait(dup_c.id).unwrap();
+    assert_eq!(st.state, JobState::Completed);
+    let (r, _) = svc.result(dup_c.id).unwrap();
+    assert_eq!(r.snapshot, fresh_snapshot(&job));
+
+    // dup_b's settled state survived the heir's completion (terminal
+    // states are terminal), and its result stays a cancellation error.
+    assert_eq!(svc.query(dup_b.id).unwrap().state, JobState::Cancelled);
+    assert!(svc.result(dup_b.id).unwrap_err().contains("cancelled"));
+
+    svc.cancel(blocker).unwrap();
+    assert_eq!(svc.wait(blocker).unwrap().state, JobState::Cancelled);
+
+    // Telemetry: nobody is double-counted across cancelled + completed.
+    let rows = svc.tenants();
+    let bob = rows.iter().find(|t| t.tenant == "bob").unwrap();
+    assert_eq!((bob.cancelled, bob.completed), (1, 0));
+    let carol = rows.iter().find(|t| t.tenant == "carol").unwrap();
+    assert_eq!((carol.cancelled, carol.completed), (0, 1));
+    let alice = rows.iter().find(|t| t.tenant == "alice").unwrap();
+    assert_eq!((alice.cancelled, alice.completed), (3, 0));
+    handle.stop();
+}
+
+#[test]
 fn rejected_submissions_are_counted_and_explain_themselves() {
     let handle = ServiceHandle::start(cfg(1));
     let svc = handle.service();
@@ -369,5 +427,19 @@ fn ensemble_submission_fans_out_one_job_per_seed() {
     // Distinct seeds are distinct realizations.
     assert_ne!(snapshots[0], snapshots[1]);
     assert_ne!(snapshots[1], snapshots[2]);
+    handle.stop();
+}
+
+#[test]
+fn rejected_ensembles_queue_nothing() {
+    let handle = ServiceHandle::start(cfg(1));
+    let svc = handle.service();
+    assert!(svc.submit_ensemble("sweep", &spec(0, 0, 0.25), &[1, 2, 3]).is_err());
+    assert!(svc.tenants().iter().all(|t| t.submitted == 0));
+
+    // A batch racing shutdown is all-or-nothing too: no partial members.
+    svc.shutdown();
+    assert!(svc.submit_ensemble("sweep", &spec(10, 0, 0.25), &[1, 2, 3]).is_err());
+    assert!(svc.tenants().iter().all(|t| t.submitted == 0));
     handle.stop();
 }
