@@ -225,6 +225,10 @@ fn main() -> ExitCode {
         "bench_compare: baseline {} (git {}) vs fresh {} (git {})",
         baseline_path, baseline.git_sha, fresh_path, fresh.git_sha
     );
+    println!(
+        "bench_compare: schema v{} (baseline) vs v{} (fresh)",
+        baseline.schema_version, fresh.schema_version
+    );
     if baseline.schema_version != fresh.schema_version {
         eprintln!(
             "error: schema version mismatch: baseline {} vs fresh {} — regenerate the baseline",
@@ -325,8 +329,23 @@ fn main() -> ExitCode {
     // the (exact) duplicate total depend on thread interleaving and are
     // informational only.
     {
-        let (b, f) = (&baseline.service_latency, &fresh.service_latency);
         let label = "service";
+        let (b, f) = match (&baseline.service_latency, &fresh.service_latency) {
+            (Some(b), Some(f)) => (b, f),
+            (b, f) => {
+                // A report without the section is itself a regression: the
+                // service gate silently vanishing must not read as a pass.
+                gate.failures += 1;
+                for (which, row) in [("baseline", b), ("fresh", f)] {
+                    if row.is_none() {
+                        println!(
+                            "  {label:<18} MISSING service_latency section in the {which} report"
+                        );
+                    }
+                }
+                return finish(&gate);
+            }
+        };
         gate.counter(label, "jobs", b.jobs, f.jobs);
         gate.counter(label, "tenants", b.tenants, f.tenants);
         gate.counter(label, "clients", b.clients, f.clients);
@@ -357,6 +376,10 @@ fn main() -> ExitCode {
         );
     }
 
+    finish(&gate)
+}
+
+fn finish(gate: &Gate) -> ExitCode {
     if gate.failures > 0 {
         eprintln!("bench_compare: {} check(s) FAILED", gate.failures);
         ExitCode::FAILURE

@@ -211,8 +211,12 @@ pub struct BenchReport {
     pub host_phase: Vec<HostPhaseRow>,
     /// The seeded load-generator pass through the `grape6-serve` job
     /// service (256 jobs / 4 tenants): latency percentiles, throughput,
-    /// cache hit rate, and the deterministic work counters.
-    pub service_latency: crate::loadgen::ServiceLatencyResult,
+    /// cache hit rate, and the deterministic work counters. Optional at the
+    /// parse level so `bench_compare` can *name* a report that dropped the
+    /// section instead of dying on a deserialization error; every produced
+    /// report carries it.
+    #[serde(default)]
+    pub service_latency: Option<crate::loadgen::ServiceLatencyResult>,
     /// Timing-model self-check against the paper's headline numbers.
     pub paper_check: PaperCheck,
 }
@@ -546,7 +550,7 @@ pub fn build_report(git_sha: String) -> BenchReport {
         thread_scaling: specs.iter().map(run_thread_scaling).collect(),
         kernel_microbench: standard_kernel_microbench(),
         host_phase: standard_host_phase_bench(),
-        service_latency: crate::loadgen::standard_service_latency(),
+        service_latency: Some(crate::loadgen::standard_service_latency()),
         paper_check: PaperCheck::sc2002(),
     }
 }
@@ -666,20 +670,22 @@ mod tests {
             thread_scaling: vec![run_thread_scaling(&spec)],
             kernel_microbench: run_kernel_microbench(64, 48, 1),
             host_phase: run_host_phase_bench(&[48], 16),
-            service_latency: crate::loadgen::run_load_gen(&{
-                crate::loadgen::LoadGenConfig {
-                    jobs: 6,
-                    tenants: 2,
-                    clients_per_tenant: 1,
-                    pool_specs: 3,
-                    verify_fresh: 1,
-                    n_min: 6,
-                    n_max: 10,
-                    t_end: 1.0,
-                    ..crate::loadgen::LoadGenConfig::smoke()
-                }
-            })
-            .expect("tiny load pass holds its contracts"),
+            service_latency: Some(
+                crate::loadgen::run_load_gen(&{
+                    crate::loadgen::LoadGenConfig {
+                        jobs: 6,
+                        tenants: 2,
+                        clients_per_tenant: 1,
+                        pool_specs: 3,
+                        verify_fresh: 1,
+                        n_min: 6,
+                        n_max: 10,
+                        t_end: 1.0,
+                        ..crate::loadgen::LoadGenConfig::smoke()
+                    }
+                })
+                .expect("tiny load pass holds its contracts"),
+            ),
             paper_check: PaperCheck::sc2002(),
         };
         assert!(report.workloads[0].modeled_tflops > 0.0);

@@ -25,7 +25,7 @@ fn mini_report() -> BenchReport {
         thread_scaling: vec![run_thread_scaling(&spec)],
         kernel_microbench: run_kernel_microbench(48, 32, 1),
         host_phase: run_host_phase_bench(&[32], 8),
-        service_latency: ServiceLatencyResult {
+        service_latency: Some(ServiceLatencyResult {
             jobs: 64,
             tenants: 2,
             clients: 4,
@@ -49,9 +49,14 @@ fn mini_report() -> BenchReport {
             max_ms: 95.0,
             wall_seconds: 1.5,
             jobs_per_second: 64.0 / 1.5,
-        },
+        }),
         paper_check: PaperCheck::sc2002(),
     }
+}
+
+/// The service section of a mini report (always present there).
+fn svc(report: &mut BenchReport) -> &mut ServiceLatencyResult {
+    report.service_latency.as_mut().expect("mini report carries a service section")
 }
 
 fn write_json(dir: &Path, name: &str, report: &BenchReport) -> PathBuf {
@@ -128,11 +133,11 @@ fn service_latency_regression_fails_and_noise_passes() {
     // noise) must pass, as must interleaving-dependent drift in the ungated
     // preemption count and cache-hit/coalesced split.
     let mut noisy = report.clone();
-    noisy.service_latency.p99_ms *= 1.50;
-    noisy.service_latency.p50_ms *= 0.90;
-    noisy.service_latency.preemptions = 99;
-    noisy.service_latency.cache_hits = 25;
-    noisy.service_latency.coalesced = 15;
+    svc(&mut noisy).p99_ms *= 1.50;
+    svc(&mut noisy).p50_ms *= 0.90;
+    svc(&mut noisy).preemptions = 99;
+    svc(&mut noisy).cache_hits = 25;
+    svc(&mut noisy).coalesced = 15;
     let fresh_noisy = write_json(&dir, "fresh_noisy.json", &noisy);
     let (ok, stdout) = run_compare(&baseline, &fresh_noisy);
     assert!(ok, "p99 within the latency budget must pass the gate:\n{stdout}");
@@ -141,7 +146,7 @@ fn service_latency_regression_fails_and_noise_passes() {
     // That is far beyond the 60 % budget and must fail the gate, naming the
     // service row.
     let mut doctored = report.clone();
-    doctored.service_latency.p99_ms *= 3.0;
+    svc(&mut doctored).p99_ms *= 3.0;
     let fresh_bad = write_json(&dir, "fresh_bad.json", &doctored);
     let (ok, stdout) = run_compare(&baseline, &fresh_bad);
     assert!(!ok, "a 3x p99 latency regression must fail the gate:\n{stdout}");
@@ -153,8 +158,8 @@ fn service_latency_regression_fails_and_noise_passes() {
     // A lost job is an exact-counter failure regardless of latency: the
     // completed count is deterministic, so any shortfall fails.
     let mut lost = report.clone();
-    lost.service_latency.completed -= 1;
-    lost.service_latency.failed += 1;
+    svc(&mut lost).completed -= 1;
+    svc(&mut lost).failed += 1;
     let fresh_lost = write_json(&dir, "fresh_lost.json", &lost);
     let (ok, stdout) = run_compare(&baseline, &fresh_lost);
     assert!(!ok, "a lost job must fail the exact counter gate:\n{stdout}");
@@ -162,6 +167,49 @@ fn service_latency_regression_fails_and_noise_passes() {
         stdout.contains("completed") && stdout.contains("FAIL"),
         "failure must name the completed counter:\n{stdout}"
     );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_service_section_fails_with_a_named_row() {
+    let report = mini_report();
+    let dir = std::env::temp_dir().join(format!("g6-svc-missing-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = write_json(&dir, "baseline.json", &report);
+
+    // A fresh report with the service_latency key deleted outright — the
+    // shape an older bench_report (or a misconfigured run that skipped the
+    // load generator) would produce. `#[serde(default)]` keeps the parse
+    // alive so the gate can name the dropped section instead of dying on a
+    // deserialization error.
+    let mut v = serde_json::to_value(&report).unwrap();
+    match &mut v {
+        serde_json::Value::Object(fields) => {
+            let before = fields.len();
+            fields.retain(|(k, _)| k != "service_latency");
+            assert_eq!(fields.len(), before - 1, "key present in mini report");
+        }
+        other => panic!("report serializes to an object, got {}", other.kind()),
+    }
+    struct Raw(serde_json::Value);
+    impl serde::Serialize for Raw {
+        fn serialize_value(&self) -> serde_json::Value {
+            self.0.clone()
+        }
+    }
+    let fresh_path = dir.join("fresh_missing.json");
+    std::fs::write(&fresh_path, serde_json::to_string_pretty(&Raw(v)).unwrap()).unwrap();
+
+    let (ok, stdout) = run_compare(&baseline, &fresh_path);
+    assert!(!ok, "a missing service_latency section must fail the gate:\n{stdout}");
+    assert!(
+        stdout.contains("MISSING") && stdout.contains("service_latency"),
+        "failure must name the dropped section:\n{stdout}"
+    );
+    // The compared schema versions are printed before any verdict, so a
+    // version skew is visible in the same log as the failure it explains.
+    assert!(stdout.contains("schema v"), "schema versions must be printed:\n{stdout}");
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -89,7 +89,7 @@ fn report_json_schema_is_stable() {
         thread_scaling: vec![],
         kernel_microbench: vec![],
         host_phase: vec![],
-        service_latency: service_latency_fixture(),
+        service_latency: Some(service_latency_fixture()),
         paper_check: PaperCheck::sc2002(),
     };
     let v = serde_json::to_value(&report).unwrap();

@@ -1,0 +1,331 @@
+//! The workspace-wide call graph: one node per non-test `fn` item, edges
+//! resolved by name + path heuristics.
+//!
+//! Resolution is deliberately an over-approximation: an ambiguous name
+//! resolves to *every* plausible candidate (narrowed by qualifier, then by
+//! same-file > same-crate > workspace proximity). For reachability-style
+//! analyses (P001) over-approximation is the sound direction; for the lock
+//! and allocation analyses the path scoping and inline waivers in
+//! `lint.toml` absorb the residual noise.
+
+use crate::parse::{CallSite, FnItem, Vis};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One call-graph node: a `fn` item plus where it lives.
+#[derive(Debug)]
+pub struct FnNode {
+    /// `/`-separated path of the defining file, relative to the lint root.
+    pub file: String,
+    /// Crate key derived from the path (`crates/serve/...` → `serve`,
+    /// `shims/rayon/...` → `rayon`, anything else → `""`).
+    pub crate_key: String,
+    /// The parsed item.
+    pub item: FnItem,
+}
+
+/// The resolved workspace call graph.
+pub struct CallGraph {
+    /// All non-test nodes, in file order.
+    pub nodes: Vec<FnNode>,
+    /// `resolved[n][c]`: candidate node indices for call `c` of node `n`
+    /// (parallel to `nodes[n].item.calls`).
+    pub resolved: Vec<Vec<Vec<usize>>>,
+    /// Deduplicated adjacency: every node directly callable from `n`.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Crate key for a relative path.
+pub fn crate_key(rel: &str) -> String {
+    for prefix in ["crates/", "shims/"] {
+        if let Some(rest) = rel.strip_prefix(prefix) {
+            if let Some(k) = rest.find('/') {
+                return rest[..k].to_string();
+            }
+        }
+    }
+    String::new()
+}
+
+impl CallGraph {
+    /// Build the graph from `(file, items)` pairs. Test items (`#[test]`
+    /// fns, `#[cfg(test)]` modules) are dropped: they may panic and allocate
+    /// freely, and nothing in production reaches them.
+    pub fn build(files: &[(String, Vec<FnItem>)]) -> CallGraph {
+        let mut nodes = Vec::new();
+        for (file, items) in files {
+            for item in items {
+                if item.is_test {
+                    continue;
+                }
+                nodes.push(FnNode {
+                    file: file.clone(),
+                    crate_key: crate_key(file),
+                    item: item.clone(),
+                });
+            }
+        }
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_name.entry(&n.item.name).or_default().push(i);
+        }
+        let mut resolved = Vec::with_capacity(nodes.len());
+        let mut edges = Vec::with_capacity(nodes.len());
+        for n in 0..nodes.len() {
+            let mut per_call = Vec::with_capacity(nodes[n].item.calls.len());
+            let mut adj = BTreeSet::new();
+            // Work around simultaneous borrow of nodes[n] and the index.
+            let calls = nodes[n].item.calls.clone();
+            for call in &calls {
+                let cands = resolve(&nodes, &by_name, n, call);
+                adj.extend(cands.iter().copied());
+                per_call.push(cands);
+            }
+            resolved.push(per_call);
+            edges.push(adj.into_iter().collect());
+        }
+        CallGraph { nodes, resolved, edges }
+    }
+
+    /// Node indices reachable from `seeds` (inclusive), breadth-first.
+    pub fn reachable(&self, seeds: &[usize]) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = seeds.iter().copied().collect();
+        let mut queue: Vec<usize> = seeds.to_vec();
+        while let Some(n) = queue.pop() {
+            for &m in &self.edges[n] {
+                if seen.insert(m) {
+                    queue.push(m);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Transitive closure of a per-node string-set property: each node's
+    /// result is its `direct` set unioned with every callee's result.
+    /// Cycle-safe (plain fixpoint — sets only grow, so it terminates).
+    pub fn transitive_sets(&self, direct: &[BTreeSet<String>]) -> Vec<BTreeSet<String>> {
+        self.transitive_sets_over(&self.edges, direct)
+    }
+
+    /// [`Self::transitive_sets`] over a caller-supplied adjacency (e.g. the
+    /// synchronous-call subgraph that excludes `spawn(...)` closures: their
+    /// locks and blocking calls run on another thread, so they must not
+    /// propagate to the spawning function, while reachability analyses
+    /// still want the full edge set).
+    pub fn transitive_sets_over(
+        &self,
+        edges: &[Vec<usize>],
+        direct: &[BTreeSet<String>],
+    ) -> Vec<BTreeSet<String>> {
+        let mut sets = direct.to_vec();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for n in 0..self.nodes.len() {
+                let mut add: Vec<String> = Vec::new();
+                for &m in &edges[n] {
+                    for s in &sets[m] {
+                        if !sets[n].contains(s) {
+                            add.push(s.clone());
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    sets[n].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        sets
+    }
+}
+
+/// Path qualifiers that carry no resolution information.
+const NEUTRAL_SEGS: &[&str] = &["std", "core", "alloc", "crate", "super"];
+
+fn resolve(
+    nodes: &[FnNode],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    caller: usize,
+    call: &CallSite,
+) -> Vec<usize> {
+    let Some(all) = by_name.get(call.name.as_str()) else {
+        return Vec::new(); // std / external: no workspace edge
+    };
+    // A function without plain `pub` visibility cannot be named from
+    // another crate, so such candidates are dropped — not merely
+    // deprioritized — before any narrowing. (Trait-impl methods recover as
+    // private; losing cross-crate trait-dispatch edges is the accepted
+    // cost, see `parse::Vis`.)
+    let caller_crate = &nodes[caller].crate_key;
+    let mut cands: Vec<usize> = all
+        .iter()
+        .copied()
+        .filter(|&i| &nodes[i].crate_key == caller_crate || nodes[i].item.vis == Vis::Pub)
+        .collect();
+    if cands.is_empty() {
+        return Vec::new();
+    }
+    // Qualifier narrowing: `Type::fn` prefers self_ty matches, `mod::fn`
+    // prefers files plausibly implementing that module, `Self::fn` prefers
+    // the caller's own impl block.
+    if let Some(q) = call.path.last() {
+        if q == "Self" {
+            if let Some(ty) = &nodes[caller].item.self_ty {
+                narrow(&mut cands, |i| nodes[i].item.self_ty.as_deref() == Some(ty.as_str()));
+            }
+        } else if !NEUTRAL_SEGS.contains(&q.as_str()) && q != "self" {
+            let by_ty: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| nodes[i].item.self_ty.as_deref() == Some(q.as_str()))
+                .collect();
+            if !by_ty.is_empty() {
+                cands = by_ty;
+            } else {
+                narrow(&mut cands, |i| {
+                    file_stem(&nodes[i].file) == q.as_str()
+                        || nodes[i].file.contains(&format!("/{q}/"))
+                });
+            }
+        }
+    }
+    // Method calls can only land on impl fns.
+    if call.method {
+        narrow(&mut cands, |i| nodes[i].item.self_ty.is_some());
+    }
+    // Proximity tiers: same file beats same crate beats anywhere.
+    let file = &nodes[caller].file;
+    let krate = &nodes[caller].crate_key;
+    let same_file: Vec<usize> = cands.iter().copied().filter(|&i| &nodes[i].file == file).collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let same_crate: Vec<usize> =
+        cands.iter().copied().filter(|&i| &nodes[i].crate_key == krate).collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    cands
+}
+
+/// Keep only elements satisfying `keep`, unless that would empty the set
+/// (an empty narrowing means the heuristic does not apply — stay broad).
+fn narrow<F: Fn(usize) -> bool>(cands: &mut Vec<usize>, keep: F) {
+    let kept: Vec<usize> = cands.iter().copied().filter(|&i| keep(i)).collect();
+    if !kept.is_empty() {
+        *cands = kept;
+    }
+}
+
+fn file_stem(rel: &str) -> &str {
+    rel.rsplit('/').next().unwrap_or(rel).trim_end_matches(".rs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_fns;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let parsed: Vec<(String, Vec<FnItem>)> = files
+            .iter()
+            .map(|(rel, src)| {
+                let lines: Vec<String> = src.lines().map(str::to_string).collect();
+                (rel.to_string(), parse_fns(&lex(src), &lines))
+            })
+            .collect();
+        CallGraph::build(&parsed)
+    }
+
+    fn idx(g: &CallGraph, name: &str) -> usize {
+        g.nodes.iter().position(|n| n.item.name == name).unwrap()
+    }
+
+    #[test]
+    fn same_file_beats_same_crate_beats_workspace() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "fn target() {}\nfn caller() { target(); }\n"),
+            ("crates/a/src/other.rs", "fn target() {}\n"),
+            ("crates/b/src/lib.rs", "fn target() {}\nfn remote() { target(); }\n"),
+        ]);
+        let caller = idx(&g, "caller");
+        assert_eq!(g.edges[caller], vec![0], "same-file target wins");
+        let remote = idx(&g, "remote");
+        assert_eq!(g.nodes[g.edges[remote][0]].file, "crates/b/src/lib.rs");
+    }
+
+    #[test]
+    fn type_qualifier_selects_the_matching_impl() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "impl Latch { fn new() {} }\nimpl Pool { fn new() {} }\nfn f() { Latch::new(); \
+                 }\n",
+        )]);
+        let f = idx(&g, "f");
+        assert_eq!(g.resolved[f][0].len(), 1);
+        assert_eq!(g.nodes[g.resolved[f][0][0]].item.self_ty.as_deref(), Some("Latch"));
+    }
+
+    #[test]
+    fn cross_crate_edges_resolve_when_local_tiers_are_empty() {
+        let g = graph(&[
+            ("crates/serve/src/job.rs", "fn run() { encode_checkpoint(); }\n"),
+            ("crates/sim/src/checkpoint.rs", "pub fn encode_checkpoint() {}\n"),
+        ]);
+        let run = idx(&g, "run");
+        assert_eq!(g.nodes[g.edges[run][0]].crate_key, "sim");
+    }
+
+    #[test]
+    fn private_candidates_never_resolve_cross_crate() {
+        // `expect` in another crate is private (a name collision with
+        // `Result::expect`), so the method call must not produce an edge;
+        // a same-crate private fn and a cross-crate `pub` fn still do.
+        let g = graph(&[
+            (
+                "crates/serve/src/service.rs",
+                "fn f(r: R) { r.expect(1); local(); remote(); }\nfn local() {}\n",
+            ),
+            ("shims/serde_json/src/lib.rs", "impl De { fn expect(&mut self, b: u8) {} }\n"),
+            ("crates/sim/src/lib.rs", "pub fn remote() {}\n"),
+        ]);
+        let f = idx(&g, "f");
+        let callees: Vec<&str> =
+            g.edges[f].iter().map(|&m| g.nodes[m].item.name.as_str()).collect();
+        assert_eq!(callees, vec!["local", "remote"]);
+    }
+
+    #[test]
+    fn reachability_handles_cycles() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn a() { b(); }\nfn b() { a(); c(); }\nfn c() {}\nfn island() {}\n",
+        )]);
+        let from_a = g.reachable(&[idx(&g, "a")]);
+        assert!(from_a.contains(&idx(&g, "c")));
+        assert!(!from_a.contains(&idx(&g, "island")));
+    }
+
+    #[test]
+    fn transitive_sets_reach_fixpoint_through_cycles() {
+        let g =
+            graph(&[("crates/a/src/lib.rs", "fn a() { b(); }\nfn b() { a(); }\nfn lone() {}\n")]);
+        let mut direct = vec![BTreeSet::new(); g.nodes.len()];
+        direct[idx(&g, "b")].insert("L".to_string());
+        let sets = g.transitive_sets(&direct);
+        assert!(sets[idx(&g, "a")].contains("L"));
+        assert!(sets[idx(&g, "lone")].is_empty());
+    }
+
+    #[test]
+    fn test_items_are_excluded_from_the_graph() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { real(); }\n}\n",
+        )]);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].item.name, "real");
+    }
+}

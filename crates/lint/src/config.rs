@@ -49,11 +49,19 @@ pub struct RuleConfig {
     pub paths: Vec<String>,
     /// Path prefixes exempted from the rule (subtracted from `paths`).
     pub allow_paths: Vec<String>,
+    /// Exact relative file paths whose functions seed P001's reachability
+    /// walk (the protocol entry points). Ignored by every other rule.
+    pub entry_paths: Vec<String>,
 }
 
 impl Default for RuleConfig {
     fn default() -> Self {
-        Self { level: Level::Deny, paths: Vec::new(), allow_paths: Vec::new() }
+        Self {
+            level: Level::Deny,
+            paths: Vec::new(),
+            allow_paths: Vec::new(),
+            entry_paths: Vec::new(),
+        }
     }
 }
 
@@ -87,6 +95,7 @@ impl Config {
                         "level" => rule.level = Level::parse(&value.into_string()?)?,
                         "paths" => rule.paths = value.into_strings()?,
                         "allow_paths" => rule.allow_paths = value.into_strings()?,
+                        "entry_paths" => rule.entry_paths = value.into_strings()?,
                         other => return Err(format!("unknown key {other:?} in [rules.{rule_id}]")),
                     }
                 }

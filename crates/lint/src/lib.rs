@@ -18,18 +18,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod rules_v2;
 
+use callgraph::CallGraph;
 use config::{Config, Level};
 use lexer::TokKind;
 use rules::SourceFile;
+use rules_v2::Unit;
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
 
-/// One reportable diagnostic, after scoping/waiver/level filtering.
+/// One reportable diagnostic, after scoping/level filtering.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
     /// `/`-separated path relative to the linted root.
@@ -42,6 +47,10 @@ pub struct Diagnostic {
     pub rule: String,
     /// Human-readable description.
     pub message: String,
+    /// True when an inline waiver (`allow(RULE)` / `infallible(reason)`)
+    /// suppressed the finding: excluded from text output and the exit code,
+    /// retained in the `--json` report as an audit trail.
+    pub waived: bool,
 }
 
 impl Diagnostic {
@@ -58,13 +67,22 @@ impl Diagnostic {
     }
 }
 
-/// Lint the tree under `root` according to `cfg`.
+/// Lint the tree under `root` according to `cfg`, returning only the
+/// *active* (non-waived) diagnostics — the set that drives text output and
+/// the exit code.
 ///
 /// `deny_all` escalates every non-suppressed finding to [`Level::Deny`]
 /// (path scoping and inline waivers still apply — they express *intent*,
 /// not severity). Diagnostics come back sorted by `(path, line, rule)` so
 /// output is deterministic regardless of filesystem iteration order.
 pub fn run_lint(root: &Path, cfg: &Config, deny_all: bool) -> Result<Vec<Diagnostic>, String> {
+    Ok(run_lint_full(root, cfg, deny_all)?.into_iter().filter(|d| !d.waived).collect())
+}
+
+/// Like [`run_lint`], but waived findings are retained (with
+/// [`Diagnostic::waived`] set) so `--json` can report the waiver audit
+/// trail alongside the active findings.
+pub fn run_lint_full(root: &Path, cfg: &Config, deny_all: bool) -> Result<Vec<Diagnostic>, String> {
     let files = discover(root, cfg)?;
     let mut out = Vec::new();
     let mut sources: BTreeMap<&str, SourceFile> = BTreeMap::new();
@@ -72,18 +90,51 @@ pub fn run_lint(root: &Path, cfg: &Config, deny_all: bool) -> Result<Vec<Diagnos
         let text = read(root, rel)?;
         sources.insert(rel, SourceFile::new(&text));
     }
+    // Pass 1: per-file token rules.
     for (rel, sf) in &sources {
         for f in sf.scan() {
-            if cfg.rule_applies(f.rule, rel) && !sf.is_waived(f.rule, f.line) {
-                push(cfg, deny_all, rel, f.line, f.rule, f.message, &mut out);
+            if cfg.rule_applies(f.rule, rel) {
+                let waived = sf.is_waived(f.rule, f.line);
+                push(cfg, deny_all, rel, f.line, f.rule, f.message, waived, &mut out);
             }
         }
     }
     scan_u002(root, cfg, deny_all, &files, &sources, &mut out)?;
+    // Pass 2: the interprocedural rules need every file parsed up front —
+    // the call graph crosses file and crate boundaries.
+    let units: Vec<Unit> = sources
+        .into_iter()
+        .map(|(rel, sf)| {
+            let mut items = parse::parse_fns(&sf.tokens, &sf.lines);
+            // Integration-test sources (a `tests/` path component) are test
+            // code wholesale: they may panic and lock freely, and nothing in
+            // production reaches them — keep them out of the call graph.
+            if rel.split('/').any(|c| c == "tests") {
+                for item in &mut items {
+                    item.is_test = true;
+                }
+            }
+            Unit { rel: rel.to_string(), sf, items }
+        })
+        .collect();
+    let parsed: Vec<(String, Vec<parse::FnItem>)> =
+        units.iter().map(|u| (u.rel.clone(), u.items.clone())).collect();
+    let graph = CallGraph::build(&parsed);
+    for (rel, f) in rules_v2::scan(&units, &graph, cfg) {
+        if !cfg.rule_applies(f.rule, &rel) {
+            continue;
+        }
+        let sf = units.iter().find(|u| u.rel == rel).map(|u| &u.sf);
+        let waived = sf.is_some_and(|sf| {
+            sf.is_waived(f.rule, f.line) || (f.rule == "P001" && sf.is_infallible(f.line))
+        });
+        push(cfg, deny_all, &rel, f.line, f.rule, f.message, waived, &mut out);
+    }
     out.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn push(
     cfg: &Config,
     deny_all: bool,
@@ -91,13 +142,66 @@ fn push(
     line: u32,
     rule: &str,
     message: String,
+    waived: bool,
     out: &mut Vec<Diagnostic>,
 ) {
     let level = if deny_all { Level::Deny } else { cfg.rule(rule).level };
     if level == Level::Allow {
         return;
     }
-    out.push(Diagnostic { path: rel.to_string(), line, level, rule: rule.to_string(), message });
+    out.push(Diagnostic {
+        path: rel.to_string(),
+        line,
+        level,
+        rule: rule.to_string(),
+        message,
+        waived,
+    });
+}
+
+/// Render diagnostics as the stable machine-readable JSON report
+/// (`--json`): schema version, one object per diagnostic (waived ones
+/// included, flagged by `waiver_status`), and a summary block.
+pub fn render_json(diagnostics: &[Diagnostic]) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n  \"diagnostics\": [\n");
+    for (i, d) in diagnostics.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"level\": {}, \"message\": {}, \
+             \"waiver_status\": {}}}{}\n",
+            json_str(&d.rule),
+            json_str(&d.path),
+            d.line,
+            json_str(d.level.name()),
+            json_str(&d.message),
+            json_str(if d.waived { "waived" } else { "active" }),
+            if i + 1 < diagnostics.len() { "," } else { "" },
+        ));
+    }
+    let active = diagnostics.iter().filter(|d| !d.waived).count();
+    let waived = diagnostics.len() - active;
+    let denied = diagnostics.iter().filter(|d| !d.waived && d.level == Level::Deny).count();
+    s.push_str(&format!(
+        "  ],\n  \"summary\": {{\"active\": {active}, \"waived\": {waived}, \"denied\": \
+         {denied}}}\n}}\n"
+    ));
+    s
+}
+
+fn json_str(raw: &str) -> String {
+    let mut s = String::with_capacity(raw.len() + 2);
+    s.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
 }
 
 /// U002: every crate (a `Cargo.toml` with a `[package]` section) whose `src/`
@@ -159,6 +263,7 @@ fn scan_u002(
                         "crate `{name}` contains no unsafe code; declare \
                          #![forbid(unsafe_code)] in this crate root so it stays that way"
                     ),
+                    false,
                     out,
                 );
             }
@@ -284,7 +389,38 @@ mod tests {
             level: Level::Deny,
             rule: "D001".into(),
             message: "msg".into(),
+            waived: false,
         };
         assert_eq!(d.render(), "crates/core/src/force.rs:12: deny [D001] msg");
+    }
+
+    #[test]
+    fn json_report_escapes_and_summarizes() {
+        let diags = vec![
+            Diagnostic {
+                path: "a.rs".into(),
+                line: 3,
+                level: Level::Deny,
+                rule: "P001".into(),
+                message: "`.unwrap()` with \"quotes\"".into(),
+                waived: false,
+            },
+            Diagnostic {
+                path: "a.rs".into(),
+                line: 9,
+                level: Level::Warn,
+                rule: "C002".into(),
+                message: "held".into(),
+                waived: true,
+            },
+        ];
+        let json = render_json(&diags);
+        assert!(json.contains("\"version\": 1"), "{json}");
+        assert!(json.contains("\\\"quotes\\\""), "{json}");
+        assert!(json.contains("\"waiver_status\": \"waived\""), "{json}");
+        assert!(
+            json.contains("\"summary\": {\"active\": 1, \"waived\": 1, \"denied\": 1}"),
+            "{json}"
+        );
     }
 }

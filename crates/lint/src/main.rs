@@ -7,7 +7,7 @@
 
 use grape6_lint::config::Config;
 use grape6_lint::rules::RULES;
-use grape6_lint::{run_lint, Diagnostic};
+use grape6_lint::{render_json, run_lint_full, Diagnostic};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -15,13 +15,17 @@ const USAGE: &str = "\
 grape6-lint: determinism & unsafe-audit static analysis for the grape6 workspace
 
 USAGE:
-    grape6-lint [--root DIR] [--config FILE] [--deny-all] [--list-rules]
+    grape6-lint [--root DIR] [--config FILE] [--deny-all] [--json FILE]
+                [--list-rules]
 
 OPTIONS:
     --root DIR      workspace root to lint (default: current directory)
     --config FILE   lint configuration (default: <root>/lint.toml)
     --deny-all      escalate every finding to deny (CI mode); path scoping
                     and inline waivers still apply
+    --json FILE     also write a machine-readable report (schema v1: rule,
+                    path, line, level, message, waiver_status) to FILE;
+                    waived findings are included there as an audit trail
     --list-rules    print the rule table and exit
     -h, --help      print this help
 ";
@@ -40,6 +44,7 @@ fn real_main() -> Result<ExitCode, String> {
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
     let mut deny_all = false;
+    let mut json_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,6 +53,9 @@ fn real_main() -> Result<ExitCode, String> {
                 config_path = Some(PathBuf::from(args.next().ok_or("--config requires a value")?))
             }
             "--deny-all" => deny_all = true,
+            "--json" => {
+                json_path = Some(PathBuf::from(args.next().ok_or("--json requires a value")?))
+            }
             "--list-rules" => {
                 for rule in &RULES {
                     println!("{}  {}", rule.id, rule.summary);
@@ -65,9 +73,14 @@ fn real_main() -> Result<ExitCode, String> {
     let text = std::fs::read_to_string(&config_path)
         .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
     let cfg = Config::parse(&text)?;
-    let diagnostics = run_lint(&root, &cfg, deny_all)?;
-    report(&diagnostics);
-    let denied = diagnostics.iter().filter(|d| d.level == grape6_lint::config::Level::Deny).count();
+    let all = run_lint_full(&root, &cfg, deny_all)?;
+    if let Some(path) = json_path {
+        std::fs::write(&path, render_json(&all))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    let active: Vec<Diagnostic> = all.into_iter().filter(|d| !d.waived).collect();
+    report(&active);
+    let denied = active.iter().filter(|d| d.level == grape6_lint::config::Level::Deny).count();
     Ok(if denied > 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS })
 }
 

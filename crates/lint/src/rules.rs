@@ -19,7 +19,7 @@ pub struct RuleInfo {
 }
 
 /// Every rule this linter knows, in reporting order.
-pub const RULES: [RuleInfo; 6] = [
+pub const RULES: [RuleInfo; 10] = [
     RuleInfo {
         id: "D001",
         summary: "HashMap/HashSet in deterministic crates (unordered iteration breaks \
@@ -48,6 +48,44 @@ pub const RULES: [RuleInfo; 6] = [
         summary: "heap allocation (Vec::new, vec![, to_vec, Box::new, collect::<Vec) inside a \
                   `// grape6-lint: hot` function",
     },
+    RuleInfo {
+        id: "C001",
+        summary: "inconsistent lock acquisition order: two Mutex/RwLock guards taken in opposite \
+                  orders somewhere in scope (directly or through the call graph) can deadlock",
+    },
+    RuleInfo {
+        id: "C002",
+        summary: "Mutex/RwLock guard held across a blocking call (sleep, socket/file I/O, \
+                  join; Condvar::wait is exempt) — stalls every other thread on that lock",
+    },
+    RuleInfo {
+        id: "P001",
+        summary: "unwrap/expect/panic!/indexing reachable from a protocol entry point; refactor \
+                  to an Error response or waive with `// grape6-lint: infallible(reason)`",
+    },
+    RuleInfo {
+        id: "H002",
+        summary: "`grape6-lint: hot` function calls a helper that heap-allocates (directly or \
+                  one call deeper) — allocation laundered through the call graph",
+    },
+];
+
+/// The allocation patterns H001 bans in hot bodies, shared with H002's
+/// transitive check (`(label, token pattern)`).
+pub(crate) const ALLOC_PATTERNS: &[(&str, &[(TokKind, &str)])] = &[
+    ("Vec::new", &[(TokKind::Ident, "Vec"), (TokKind::Punct, "::"), (TokKind::Ident, "new")]),
+    ("vec![", &[(TokKind::Ident, "vec"), (TokKind::Punct, "!")]),
+    ("to_vec", &[(TokKind::Ident, "to_vec")]),
+    ("Box::new", &[(TokKind::Ident, "Box"), (TokKind::Punct, "::"), (TokKind::Ident, "new")]),
+    (
+        "collect::<Vec>",
+        &[
+            (TokKind::Ident, "collect"),
+            (TokKind::Punct, "::"),
+            (TokKind::Punct, "<"),
+            (TokKind::Ident, "Vec"),
+        ],
+    ),
 ];
 
 /// One raw finding, before scoping/waiver/level filtering.
@@ -72,6 +110,9 @@ pub struct SourceFile {
     code: Vec<usize>,
     /// `rule id -> waived lines`, from inline `grape6-lint: allow(...)`.
     waivers: BTreeMap<String, Vec<u32>>,
+    /// Lines covered by a `grape6-lint: infallible(reason)` directive (the
+    /// directive's own line and the next) — the P001-specific waiver.
+    infallible: Vec<u32>,
     /// Token-index ranges of `grape6-lint: hot` function bodies.
     hot_regions: Vec<(usize, usize)>,
 }
@@ -84,18 +125,33 @@ impl SourceFile {
         let code: Vec<usize> =
             (0..tokens.len()).filter(|&i| tokens[i].kind != TokKind::Comment).collect();
         let mut waivers: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        let mut infallible = Vec::new();
         for t in tokens.iter().filter(|t| t.kind == TokKind::Comment) {
             for rule in parse_waiver(&t.text) {
                 waivers.entry(rule).or_default().extend([t.line, t.line + 1]);
             }
+            if parse_infallible(&t.text) {
+                infallible.extend([t.line, t.line + 1]);
+            }
         }
         let hot_regions = find_hot_regions(&tokens);
-        Self { lines, tokens, code, waivers, hot_regions }
+        Self { lines, tokens, code, waivers, infallible, hot_regions }
     }
 
     /// True when `rule` is waived on `line` by an inline comment.
     pub fn is_waived(&self, rule: &str, line: u32) -> bool {
         self.waivers.get(rule).is_some_and(|ls| ls.contains(&line))
+    }
+
+    /// True when `line` is covered by an `infallible(reason)` directive
+    /// (P001's waiver — the reason is mandatory, an empty one is inert).
+    pub fn is_infallible(&self, line: u32) -> bool {
+        self.infallible.contains(&line)
+    }
+
+    /// Token-index spans of `// grape6-lint: hot` function bodies.
+    pub fn hot_regions(&self) -> &[(usize, usize)] {
+        &self.hot_regions
     }
 
     /// Token (by code index), or None past the end.
@@ -228,21 +284,13 @@ impl SourceFile {
     }
 
     fn scan_h001(&self, out: &mut Vec<Finding>) {
-        use TokKind::{Ident, Punct};
-        const BANNED: &[(&str, &[(TokKind, &str)])] = &[
-            ("Vec::new", &[(Ident, "Vec"), (Punct, "::"), (Ident, "new")]),
-            ("vec![", &[(Ident, "vec"), (Punct, "!")]),
-            ("to_vec", &[(Ident, "to_vec")]),
-            ("Box::new", &[(Ident, "Box"), (Punct, "::"), (Ident, "new")]),
-            ("collect::<Vec>", &[(Ident, "collect"), (Punct, "::"), (Punct, "<"), (Ident, "Vec")]),
-        ];
         for &(lo, hi) in &self.hot_regions {
             for pos in 0..self.code.len() {
                 let raw = self.code[pos];
                 if raw < lo || raw > hi {
                     continue;
                 }
-                for (what, pat) in BANNED {
+                for (what, pat) in ALLOC_PATTERNS {
                     if self.matches(pos, pat) {
                         let t = self.code_tok(pos).expect("pos in range");
                         out.push(Finding {
@@ -258,6 +306,23 @@ impl SourceFile {
                 }
             }
         }
+    }
+
+    /// First H001 allocation pattern inside the raw-token span `[lo, hi]`
+    /// (`(label, line)`), for H002's transitive check.
+    pub fn span_allocates(&self, lo: usize, hi: usize) -> Option<(&'static str, u32)> {
+        for pos in 0..self.code.len() {
+            let raw = self.code[pos];
+            if raw < lo || raw > hi {
+                continue;
+            }
+            for (what, pat) in ALLOC_PATTERNS {
+                if self.matches(pos, pat) {
+                    return Some((what, self.tokens[raw].line));
+                }
+            }
+        }
+        None
     }
 }
 
@@ -281,6 +346,17 @@ fn parse_waiver(comment: &str) -> Vec<String> {
         return Vec::new();
     };
     args.split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect()
+}
+
+/// True for a `// grape6-lint: infallible(reason)` directive with a
+/// **non-empty** reason. The reason is the point: the directive is an
+/// argued claim that the panic-capable operation cannot fire, not a mute
+/// button, so `infallible()` does not waive anything.
+fn parse_infallible(comment: &str) -> bool {
+    directive(comment)
+        .and_then(|d| d.strip_prefix("infallible("))
+        .and_then(|r| r.rsplit(')').next_back())
+        .is_some_and(|reason| !reason.trim().is_empty())
 }
 
 /// Token-index span (inclusive) of each `// grape6-lint: hot` function body:

@@ -34,6 +34,10 @@ fn lint_fixtures() -> Vec<(String, String, u32)> {
 fn fixture_corpus_yields_exact_diagnostics() {
     let got = lint_fixtures();
     let want: Vec<(String, String, u32)> = [
+        ("C001", "c001_lock_order.rs", 19),
+        ("C001", "c001_lock_order.rs", 26),
+        ("C002", "c002_blocking.rs", 20),
+        ("C002", "c002_blocking.rs", 26),
         ("D001", "d001_hashmap.rs", 1),
         ("D001", "d001_hashmap.rs", 2),
         ("D001", "d001_hashmap.rs", 5),
@@ -50,6 +54,12 @@ fn fixture_corpus_yields_exact_diagnostics() {
         ("H001", "h001_pop_block.rs", 11),
         ("H001", "h001_sched.rs", 12),
         ("H001", "h001_sched.rs", 13),
+        ("H002", "h002_launder.rs", 7),
+        ("H002", "h002_launder.rs", 8),
+        ("P001", "p001_entry.rs", 7),
+        ("P001", "p001_entry.rs", 8),
+        ("P001", "p001_entry.rs", 20),
+        ("P001", "p001_helper.rs", 7),
         ("U001", "u001_unsafe.rs", 7),
         ("U002", "u002_missing_forbid/src/lib.rs", 1),
         ("D001", "waivers.rs", 3),
@@ -126,6 +136,72 @@ fn unsafe_free_fixture_crate_with_forbid_is_clean() {
 }
 
 #[test]
+fn c001_reports_both_sides_of_the_inconsistent_order() {
+    // One side acquires through the shared guard-returning helper — only
+    // the interprocedural closure can connect it to the direct opposite
+    // order in `drain`. Both acquisition sites must be named.
+    let got = lint_fixtures();
+    let c001: Vec<u32> = got
+        .iter()
+        .filter(|(r, p, _)| r == "C001" && p == "c001_lock_order.rs")
+        .map(|(_, _, l)| *l)
+        .collect();
+    assert_eq!(c001, vec![19, 26], "helper-side and direct-side acquisitions");
+    // The helper itself takes one lock with nothing held: never a C001.
+    assert!(!got.iter().any(|(r, _, l)| r == "C001" && *l == 14));
+}
+
+#[test]
+fn c002_catches_laundered_blocking_but_exempts_condvar_wait() {
+    let got = lint_fixtures();
+    let c002: Vec<u32> = got
+        .iter()
+        .filter(|(r, p, _)| r == "C002" && p == "c002_blocking.rs")
+        .map(|(_, _, l)| *l)
+        .collect();
+    // Line 20 blocks directly under the guard; line 26 reaches write_all
+    // only through `persist`. Line 33 (`cv.wait(g)`) releases the guard
+    // while parked and must stay silent.
+    assert_eq!(c002, vec![20, 26]);
+}
+
+#[test]
+fn p001_reaches_helpers_and_honors_only_reasoned_waivers() {
+    let got = lint_fixtures();
+    let p001: Vec<(&str, u32)> =
+        got.iter().filter(|(r, _, _)| r == "P001").map(|(_, p, l)| (p.as_str(), *l)).collect();
+    assert_eq!(
+        p001,
+        vec![
+            ("p001_entry.rs", 7),  // indexing in the entry handler
+            ("p001_entry.rs", 8),  // unwrap in the entry handler
+            ("p001_entry.rs", 20), // bare `infallible()` has no reason: inert
+            ("p001_helper.rs", 7), // indexing reached via `decode`
+        ]
+    );
+    // The reasoned waiver in `checked` suppresses its unwrap (line 14), and
+    // `cold` in the helper file is unreachable from the entry point.
+    assert!(!p001.contains(&("p001_entry.rs", 14)));
+    assert!(!p001.iter().any(|(p, l)| *p == "p001_helper.rs" && *l > 7));
+}
+
+#[test]
+fn h002_follows_two_call_levels_and_is_exactly_what_h001_misses() {
+    let got = lint_fixtures();
+    // The hot body contains no allocation token, so H001 stays silent —
+    // the laundered fixture exists precisely in H001's blind spot.
+    assert!(!got.iter().any(|(r, p, _)| r == "H001" && p == "h002_launder.rs"));
+    let h002: Vec<u32> = got
+        .iter()
+        .filter(|(r, p, _)| r == "H002" && p == "h002_launder.rs")
+        .map(|(_, _, l)| *l)
+        .collect();
+    // Depth 1 (direct_alloc) and depth 2 (two_deep → direct_alloc) are
+    // flagged; depth 3 (three_deep) is beyond the horizon.
+    assert_eq!(h002, vec![7, 8]);
+}
+
+#[test]
 fn deny_all_exits_nonzero_on_fixtures_with_diagnostics_on_stdout() {
     let out = Command::new(env!("CARGO_BIN_EXE_grape6-lint"))
         .arg("--root")
@@ -166,7 +242,7 @@ fn list_rules_names_every_rule() {
         .expect("run grape6-lint");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for rule in ["D001", "D002", "D003", "U001", "U002", "H001"] {
+    for rule in ["D001", "D002", "D003", "U001", "U002", "H001", "H002", "C001", "C002", "P001"] {
         assert!(stdout.contains(rule), "--list-rules missing {rule}:\n{stdout}");
     }
 }

@@ -1,0 +1,30 @@
+// C001 fixture: two paths acquire the scheduler's lock pair in opposite
+// orders — one of them through a shared guard-returning helper, so only the
+// interprocedural analysis can connect the cycle.
+
+use std::sync::{Mutex, MutexGuard};
+
+struct Sched {
+    queue: Mutex<Vec<u64>>,
+    table: Mutex<Vec<u64>>,
+}
+
+impl Sched {
+    fn table_guard(&self) -> MutexGuard<'_, Vec<u64>> {
+        self.table.lock().unwrap()
+    }
+
+    fn enqueue(&self) {
+        let q = self.queue.lock().unwrap();
+        let t = self.table_guard();
+        drop(t);
+        drop(q);
+    }
+
+    fn drain(&self) {
+        let t = self.table.lock().unwrap();
+        let q = self.queue.lock().unwrap();
+        drop(q);
+        drop(t);
+    }
+}

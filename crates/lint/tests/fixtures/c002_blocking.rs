@@ -1,0 +1,37 @@
+// C002 fixture: a guard held across a blocking call — once directly, once
+// laundered through a helper the token level cannot see — plus the
+// Condvar::wait exemption, which must stay silent.
+
+use std::io::Write;
+use std::sync::{Condvar, Mutex};
+
+struct Log {
+    state: Mutex<u64>,
+    cv: Condvar,
+}
+
+fn persist(out: &mut dyn Write, v: u64) {
+    let _ = out.write_all(&v.to_le_bytes());
+}
+
+impl Log {
+    fn direct(&self, out: &mut dyn Write) {
+        let g = self.state.lock().unwrap();
+        let _ = out.write_all(&g.to_le_bytes());
+        drop(g);
+    }
+
+    fn laundered(&self, out: &mut dyn Write) {
+        let g = self.state.lock().unwrap();
+        persist(out, *g);
+        drop(g);
+    }
+
+    fn parked(&self) {
+        let mut g = self.state.lock().unwrap();
+        while *g == 0 {
+            g = self.cv.wait(g).unwrap();
+        }
+        drop(g);
+    }
+}

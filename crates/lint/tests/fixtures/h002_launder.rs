@@ -1,0 +1,24 @@
+// H002 fixture: a hot kernel that allocates only through helpers. H001 sees
+// no allocation token in the hot body (the case it is blind to); H002
+// follows calls one and two levels deep — but not three.
+
+// grape6-lint: hot
+pub fn kernel(xs: &[f64]) -> f64 {
+    let a = direct_alloc(xs);
+    let b = two_deep(xs);
+    let c = three_deep(xs);
+    a + b + c
+}
+
+fn direct_alloc(xs: &[f64]) -> f64 {
+    let v: Vec<f64> = xs.to_vec();
+    v.iter().sum()
+}
+
+fn two_deep(xs: &[f64]) -> f64 {
+    direct_alloc(xs) + 1.0
+}
+
+fn three_deep(xs: &[f64]) -> f64 {
+    two_deep(xs) + 1.0
+}

@@ -1,0 +1,21 @@
+// P001 fixture: the protocol entry-point file. Panic-capable operations
+// here and in everything reachable from here must be waived or flagged;
+// the bare `infallible()` waiver carries no reason and stays inert.
+
+pub fn handle(line: &str) -> u64 {
+    let v: Vec<&str> = line.split(',').collect();
+    let first = v[0];
+    let n: u64 = first.parse().unwrap();
+    decode(n)
+}
+
+pub fn checked(line: &str) -> u64 {
+    // grape6-lint: infallible(split always yields at least one element)
+    let first = line.split(',').next().unwrap();
+    first.len() as u64
+}
+
+pub fn unhinged(n: u64) -> u64 {
+    // grape6-lint: infallible()
+    n.checked_mul(2).unwrap()
+}

@@ -1,0 +1,12 @@
+// Helper reached from the P001 entry point: its panics are entry-reachable
+// even though this file is not an entry path itself. `cold` is never called
+// from the entry and must stay silent.
+
+pub fn decode(n: u64) -> u64 {
+    let table = [1u64, 2, 4];
+    table[(n % 3) as usize]
+}
+
+pub fn cold(n: u64) -> u64 {
+    n.checked_add(1).expect("cold is unreachable from the entry point")
+}

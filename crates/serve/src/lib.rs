@@ -22,6 +22,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Mirrors grape6-lint's P001 panic-path rule at the clippy layer: request
+// paths must surface failures as protocol errors, never `unwrap()`. The
+// few justified panics (scheduler-lock poisoning) use `expect` with a
+// `grape6-lint: infallible(...)` waiver next to them.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod job;
 pub mod protocol;

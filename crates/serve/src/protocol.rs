@@ -206,8 +206,10 @@ pub enum Response {
 pub fn hex_encode(bytes: &[u8]) -> String {
     let mut out = String::with_capacity(bytes.len() * 2);
     for b in bytes {
-        out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
-        out.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+        // A nibble is always a valid base-16 digit, so the fallback arm of
+        // `unwrap_or` can never fire — but it keeps the encoder panic-free.
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap_or('0'));
+        out.push(char::from_digit((b & 0xf) as u32, 16).unwrap_or('0'));
     }
     out
 }
@@ -220,10 +222,14 @@ pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
     s.as_bytes()
         .chunks_exact(2)
         .map(|pair| {
-            let hi = (pair[0] as char).to_digit(16);
-            let lo = (pair[1] as char).to_digit(16);
-            match (hi, lo) {
-                (Some(h), Some(l)) => Ok((h * 16 + l) as u8),
+            // `chunks_exact(2)` yields exactly two bytes per chunk; the
+            // slice pattern keeps the accesses bounds-check-free.
+            let (h, l) = match pair {
+                &[h, l] => (h, l),
+                _ => return Err("hex pair of unexpected length".to_string()),
+            };
+            match ((h as char).to_digit(16), (l as char).to_digit(16)) {
+                (Some(hi), Some(lo)) => Ok((hi * 16 + lo) as u8),
                 _ => Err(format!("invalid hex pair {:?}", std::str::from_utf8(pair))),
             }
         })

@@ -22,6 +22,19 @@
 //! with it — so each distinct configuration is computed at most once, and
 //! every duplicate is a cache hit with byte-identical output.
 //!
+//! ## Locking discipline
+//!
+//! All scheduler state sits behind one mutex, and every acquisition goes
+//! through the private `JobService::locked` helper. The lock only ever
+//! covers *bookkeeping*:
+//! the O(N) serializations at a slice boundary — the `G6CK` checkpoint
+//! encode on preemption and the result snapshot on completion — run with
+//! the lock released, so protocol handlers never stall behind a worker
+//! encoding a large system. The running job is owned by its worker while
+//! the lock is down; the only field another thread may flip underneath is
+//! the sticky `cancel_requested`, which the next boundary honors. This is
+//! the discipline grape6-lint's C002 rule checks interprocedurally.
+//!
 //! ## Retention
 //!
 //! The job table, the exact result cache, and parked checkpoints are
@@ -37,7 +50,7 @@
 use crate::job::{JobResultData, JobSpec, RunnerSim};
 use crate::protocol::{JobState, JobStatus, TenantTelemetry};
 use serde::{Deserialize, Serialize};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// Per-tenant resource limits (every tenant gets the same quota).
@@ -144,6 +157,32 @@ struct Inner {
     shutdown: bool,
 }
 
+// Every job/tenant table access funnels through these accessors, so the
+// bounds argument is made exactly once per table: ids are indices this
+// module issued (`submit_locked` for jobs, `tenant_idx` for tenants) and
+// both tables are append-only, so an issued index can never go stale.
+impl Inner {
+    fn job(&self, idx: usize) -> &Job {
+        // grape6-lint: infallible(job ids are indices issued by submit_locked and the table is append-only)
+        &self.jobs[idx]
+    }
+
+    fn job_mut(&mut self, idx: usize) -> &mut Job {
+        // grape6-lint: infallible(job ids are indices issued by submit_locked and the table is append-only)
+        &mut self.jobs[idx]
+    }
+
+    fn tenant(&self, idx: usize) -> &Tenant {
+        // grape6-lint: infallible(tenant indices are issued by tenant_idx and the table is append-only)
+        &self.tenants[idx]
+    }
+
+    fn tenant_mut(&mut self, idx: usize) -> &mut Tenant {
+        // grape6-lint: infallible(tenant indices are issued by tenant_idx and the table is append-only)
+        &mut self.tenants[idx]
+    }
+}
+
 /// Outcome of an accepted submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SubmitTicket {
@@ -169,17 +208,18 @@ pub struct JobService {
 /// the fewest block steps, ties to the lowest job id. Runs under the
 /// scheduler lock on every slice boundary.
 // grape6-lint: hot
-fn pick_next(jobs: &[Job], tenants: &[Tenant], max_running: u64) -> Option<usize> {
+fn pick_next(inner: &Inner, max_running: u64) -> Option<usize> {
     let mut best: Option<usize> = None;
     let mut best_used = u64::MAX;
     let mut i = 0;
-    while i < jobs.len() {
-        let job = &jobs[i];
-        if job.state == State::Queued && tenants[job.tenant_idx].running < max_running {
-            let used = tenants[job.tenant_idx].block_steps;
-            if used < best_used {
+    while i < inner.jobs.len() {
+        // grape6-lint: infallible(i is bounded by jobs.len() in the loop condition)
+        let job = &inner.jobs[i];
+        if job.state == State::Queued {
+            let t = inner.tenant(job.tenant_idx);
+            if t.running < max_running && t.block_steps < best_used {
                 best = Some(i);
-                best_used = used;
+                best_used = t.block_steps;
             }
         }
         i += 1;
@@ -206,6 +246,20 @@ impl JobService {
         &self.cfg
     }
 
+    /// Take the scheduler lock. Every acquisition in this module goes
+    /// through here, so the poisoning story is argued exactly once.
+    fn locked(&self) -> MutexGuard<'_, Inner> {
+        // grape6-lint: infallible(a poisoned scheduler lock means another thread panicked mid-update; no consistent state remains to serve, so propagating the panic is the only sound response)
+        self.inner.lock().expect("scheduler lock poisoned")
+    }
+
+    /// Park on `cv` until notified. `Condvar::wait` releases the scheduler
+    /// lock atomically while parked and re-acquires it on wake.
+    fn wait_on<'a>(&self, cv: &Condvar, guard: MutexGuard<'a, Inner>) -> MutexGuard<'a, Inner> {
+        // grape6-lint: infallible(same poisoning rationale as locked — wait re-acquires the scheduler lock)
+        cv.wait(guard).expect("scheduler lock poisoned")
+    }
+
     fn tenant_idx(inner: &mut Inner, name: &str) -> usize {
         match inner.tenants.iter().position(|t| t.name == name) {
             Some(i) => i,
@@ -219,7 +273,7 @@ impl JobService {
     /// Submit one job. `Err` is a rejection (validation failure), counted
     /// in the tenant's `rejected` telemetry.
     pub fn submit(&self, tenant: &str, spec: JobSpec) -> Result<SubmitTicket, String> {
-        let mut inner = self.inner.lock().expect("scheduler lock");
+        let mut inner = self.locked();
         self.submit_locked(&mut inner, tenant, spec)
     }
 
@@ -234,11 +288,13 @@ impl JobService {
         }
         let tidx = Self::tenant_idx(inner, tenant);
         if let Err(e) = spec.validate(self.cfg.max_bodies) {
-            inner.tenants[tidx].rejected += 1;
+            inner.tenant_mut(tidx).rejected += 1;
             return Err(e);
         }
-        let key = spec.canonical_key().expect("validated spec has a key");
-        let config_hash = spec.config_hash().expect("validated spec has a digest");
+        // A validated spec always has a key; `?` keeps the request path
+        // panic-free even if that invariant ever breaks.
+        let key = spec.canonical_key()?;
+        let config_hash = spec.config_hash()?;
         let id = inner.jobs.len();
         let mut job = Job {
             tenant_idx: tidx,
@@ -255,16 +311,23 @@ impl JobService {
             result: None,
             attached: Vec::new(),
         };
-        inner.tenants[tidx].submitted += 1;
+        inner.tenant_mut(tidx).submitted += 1;
 
         // Exact cache: settle instantly with the cached computation.
-        if let Ok(pos) = inner.cache.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
+        let hit = inner
+            .cache
+            .binary_search_by(|(k, _)| k.as_str().cmp(&key))
+            .ok()
+            .and_then(|pos| inner.cache.get(pos))
+            .map(|(_, r)| r.clone());
+        if let Some(result) = hit {
             job.state = State::Completed;
             job.cached = true;
-            job.result = Some(inner.cache[pos].1.clone());
+            job.result = Some(result);
             inner.jobs.push(job);
-            inner.tenants[tidx].cache_hits += 1;
-            inner.tenants[tidx].completed += 1;
+            let t = inner.tenant_mut(tidx);
+            t.cache_hits += 1;
+            t.completed += 1;
             self.event_cv.notify_all();
             return Ok(SubmitTicket { id: id as u64, state: JobState::Completed, cached: true });
         }
@@ -274,8 +337,8 @@ impl JobService {
             job.state = State::Attached { primary };
             job.cached = true;
             inner.jobs.push(job);
-            inner.jobs[primary].attached.push(id);
-            inner.tenants[tidx].coalesced += 1;
+            inner.job_mut(primary).attached.push(id);
+            inner.tenant_mut(tidx).coalesced += 1;
             self.event_cv.notify_all();
             return Ok(SubmitTicket { id: id as u64, state: JobState::Queued, cached: true });
         }
@@ -302,7 +365,7 @@ impl JobService {
         for spec in &specs {
             spec.validate(self.cfg.max_bodies)?;
         }
-        let mut inner = self.inner.lock().expect("scheduler lock");
+        let mut inner = self.locked();
         if inner.shutdown {
             return Err("server is shutting down".into());
         }
@@ -326,7 +389,7 @@ impl JobService {
         };
         Ok(JobStatus {
             id,
-            tenant: inner.tenants[job.tenant_idx].name.clone(),
+            tenant: inner.tenant(job.tenant_idx).name.clone(),
             state,
             blocks_done: job.blocks_done,
             preemptions: job.preemptions,
@@ -338,14 +401,14 @@ impl JobService {
 
     /// Current status of a job.
     pub fn query(&self, id: u64) -> Result<JobStatus, String> {
-        let inner = self.inner.lock().expect("scheduler lock");
+        let inner = self.locked();
         self.status_locked(&inner, id)
     }
 
     /// Block until the job settles; returns its final status. Errs if the
     /// server shuts down first (parked jobs never settle).
     pub fn wait(&self, id: u64) -> Result<JobStatus, String> {
-        let mut inner = self.inner.lock().expect("scheduler lock");
+        let mut inner = self.locked();
         loop {
             let st = self.status_locked(&inner, id)?;
             if st.state.settled() {
@@ -354,7 +417,7 @@ impl JobService {
             if inner.shutdown {
                 return Err(format!("server shut down before job {id} settled"));
             }
-            inner = self.event_cv.wait(inner).expect("scheduler lock");
+            inner = self.wait_on(&self.event_cv, inner);
         }
     }
 
@@ -363,7 +426,7 @@ impl JobService {
     /// once a settled status has been returned — a settled job never
     /// changes again.
     pub fn next_change(&self, id: u64, prev: Option<&JobStatus>) -> Result<JobStatus, String> {
-        let mut inner = self.inner.lock().expect("scheduler lock");
+        let mut inner = self.locked();
         loop {
             let st = self.status_locked(&inner, id)?;
             if prev != Some(&st) {
@@ -372,13 +435,13 @@ impl JobService {
             if inner.shutdown {
                 return Err(format!("server shut down while streaming job {id}"));
             }
-            inner = self.event_cv.wait(inner).expect("scheduler lock");
+            inner = self.wait_on(&self.event_cv, inner);
         }
     }
 
     /// Result payload of a completed job (cached or computed).
     pub fn result(&self, id: u64) -> Result<(Arc<JobResultData>, u64), String> {
-        let inner = self.inner.lock().expect("scheduler lock");
+        let inner = self.locked();
         let job = inner.jobs.get(id as usize).ok_or_else(|| format!("no such job {id}"))?;
         match (&job.state, &job.result) {
             (State::Completed, Some(r)) => Ok((r.clone(), job.config_hash)),
@@ -392,30 +455,31 @@ impl JobService {
     /// Queued/attached jobs cancel immediately, running jobs at the next
     /// slice boundary, settled jobs are untouched.
     pub fn cancel(&self, id: u64) -> Result<JobStatus, String> {
-        let mut inner = self.inner.lock().expect("scheduler lock");
+        let mut inner = self.locked();
         let idx = id as usize;
         if idx >= inner.jobs.len() {
             return Err(format!("no such job {id}"));
         }
-        match inner.jobs[idx].state {
+        match inner.job(idx).state {
             State::Queued => {
-                let ckpt = inner.jobs[idx].checkpoint.take();
-                inner.jobs[idx].state = State::Cancelled;
-                let tidx = inner.jobs[idx].tenant_idx;
-                inner.tenants[tidx].cancelled += 1;
+                let ckpt = inner.job_mut(idx).checkpoint.take();
+                inner.job_mut(idx).state = State::Cancelled;
+                let tidx = inner.job(idx).tenant_idx;
+                inner.tenant_mut(tidx).cancelled += 1;
                 self.detach_primary(&mut inner, idx, ckpt);
                 self.work_cv.notify_all();
                 self.event_cv.notify_all();
             }
             State::Attached { primary } => {
-                inner.jobs[primary].attached.retain(|&a| a != idx);
-                inner.jobs[idx].state = State::Cancelled;
-                inner.jobs[idx].cached = false;
-                let tidx = inner.jobs[idx].tenant_idx;
-                inner.tenants[tidx].cancelled += 1;
+                inner.job_mut(primary).attached.retain(|&a| a != idx);
+                let job = inner.job_mut(idx);
+                job.state = State::Cancelled;
+                job.cached = false;
+                let tidx = job.tenant_idx;
+                inner.tenant_mut(tidx).cancelled += 1;
                 self.event_cv.notify_all();
             }
-            State::Running => inner.jobs[idx].cancel_requested = true,
+            State::Running => inner.job_mut(idx).cancel_requested = true,
             State::Completed | State::Failed | State::Cancelled => {}
         }
         self.status_locked(&inner, id)
@@ -423,7 +487,7 @@ impl JobService {
 
     /// Per-tenant telemetry, sorted by tenant name.
     pub fn tenants(&self) -> Vec<TenantTelemetry> {
-        let inner = self.inner.lock().expect("scheduler lock");
+        let inner = self.locked();
         let mut rows: Vec<TenantTelemetry> = inner
             .tenants
             .iter()
@@ -449,19 +513,19 @@ impl JobService {
     /// Highest number of this tenant's jobs ever running at the same
     /// instant (test observability for the concurrency quota).
     pub fn peak_running(&self, tenant: &str) -> u64 {
-        let inner = self.inner.lock().expect("scheduler lock");
+        let inner = self.locked();
         inner.tenants.iter().find(|t| t.name == tenant).map_or(0, |t| t.peak_running)
     }
 
     /// True once [`Self::shutdown`] has been called.
     pub fn is_shutdown(&self) -> bool {
-        self.inner.lock().expect("scheduler lock").shutdown
+        self.locked().shutdown
     }
 
     /// Stop accepting submissions and wake everything up. Running slices
     /// finish, are checkpointed, and park in the queue.
     pub fn shutdown(&self) {
-        let mut inner = self.inner.lock().expect("scheduler lock");
+        let mut inner = self.locked();
         inner.shutdown = true;
         self.work_cv.notify_all();
         self.event_cv.notify_all();
@@ -474,22 +538,23 @@ impl JobService {
     fn detach_primary(&self, inner: &mut Inner, idx: usize, ckpt: Option<bytes::Bytes>) {
         // Settled states are terminal: only jobs still attached to *this*
         // primary are eligible for promotion or re-linking.
-        let attached: Vec<usize> = std::mem::take(&mut inner.jobs[idx].attached)
+        let attached: Vec<usize> = std::mem::take(&mut inner.job_mut(idx).attached)
             .into_iter()
-            .filter(|&a| inner.jobs[a].state == (State::Attached { primary: idx }))
+            .filter(|&a| inner.job(a).state == (State::Attached { primary: idx }))
             .collect();
         match attached.split_first() {
             None => inner.inflight.retain(|(_, p)| *p != idx),
             Some((&heir, rest)) => {
-                inner.jobs[heir].state = State::Queued;
-                inner.jobs[heir].cached = false;
-                inner.jobs[heir].checkpoint = ckpt;
-                inner.jobs[heir].attached = rest.to_vec();
+                let h = inner.job_mut(heir);
+                h.state = State::Queued;
+                h.cached = false;
+                h.checkpoint = ckpt;
+                h.attached = rest.to_vec();
                 // Re-point the surviving duplicates at the heir, so a later
                 // cancel retains on the heir's attached list and the heir's
                 // own settlement sees a consistent chain.
                 for &dup in rest {
-                    inner.jobs[dup].state = State::Attached { primary: heir };
+                    inner.job_mut(dup).state = State::Attached { primary: heir };
                 }
                 for entry in inner.inflight.iter_mut() {
                     if entry.1 == idx {
@@ -501,65 +566,68 @@ impl JobService {
     }
 
     fn complete_locked(&self, inner: &mut Inner, idx: usize, result: Arc<JobResultData>) {
-        inner.jobs[idx].state = State::Completed;
-        inner.jobs[idx].result = Some(result.clone());
-        let tidx = inner.jobs[idx].tenant_idx;
-        inner.tenants[tidx].completed += 1;
-        let key = inner.jobs[idx].key.clone();
+        let job = inner.job_mut(idx);
+        job.state = State::Completed;
+        job.result = Some(result.clone());
+        let tidx = job.tenant_idx;
+        let key = job.key.clone();
+        inner.tenant_mut(tidx).completed += 1;
         if let Err(pos) = inner.cache.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
             inner.cache.insert(pos, (key, result.clone()));
         }
         inner.inflight.retain(|(_, p)| *p != idx);
-        for a in std::mem::take(&mut inner.jobs[idx].attached) {
+        for a in std::mem::take(&mut inner.job_mut(idx).attached) {
             // Settled states are terminal: never overwrite a duplicate that
             // already left the attachment (e.g. was cancelled).
-            if inner.jobs[a].state != (State::Attached { primary: idx }) {
+            if inner.job(a).state != (State::Attached { primary: idx }) {
                 continue;
             }
-            inner.jobs[a].state = State::Completed;
-            inner.jobs[a].result = Some(result.clone());
-            let at = inner.jobs[a].tenant_idx;
-            inner.tenants[at].completed += 1;
+            let dup = inner.job_mut(a);
+            dup.state = State::Completed;
+            dup.result = Some(result.clone());
+            let at = dup.tenant_idx;
+            inner.tenant_mut(at).completed += 1;
         }
         self.event_cv.notify_all();
     }
 
     fn fail_locked(&self, inner: &mut Inner, idx: usize, msg: &str, ckpt: Option<bytes::Bytes>) {
-        inner.jobs[idx].state = State::Failed;
-        inner.jobs[idx].error = msg.to_string();
-        let tidx = inner.jobs[idx].tenant_idx;
-        inner.tenants[tidx].failed += 1;
+        let job = inner.job_mut(idx);
+        job.state = State::Failed;
+        job.error = msg.to_string();
+        let tidx = job.tenant_idx;
+        inner.tenant_mut(tidx).failed += 1;
         self.detach_primary(inner, idx, ckpt);
         self.work_cv.notify_all();
         self.event_cv.notify_all();
     }
 
     fn worker_loop(&self) {
-        let mut inner = self.inner.lock().expect("scheduler lock");
+        let mut inner = self.locked();
         'claim: loop {
             // Claim the fair-share pick, or sleep until there is one.
             let idx = loop {
                 if inner.shutdown {
                     return;
                 }
-                match pick_next(&inner.jobs, &inner.tenants, self.cfg.quota.max_running) {
+                match pick_next(&inner, self.cfg.quota.max_running) {
                     Some(i) => break i,
-                    None => inner = self.work_cv.wait(inner).expect("scheduler lock"),
+                    None => inner = self.wait_on(&self.work_cv, inner),
                 }
             };
-            let tidx = inner.jobs[idx].tenant_idx;
+            let tidx = inner.job(idx).tenant_idx;
             let budget = self.cfg.quota.block_budget;
-            if budget > 0 && inner.tenants[tidx].block_steps >= budget {
+            if budget > 0 && inner.tenant(tidx).block_steps >= budget {
                 self.fail_locked(&mut inner, idx, "tenant block-step budget exhausted", None);
                 continue 'claim;
             }
-            inner.jobs[idx].state = State::Running;
-            inner.tenants[tidx].running += 1;
-            inner.tenants[tidx].peak_running =
-                inner.tenants[tidx].peak_running.max(inner.tenants[tidx].running);
+            inner.job_mut(idx).state = State::Running;
+            let t = inner.tenant_mut(tidx);
+            t.running += 1;
+            t.peak_running = t.peak_running.max(t.running);
             self.event_cv.notify_all();
-            let spec = inner.jobs[idx].spec.clone();
-            let ckpt = inner.jobs[idx].checkpoint.take();
+            let spec = inner.job(idx).spec.clone();
+            let ckpt = inner.job_mut(idx).checkpoint.take();
             drop(inner);
 
             let built = match ckpt {
@@ -569,53 +637,74 @@ impl JobService {
             let mut sim = match built {
                 Ok(s) => s,
                 Err(e) => {
-                    inner = self.inner.lock().expect("scheduler lock");
-                    inner.tenants[tidx].running -= 1;
+                    inner = self.locked();
+                    inner.tenant_mut(tidx).running -= 1;
                     self.fail_locked(&mut inner, idx, &format!("runner error: {e}"), None);
                     continue 'claim;
                 }
             };
 
-            // Slice loop: run a quantum, then decide under the lock.
+            // Slice loop: run a quantum, decide under the lock, then apply.
+            // The O(N) serializations at a boundary — checkpoint encode,
+            // result snapshot — run with the lock *released* (see the
+            // module's locking-discipline notes): the job is `Running` and
+            // owned by this worker, so the decision cannot be invalidated
+            // while the lock is down; a cancel request landing in that
+            // window is sticky and applies at the next boundary, exactly as
+            // if it had arrived one instruction later.
             loop {
                 let rep = sim.run_slice(spec.t_end, self.cfg.slice_blocks);
-                inner = self.inner.lock().expect("scheduler lock");
-                inner.jobs[idx].blocks_done += rep.blocks;
-                inner.tenants[tidx].block_steps += rep.blocks;
-                if inner.jobs[idx].cancel_requested {
-                    inner.tenants[tidx].running -= 1;
-                    inner.jobs[idx].state = State::Cancelled;
-                    inner.tenants[tidx].cancelled += 1;
-                    self.detach_primary(&mut inner, idx, Some(sim.checkpoint()));
+                inner = self.locked();
+                inner.job_mut(idx).blocks_done += rep.blocks;
+                inner.tenant_mut(tidx).block_steps += rep.blocks;
+                if inner.job(idx).cancel_requested {
+                    drop(inner);
+                    let ckpt = sim.checkpoint();
+                    inner = self.locked();
+                    inner.job_mut(idx).state = State::Cancelled;
+                    let t = inner.tenant_mut(tidx);
+                    t.running -= 1;
+                    t.cancelled += 1;
+                    self.detach_primary(&mut inner, idx, Some(ckpt));
                     self.work_cv.notify_all();
                     self.event_cv.notify_all();
                     continue 'claim;
                 }
                 if rep.done {
-                    inner.tenants[tidx].running -= 1;
+                    drop(inner);
                     let result = Arc::new(sim.result());
+                    inner = self.locked();
+                    inner.tenant_mut(tidx).running -= 1;
                     self.complete_locked(&mut inner, idx, result);
                     self.work_cv.notify_all();
                     continue 'claim;
                 }
-                if budget > 0 && inner.tenants[tidx].block_steps >= budget {
-                    inner.tenants[tidx].running -= 1;
+                if budget > 0 && inner.tenant(tidx).block_steps >= budget {
+                    drop(inner);
+                    let ckpt = sim.checkpoint();
+                    inner = self.locked();
+                    inner.tenant_mut(tidx).running -= 1;
                     self.fail_locked(
                         &mut inner,
                         idx,
                         "tenant block-step budget exhausted",
-                        Some(sim.checkpoint()),
+                        Some(ckpt),
                     );
                     continue 'claim;
                 }
                 let yield_now =
                     self.cfg.preempt_always || inner.shutdown || other_queued(&inner.jobs, idx);
                 if yield_now {
-                    inner.jobs[idx].checkpoint = Some(sim.checkpoint());
-                    inner.jobs[idx].state = State::Queued;
-                    inner.jobs[idx].preemptions += 1;
-                    inner.tenants[tidx].preemptions += 1;
-                    inner.tenants[tidx].running -= 1;
+                    drop(inner);
+                    let ckpt = sim.checkpoint();
+                    inner = self.locked();
+                    let job = inner.job_mut(idx);
+                    job.checkpoint = Some(ckpt);
+                    job.state = State::Queued;
+                    job.preemptions += 1;
+                    let t = inner.tenant_mut(tidx);
+                    t.preemptions += 1;
+                    t.running -= 1;
                     self.work_cv.notify_all();
                     self.event_cv.notify_all();
                     continue 'claim;
