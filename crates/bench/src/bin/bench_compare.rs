@@ -321,6 +321,47 @@ fn main() -> ExitCode {
         }
     }
 
+    // Hybrid tree+direct vs direct at matched N: the near/far interaction
+    // split is exact walk output (fixed seed, deterministic tree) and must
+    // match bit-for-bit; the measured sweep rates are wall-clock and gate
+    // slowdown-only, like the kernel microbench.
+    {
+        let label = "hybrid";
+        match (&baseline.hybrid, &fresh.hybrid) {
+            (Some(b), Some(f)) => {
+                gate.counter(label, "n_bodies", b.n_bodies, f.n_bodies);
+                gate.counter(label, "sweeps", b.sweeps, f.sweeps);
+                gate.counter(label, "near_inter", b.near_interactions, f.near_interactions);
+                gate.counter(label, "far_inter", b.far_interactions, f.far_interactions);
+                gate.counter(label, "hybrid_inter", b.hybrid_interactions, f.hybrid_interactions);
+                gate.counter(label, "direct_inter", b.direct_interactions, f.direct_interactions);
+                gate.kernel_rate(
+                    "hybrid/sweep",
+                    b.hybrid_interactions_per_second,
+                    f.hybrid_interactions_per_second,
+                );
+                gate.kernel_rate(
+                    "direct/sweep",
+                    b.direct_interactions_per_second,
+                    f.direct_interactions_per_second,
+                );
+                println!(
+                    "  {:<18} {:<16} {:>14.3} {:>14.3}  (wall-clock ratio, not gated)",
+                    label, "speedup_vs_dir", b.speedup_vs_direct, f.speedup_vs_direct
+                );
+            }
+            (b, f) => {
+                // A report that dropped the section must not read as a pass.
+                gate.failures += 1;
+                for (which, row) in [("baseline", b), ("fresh", f)] {
+                    if row.is_none() {
+                        println!("  {label:<18} MISSING hybrid section in the {which} report");
+                    }
+                }
+            }
+        }
+    }
+
     // Service latency: the load mix is fully seeded, so the job/spec/
     // duplicate accounting and the total block-step count are exact
     // counters (each distinct spec is simulated exactly once regardless of

@@ -19,7 +19,7 @@ use grape6_core::particle::ParticleSystem;
 use grape6_disk::DiskBuilder;
 use grape6_hw::{FaultPlan, FaultTolerantEngine, Grape6Config, Grape6Engine, TimingModel};
 use grape6_sim::{Simulation, TelemetryReport};
-use grape6_tree::TreeEngine;
+use grape6_tree::{HybridTreeEngine, TreeEngine};
 use serde::{Deserialize, Serialize};
 
 /// Bumped whenever a field of [`BenchReport`] changes meaning or name.
@@ -36,7 +36,11 @@ use serde::{Deserialize, Serialize};
 /// 4-tenant load-generator pass through the `grape6-serve` job service
 /// (submit-to-complete latency percentiles, throughput, preemption count,
 /// cache hit rate, and the exactness-verification counters).
-pub const SCHEMA_VERSION: u64 = 6;
+/// Version 7 added the `hybrid_disk` workload, the per-workload
+/// `telemetry.tree` walk counters, and the `hybrid` section (near/far
+/// interaction split and measured interaction rates of the hybrid
+/// tree+direct engine against the direct reference at matched N).
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Host thread counts the scaling section sweeps.
 pub const SCALING_THREADS: [usize; 3] = [1, 2, 4];
@@ -53,6 +57,14 @@ pub enum EngineKind {
     /// The dual-modular fault-tolerant GRAPE-6 running a seeded random
     /// [`FaultPlan`] (the given seed; 8 events over the first 40 blocks).
     Grape6Faulty(u64),
+    /// The hybrid tree+direct engine: Barnes-Hut far field at the given
+    /// opening angle, exact near field inside the given neighbour radius.
+    Hybrid {
+        /// Opening angle θ of the far-field walk.
+        theta: f64,
+        /// Neighbour-sphere radius summed directly at full precision.
+        r_near: f64,
+    },
 }
 
 /// One fixed, seeded benchmark workload.
@@ -101,6 +113,13 @@ pub fn standard_workloads() -> Vec<WorkloadSpec> {
             seed: 20020616,
             t_end: 1.0,
             engine: EngineKind::Grape6Faulty(2002),
+        },
+        WorkloadSpec {
+            id: "hybrid_disk",
+            n: 512,
+            seed: 20020616,
+            t_end: 2.0,
+            engine: EngineKind::Hybrid { theta: 0.5, r_near: 3.0 },
         },
     ]
 }
@@ -217,6 +236,12 @@ pub struct BenchReport {
     /// report carries it.
     #[serde(default)]
     pub service_latency: Option<crate::loadgen::ServiceLatencyResult>,
+    /// Hybrid tree+direct engine vs the direct reference at matched N:
+    /// exact near/far interaction split and measured sweep rates. Optional
+    /// at the parse level for the same reason as `service_latency`; every
+    /// produced report carries it.
+    #[serde(default)]
+    pub hybrid: Option<HybridBench>,
     /// Timing-model self-check against the paper's headline numbers.
     pub paper_check: PaperCheck,
 }
@@ -243,6 +268,109 @@ pub struct KernelRate {
     /// This width's rate over the same kernel's scalar rate (1.0 for the
     /// scalar rows themselves).
     pub speedup_vs_scalar: f64,
+}
+
+/// The `hybrid` section: full-block force sweeps of the hybrid tree+direct
+/// engine against the direct reference on the same seeded disk at matched
+/// N. The interaction counters (near/far split included) are exact walk
+/// output — deterministic, gated bit-for-bit by `bench_compare` — while the
+/// wall clocks and derived rates track the host and gate slowdown-only.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HybridBench {
+    /// Total bodies in the seeded disk (planetesimals + protoplanets).
+    pub n_bodies: u64,
+    /// Opening angle θ of the far-field walk.
+    pub theta: f64,
+    /// Neighbour-sphere radius summed directly at full precision.
+    pub r_near: f64,
+    /// Timed full-block sweeps (after an untimed warm-up that builds the
+    /// tree; the steady-state sweeps reuse it).
+    pub sweeps: u64,
+    /// Exact near-field pair evaluations over the timed sweeps.
+    pub near_interactions: u64,
+    /// Far-field (accepted cell + far leaf body) evaluations over the
+    /// timed sweeps.
+    pub far_interactions: u64,
+    /// `near_interactions + far_interactions` (the hybrid engine's own
+    /// interaction counter).
+    pub hybrid_interactions: u64,
+    /// Direct-summation evaluations over the same sweeps (`sweeps · N²`).
+    pub direct_interactions: u64,
+    /// Hybrid wall seconds over the timed sweeps (fastest rep × sweeps).
+    pub hybrid_wall_seconds: f64,
+    /// Direct wall seconds over the same sweeps.
+    pub direct_wall_seconds: f64,
+    /// `hybrid_interactions / hybrid_wall_seconds`.
+    pub hybrid_interactions_per_second: f64,
+    /// `direct_interactions / direct_wall_seconds`.
+    pub direct_interactions_per_second: f64,
+    /// Wall-clock sweep speedup of the hybrid over the direct reference
+    /// (`direct_wall_seconds / hybrid_wall_seconds`).
+    pub speedup_vs_direct: f64,
+}
+
+/// Time `reps` full-block sweeps of the hybrid engine and the direct
+/// reference on the same seeded disk. Both engines get one untimed warm-up
+/// sweep (pools spawned, j-memory paged, tree built); the hybrid's counters
+/// are reset after it so the reported near/far split covers exactly the
+/// timed sweeps. Each rep is timed alone and the fastest extrapolates the
+/// wall (preemption only ever slows a rep down).
+pub fn run_hybrid_bench(n: usize, seed: u64, theta: f64, r_near: f64, reps: usize) -> HybridBench {
+    use grape6_core::particle::{ForceResult, IParticle};
+    let sys = DiskBuilder::paper(n).with_seed(seed).build();
+    let nb = sys.len();
+    let ips: Vec<IParticle> =
+        (0..nb).map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect();
+    let mut out = vec![ForceResult::default(); nb];
+
+    let mut hybrid = HybridTreeEngine::new(theta, r_near);
+    hybrid.load(&sys);
+    hybrid.compute(0.0, &ips, &mut out); // warm-up: builds the tree
+    hybrid.reset_counters();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        hybrid.compute(0.0, &ips, &mut out);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(&out);
+    let work = hybrid.tree_work().expect("hybrid engine reports walk counters");
+    let hybrid_interactions = hybrid.interaction_count();
+    let hybrid_wall_seconds = best * reps as f64;
+
+    let (direct_interactions, direct_wall_seconds) =
+        time_kernel(grape6_core::force::DirectEngine::new(), &sys, reps);
+
+    let rate = |inter: u64, wall: f64| if wall > 0.0 { inter as f64 / wall } else { 0.0 };
+    HybridBench {
+        n_bodies: nb as u64,
+        theta,
+        r_near,
+        sweeps: reps as u64,
+        near_interactions: work.near_interactions,
+        far_interactions: work.far_interactions,
+        hybrid_interactions,
+        direct_interactions,
+        hybrid_wall_seconds,
+        direct_wall_seconds,
+        hybrid_interactions_per_second: rate(hybrid_interactions, hybrid_wall_seconds),
+        direct_interactions_per_second: rate(direct_interactions, direct_wall_seconds),
+        speedup_vs_direct: if hybrid_wall_seconds > 0.0 {
+            direct_wall_seconds / hybrid_wall_seconds
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The standard hybrid-vs-direct comparison the shipped report uses: the
+/// `hybrid_disk` workload's opening angle and neighbour radius at a disk
+/// size where the walk meaningfully undercuts N² (the lane-vectorized
+/// direct kernel holds a ~10x per-interaction rate edge over the scalar
+/// walk+sum, so the interaction ratio has to clear that before the wall
+/// clock crosses over).
+pub fn standard_hybrid_bench() -> HybridBench {
+    run_hybrid_bench(8192, 20020616, 0.5, 3.0, 3)
 }
 
 /// A force engine that computes no pairwise forces: every result is zero,
@@ -485,10 +613,10 @@ fn run_with<E: ForceEngine>(spec: &WorkloadSpec, engine: E) -> WorkloadResult {
 
 /// Run one workload to completion.
 pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
-    // Direct and GRAPE-6 run their default AoSoA lane width; the tree code
-    // has no lane path and reports the scalar kernel.
+    // Direct and GRAPE-6 run their default AoSoA lane width; the tree
+    // engines have no lane path and report the scalar kernel.
     let lanes = match spec.engine {
-        EngineKind::Tree(_) => LaneWidth::Scalar,
+        EngineKind::Tree(_) | EngineKind::Hybrid { .. } => LaneWidth::Scalar,
         _ => LaneWidth::default(),
     };
     let mut out = match spec.engine {
@@ -498,6 +626,9 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
         EngineKind::Grape6Faulty(seed) => {
             let plan = FaultPlan::random(seed, 8, 40);
             run_with(spec, FaultTolerantEngine::new(Grape6Config::sc2002(), &plan))
+        }
+        EngineKind::Hybrid { theta, r_near } => {
+            run_with(spec, HybridTreeEngine::new(theta, r_near))
         }
     };
     out.lane_width = lanes.label().to_string();
@@ -551,6 +682,7 @@ pub fn build_report(git_sha: String) -> BenchReport {
         kernel_microbench: standard_kernel_microbench(),
         host_phase: standard_host_phase_bench(),
         service_latency: Some(crate::loadgen::standard_service_latency()),
+        hybrid: Some(standard_hybrid_bench()),
         paper_check: PaperCheck::sc2002(),
     }
 }
@@ -651,6 +783,25 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_bench_counters_are_exact_and_split_adds_up() {
+        let a = run_hybrid_bench(192, 7, 0.5, 3.0, 2);
+        assert_eq!(a.n_bodies, 194, "two protoplanets ride on the 192 planetesimals");
+        assert_eq!(a.sweeps, 2);
+        assert!(a.near_interactions > 0, "r_near = 3 must capture neighbours");
+        assert!(a.far_interactions > 0, "θ = 0.5 must accept cells");
+        assert_eq!(a.hybrid_interactions, a.near_interactions + a.far_interactions);
+        assert_eq!(a.direct_interactions, a.sweeps * a.n_bodies * a.n_bodies);
+        assert!(a.hybrid_wall_seconds > 0.0 && a.direct_wall_seconds > 0.0);
+        assert!(a.hybrid_interactions_per_second > 0.0);
+        // Re-run: the walk counters are deterministic to the bit; only the
+        // wall clocks may move.
+        let b = run_hybrid_bench(192, 7, 0.5, 3.0, 2);
+        assert_eq!(a.near_interactions, b.near_interactions);
+        assert_eq!(a.far_interactions, b.far_interactions);
+        assert_eq!(a.direct_interactions, b.direct_interactions);
+    }
+
+    #[test]
     fn paper_check_brackets_gordon_bell_efficiency() {
         let c = PaperCheck::sc2002();
         assert!((c.peak_tflops - 63.4).abs() < 0.5);
@@ -686,6 +837,7 @@ mod tests {
                 })
                 .expect("tiny load pass holds its contracts"),
             ),
+            hybrid: Some(run_hybrid_bench(48, 7, 0.5, 3.0, 1)),
             paper_check: PaperCheck::sc2002(),
         };
         assert!(report.workloads[0].modeled_tflops > 0.0);

@@ -6,8 +6,8 @@
 
 use grape6_bench::loadgen::ServiceLatencyResult;
 use grape6_bench::report::{
-    run_host_phase_bench, run_kernel_microbench, run_thread_scaling, run_workload, BenchReport,
-    EngineKind, PaperCheck, WorkloadSpec, SCHEMA_VERSION,
+    run_host_phase_bench, run_hybrid_bench, run_kernel_microbench, run_thread_scaling,
+    run_workload, BenchReport, EngineKind, PaperCheck, WorkloadSpec, SCHEMA_VERSION,
 };
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -50,6 +50,7 @@ fn mini_report() -> BenchReport {
             wall_seconds: 1.5,
             jobs_per_second: 64.0 / 1.5,
         }),
+        hybrid: Some(run_hybrid_bench(48, 7, 0.5, 3.0, 1)),
         paper_check: PaperCheck::sc2002(),
     }
 }
@@ -167,6 +168,56 @@ fn service_latency_regression_fails_and_noise_passes() {
         stdout.contains("completed") && stdout.contains("FAIL"),
         "failure must name the completed counter:\n{stdout}"
     );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hybrid_counter_drift_fails_and_rate_gates_slowdown_only() {
+    let report = mini_report();
+    let dir = std::env::temp_dir().join(format!("g6-hybrid-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = write_json(&dir, "baseline.json", &report);
+
+    // The near/far split is exact walk output: a single drifted near
+    // interaction means the tree, the MAC, or the neighbour criterion
+    // changed, and must fail in either direction.
+    let mut drifted = report.clone();
+    {
+        let h = drifted.hybrid.as_mut().expect("mini report carries a hybrid section");
+        h.near_interactions += 1;
+        h.hybrid_interactions += 1;
+    }
+    let fresh_drift = write_json(&dir, "fresh_drift.json", &drifted);
+    let (ok, stdout) = run_compare(&baseline, &fresh_drift);
+    assert!(!ok, "a drifted near counter must fail the gate:\n{stdout}");
+    assert!(
+        stdout.contains("near_inter") && stdout.contains("FAIL"),
+        "failure must name the drifted hybrid counter:\n{stdout}"
+    );
+
+    // Rates gate slowdown-only: a 2x faster hybrid sweep passes, a 2x
+    // slower one fails.
+    let mut faster = report.clone();
+    faster.hybrid.as_mut().unwrap().hybrid_interactions_per_second *= 2.0;
+    let fresh_fast = write_json(&dir, "fresh_fast.json", &faster);
+    let (ok, stdout) = run_compare(&baseline, &fresh_fast);
+    assert!(ok, "a faster hybrid sweep must pass the gate:\n{stdout}");
+
+    let mut slower = report.clone();
+    slower.hybrid.as_mut().unwrap().hybrid_interactions_per_second /= 2.0;
+    let fresh_slow = write_json(&dir, "fresh_slow.json", &slower);
+    let (ok, stdout) = run_compare(&baseline, &fresh_slow);
+    assert!(!ok, "a 2x hybrid sweep slowdown must fail the gate:\n{stdout}");
+    assert!(stdout.contains("hybrid/sweep") && stdout.contains("FAIL"));
+
+    // A dropped hybrid section must not read as a pass.
+    let mut gone = report.clone();
+    gone.hybrid = None;
+    let fresh_gone = write_json(&dir, "fresh_gone.json", &gone);
+    let (ok, stdout) = run_compare(&baseline, &fresh_gone);
+    assert!(!ok, "a dropped hybrid section must fail the gate:\n{stdout}");
+    assert!(stdout.contains("MISSING hybrid section"));
 
     std::fs::remove_dir_all(&dir).ok();
 }

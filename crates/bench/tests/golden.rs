@@ -7,7 +7,7 @@
 
 use grape6_bench::loadgen::ServiceLatencyResult;
 use grape6_bench::report::{
-    standard_workloads, BenchReport, KernelRate, PaperCheck, ThreadScalingEntry,
+    standard_workloads, BenchReport, HybridBench, KernelRate, PaperCheck, ThreadScalingEntry,
     ThreadScalingResult, SCALING_THREADS, SCHEMA_VERSION,
 };
 use grape6_hw::TimingModel;
@@ -38,6 +38,25 @@ fn service_latency_fixture() -> ServiceLatencyResult {
         max_ms: 95.0,
         wall_seconds: 1.5,
         jobs_per_second: 64.0 / 1.5,
+    }
+}
+
+/// A schema-complete `hybrid` literal for structure-only tests.
+fn hybrid_fixture() -> HybridBench {
+    HybridBench {
+        n_bodies: 100,
+        theta: 0.5,
+        r_near: 3.0,
+        sweeps: 3,
+        near_interactions: 900,
+        far_interactions: 2100,
+        hybrid_interactions: 3000,
+        direct_interactions: 30000,
+        hybrid_wall_seconds: 0.1,
+        direct_wall_seconds: 0.5,
+        hybrid_interactions_per_second: 30000.0,
+        direct_interactions_per_second: 60000.0,
+        speedup_vs_direct: 5.0,
     }
 }
 
@@ -90,6 +109,7 @@ fn report_json_schema_is_stable() {
         kernel_microbench: vec![],
         host_phase: vec![],
         service_latency: Some(service_latency_fixture()),
+        hybrid: Some(hybrid_fixture()),
         paper_check: PaperCheck::sc2002(),
     };
     let v = serde_json::to_value(&report).unwrap();
@@ -105,6 +125,7 @@ fn report_json_schema_is_stable() {
             "kernel_microbench",
             "host_phase",
             "service_latency",
+            "hybrid",
             "paper_check"
         ]
     );
@@ -217,9 +238,36 @@ fn service_latency_schema_is_stable() {
 }
 
 #[test]
-fn workload_set_is_the_documented_quartet() {
+fn hybrid_schema_is_stable() {
+    let v = serde_json::to_value(&hybrid_fixture()).unwrap();
+    let keys: Vec<&str> = v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        [
+            "n_bodies",
+            "theta",
+            "r_near",
+            "sweeps",
+            "near_interactions",
+            "far_interactions",
+            "hybrid_interactions",
+            "direct_interactions",
+            "hybrid_wall_seconds",
+            "direct_wall_seconds",
+            "hybrid_interactions_per_second",
+            "direct_interactions_per_second",
+            "speedup_vs_direct",
+        ]
+    );
+}
+
+#[test]
+fn workload_set_is_the_documented_quintet() {
     let ids: Vec<&str> = standard_workloads().iter().map(|s| s.id).collect();
-    assert_eq!(ids, ["small_disk_direct", "grape6_node", "tree_baseline", "grape6_ft_faulty"]);
+    assert_eq!(
+        ids,
+        ["small_disk_direct", "grape6_node", "tree_baseline", "grape6_ft_faulty", "hybrid_disk"]
+    );
     for s in standard_workloads() {
         assert!(s.t_end > 0.0);
         assert!(s.n >= 64, "workloads must be non-trivial");

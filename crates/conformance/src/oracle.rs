@@ -43,6 +43,10 @@ pub const K_PIPE: f64 = 16.0;
 /// Global slack between per-term upper bounds and the exact worst case.
 pub const SAFETY: f64 = 8.0;
 
+/// Leading coefficient of the multipole-truncation bound (the quadrupole
+/// term of a worst-case mass distribution inside an accepted cell).
+pub const K_TREE: f64 = 3.0;
+
 /// Per-particle absolute tolerances on the engine outputs.
 #[derive(Debug, Clone)]
 pub struct Tolerances {
@@ -67,18 +71,37 @@ pub struct Oracle {
     pub extra_dpos: f64,
     /// Per-pair relative slack factor in units of `rel_half_ulp`.
     pub pipeline_k: f64,
+    /// Barnes-Hut opening angle θ of the approximate side (0 = exact
+    /// summation on both sides: no far-field truncation term).
+    pub theta: f64,
 }
 
 impl Oracle {
     /// Hardware engine vs f64 reference, given the pipeline mantissa width.
     pub fn hardware(mantissa_bits: u32) -> Self {
-        Self { mantissa_bits, quantized: true, extra_dpos: 0.0, pipeline_k: K_PIPE }
+        Self { mantissa_bits, quantized: true, extra_dpos: 0.0, pipeline_k: K_PIPE, theta: 0.0 }
     }
 
     /// f64 engine vs f64 engine where only the summation order differs
     /// (permutation, small-vs-large block path). `n` is the pair count.
     pub fn reorder(n: usize) -> Self {
-        Self { mantissa_bits: 53, quantized: false, extra_dpos: 0.0, pipeline_k: (n + 8) as f64 }
+        Self {
+            mantissa_bits: 53,
+            quantized: false,
+            extra_dpos: 0.0,
+            pipeline_k: (n + 8) as f64,
+            theta: 0.0,
+        }
+    }
+
+    /// Tree-walking f64 engine with opening angle `theta` vs the f64 direct
+    /// reference: the reorder budget plus the multipole acceptance-criterion
+    /// truncation bound on every pair. At `theta = 0` this *is*
+    /// [`Oracle::reorder`] — the budget collapses to summation-order slack,
+    /// matching the bitwise-anchor contract.
+    pub fn tree(theta: f64, n: usize) -> Self {
+        assert!(theta >= 0.0, "opening angle must be non-negative");
+        Self { theta, ..Self::reorder(n) }
     }
 
     /// Compute per-particle tolerances for comparing engine outputs on
@@ -119,6 +142,32 @@ impl Oracle {
             dvel.push(u * (vchange + v.norm()));
         }
 
+        // Multipole truncation (tree engines only): a cell of size s is
+        // accepted at COM distance d when s < θ·d; its bodies then lie
+        // within β·d of the COM with β ≤ √3·θ (up to √3·s/2 from the cell
+        // centre, plus as much again for the centre-to-COM offset). The
+        // dipole term vanishes about the COM, so the worst-case *relative*
+        // force error per accepted pair is the quadrupole bound
+        // K_TREE·β²/(1−β)³ — with the denominator clamped because for
+        // θ ≳ 1/√3 the worst-case geometry is unbounded (the budget stays a
+        // budget; a walk that bad would fail the θ = 0 bitwise anchor and
+        // the counter checks long before this term saves it).
+        let tree_rel = if self.theta > 0.0 {
+            let beta = 3.0f64.sqrt() * self.theta;
+            let denom = (1.0 - beta).max(0.2);
+            K_TREE * beta * beta / (denom * denom * denom)
+        } else {
+            0.0
+        };
+        // A cell's velocity moment is truncated by the same criterion, so
+        // the system-wide predicted-velocity spread stands in for any
+        // cell's internal spread in the jerk budget.
+        let vspread = if self.theta > 0.0 {
+            2.0 * pvel.iter().fold(0.0f64, |m, v| m.max(v.norm()))
+        } else {
+            0.0
+        };
+
         let mut tol = Tolerances {
             acc: Vec::with_capacity(n),
             jerk: Vec::with_capacity(n),
@@ -148,6 +197,11 @@ impl Oracle {
                     + 4.0 * jb * dp / re
                     + 12.0 * m * dv.norm() * dp / (re * re * re * re);
                 pot_b += p * (self.pipeline_k * u + uref) + p * dp / re;
+                if tree_rel > 0.0 {
+                    acc_b += tree_rel * a;
+                    jerk_b += tree_rel * (jb + 3.0 * m * (dv.norm() + vspread) / (re * re * re));
+                    pot_b += tree_rel * p;
+                }
             }
             // Accumulator quanta: one half-step per partial, per component.
             let aq = (n as f64 + 2.0) * q * 3.0f64.sqrt();
@@ -217,5 +271,36 @@ mod tests {
         let tol = Oracle::reorder(sys.len()).tolerances(&sys, 0.0);
         let a = 2e-6 / (0.1f64 * 0.1);
         assert!(tol.acc[0] < 1e-10 * a, "reorder tolerance {} too loose", tol.acc[0]);
+    }
+
+    #[test]
+    fn tree_oracle_at_theta_zero_is_the_reorder_oracle() {
+        // The bitwise-anchor contract in budget form: no opening angle, no
+        // truncation term — only summation-order slack remains.
+        let sys = pair();
+        let t0 = Oracle::tree(0.0, sys.len()).tolerances(&sys, 0.0);
+        let re = Oracle::reorder(sys.len()).tolerances(&sys, 0.0);
+        assert_eq!(t0.acc, re.acc);
+        assert_eq!(t0.jerk, re.jerk);
+        assert_eq!(t0.pot, re.pot);
+    }
+
+    #[test]
+    fn tree_budget_grows_with_theta_and_dwarfs_reorder() {
+        let sys = pair();
+        let re = Oracle::reorder(sys.len()).tolerances(&sys, 0.0);
+        let mut prev = re.acc[0];
+        for theta in [0.3, 0.5, 0.75] {
+            let t = Oracle::tree(theta, sys.len()).tolerances(&sys, 0.0);
+            assert!(
+                t.acc[0] > prev,
+                "budget must grow monotonically: θ={theta} gives {} after {prev}",
+                t.acc[0]
+            );
+            assert!(t.acc[0] > 1e6 * re.acc[0], "truncation term must dominate reorder slack");
+            assert!(t.jerk[0] > re.jerk[0] && t.pot[0] > re.pot[0]);
+            assert!(t.acc[0].is_finite() && t.jerk[0].is_finite() && t.pot[0].is_finite());
+            prev = t.acc[0];
+        }
     }
 }

@@ -30,6 +30,7 @@ use grape6_hw::{
     ClusterEngine, FaultPlan, FaultTolerantEngine, Grape6Config, Grape6Engine, NodeEngine,
 };
 use grape6_sim::Simulation;
+use grape6_tree::HybridTreeEngine;
 
 /// One failed check on one scenario.
 #[derive(Debug, Clone)]
@@ -67,6 +68,10 @@ pub const ALL_CHECKS: &[&str] = &[
     "traj/ft-vs-grape6",
     "traj/threads-grape6",
     "sched/tick-vs-heap",
+    "hybrid/theta0-bitwise-vs-direct",
+    "hybrid/predicted-theta0-vs-direct",
+    "hybrid/theta-budget",
+    "hybrid/counters-reproducible",
 ];
 
 fn all_ips(sys: &ParticleSystem) -> Vec<IParticle> {
@@ -164,6 +169,22 @@ fn initialized_system(sc: &Scenario, advance: usize) -> (ParticleSystem, f64) {
     }
     let t = integ.next_time().unwrap_or(sys.t);
     (sys, t)
+}
+
+/// A mid-scale near-field radius for a scenario: a tenth of the bounding
+/// cube's diagonal, so the hybrid checks exercise both the direct near path
+/// and the tree far path on every scenario geometry.
+fn near_radius(sys: &ParticleSystem) -> f64 {
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for p in &sys.pos {
+        for (k, v) in [p.x, p.y, p.z].into_iter().enumerate() {
+            lo[k] = lo[k].min(v);
+            hi[k] = hi[k].max(v);
+        }
+    }
+    let d2: f64 = (0..3).map(|k| (hi[k] - lo[k]) * (hi[k] - lo[k])).sum();
+    (0.1 * d2.sqrt()).max(1e-9)
 }
 
 fn predicted_ips(sys: &ParticleSystem, t: f64) -> Vec<IParticle> {
@@ -546,6 +567,78 @@ pub fn run_check(sc: &Scenario, check: &str) -> Option<String> {
             let heap_g = run_trajectory_sched(sc, grape6(), SchedulerKind::Heap);
             let tick_g = run_trajectory_sched(sc, grape6(), SchedulerKind::TickBucket);
             cmp_system_bits(&tick_g, &heap_g).map(|d| format!("grape6: {d}"))
+        }
+        "hybrid/theta0-bitwise-vs-direct" => {
+            // The anchor: θ = 0 never accepts a cell and an infinite
+            // neighbour radius keeps every body in the near field, so the
+            // hybrid must reproduce the f64 direct reference bit for bit —
+            // on both the large-block sweep and the chunked small-block
+            // path (blocked by 5), which round differently from each other.
+            let full_d = forces(&mut DirectEngine::new(), sys, t0);
+            let full_h = forces(&mut HybridTreeEngine::direct_equivalent(), sys, t0);
+            if let Some(d) = cmp_bitwise(&full_h, &full_d, 2) {
+                return Some(format!("full block: {d}"));
+            }
+            let blocked_d = forces_blocked(&mut DirectEngine::new(), sys, t0, 5);
+            let blocked_h = forces_blocked(&mut HybridTreeEngine::direct_equivalent(), sys, t0, 5);
+            cmp_bitwise(&blocked_h, &blocked_d, 2).map(|d| format!("blocked(5): {d}"))
+        }
+        "hybrid/predicted-theta0-vs-direct" => {
+            // Same anchor a couple of block steps in: particle times are
+            // staggered, so the hybrid's internal j-prediction (which feeds
+            // the tree build) is live and must match DirectEngine's.
+            let (isys, t) = initialized_system(sc, 2);
+            let ips = predicted_ips(&isys, t);
+            let mut out_d = vec![ForceResult::default(); ips.len()];
+            let mut out_h = vec![ForceResult::default(); ips.len()];
+            let mut d = DirectEngine::new();
+            d.load(&isys);
+            d.compute(t, &ips, &mut out_d);
+            let mut h = HybridTreeEngine::direct_equivalent();
+            h.load(&isys);
+            h.compute(t, &ips, &mut out_h);
+            cmp_bitwise(&out_h, &out_d, 2)
+        }
+        "hybrid/theta-budget" => {
+            // Opened-up walks must stay inside the derived multipole
+            // acceptance-criterion budget at every production opening angle.
+            let reference = forces(&mut DirectEngine::new(), sys, t0);
+            let r_near = near_radius(sys);
+            for theta in [0.3, 0.5, 0.75] {
+                let got = forces(&mut HybridTreeEngine::new(theta, r_near), sys, t0);
+                let tol = Oracle::tree(theta, sys.len()).tolerances(sys, t0);
+                if let Some(d) = cmp_oracle(&got, &reference, &tol) {
+                    return Some(format!("theta = {theta}: {d}"));
+                }
+            }
+            None
+        }
+        "hybrid/counters-reproducible" => {
+            // Near/far walk counters are exact integer work accounting:
+            // re-runs and every thread count must agree exactly, and the
+            // forces themselves stay bitwise locked.
+            let r_near = near_radius(sys);
+            let run = |threads: usize| {
+                rayon::with_num_threads(threads, || {
+                    let mut e = HybridTreeEngine::new(0.5, r_near);
+                    let out = forces(&mut e, sys, t0);
+                    (out, e.interaction_count(), e.tree_work().expect("hybrid reports tree work"))
+                })
+            };
+            let (ref_out, ref_n, ref_w) = run(1);
+            for threads in [1usize, 2, 4, 8] {
+                let (out, n, w) = run(threads);
+                if n != ref_n || w != ref_w {
+                    return Some(format!(
+                        "threads = {threads}: counters drifted \
+                         ({ref_n} / {ref_w:?} vs {n} / {w:?})"
+                    ));
+                }
+                if let Some(d) = cmp_bitwise(&out, &ref_out, 2) {
+                    return Some(format!("threads = {threads}: {d}"));
+                }
+            }
+            None
         }
         "broken/dropped-pair" => {
             // Dev-only: an intentionally broken kernel that drops the last

@@ -58,6 +58,59 @@ impl FaultStats {
     }
 }
 
+/// Work counters a tree-walking engine accumulates over a run. Exact
+/// integer accounting — deterministic for a given particle history,
+/// independent of host thread count (walks are pure per-i functions and the
+/// counters are associative sums).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeWork {
+    /// Octrees built (one per distinct force time, under individual
+    /// timesteps typically one per block step).
+    #[serde(default)]
+    pub builds: u64,
+    /// Internal cells opened (recursed into) across all walks.
+    #[serde(default)]
+    pub cells_opened: u64,
+    /// Pairwise interactions summed directly at full precision from the
+    /// radius-based near-field neighbour lists (self terms included, by the
+    /// hardware convention).
+    #[serde(default)]
+    pub near_interactions: u64,
+    /// Far-field interactions against accepted cells and leaf bodies beyond
+    /// the neighbour radius.
+    #[serde(default)]
+    pub far_interactions: u64,
+    /// Interaction-list entries emitted, summed over every walk (near + far;
+    /// `/ lists_emitted` gives the mean GRAPE list length).
+    #[serde(default)]
+    pub list_len_sum: u64,
+    /// Longest single interaction list (near + far) emitted by any walk.
+    #[serde(default)]
+    pub list_len_max: u64,
+    /// Walks performed (one per i-particle per force call).
+    #[serde(default)]
+    pub lists_emitted: u64,
+}
+
+impl TreeWork {
+    /// True when no tree work of any kind was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Fold another accumulator in (exact integer sums; `list_len_max` takes
+    /// the maximum).
+    pub fn merge(&mut self, other: &Self) {
+        self.builds += other.builds;
+        self.cells_opened += other.cells_opened;
+        self.near_interactions += other.near_interactions;
+        self.far_interactions += other.far_interactions;
+        self.list_len_sum += other.list_len_sum;
+        self.list_len_max = self.list_len_max.max(other.list_len_max);
+        self.lists_emitted += other.lists_emitted;
+    }
+}
+
 /// A device that computes softened gravity (and its time derivative) on
 /// request, holding its own mirror of the particle data.
 pub trait ForceEngine {
@@ -102,6 +155,12 @@ pub trait ForceEngine {
     /// Engines without a fault model report [`FaultStats::default`].
     fn fault_stats(&self) -> FaultStats {
         FaultStats::default()
+    }
+
+    /// Tree-walk work counters accumulated since the last reset. Engines
+    /// that never build a tree report `None`.
+    fn tree_work(&self) -> Option<TreeWork> {
+        None
     }
 
     /// Opaque engine state a checkpoint must carry to make a resumed run

@@ -54,6 +54,8 @@ fn fixture_corpus_yields_exact_diagnostics() {
         ("H001", "h001_pop_block.rs", 11),
         ("H001", "h001_sched.rs", 12),
         ("H001", "h001_sched.rs", 13),
+        ("H001", "h001_walk.rs", 12),
+        ("H001", "h001_walk.rs", 13),
         ("H002", "h002_launder.rs", 7),
         ("H002", "h002_launder.rs", 8),
         ("P001", "p001_entry.rs", 7),

@@ -1,0 +1,30 @@
+// The octree interaction walk: `Octree::list_walk` and the hybrid near
+// sums carry the hot annotation (one walk per i-particle per block step),
+// so allocating the open stack or snapshotting cells per walk must trip H001.
+
+struct Cell {
+    kids: [u32; 8],
+    count: u32,
+}
+
+// grape6-lint: hot
+fn walk(cells: &[Cell], stack: &mut Vec<u32>, near: &mut Vec<u32>) -> u64 {
+    let mut opened = vec![0u32; cells.len()];
+    let order = stack.to_vec();
+    let mut far = 0u64;
+    for &c in &order {
+        let cell = &cells[c as usize];
+        if cell.count == 1 {
+            near.push(cell.kids[0]);
+        } else {
+            opened[c as usize] += 1;
+            far += u64::from(cell.count);
+        }
+    }
+    far
+}
+
+fn cold_rebuild(cells: &[Cell]) -> Vec<u32> {
+    // Rebuilds are cold: per-build allocation is fine.
+    cells.iter().map(|c| c.count).collect()
+}

@@ -3,7 +3,9 @@
 //! Subcommands:
 //!
 //! * `gen      --n <N> [--seed <S>] [--no-protoplanets] --out <snap.json>`
-//! * `run      --in <snap.json> --t <time> [--engine direct|grape6|grape6-ft|tree]
+//! * `run      --in <snap.json> --t <time>
+//!             [--engine direct|grape6|grape6-ft|tree|hybrid]
+//!             [--theta <θ>] [--near-radius <r>]
 //!             [--eta <η>] [--accrete <inflation>] [--out <snap.json>]
 //!             [--diag <diag.csv>] [--telemetry <tele.json>]
 //!             [--faults <plan.json>] [--checkpoint <file.g6ck>]
@@ -34,7 +36,7 @@ use grape6_sim::{
     load_auto, load_checkpoint, run_to_with_checkpoints, save_auto, save_diagnostics_csv,
     Simulation,
 };
-use grape6_tree::TreeEngine;
+use grape6_tree::{HybridTreeEngine, TreeEngine};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -277,9 +279,25 @@ fn cmd_run(args: &Args) -> ExitCode {
         }
         "tree" => {
             let theta = args.parse::<f64>("--theta").unwrap_or(0.5);
+            if !(theta >= 0.0 && theta.is_finite()) {
+                return fail("--theta must be a finite non-negative number");
+            }
             drive!(TreeEngine::new(theta));
         }
-        other => return fail(&format!("unknown engine '{other}' (direct|grape6|grape6-ft|tree)")),
+        "hybrid" => {
+            let theta = args.parse::<f64>("--theta").unwrap_or(0.5);
+            let r_near = args.parse::<f64>("--near-radius").unwrap_or(1.0);
+            if !(theta >= 0.0 && theta.is_finite()) {
+                return fail("--theta must be a finite non-negative number");
+            }
+            if !(r_near >= 0.0 && r_near.is_finite()) {
+                return fail("--near-radius must be a finite non-negative number");
+            }
+            drive!(HybridTreeEngine::new(theta, r_near));
+        }
+        other => {
+            return fail(&format!("unknown engine '{other}' (direct|grape6|grape6-ft|tree|hybrid)"))
+        }
     }
     ExitCode::SUCCESS
 }

@@ -11,7 +11,7 @@
 //! points pass the null observer `()` whose hooks monomorphize to nothing,
 //! so the hot path pays only when a `Telemetry` is actually attached.
 
-use grape6_core::engine::{FaultStats, ForceEngine};
+use grape6_core::engine::{FaultStats, ForceEngine, TreeWork};
 use grape6_core::observer::{HostPhase, StepObserver};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -205,6 +205,7 @@ impl Telemetry {
             wire_bytes: self.wire_bytes,
             host_threads: self.host_threads,
             faults: engine.fault_stats(),
+            tree: engine.tree_work(),
             modeled_seconds: modeled,
             interactions_per_second_real: rate(total),
             interactions_per_second_modeled: rate(modeled),
@@ -353,6 +354,11 @@ pub struct TelemetryReport {
     /// model; defaulted for pre-fault-layer reports).
     #[serde(default)]
     pub faults: FaultStats,
+    /// Tree-walk work counters: builds, cells opened, near/far interaction
+    /// split, list lengths (`None` for engines that never build a tree;
+    /// defaulted for pre-tree-layer reports).
+    #[serde(default)]
+    pub tree: Option<TreeWork>,
     /// Modeled machine seconds (0 for engines without a timing model).
     pub modeled_seconds: f64,
     /// Interactions per real (host wall) second.
@@ -515,5 +521,22 @@ mod tests {
         let json = serde_json::to_string(&rep).unwrap();
         let back: TelemetryReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.faults, rep.faults);
+    }
+
+    #[test]
+    fn report_carries_tree_work_for_tree_engines() {
+        let t = Telemetry::new();
+        let rep = t.report(&DirectEngine::new());
+        assert!(rep.tree.is_none(), "direct engine never builds a tree");
+        let rep = t.report(&grape6_tree::HybridTreeEngine::direct_equivalent());
+        let tree = rep.tree.expect("hybrid engine reports tree work");
+        assert!(tree.is_zero(), "no work yet — but the counters must be present");
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: TelemetryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.tree, rep.tree);
+        // Pre-tree-layer reports (no `tree` key) must still deserialize.
+        let legacy: TelemetryReport =
+            serde_json::from_str(&json.replace("\"tree\":", "\"tree_ignored\":")).unwrap();
+        assert!(legacy.tree.is_none());
     }
 }

@@ -9,7 +9,7 @@
 //! special hardware instead.
 
 use crate::octree::Octree;
-use grape6_core::engine::ForceEngine;
+use grape6_core::engine::{ForceEngine, TreeWork};
 use grape6_core::particle::{ForceResult, IParticle, ParticleSystem};
 use grape6_core::vec3::Vec3;
 use rayon::prelude::*;
@@ -137,6 +137,16 @@ impl ForceEngine for TreeEngine {
     fn reset_counters(&mut self) {
         self.interactions = 0;
         self.builds = 0;
+    }
+
+    fn tree_work(&self) -> Option<TreeWork> {
+        // The plain Barnes-Hut walk evaluates everything through the tree:
+        // no neighbour lists, so the whole count reports as far-field.
+        Some(TreeWork {
+            builds: self.builds,
+            far_interactions: self.interactions,
+            ..TreeWork::default()
+        })
     }
 
     fn name(&self) -> &'static str {

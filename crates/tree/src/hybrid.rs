@@ -1,0 +1,585 @@
+//! The hybrid tree + direct force engine (Fukushige & Kawai 2016's
+//! production pattern for collisional N-body on GRAPE): far-field forces
+//! from a Barnes-Hut walk emitted as GRAPE-style interaction lists, a
+//! radius-based near-field neighbour list summed directly at full
+//! precision, under the same block individual-timestep host loop as every
+//! other engine.
+//!
+//! Determinism contract (the same one `TickScheduler` and the lane tiles
+//! meet): the tree build inserts bodies in index order from predicted
+//! state, the walk recurses in fixed octant order, near lists are sorted
+//! ascending, and the per-i summation structure mirrors
+//! [`DirectEngine`](grape6_core::force::DirectEngine) exactly — so results
+//! are bit-identical for any `RAYON_NUM_THREADS`, and at `theta = 0` with a
+//! disk-spanning neighbour radius the near list *is* `0..n` with the same
+//! chunk boundaries, reproducing `DirectEngine` bitwise on both the
+//! small-block (chunked j-partial) and large-block (continuous ascending
+//! sweep) paths.
+
+use crate::octree::{InteractionLists, Octree};
+use grape6_core::engine::{ForceEngine, TreeWork};
+use grape6_core::force::{accumulate_on, pair_force_jerk};
+use grape6_core::particle::{ForceResult, IParticle, Neighbor, ParticleSystem};
+use grape6_core::sweep::{j_chunk_size, SMALL_BLOCK_MAX};
+use grape6_core::vec3::Vec3;
+use rayon::prelude::*;
+
+/// j-particles per parallel chunk of the full prediction sweep — must match
+/// `DirectEngine`'s chunking convention (prediction is a pure function of
+/// `(j, t)`, so the chunk size is bitwise-neutral either way).
+const PREDICT_CHUNK: usize = 4096;
+
+/// Per-chunk walk totals, reduced in chunk order (every field is an
+/// associative integer sum or max, so the reduction order cannot matter).
+#[derive(Debug, Clone, Copy, Default)]
+struct ChunkTotals {
+    work: TreeWork,
+    interactions: u64,
+}
+
+impl ChunkTotals {
+    fn note(&mut self, lists: &InteractionLists) {
+        let near = lists.near.len() as u64;
+        let far = lists.far_pos.len() as u64;
+        self.work.near_interactions += near;
+        self.work.far_interactions += far;
+        self.work.cells_opened += lists.cells_opened;
+        self.work.list_len_sum += near + far;
+        self.work.list_len_max = self.work.list_len_max.max(near + far);
+        self.work.lists_emitted += 1;
+        self.interactions += near + far;
+    }
+}
+
+impl std::iter::Sum for ChunkTotals {
+    fn sum<I: Iterator<Item = Self>>(it: I) -> Self {
+        it.fold(Self::default(), |mut a, b| {
+            a.work.merge(&b.work);
+            a.interactions += b.interactions;
+            a
+        })
+    }
+}
+
+/// Near-field sum for one i-particle of a *small* block: fixed j-chunks of
+/// the (ascending) neighbour list, each summed from zero, partials merged
+/// in ascending chunk order — the exact structure of `DirectEngine`'s
+/// chunked j-parallel sweep, so a full-coverage list reproduces its bits.
+// grape6-lint: hot
+fn near_sum_chunked(
+    ip: &IParticle,
+    near: &[u32],
+    ppos: &[Vec3],
+    pvel: &[Vec3],
+    jmass: &[f64],
+    eps2: f64,
+) -> ForceResult {
+    let mut out = ForceResult::default();
+    let ln = near.len();
+    if ln == 0 {
+        return out;
+    }
+    let chunk = j_chunk_size(ln);
+    let mut lo = 0;
+    while lo < ln {
+        let hi = (lo + chunk).min(ln);
+        let mut part = ForceResult::default();
+        for &j in &near[lo..hi] {
+            let j = j as usize;
+            if j == ip.index {
+                continue;
+            }
+            let dx = ppos[j] - ip.pos;
+            let r2 = dx.norm2();
+            if part.nn.is_none_or(|nb| r2 < nb.r2) {
+                part.nn = Some(Neighbor { index: j, r2 });
+            }
+            let (a, jk, p) = pair_force_jerk(dx, pvel[j] - ip.vel, jmass[j], eps2);
+            part.acc += a;
+            part.jerk += jk;
+            part.pot += p;
+        }
+        out.merge(&part);
+        lo = hi;
+    }
+    out
+}
+
+/// Near-field sum for one i-particle of a *large* block: one continuous
+/// accumulation over the ascending neighbour list — the per-i order of
+/// `DirectEngine`'s cache-tiled large-block sweep.
+// grape6-lint: hot
+fn near_sum_flat(
+    ip: &IParticle,
+    near: &[u32],
+    ppos: &[Vec3],
+    pvel: &[Vec3],
+    jmass: &[f64],
+    eps2: f64,
+) -> ForceResult {
+    let mut acc = Vec3::zero();
+    let mut jerk = Vec3::zero();
+    let mut pot = 0.0;
+    let mut nn = None::<Neighbor>;
+    for &j in near {
+        let j = j as usize;
+        if j == ip.index {
+            continue;
+        }
+        let dx = ppos[j] - ip.pos;
+        let r2 = dx.norm2();
+        if nn.is_none_or(|nb| r2 < nb.r2) {
+            nn = Some(Neighbor { index: j, r2 });
+        }
+        let (a, jk, p) = pair_force_jerk(dx, pvel[j] - ip.vel, jmass[j], eps2);
+        acc += a;
+        jerk += jk;
+        pot += p;
+    }
+    ForceResult { acc, jerk, pot, nn }
+}
+
+/// Hybrid tree + direct force engine (the sixth [`ForceEngine`]).
+#[derive(Debug, Clone)]
+pub struct HybridTreeEngine {
+    /// Opening angle θ of the multipole acceptance criterion (0 = open
+    /// everything, i.e. exact direct summation over the near list).
+    pub theta: f64,
+    /// Near-field neighbour radius: every body within this (unsoftened)
+    /// distance of an i-particle is summed directly at full precision and
+    /// is eligible for the nearest-neighbour report.
+    pub r_near: f64,
+    /// j-particle mirror: state at each particle's individual time.
+    jpos: Vec<Vec3>,
+    jvel: Vec<Vec3>,
+    jacc: Vec<Vec3>,
+    jjerk: Vec<Vec3>,
+    jmass: Vec<f64>,
+    jtime: Vec<f64>,
+    /// Predicted j state at the tree's build time (persistent scratch sized
+    /// by `load`, refreshed in place by `rebuild`).
+    ppos: Vec<Vec3>,
+    pvel: Vec<Vec3>,
+    eps2: f64,
+    tree: Option<Octree>,
+    last_tree_time: Option<f64>,
+    interactions: u64,
+    force_calls: u64,
+    work: TreeWork,
+}
+
+impl HybridTreeEngine {
+    /// Create an engine with opening angle `theta` and near-field radius
+    /// `r_near`. `theta = 0` with a radius spanning the whole system
+    /// reproduces `DirectEngine` bit for bit.
+    pub fn new(theta: f64, r_near: f64) -> Self {
+        assert!(theta >= 0.0, "theta must be non-negative");
+        assert!(r_near >= 0.0, "near-field radius must be non-negative");
+        Self {
+            theta,
+            r_near,
+            jpos: Vec::new(),
+            jvel: Vec::new(),
+            jacc: Vec::new(),
+            jjerk: Vec::new(),
+            jmass: Vec::new(),
+            jtime: Vec::new(),
+            ppos: Vec::new(),
+            pvel: Vec::new(),
+            eps2: 0.0,
+            tree: None,
+            last_tree_time: None,
+            interactions: 0,
+            force_calls: 0,
+            work: TreeWork::default(),
+        }
+    }
+
+    /// A configuration equivalent to direct summation (the bitwise anchor):
+    /// `theta = 0`, neighbour radius spanning any system.
+    pub fn direct_equivalent() -> Self {
+        Self::new(0.0, f64::INFINITY)
+    }
+
+    /// Trees built since the last counter reset.
+    pub fn build_count(&self) -> u64 {
+        self.work.builds
+    }
+
+    /// Walk work counters accumulated since the last reset.
+    pub fn work(&self) -> TreeWork {
+        self.work
+    }
+
+    /// Number of `compute` calls since the last counter reset.
+    pub fn force_calls(&self) -> u64 {
+        self.force_calls
+    }
+
+    /// Refresh the predicted j state to `t` (same Taylor expression, same
+    /// chunking as `DirectEngine::predict_all` — bit-identical predictions)
+    /// and rebuild the octree over it. Build order is body-index order:
+    /// thread count never touches the tree shape.
+    fn rebuild(&mut self, t: f64) {
+        let n = self.jpos.len();
+        debug_assert_eq!(self.ppos.len(), n, "prediction scratch is sized by load()");
+        debug_assert_eq!(self.pvel.len(), n, "prediction scratch is sized by load()");
+        let (jpos, jvel, jacc, jjerk, jtime) =
+            (&self.jpos, &self.jvel, &self.jacc, &self.jjerk, &self.jtime);
+        self.ppos
+            .par_chunks_mut(PREDICT_CHUNK)
+            .zip(self.pvel.par_chunks_mut(PREDICT_CHUNK))
+            .enumerate()
+            .for_each(|(c, (pps, pvs))| {
+                let base = c * PREDICT_CHUNK;
+                for (k, (pp, pv)) in pps.iter_mut().zip(pvs).enumerate() {
+                    let j = base + k;
+                    let dt = t - jtime[j];
+                    let dt2 = dt * dt;
+                    *pp = jpos[j]
+                        + jvel[j] * dt
+                        + jacc[j] * (dt2 / 2.0)
+                        + jjerk[j] * (dt2 * dt / 6.0);
+                    *pv = jvel[j] + jacc[j] * dt + jjerk[j] * (dt2 / 2.0);
+                }
+            });
+        self.tree = Some(Octree::build(&self.ppos, &self.pvel, &self.jmass));
+        self.last_tree_time = Some(t);
+        self.work.builds += 1;
+    }
+}
+
+impl ForceEngine for HybridTreeEngine {
+    fn load(&mut self, sys: &ParticleSystem) {
+        self.jpos = sys.pos.clone();
+        self.jvel = sys.vel.clone();
+        self.jacc = sys.acc.clone();
+        self.jjerk = sys.jerk.clone();
+        self.jmass = sys.mass.clone();
+        self.jtime = sys.time.clone();
+        self.ppos.resize(sys.len(), Vec3::zero());
+        self.pvel.resize(sys.len(), Vec3::zero());
+        self.ppos.truncate(sys.len());
+        self.pvel.truncate(sys.len());
+        self.eps2 = sys.softening * sys.softening;
+        self.tree = None;
+        self.last_tree_time = None;
+    }
+
+    fn update_j(&mut self, sys: &ParticleSystem, indices: &[usize]) {
+        for &i in indices {
+            self.jpos[i] = sys.pos[i];
+            self.jvel[i] = sys.vel[i];
+            self.jacc[i] = sys.acc[i];
+            self.jjerk[i] = sys.jerk[i];
+            self.jmass[i] = sys.mass[i];
+            self.jtime[i] = sys.time[i];
+        }
+        // Bodies moved: the tree (and its predicted snapshot) is stale.
+        self.tree = None;
+        self.last_tree_time = None;
+    }
+
+    fn compute(&mut self, t: f64, ips: &[IParticle], out: &mut [ForceResult]) {
+        assert_eq!(ips.len(), out.len());
+        self.force_calls += 1;
+        let b = ips.len();
+        if b == 0 {
+            return;
+        }
+        if self.last_tree_time != Some(t) || self.tree.is_none() {
+            self.rebuild(t);
+        }
+        let tree = self.tree.as_ref().expect("tree built above");
+        let (theta, r_near, eps2) = (self.theta, self.r_near, self.eps2);
+        let (ppos, pvel, jmass) = (&self.ppos, &self.pvel, &self.jmass);
+        // Mirror DirectEngine's path split: small blocks take the chunked
+        // j-partial summation structure, large blocks the continuous per-i
+        // sweep — the two structures round differently, and the theta = 0
+        // anchor must match whichever one DirectEngine would have used.
+        let small = b <= SMALL_BLOCK_MAX;
+        // i-chunks may follow the thread count: per-i results are pure
+        // functions of (i, tree), and the walk totals are associative sums.
+        let threads = rayon::current_num_threads().max(1);
+        let ic = b.div_ceil(threads);
+        let totals: ChunkTotals = out
+            .par_chunks_mut(ic)
+            .zip(ips.par_chunks(ic))
+            .map(|(os, is)| {
+                let mut lists = InteractionLists::default();
+                let mut tot = ChunkTotals::default();
+                for (o, ip) in os.iter_mut().zip(is) {
+                    tree.interaction_lists(ip.pos, theta, r_near, &mut lists);
+                    *o = if small {
+                        near_sum_chunked(ip, &lists.near, ppos, pvel, jmass, eps2)
+                    } else {
+                        near_sum_flat(ip, &lists.near, ppos, pvel, jmass, eps2)
+                    };
+                    // Far field: one GRAPE-style j-sweep over the emitted
+                    // list (cells + far leaf bodies), appended after the
+                    // near sum. Empty at theta = 0, so the anchor path
+                    // never perturbs a bit.
+                    if !lists.far_pos.is_empty() {
+                        let far = accumulate_on(
+                            ip.pos,
+                            ip.vel,
+                            &lists.far_pos,
+                            &lists.far_vel,
+                            &lists.far_mass,
+                            eps2,
+                            usize::MAX,
+                        );
+                        o.acc += far.acc;
+                        o.jerk += far.jerk;
+                        o.pot += far.pot;
+                    }
+                    tot.note(&lists);
+                }
+                tot
+            })
+            .sum();
+        self.interactions += totals.interactions;
+        self.work.merge(&totals.work);
+    }
+
+    /// Actual near + far interaction-list evaluations — the whole point of
+    /// the hybrid is that this is far below the hardware convention's
+    /// `n_i × n_j`.
+    fn interaction_count(&self) -> u64 {
+        self.interactions
+    }
+
+    fn reset_counters(&mut self) {
+        self.interactions = 0;
+        self.force_calls = 0;
+        self.work = TreeWork::default();
+    }
+
+    fn tree_work(&self) -> Option<TreeWork> {
+        Some(self.work)
+    }
+
+    fn checkpoint_state(&self) -> Vec<u8> {
+        let mut state = Vec::with_capacity(72);
+        for v in [
+            self.interactions,
+            self.force_calls,
+            self.work.builds,
+            self.work.cells_opened,
+            self.work.near_interactions,
+            self.work.far_interactions,
+            self.work.list_len_sum,
+            self.work.list_len_max,
+            self.work.lists_emitted,
+        ] {
+            state.extend_from_slice(&v.to_le_bytes());
+        }
+        state
+    }
+
+    fn restore_checkpoint_state(&mut self, state: &[u8]) -> Result<(), String> {
+        if state.len() != 72 {
+            return Err(format!(
+                "hybrid-tree checkpoint state: expected 72 bytes, got {}",
+                state.len()
+            ));
+        }
+        let mut k = 0;
+        let mut next = || {
+            let v = u64::from_le_bytes(state[k..k + 8].try_into().unwrap());
+            k += 8;
+            v
+        };
+        self.interactions = next();
+        self.force_calls = next();
+        self.work.builds = next();
+        self.work.cells_opened = next();
+        self.work.near_interactions = next();
+        self.work.far_interactions = next();
+        self.work.list_len_sum = next();
+        self.work.list_len_max = next();
+        self.work.lists_emitted = next();
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape6_core::force::DirectEngine;
+
+    fn disk_like(n: usize, seed: u64) -> ParticleSystem {
+        let mut sys = ParticleSystem::new(0.01, 1.0);
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for k in 0..n {
+            let r = 15.0 + 10.0 * (k as f64 / n as f64) + rng();
+            let phi = rng() * std::f64::consts::TAU;
+            sys.push(
+                Vec3::new(r * phi.cos(), r * phi.sin(), rng() * 0.3),
+                Vec3::new(rng(), rng(), rng()) * 0.05,
+                1e-7 * (1.0 + rng().abs()),
+            );
+        }
+        sys
+    }
+
+    fn ips_for(sys: &ParticleSystem, idx: std::ops::Range<usize>) -> Vec<IParticle> {
+        idx.map(|i| IParticle { index: i, pos: sys.pos[i], vel: sys.vel[i] }).collect()
+    }
+
+    fn assert_bits_equal(a: &[ForceResult], b: &[ForceResult], tag: &str) {
+        for (k, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.acc, y.acc, "{tag}: particle {k} acc");
+            assert_eq!(x.jerk, y.jerk, "{tag}: particle {k} jerk");
+            assert_eq!(x.pot.to_bits(), y.pot.to_bits(), "{tag}: particle {k} pot");
+            assert_eq!(
+                x.nn.map(|nb| (nb.index, nb.r2.to_bits())),
+                y.nn.map(|nb| (nb.index, nb.r2.to_bits())),
+                "{tag}: particle {k} nn"
+            );
+        }
+    }
+
+    #[test]
+    fn theta_zero_full_radius_is_bitwise_direct_on_both_paths() {
+        let sys = disk_like(120, 1);
+        let mut hybrid = HybridTreeEngine::direct_equivalent();
+        let mut direct = DirectEngine::new();
+        hybrid.load(&sys);
+        direct.load(&sys);
+        // Small block (chunked j-partial path) and large block (continuous
+        // per-i path) — DirectEngine's two paths are NOT bitwise equal to
+        // each other, so the hybrid must match each one on its own turf.
+        for b in [1usize, 5, SMALL_BLOCK_MAX, SMALL_BLOCK_MAX + 1, 120] {
+            let ips = ips_for(&sys, 0..b);
+            let mut out_h = vec![ForceResult::default(); b];
+            let mut out_d = vec![ForceResult::default(); b];
+            hybrid.compute(0.0, &ips, &mut out_h);
+            direct.compute(0.0, &ips, &mut out_d);
+            assert_bits_equal(&out_h, &out_d, &format!("b={b}"));
+        }
+    }
+
+    #[test]
+    fn theta_zero_full_radius_matches_direct_at_predicted_times() {
+        let mut sys = disk_like(64, 2);
+        // Stagger the particle times so prediction is live.
+        for i in 0..sys.len() {
+            sys.acc[i] = Vec3::new(1e-4, -2e-4, 5e-5);
+            sys.jerk[i] = Vec3::new(-1e-6, 1e-6, 0.0);
+            sys.time[i] = (i % 4) as f64 * 0.125;
+        }
+        let t = 0.5;
+        let mut hybrid = HybridTreeEngine::direct_equivalent();
+        let mut direct = DirectEngine::new();
+        hybrid.load(&sys);
+        direct.load(&sys);
+        let ips: Vec<IParticle> = (0..sys.len())
+            .map(|i| {
+                let (pos, vel) = sys.predict(i, t);
+                IParticle { index: i, pos, vel }
+            })
+            .collect();
+        let mut out_h = vec![ForceResult::default(); ips.len()];
+        let mut out_d = vec![ForceResult::default(); ips.len()];
+        hybrid.compute(t, &ips, &mut out_h);
+        direct.compute(t, &ips, &mut out_d);
+        assert_bits_equal(&out_h, &out_d, "predicted");
+    }
+
+    #[test]
+    fn moderate_theta_approximates_direct_and_does_less_work() {
+        let sys = disk_like(800, 3);
+        let mut hybrid = HybridTreeEngine::new(0.6, 2.0);
+        let mut direct = DirectEngine::new();
+        hybrid.load(&sys);
+        direct.load(&sys);
+        let ips = ips_for(&sys, 0..sys.len());
+        let mut out_h = vec![ForceResult::default(); ips.len()];
+        let mut out_d = vec![ForceResult::default(); ips.len()];
+        hybrid.compute(0.0, &ips, &mut out_h);
+        direct.compute(0.0, &ips, &mut out_d);
+        let mut worst: f64 = 0.0;
+        for k in 0..ips.len() {
+            worst = worst.max((out_h[k].acc - out_d[k].acc).norm() / out_d[k].acc.norm());
+        }
+        assert!(worst < 0.05, "worst rel error {worst}");
+        let w = hybrid.work();
+        assert!(w.far_interactions > 0, "no cells were accepted");
+        assert!(w.near_interactions > 0, "no neighbours were found");
+        assert!(
+            hybrid.interaction_count() < (sys.len() as u64).pow(2) / 3,
+            "hybrid did {} evaluations, not ≪ N² = {}",
+            hybrid.interaction_count(),
+            (sys.len() as u64).pow(2)
+        );
+    }
+
+    #[test]
+    fn forces_and_counters_bit_identical_across_thread_counts() {
+        let sys = disk_like(300, 4);
+        let run = |threads: usize| {
+            rayon::with_num_threads(threads, || {
+                let mut e = HybridTreeEngine::new(0.5, 3.0);
+                e.load(&sys);
+                let ips = ips_for(&sys, 0..sys.len());
+                let mut out = vec![ForceResult::default(); ips.len()];
+                e.compute(0.0, &ips, &mut out);
+                (out, e.interaction_count(), e.work())
+            })
+        };
+        let (ref_out, ref_count, ref_work) = run(1);
+        for threads in [2usize, 4, 8] {
+            let (out, count, work) = run(threads);
+            assert_bits_equal(&out, &ref_out, &format!("threads={threads}"));
+            assert_eq!(count, ref_count, "threads={threads}: interaction count");
+            assert_eq!(work, ref_work, "threads={threads}: walk counters");
+        }
+    }
+
+    #[test]
+    fn rebuilds_only_when_time_changes_and_updates_invalidate() {
+        let mut sys = disk_like(100, 5);
+        let mut e = HybridTreeEngine::new(0.5, 2.0);
+        e.load(&sys);
+        let ips = ips_for(&sys, 0..10);
+        let mut out = vec![ForceResult::default(); 10];
+        e.compute(0.0, &ips, &mut out);
+        e.compute(0.0, &ips, &mut out);
+        assert_eq!(e.build_count(), 1, "same-time calls must share the tree");
+        e.compute(0.5, &ips, &mut out);
+        assert_eq!(e.build_count(), 2);
+        sys.pos[0] = Vec3::new(100.0, 0.0, 0.0);
+        e.update_j(&sys, &[0]);
+        e.compute(0.5, &ips, &mut out);
+        assert_eq!(e.build_count(), 3, "update_j must force a rebuild");
+    }
+
+    #[test]
+    fn checkpoint_state_round_trips() {
+        let sys = disk_like(80, 6);
+        let mut e = HybridTreeEngine::new(0.4, 2.0);
+        e.load(&sys);
+        let ips = ips_for(&sys, 0..sys.len());
+        let mut out = vec![ForceResult::default(); ips.len()];
+        e.compute(0.0, &ips, &mut out);
+        e.compute(0.25, &ips[..3], &mut out[..3]);
+        let state = e.checkpoint_state();
+        assert_eq!(state.len(), 72);
+        let mut fresh = HybridTreeEngine::new(0.4, 2.0);
+        fresh.load(&sys);
+        fresh.restore_checkpoint_state(&state).unwrap();
+        assert_eq!(fresh.interaction_count(), e.interaction_count());
+        assert_eq!(fresh.force_calls(), e.force_calls());
+        assert_eq!(fresh.work(), e.work());
+        assert!(fresh.restore_checkpoint_state(&state[..10]).is_err());
+    }
+}

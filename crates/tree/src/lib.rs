@@ -10,7 +10,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 pub mod engine;
+pub mod hybrid;
 pub mod octree;
 
 pub use engine::TreeEngine;
-pub use octree::{Octree, TreeForce};
+pub use hybrid::HybridTreeEngine;
+pub use octree::{InteractionLists, Octree, TreeForce};

@@ -55,5 +55,5 @@ pub mod prelude {
         decode_checkpoint, encode_checkpoint, load_checkpoint, run_ensemble, save_checkpoint,
         AccretionLog, RadiusModel, Simulation, TimestepHistogram,
     };
-    pub use grape6_tree::TreeEngine;
+    pub use grape6_tree::{HybridTreeEngine, TreeEngine};
 }

@@ -25,6 +25,36 @@ fn corpus_is_present_and_covers_every_kind() {
 }
 
 #[test]
+fn cluster_satellite_scenario_pins_cell_opening_edge_cases() {
+    // The hand-written clustered + far-satellite geometry must actually
+    // exercise both sides of the multipole acceptance criterion — cells
+    // opened (the clumps' own deep subtrees) AND far-field lists emitted
+    // (clump-to-clump and satellite-to-clump accepts) — otherwise it pins
+    // nothing.
+    use grape6::prelude::*;
+    let entries = corpus::load_dir(corpus_dir()).expect("corpus directory must load");
+    let (_, sc) = entries
+        .iter()
+        .find(|(_, sc)| sc.name == "ClusterSatellite-0000")
+        .expect("ClusterSatellite-0000 must be checked in");
+    let mut engine = HybridTreeEngine::new(0.5, 2.0);
+    engine.load(&sc.sys);
+    let ips: Vec<IParticle> = (0..sc.sys.len())
+        .map(|i| IParticle { index: i, pos: sc.sys.pos[i], vel: sc.sys.vel[i] })
+        .collect();
+    let mut out = vec![ForceResult::default(); ips.len()];
+    engine.compute(sc.sys.t, &ips, &mut out);
+    let work = engine.work();
+    assert!(work.cells_opened > 0, "no cells opened: {work:?}");
+    assert!(work.far_interactions > 0, "no far-field accepts: {work:?}");
+    assert!(work.near_interactions > 0, "no near-field neighbours: {work:?}");
+    assert!(
+        work.near_interactions < (sc.sys.len() as u64).pow(2),
+        "every pair went near-field — the satellite geometry is not stressing accepts: {work:?}"
+    );
+}
+
+#[test]
 fn corpus_replays_clean_through_all_checks() {
     let failures = corpus::replay_dir(corpus_dir()).expect("corpus directory must load");
     assert!(

@@ -148,6 +148,29 @@ fn engine_matrix_agrees_across_block_sizes_softened() {
                 block,
             );
             assert_forces_bit_equal(&ft, &hw, &tag);
+            // Hybrid anchor row: θ = 0 + disk-spanning near radius must
+            // read out the f64 reference's exact bits at every block size
+            // (each side picks its small/large path from the same block).
+            let hybrid0 = forces_blocked(&mut HybridTreeEngine::direct_equivalent(), sys, block);
+            assert_forces_bit_equal(&hybrid0, &cpu, &format!("{tag} hybrid θ=0"));
+            // Opened-up hybrid row: every production opening angle stays
+            // inside the derived multipole budget against the reference.
+            for theta in [0.3, 0.5, 0.75] {
+                let budget = Oracle::tree(theta, sys.len()).tolerances(sys, sys.t);
+                let hybrid = forces_blocked(&mut HybridTreeEngine::new(theta, 5.0), sys, block);
+                for i in 0..sys.len() {
+                    let d = (hybrid[i].acc - cpu[i].acc).norm();
+                    assert!(
+                        d <= budget.acc[i],
+                        "{tag} hybrid θ={theta}: particle {i} |Δacc| {d:e} > {:e}",
+                        budget.acc[i]
+                    );
+                    let dj = (hybrid[i].jerk - cpu[i].jerk).norm();
+                    assert!(dj <= budget.jerk[i], "{tag} hybrid θ={theta}: particle {i} |Δjerk|");
+                    let dp = (hybrid[i].pot - cpu[i].pot).abs();
+                    assert!(dp <= budget.pot[i], "{tag} hybrid θ={theta}: particle {i} |Δpot|");
+                }
+            }
         }
     }
 }
@@ -186,5 +209,17 @@ fn engine_matrix_softening_zero_rows() {
             }
         }
         assert!(worst < 0.5, "seed {seed}: tree rel error {worst} at ε = 0");
+        // The hybrid accepts ε = 0 as well — and its θ = 0 anchor must
+        // hold with no softening floor under the pair kernel, at every
+        // block size (both summation paths).
+        for &block in &BLOCK_SIZES {
+            let hybrid0 = forces_blocked(&mut HybridTreeEngine::direct_equivalent(), sys, block);
+            let direct = forces_blocked(&mut DirectEngine::new(), sys, block);
+            assert_forces_bit_equal(
+                &hybrid0,
+                &direct,
+                &format!("seed {seed} block {block} hybrid θ=0 ε=0"),
+            );
+        }
     }
 }

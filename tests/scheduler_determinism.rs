@@ -59,6 +59,56 @@ fn grape6_trajectories_bitwise_equal_across_schedulers() {
 }
 
 #[test]
+fn hybrid_trajectories_bitwise_equal_across_schedulers() {
+    // The approximate engine rides the same contract: identical (time,
+    // block) sequences feed identical tree builds and walks, so whole
+    // trajectories — and the exact walk counters — stay bitwise locked
+    // across scheduler kinds.
+    for &(n, seed, steps) in &[(24usize, 7u64, 120usize), (96, 3, 60)] {
+        let heap = run(HybridTreeEngine::new(0.5, 3.0), n, seed, steps, SchedulerKind::Heap);
+        let tick = run(HybridTreeEngine::new(0.5, 3.0), n, seed, steps, SchedulerKind::TickBucket);
+        let tag = format!("hybrid n={n} seed={seed} steps={steps}");
+        assert_systems_bit_equal(&tick.sys, &heap.sys, &tag);
+        assert_eq!(tick.stats(), heap.stats(), "{tag}: run counters");
+        assert_eq!(
+            tick.engine.interaction_count(),
+            heap.engine.interaction_count(),
+            "{tag}: engine interactions"
+        );
+        assert_eq!(tick.engine.tree_work(), heap.engine.tree_work(), "{tag}: walk counters");
+    }
+}
+
+#[test]
+fn hybrid_survives_checkpoint_kill_resume_bitwise() {
+    // Checkpoint → kill → resume with the hybrid engine: the restored
+    // run must continue the uninterrupted trajectory bit for bit, and the
+    // engine's walk counters (carried in its checkpoint state) must land
+    // on the uninterrupted totals, not restart from zero.
+    use grape6_sim::checkpoint::{decode_checkpoint, encode_checkpoint};
+    let mk = || HybridTreeEngine::new(0.5, 3.0);
+    let reference = run(mk(), 48, 21, 30, SchedulerKind::Heap);
+    let half = run(mk(), 48, 21, 15, SchedulerKind::Heap);
+    let bytes = encode_checkpoint(&half);
+    drop(half); // the "kill": nothing survives but the checkpoint bytes
+    let mut resumed = decode_checkpoint(bytes, mk()).unwrap();
+    for _ in 0..15 {
+        resumed.step();
+    }
+    assert_systems_bit_equal(&resumed.sys, &reference.sys, "hybrid checkpoint resume");
+    assert_eq!(
+        resumed.engine.interaction_count(),
+        reference.engine.interaction_count(),
+        "interaction counter must resume, not reset"
+    );
+    assert_eq!(
+        resumed.engine.tree_work(),
+        reference.engine.tree_work(),
+        "walk counters must resume, not reset"
+    );
+}
+
+#[test]
 fn scheduler_kind_survives_checkpoint_resume() {
     // A heap-scheduled run checkpointed and resumed must continue the same
     // trajectory as the uninterrupted run (the scheduler is rebuilt from

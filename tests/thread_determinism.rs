@@ -57,6 +57,69 @@ fn grape6_force_bits_invariant_across_thread_counts() {
 }
 
 #[test]
+fn hybrid_force_bits_and_counters_invariant_across_thread_counts() {
+    // The opened-up hybrid (cells accepted, near lists live) must stay
+    // bit-identical — forces AND exact walk counters — for T ∈ {1,2,4,8},
+    // on both the small-block and large-block summation paths.
+    for &block in &[1usize, 3, 16, 24, 64] {
+        let run = |t: usize| {
+            rayon::with_num_threads(t, || {
+                let sys = disk(300, 99);
+                let mut e = HybridTreeEngine::new(0.5, 3.0);
+                e.load(&sys);
+                let idx: Vec<usize> = (0..block).collect();
+                let ips = ips_for(&sys, &idx);
+                let mut out = vec![ForceResult::default(); block];
+                e.compute(0.0, &ips, &mut out);
+                (out, e.interaction_count(), e.tree_work().expect("hybrid reports tree work"))
+            })
+        };
+        let (reference, ref_count, ref_work) = run(1);
+        for &t in &[2usize, 4, 8] {
+            let (got, count, work) = run(t);
+            assert_forces_bit_equal(&got, &reference, &format!("hybrid b={block} t={t}"));
+            assert_eq!(count, ref_count, "hybrid b={block} t={t}: interaction count");
+            assert_eq!(work, ref_work, "hybrid b={block} t={t}: walk counters");
+        }
+    }
+}
+
+#[test]
+fn hybrid_integration_bits_invariant_across_thread_counts() {
+    // Whole integrations through the hybrid: predictor, tree rebuild per
+    // block time, walk, near/far sums, corrector — identical bits for any
+    // pool size.
+    let run = |t: usize| {
+        rayon::with_num_threads(t, || {
+            let mut sys = disk(48, 4242);
+            let cfg = HermiteConfig { dt_max: 2.0f64.powi(3), ..HermiteConfig::default() };
+            let mut engine = HybridTreeEngine::new(0.5, 3.0);
+            let mut integ = BlockHermite::new(cfg);
+            integ.initialize(&mut sys, &mut engine);
+            for _ in 0..200 {
+                integ.step(&mut sys, &mut engine);
+            }
+            (sys, engine.interaction_count())
+        })
+    };
+    let (reference, ref_count) = run(1);
+    for &t in &[2usize, 4, 8] {
+        let (got, count) = run(t);
+        assert_eq!(got.t, reference.t);
+        assert_eq!(count, ref_count, "t={t}: interaction count diverged");
+        for i in 0..reference.len() {
+            assert_eq!(got.pos[i], reference.pos[i], "t={t}: particle {i} pos diverged");
+            assert_eq!(got.vel[i], reference.vel[i], "t={t}: particle {i} vel diverged");
+            assert_eq!(
+                got.dt[i].to_bits(),
+                reference.dt[i].to_bits(),
+                "t={t}: particle {i} dt diverged"
+            );
+        }
+    }
+}
+
+#[test]
 fn energy_sum_bits_invariant_across_thread_counts() {
     let sys = disk(777, 5);
     let reference =

@@ -1,0 +1,100 @@
+//! Accuracy contracts for the tree engines, with budgets *derived* from
+//! the conformance oracle instead of guessed.
+//!
+//! These replace the ad-hoc-tolerance tests that used to live inline in
+//! `crates/tree/src/octree.rs` (`theta_zero_reproduces_direct_sum`,
+//! `moderate_theta_is_accurate_and_cheap`): the allowed error now comes
+//! from `Oracle::tree(theta, n)` — summation-reorder slack at θ = 0,
+//! plus the multipole acceptance-criterion bound once cells are accepted —
+//! so tightening the oracle tightens these tests for free.
+
+mod common;
+
+use common::{disk, forces};
+use grape6::prelude::*;
+use grape6_conformance::{Oracle, Tolerances};
+use grape6_core::particle::ForceResult;
+
+fn assert_within_budget(
+    got: &[ForceResult],
+    reference: &[ForceResult],
+    tol: &Tolerances,
+    tag: &str,
+) {
+    for (i, (g, r)) in got.iter().zip(reference).enumerate() {
+        let da = (g.acc - r.acc).norm();
+        assert!(
+            da <= tol.acc[i],
+            "{tag}: particle {i} |Δacc| {da:e} exceeds derived budget {:e}",
+            tol.acc[i]
+        );
+        let dj = (g.jerk - r.jerk).norm();
+        assert!(
+            dj <= tol.jerk[i],
+            "{tag}: particle {i} |Δjerk| {dj:e} exceeds derived budget {:e}",
+            tol.jerk[i]
+        );
+        let dp = (g.pot - r.pot).abs();
+        assert!(
+            dp <= tol.pot[i],
+            "{tag}: particle {i} |Δpot| {dp:e} exceeds derived budget {:e}",
+            tol.pot[i]
+        );
+    }
+}
+
+#[test]
+fn theta_zero_reproduces_direct_sum_within_reorder_budget() {
+    // θ = 0 opens every cell: the Barnes-Hut walk degenerates to an exact
+    // pairwise sum in tree order, so the only legitimate deviation from the
+    // reference is summation reordering — exactly what Oracle::tree(0, n)
+    // collapses to.
+    let sys = disk(400, 7);
+    let cpu = forces(&mut DirectEngine::new(), &sys, 0.0);
+    let tree = forces(&mut TreeEngine::new(0.0), &sys, 0.0);
+    let tol = Oracle::tree(0.0, sys.len()).tolerances(&sys, 0.0);
+    assert_within_budget(&tree, &cpu, &tol, "barnes-hut θ=0");
+}
+
+#[test]
+fn moderate_theta_is_accurate_and_cheap() {
+    // Accuracy from the derived multipole budget; cheapness from the
+    // engine's own evaluation counter (the tree must beat N² by a wide
+    // margin at this size, or it is not earning its approximation error).
+    let sys = disk(800, 7);
+    let n = sys.len() as u64;
+    let cpu = forces(&mut DirectEngine::new(), &sys, 0.0);
+    let mut engine = TreeEngine::new(0.5);
+    let tree = forces(&mut engine, &sys, 0.0);
+    let tol = Oracle::tree(0.5, sys.len()).tolerances(&sys, 0.0);
+    assert_within_budget(&tree, &cpu, &tol, "barnes-hut θ=0.5");
+    // At N ≈ 800 on a thin disk the walk wins ~2× over N²; the asymptotic
+    // O(N log N) growth itself is pinned by `octree::cost_scales_sub_quadratically`.
+    assert!(
+        engine.interaction_count() < n * n / 2,
+        "tree did {} evaluations — not meaningfully below N² = {}",
+        engine.interaction_count(),
+        n * n
+    );
+}
+
+#[test]
+fn hybrid_moderate_theta_is_accurate_and_cheap() {
+    // The same derived-budget contract for the hybrid: near field exact,
+    // far field within the θ bound, total work well below N².
+    let sys = disk(800, 7);
+    let n = sys.len() as u64;
+    let cpu = forces(&mut DirectEngine::new(), &sys, 0.0);
+    let mut engine = HybridTreeEngine::new(0.5, 2.0);
+    let hybrid = forces(&mut engine, &sys, 0.0);
+    let tol = Oracle::tree(0.5, sys.len()).tolerances(&sys, 0.0);
+    assert_within_budget(&hybrid, &cpu, &tol, "hybrid θ=0.5");
+    let work = engine.tree_work().expect("hybrid reports tree work");
+    assert!(work.near_interactions > 0 && work.far_interactions > 0);
+    assert!(
+        engine.interaction_count() < n * n / 2,
+        "hybrid did {} evaluations — not meaningfully below N² = {}",
+        engine.interaction_count(),
+        n * n
+    );
+}
